@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction harnesses: the standard
+ * configurations compared throughout the paper, suite runners with progress
+ * output, and consistent headers.
+ *
+ * Every harness honours SW_QUOTA / SW_WARMUP / SW_QUOTA_REG / SW_WARMUP_REG
+ * (see harness/experiment.cc) so sweeps can be shortened or lengthened
+ * without recompiling.
+ */
+
+#ifndef SW_BENCH_COMMON_HH
+#define SW_BENCH_COMMON_HH
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace swbench {
+
+using namespace sw;
+
+/** Baseline: Table 3, 32 hardware PTWs. */
+inline GpuConfig
+baselineCfg()
+{
+    return makeDefaultConfig();
+}
+
+/** NHA: baseline + page-walk coalescing (Shin et al., MICRO'18). */
+inline GpuConfig
+nhaCfg()
+{
+    GpuConfig cfg = makeDefaultConfig();
+    cfg.nhaCoalescing = true;
+    return cfg;
+}
+
+/** FS-HPT: baseline + fixed-size hashed page table (Jang et al., PACT'24). */
+inline GpuConfig
+fsHptCfg()
+{
+    GpuConfig cfg = makeDefaultConfig();
+    cfg.pageTableKind = PageTableKind::Hashed;
+    return cfg;
+}
+
+/** SoftWalker without the In-TLB MSHR. */
+inline GpuConfig
+swNoInTlbCfg()
+{
+    return makeSoftWalkerConfig(TranslationMode::SoftWalker, 0);
+}
+
+/** Full SoftWalker (In-TLB MSHR = 1024). */
+inline GpuConfig
+swCfg()
+{
+    return makeSoftWalkerConfig();
+}
+
+/** Hybrid: hardware walkers preferred, software overflow (§5.4). */
+inline GpuConfig
+hybridCfg()
+{
+    return makeSoftWalkerConfig(TranslationMode::Hybrid);
+}
+
+/** Ideal: unbounded walkers and MSHRs. */
+inline GpuConfig
+idealCfg()
+{
+    GpuConfig cfg = makeDefaultConfig();
+    cfg.mode = TranslationMode::Ideal;
+    return cfg;
+}
+
+/** Print the standard harness banner. */
+inline void
+banner(const char *figure, const char *description)
+{
+    std::printf("============================================================"
+                "====\n");
+    std::printf("%s — %s\n", figure, description);
+    std::printf("SoftWalker reproduction (MICRO'25); shapes, not absolute "
+                "numbers.\n");
+    std::printf("============================================================"
+                "====\n\n");
+}
+
+/** Run one configuration across a suite, with progress on stderr. */
+inline std::vector<RunResult>
+runSuite(const GpuConfig &cfg, const std::vector<const BenchmarkInfo *> &suite,
+         const char *label, double footprint_scale = 1.0)
+{
+    std::vector<RunResult> out;
+    out.reserve(suite.size());
+    for (const BenchmarkInfo *info : suite) {
+        std::fprintf(stderr, "  [%s] %s...\n", label, info->abbr.c_str());
+        out.push_back(runBenchmark(cfg, *info, limitsFor(*info),
+                                   footprint_scale));
+    }
+    return out;
+}
+
+/** Pointers to every Table 4 entry, paper order. */
+inline std::vector<const BenchmarkInfo *>
+wholeSuite()
+{
+    std::vector<const BenchmarkInfo *> out;
+    for (const auto &info : benchmarkSuite())
+        out.push_back(&info);
+    return out;
+}
+
+/**
+ * Footprint scale pushing a benchmark past the large-page L2 TLB coverage
+ * (1024 entries x 2 MB = 2 GB): the paper grows each scalable app beyond
+ * coverage before the Fig 6b / Fig 12b / Fig 25 experiments.
+ */
+inline double
+largePageScale(const BenchmarkInfo &info, double min_bytes = 5.0 * (1ull << 30))
+{
+    double footprint = double(info.footprintMb) * 1024.0 * 1024.0;
+    return std::max(8.0, min_bytes / footprint);
+}
+
+/** Run one configuration across a suite with per-benchmark scaling. */
+inline std::vector<RunResult>
+runSuiteScaled(const GpuConfig &cfg,
+               const std::vector<const BenchmarkInfo *> &suite,
+               const char *label,
+               const std::function<double(const BenchmarkInfo &)> &scale_of)
+{
+    std::vector<RunResult> out;
+    out.reserve(suite.size());
+    for (const BenchmarkInfo *info : suite) {
+        std::fprintf(stderr, "  [%s] %s...\n", label, info->abbr.c_str());
+        out.push_back(runBenchmark(cfg, *info, limitsFor(*info),
+                                   scale_of(*info)));
+    }
+    return out;
+}
+
+/** Geomean helper over paired results. */
+inline double
+geomeanSpeedup(const std::vector<RunResult> &base,
+               const std::vector<RunResult> &opt)
+{
+    return geomean(speedups(base, opt));
+}
+
+} // namespace swbench
+
+#endif // SW_BENCH_COMMON_HH

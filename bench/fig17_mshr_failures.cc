@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 17 — Reduction of L2 TLB MSHR failures when In-TLB MSHR is
+ * enabled, relative to the 32-PTW baseline.
+ *
+ * Paper: In-TLB MSHR eliminates 95.3% of MSHR failures on average; spmv
+ * only ~65% because its accesses saturate specific L2 TLB sets.
+ */
+
+#include "bench_common.hh"
+
+using namespace swbench;
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Figure 17", "L2 TLB MSHR-failure reduction from In-TLB MSHR");
+
+    auto suite = irregularSuite();
+    auto base = runSuite(baselineCfg(), suite, "baseline");
+    auto sw_full = runSuite(swCfg(), suite, "softwalker");
+
+    TextTable table({"bench", "baseline failures", "softwalker failures",
+                     "reduction%"});
+    std::vector<double> reductions;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        double reduction = base[i].l2MshrFailures
+            ? 100.0 * (1.0 - double(sw_full[i].l2MshrFailures) /
+                             double(base[i].l2MshrFailures))
+            : 0.0;
+        if (base[i].l2MshrFailures)
+            reductions.push_back(reduction);
+        table.addRow({suite[i]->abbr,
+                      strprintf("%llu", (unsigned long long)
+                                base[i].l2MshrFailures),
+                      strprintf("%llu", (unsigned long long)
+                                sw_full[i].l2MshrFailures),
+                      TextTable::num(reduction, 1)});
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("average reduction: %.1f%%\n", mean(reductions));
+    std::printf("\npaper: 95.3%% average; spmv limited (~65%%) by per-set "
+                "contention\n");
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 22 — Sensitivity of SoftWalker to the L2 TLB (communication)
+ * latency, 40..200 cycles.
+ *
+ * Paper: 2.31x at 40 cycles (near the 2.58x ideal) degrading gracefully
+ * to 2.07x at 200 cycles.
+ */
+
+#include "bench_common.hh"
+
+using namespace swbench;
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Figure 22", "L2 TLB access-latency sensitivity");
+
+    const std::vector<Cycle> latencies = {40, 80, 120, 160, 200};
+    // Irregular suite: regular apps are latency-insensitive here and
+    // dominate the sweep's runtime.
+    auto suite = irregularSuite();
+
+    TextTable table({"L2 TLB latency", "SoftWalker geomean speedup"});
+    for (Cycle lat : latencies) {
+        GpuConfig base = baselineCfg();
+        base.l2TlbLatency = lat;
+        GpuConfig soft = swCfg();
+        soft.l2TlbLatency = lat;   // comm latency follows (§6.1)
+        auto base_r = runSuite(base, suite,
+                               strprintf("base@%llu",
+                                         (unsigned long long)lat).c_str());
+        auto soft_r = runSuite(soft, suite,
+                               strprintf("sw@%llu",
+                                         (unsigned long long)lat).c_str());
+        table.addRow({strprintf("%llu", (unsigned long long)lat),
+                      TextTable::num(geomeanSpeedup(base_r, soft_r))});
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("paper: 40cy 2.31x ... 200cy 2.07x (queueing still "
+                "dominates)\n");
+    return 0;
+}

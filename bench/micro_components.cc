@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Component micro-benchmarks (google-benchmark): throughput of the
+ * simulator's hot structures.  These validate that the simulator itself is
+ * fast enough to sweep the paper's experiments, not paper results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/cache.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "vm/page_table.hh"
+#include "vm/page_walk_cache.hh"
+#include "vm/tlb.hh"
+
+using namespace sw;
+
+static void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1024; ++i)
+            eq.schedule(Cycle(i * 7 % 997), [&]() { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+static void
+BM_TlbLookupHit(benchmark::State &state)
+{
+    TlbArray tlb("bench", 1024, 16);
+    for (Vpn vpn = 0; vpn < 1024; ++vpn)
+        tlb.fill(vpn, vpn + 1);
+    Pfn pfn = 0;
+    Vpn vpn = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb.lookup(vpn, pfn));
+        vpn = (vpn + 1) % 1024;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TlbLookupHit);
+
+static void
+BM_TlbFillEvict(benchmark::State &state)
+{
+    TlbArray tlb("bench", 1024, 16);
+    Vpn vpn = 0;
+    for (auto _ : state) {
+        tlb.fill(vpn, vpn);
+        vpn += 64;   // always a new set conflict eventually
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TlbFillEvict);
+
+static void
+BM_RadixWalkFunctional(benchmark::State &state)
+{
+    PageGeometry geom(64 * 1024);
+    FrameAllocator alloc(64 * 1024);
+    RadixPageTable pt(geom, alloc);
+    Rng rng(1);
+    std::vector<Vpn> vpns;
+    for (int i = 0; i < 4096; ++i) {
+        Vpn vpn = rng.range(1ull << 30);
+        pt.ensureMapped(vpn);
+        vpns.push_back(vpn);
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        WalkCursor cur = pt.startWalk(vpns[i % vpns.size()]);
+        while (!cur.done)
+            pt.advance(cur);
+        benchmark::DoNotOptimize(cur.pfn);
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RadixWalkFunctional);
+
+static void
+BM_PwcLookup(benchmark::State &state)
+{
+    PageGeometry geom(64 * 1024);
+    FrameAllocator alloc(64 * 1024);
+    RadixPageTable pt(geom, alloc);
+    PageWalkCache pwc(32);
+    for (Vpn vpn = 0; vpn < 32; ++vpn)
+        pwc.fill(pt, 1, vpn << 10, vpn * 0x1000);
+    int level = 0;
+    PhysAddr base = 0;
+    Vpn vpn = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pwc.lookup(pt, (vpn << 10) + 1, level, base));
+        vpn = (vpn + 1) % 32;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PwcLookup);
+
+static void
+BM_CacheAccessHit(benchmark::State &state)
+{
+    EventQueue eq;
+    Cache::Params params;
+    params.sizeBytes = 128 * 1024;
+    params.latency = 1;
+    Cache cache(eq, params,
+                [&eq](PhysAddr, bool, std::function<void()> fill) {
+                    eq.scheduleIn(1, std::move(fill));
+                });
+    // Warm one sector.
+    cache.access(0, false, []() {});
+    eq.run();
+    for (auto _ : state) {
+        cache.access(0, false, []() {});
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccessHit);
+
+static void
+BM_RngRange(benchmark::State &state)
+{
+    Rng rng(9);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.range(1000003));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngRange);
+
+BENCHMARK_MAIN();

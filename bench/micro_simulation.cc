@@ -1,0 +1,94 @@
+/**
+ * @file
+ * End-to-end simulation micro-benchmarks (google-benchmark): simulated
+ * warp instructions per wall-clock second for each translation mode on a
+ * small machine.  Guards against performance regressions that would make
+ * the figure sweeps impractical.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/softwalker.hh"
+#include "gpu/gpu.hh"
+#include "sim/config.hh"
+#include "workload/generators.hh"
+
+using namespace sw;
+
+namespace {
+
+GpuConfig
+smallCfg(TranslationMode mode)
+{
+    GpuConfig cfg = makeDefaultConfig();
+    cfg.numSms = 8;
+    cfg.maxWarpsPerSm = 16;
+    if (mode == TranslationMode::SoftWalker ||
+        mode == TranslationMode::Hybrid) {
+        cfg = makeSoftWalkerConfig(mode);
+        cfg.numSms = 8;
+        cfg.maxWarpsPerSm = 16;
+    } else {
+        cfg.mode = mode;
+    }
+    return cfg;
+}
+
+std::unique_ptr<Workload>
+workload()
+{
+    GraphWorkload::Params params;
+    params.gatherFraction = 0.5;
+    params.pagesPerInstr = 0.7;
+    return std::make_unique<GraphWorkload>("bench", 512ull << 20, true, 20,
+                                           params);
+}
+
+void
+runMode(benchmark::State &state, TranslationMode mode)
+{
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        Gpu gpu(smallCfg(mode), workload());
+        installWalkBackend(gpu);
+        Gpu::RunLimits limits;
+        limits.warpInstrQuota = 1500;
+        limits.maxCycles = 4000000;
+        gpu.run(limits);
+        instrs += gpu.instructionsIssued();
+    }
+    state.SetItemsProcessed(std::int64_t(instrs));
+    state.SetLabel("simulated warp instructions");
+}
+
+} // namespace
+
+static void
+BM_SimulateBaseline(benchmark::State &state)
+{
+    runMode(state, TranslationMode::HardwarePtw);
+}
+BENCHMARK(BM_SimulateBaseline)->Unit(benchmark::kMillisecond);
+
+static void
+BM_SimulateSoftWalker(benchmark::State &state)
+{
+    runMode(state, TranslationMode::SoftWalker);
+}
+BENCHMARK(BM_SimulateSoftWalker)->Unit(benchmark::kMillisecond);
+
+static void
+BM_SimulateHybrid(benchmark::State &state)
+{
+    runMode(state, TranslationMode::Hybrid);
+}
+BENCHMARK(BM_SimulateHybrid)->Unit(benchmark::kMillisecond);
+
+static void
+BM_SimulateIdeal(benchmark::State &state)
+{
+    runMode(state, TranslationMode::Ideal);
+}
+BENCHMARK(BM_SimulateIdeal)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Example: extending the framework — a custom workload and a UVM-style
+ * demand-paging run.
+ *
+ * Shows the two main extension points of the public API:
+ *   1. Deriving from Workload to model your own kernel's address stream.
+ *   2. Driving the fault path: with map-on-demand disabled, walks on
+ *      untouched pages fault into the Fault Buffer (the FFB instruction)
+ *      and are replayed after the driver maps the page (§5.5).
+ *
+ *   ./build/examples/custom_walker_policy
+ */
+
+#include <cstdio>
+
+#include "core/softwalker.hh"
+#include "gpu/gpu.hh"
+#include "harness/experiment.hh"
+#include "sim/logging.hh"
+
+using namespace sw;
+
+namespace {
+
+/**
+ * A pointer-chasing hash join probe: each warp alternates between a
+ * streamed build-side scan and divergent probes into a hash table region.
+ */
+class HashJoinWorkload : public Workload
+{
+  public:
+    explicit HashJoinWorkload(std::uint64_t table_bytes)
+        : tableBytes(table_bytes)
+    {
+    }
+
+    WarpInstr
+    next(SmId sm, WarpId warp, Rng &rng) override
+    {
+        WarpInstr instr;
+        instr.computeGap = 20;
+        instr.activeLanes = 32;
+        bool probe_phase = (++count % 3) != 0;
+        std::uint64_t stream_pos =
+            (std::uint64_t(sm) * 48 + warp) * 4096 + count * 128;
+        for (std::uint32_t lane = 0; lane < 32; ++lane) {
+            if (probe_phase) {
+                // Divergent probes, clustered in buckets of 4 lanes.
+                std::uint64_t bucket =
+                    rng.range(tableBytes / 64) * 64;
+                instr.addrs[lane] = kHeap + bucket + (lane % 4) * 8;
+            } else {
+                instr.addrs[lane] =
+                    kHeap + tableBytes +
+                    (stream_pos + lane * 8) % (256ull << 20);
+            }
+        }
+        return instr;
+    }
+
+    std::uint64_t footprintBytes() const override
+    {
+        return tableBytes + (256ull << 20);
+    }
+    std::string name() const override { return "hashjoin"; }
+    bool irregular() const override { return true; }
+
+  private:
+    static constexpr VirtAddr kHeap = 1ull << 34;
+    std::uint64_t tableBytes;
+    std::uint64_t count = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+
+    // ---- Part 1: custom workload under all three machines ------------
+    std::printf("== custom workload (hash join probe) ==\n");
+    Gpu::RunLimits limits;
+    limits.warpInstrQuota = 8000;
+    limits.warmupInstrs = 3000;
+    limits.maxCycles = 4000000;
+
+    RunResult base = runWorkload(
+        makeDefaultConfig(),
+        std::make_unique<HashJoinWorkload>(512ull << 20), limits);
+    RunResult soft = runWorkload(
+        makeSoftWalkerConfig(),
+        std::make_unique<HashJoinWorkload>(512ull << 20), limits);
+    std::printf("baseline perf %.4f instr/cy, SoftWalker %.4f instr/cy "
+                "-> %.2fx\n",
+                base.perf, soft.perf, speedup(base, soft));
+    std::printf("walk latency: baseline %.0f cy (%.0f queued), SoftWalker "
+                "%.0f cy (%.0f queued)\n\n",
+                base.avgWalkTotalLatency, base.avgWalkQueueDelay,
+                soft.avgWalkTotalLatency, soft.avgWalkQueueDelay);
+
+    // ---- Part 2: demand paging through the fault buffer ---------------
+    std::printf("== UVM-style demand paging (FFB path) ==\n");
+    Gpu gpu(makeSoftWalkerConfig(),
+            std::make_unique<HashJoinWorkload>(64ull << 20));
+    installWalkBackend(gpu);
+    // Disable OS map-on-touch: first-touch walks now fault, log the VPN
+    // via FFB, and replay after the driver maps the page.
+    gpu.engine().setMapOnDemand(false);
+    Gpu::RunLimits fault_limits;
+    fault_limits.warpInstrQuota = 600;
+    fault_limits.maxCycles = 8000000;
+    gpu.run(fault_limits);
+
+    const TranslationEngine::Stats &stats = gpu.engine().stats();
+    std::printf("walks completed: %llu, page faults serviced: %llu, "
+                "fault-buffer records: %llu\n",
+                (unsigned long long)stats.walksCompleted,
+                (unsigned long long)stats.faults,
+                (unsigned long long)gpu.engine().faultBuffer()
+                    .stats().recorded);
+    std::printf("every faulted page was mapped by the driver and the walk "
+                "replayed — the PW Warp's FFB\ninstruction feeds the same "
+                "fault protocol a hardware walker would (§5.5).\n");
+    return 0;
+}

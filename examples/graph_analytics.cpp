@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Example: graph-analytics campaign.
+ *
+ * Runs the GraphBIG-style benchmarks (bfs, sssp, dc, gc, bc) on the
+ * baseline, SoftWalker, and Hybrid machines and reports the
+ * address-translation picture an architect would look at: walk counts,
+ * queueing-vs-access split, MSHR failures, and the resulting speedups.
+ *
+ *   ./build/examples/graph_analytics [quota]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiment.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+using namespace sw;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    Gpu::RunLimits limits = defaultLimits();
+    if (argc > 1)
+        limits.warpInstrQuota = std::strtoull(argv[1], nullptr, 10);
+
+    const char *graph_apps[] = {"bfs", "sssp", "dc", "gc", "bc"};
+
+    TextTable table({"bench", "base walkQ/A (cy)", "SW walkQ/A (cy)",
+                     "base MSHR fails", "SW MSHR fails", "SW speedup",
+                     "hybrid speedup"});
+
+    std::vector<double> sw_speedups;
+    for (const char *abbr : graph_apps) {
+        const BenchmarkInfo &info = findBenchmark(abbr);
+        std::fprintf(stderr, "running %s (footprint %llu MB)...\n", abbr,
+                     (unsigned long long)info.footprintMb);
+
+        RunResult base = runBenchmark(makeDefaultConfig(), info, limits,
+                                      1.0);
+        RunResult soft = runBenchmark(makeSoftWalkerConfig(), info, limits,
+                                      1.0);
+        RunResult hybrid = runBenchmark(
+            makeSoftWalkerConfig(TranslationMode::Hybrid), info, limits,
+            1.0);
+
+        sw_speedups.push_back(speedup(base, soft));
+        table.addRow({abbr,
+                      strprintf("%.0f/%.0f", base.avgWalkQueueDelay,
+                                base.avgWalkAccessLatency),
+                      strprintf("%.0f/%.0f", soft.avgWalkQueueDelay,
+                                soft.avgWalkAccessLatency),
+                      strprintf("%llu",
+                                (unsigned long long)base.l2MshrFailures),
+                      strprintf("%llu",
+                                (unsigned long long)soft.l2MshrFailures),
+                      TextTable::num(speedup(base, soft)),
+                      TextTable::num(speedup(base, hybrid))});
+    }
+
+    std::printf("\n%s\n", table.str().c_str());
+    std::printf("graph-suite geomean SoftWalker speedup: %.2fx\n",
+                geomean(sw_speedups));
+    std::printf("\nReading the table: the baseline's walk latency is almost"
+                " entirely queueing (walkQ >> walkA);\nSoftWalker trades a "
+                "slightly larger per-walk access time for the elimination "
+                "of that queue.\n");
+    return 0;
+}

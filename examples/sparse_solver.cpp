@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Example: sparse linear-algebra workloads and the In-TLB MSHR.
+ *
+ * spmv/gesummv/syr2k stress the L2 TLB MSHR file the hardest; this example
+ * sweeps the In-TLB MSHR capacity on them and shows the two anomalies the
+ * paper discusses in §6.3: sy2k's TLB pollution and spmv's per-set
+ * saturation.
+ *
+ *   ./build/examples/sparse_solver
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+using namespace sw;
+
+int
+main()
+{
+    setVerbose(false);
+    const char *sparse_apps[] = {"spmv", "gesv", "sy2k"};
+    const std::uint32_t capacities[] = {0, 128, 512, 1024};
+
+    std::printf("In-TLB MSHR capacity sweep on the sparse suite\n");
+    std::printf("(speedup over the 32-PTW hardware baseline)\n\n");
+
+    TextTable table({"bench", "cap 0", "cap 128", "cap 512", "cap 1024",
+                     "residual MSHR fails @1024"});
+    for (const char *abbr : sparse_apps) {
+        const BenchmarkInfo &info = findBenchmark(abbr);
+        std::fprintf(stderr, "running %s...\n", abbr);
+        RunResult base = runBenchmark(makeDefaultConfig(), info);
+
+        std::vector<std::string> row = {abbr};
+        std::uint64_t residual = 0;
+        for (std::uint32_t cap : capacities) {
+            RunResult r = runBenchmark(
+                makeSoftWalkerConfig(TranslationMode::SoftWalker, cap),
+                info);
+            row.push_back(TextTable::num(speedup(base, r)));
+            if (cap == 1024)
+                residual = r.l2MshrFailures;
+        }
+        row.push_back(strprintf("%llu", (unsigned long long)residual));
+        table.addRow(row);
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("spmv keeps residual MSHR failures even at capacity 1024: "
+                "its column gathers pile onto a\nhandful of L2 TLB sets, "
+                "and an In-TLB MSHR slot must live in the set of the "
+                "missing VPN (§6.3).\n");
+    return 0;
+}

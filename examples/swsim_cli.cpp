@@ -1,0 +1,177 @@
+/**
+ * @file
+ * swsim — command-line driver for one-off simulations.
+ *
+ * Runs a single (benchmark, configuration) pair and dumps the full
+ * statistics picture.  Useful for poking at a config without writing a
+ * harness.
+ *
+ * Usage:
+ *   swsim_cli [options]
+ *     --bench <abbr>        Table 4 benchmark (default bfs)
+ *     --mode <m>            hw | sw | hybrid | ideal (default hw)
+ *     --ptws <n>            hardware walker count (scales MSHRs/PWB)
+ *     --intlb <n>           In-TLB MSHR capacity
+ *     --page <64k|2m>       page size
+ *     --pt <radix|hashed>   page-table organisation
+ *     --nha                 enable NHA page-walk coalescing
+ *     --quota <n>           measured warp instructions
+ *     --warmup <n>          warmup warp instructions
+ *     --scale <f>           footprint scale factor
+ *     --policy <rr|rand|stall>  distributor policy
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "sim/logging.hh"
+
+using namespace sw;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: swsim_cli [--bench b] [--mode hw|sw|hybrid|ideal] "
+                 "[--ptws n]\n"
+                 "  [--intlb n] [--page 64k|2m] [--pt radix|hashed] [--nha]"
+                 "\n  [--quota n] [--warmup n] [--scale f] "
+                 "[--policy rr|rand|stall]\n");
+    std::exit(2);
+}
+
+const char *
+require(int argc, char **argv, int &i)
+{
+    if (++i >= argc)
+        usage();
+    return argv[i];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    std::string bench = "bfs";
+    GpuConfig cfg = makeDefaultConfig();
+    Gpu::RunLimits limits = defaultLimits();
+    bool explicit_limits = false;
+    double scale = 1.0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--bench") {
+            bench = require(argc, argv, i);
+        } else if (arg == "--mode") {
+            std::string mode = require(argc, argv, i);
+            if (mode == "hw") {
+                cfg.mode = TranslationMode::HardwarePtw;
+            } else if (mode == "sw") {
+                std::uint32_t intlb = cfg.inTlbMshrMax;
+                cfg = makeSoftWalkerConfig();
+                if (intlb)
+                    cfg.inTlbMshrMax = intlb;
+            } else if (mode == "hybrid") {
+                cfg = makeSoftWalkerConfig(TranslationMode::Hybrid);
+            } else if (mode == "ideal") {
+                cfg.mode = TranslationMode::Ideal;
+            } else {
+                usage();
+            }
+        } else if (arg == "--ptws") {
+            scalePtwSubsystem(cfg, std::uint32_t(
+                std::strtoul(require(argc, argv, i), nullptr, 10)));
+        } else if (arg == "--intlb") {
+            cfg.inTlbMshrMax = std::uint32_t(
+                std::strtoul(require(argc, argv, i), nullptr, 10));
+        } else if (arg == "--page") {
+            std::string page = require(argc, argv, i);
+            cfg.pageBytes = (page == "2m") ? 2ull * 1024 * 1024
+                                           : 64ull * 1024;
+        } else if (arg == "--pt") {
+            std::string kind = require(argc, argv, i);
+            cfg.pageTableKind = (kind == "hashed") ? PageTableKind::Hashed
+                                                   : PageTableKind::Radix4;
+        } else if (arg == "--nha") {
+            cfg.nhaCoalescing = true;
+        } else if (arg == "--quota") {
+            limits.warpInstrQuota =
+                std::strtoull(require(argc, argv, i), nullptr, 10);
+            explicit_limits = true;
+        } else if (arg == "--warmup") {
+            limits.warmupInstrs =
+                std::strtoull(require(argc, argv, i), nullptr, 10);
+            explicit_limits = true;
+        } else if (arg == "--scale") {
+            scale = std::strtod(require(argc, argv, i), nullptr);
+        } else if (arg == "--policy") {
+            std::string policy = require(argc, argv, i);
+            cfg.distributorPolicy =
+                policy == "rand" ? DistributorPolicy::Random
+                : policy == "stall" ? DistributorPolicy::StallAware
+                                    : DistributorPolicy::RoundRobin;
+        } else {
+            usage();
+        }
+    }
+
+    const BenchmarkInfo &info = findBenchmark(bench);
+    if (!explicit_limits)
+        limits = limitsFor(info);
+
+    std::fprintf(stderr, "running %s (%s, mode=%s, quota=%llu)...\n",
+                 info.abbr.c_str(), info.fullName.c_str(),
+                 toString(cfg.mode),
+                 (unsigned long long)limits.warpInstrQuota);
+    RunResult r = runBenchmark(cfg, info, limits, scale);
+
+    std::printf("benchmark            %s (%s)\n", r.benchmark.c_str(),
+                info.irregular ? "irregular" : "regular");
+    std::printf("mode                 %s\n", toString(r.mode));
+    std::printf("measured cycles      %llu\n",
+                (unsigned long long)r.cycles);
+    std::printf("warp instructions    %llu\n",
+                (unsigned long long)r.warpInstrs);
+    std::printf("performance          %.5f warp-instr/cycle\n", r.perf);
+    std::printf("L1 TLB hit rate      %.2f%%\n",
+                100.0 * double(r.l1TlbHits) /
+                double(std::max<std::uint64_t>(1, r.l1TlbHits +
+                                                  r.l1TlbMisses)));
+    std::printf("L2 TLB accesses      %llu (hit rate %.2f%%)\n",
+                (unsigned long long)r.l2TlbAccesses,
+                100.0 * r.l2TlbHitRate);
+    std::printf("L2 TLB MPKI          %.2f (paper: %.2f)\n", r.l2TlbMpki,
+                info.paperMpki);
+    std::printf("L2 TLB MSHR failures %llu\n",
+                (unsigned long long)r.l2MshrFailures);
+    std::printf("In-TLB MSHR allocs   %llu (peak %llu)\n",
+                (unsigned long long)r.inTlbMshrAllocs,
+                (unsigned long long)r.inTlbMshrPeak);
+    std::printf("page walks           %llu\n", (unsigned long long)r.walks);
+    std::printf("walk queue delay     %.1f cy\n", r.avgWalkQueueDelay);
+    std::printf("walk access latency  %.1f cy\n", r.avgWalkAccessLatency);
+    std::printf("translation latency  %.1f cy\n", r.avgTranslationLatency);
+    std::printf("L2D miss rate        %.2f%%\n", 100.0 * r.l2dMissRate);
+    std::printf("DRAM utilisation     %.2f%%\n",
+                100.0 * r.dramUtilisation);
+    std::printf("mem-stall fraction   %.2f%%\n",
+                100.0 * r.stallFraction(cfg.numSms));
+    if (r.swBatches) {
+        std::printf("PW warp batches      %llu (avg size %.1f)\n",
+                    (unsigned long long)r.swBatches, r.swAvgBatchSize);
+        std::printf("PW warp instructions %llu\n",
+                    (unsigned long long)r.swInstructions);
+        std::printf("to hardware/software %llu / %llu\n",
+                    (unsigned long long)r.swToHardware,
+                    (unsigned long long)r.swToSoftware);
+    }
+    std::printf("faults               %llu\n", (unsigned long long)r.faults);
+    return 0;
+}

@@ -1,0 +1,59 @@
+#include "area/cacti_lite.hh"
+
+#include "sim/logging.hh"
+
+namespace sw {
+
+double
+portScale(std::uint32_t ports)
+{
+    SW_ASSERT(ports >= 1, "structure needs at least one port");
+    // Each additional port adds ~30% pitch per dimension.
+    double linear = 1.0 + 0.3 * double(ports - 1);
+    return linear * linear;
+}
+
+double
+sramAreaMm2(std::uint64_t bits, std::uint32_t ports)
+{
+    double cell_um2 = kSramBitCellUm2 * portScale(ports);
+    return double(bits) * cell_um2 * kPeripheryFactor * 1e-6;
+}
+
+double
+camAreaMm2(std::uint64_t entries, std::uint32_t bits_per_entry,
+           std::uint32_t search_ports)
+{
+    double cell_um2 = kCamBitCellUm2 * portScale(search_ports);
+    return double(entries) * double(bits_per_entry) * cell_um2 *
+           kPeripheryFactor * 1e-6;
+}
+
+PtwSubsystemArea
+ptwSubsystemArea(std::uint32_t num_ptws, std::uint32_t pwb_entries,
+                 std::uint32_t pwb_ports, std::uint32_t mshr_entries)
+{
+    PtwSubsystemArea area;
+    // PWB entry: 33 b VPN + 31 b base PFN + level/state bits ~ 96 b (§4.4).
+    area.pwbMm2 = camAreaMm2(pwb_entries, 96, pwb_ports);
+    // L2 TLB MSHR entry: tag + requester metadata + merge list head ~128 b.
+    area.mshrMm2 = camAreaMm2(mshr_entries, 128, pwb_ports);
+    // Walker FSM + per-walk registers: modest per-walker constant derived
+    // from the prior-work datapoint of 192 walkers + 18-port PWB ~ 3.9% of
+    // chip area (Lee et al., HPCA'25).
+    area.walkerMm2 = 0.011 * double(num_ptws);
+    area.totalMm2 = area.pwbMm2 + area.mshrMm2 + area.walkerMm2;
+    return area;
+}
+
+double
+softwalkerOverheadMm2(std::uint32_t num_sms, std::uint32_t l2_tlb_entries)
+{
+    // 1470 bits of PW Warp context + status bitmap per SM (§5.2).
+    double per_sm = sramAreaMm2(1470, 1);
+    // One pending bit per L2 TLB entry plus the synthesized control logic.
+    double pending_bits = sramAreaMm2(l2_tlb_entries, 1);
+    return per_sm * double(num_sms) + pending_bits + kInTlbMshrLogicMm2;
+}
+
+} // namespace sw

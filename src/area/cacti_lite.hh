@@ -1,0 +1,79 @@
+/**
+ * @file
+ * CACTI-lite: analytical area model for the SRAM/CAM structures the paper
+ * costs out (§5.2, §5.3, Fig 15).
+ *
+ * The paper uses CACTI 7 for the PWB/MSHR CAMs and a 28 nm synthesis for
+ * the In-TLB MSHR control logic.  Absolute mm² are process-dependent; what
+ * Fig 15 needs is the *relative* area of PWB/MSHR configurations, whose
+ * shape is dominated by two well-established behaviours this model keeps:
+ * CAM cells cost ~2x SRAM cells, and multi-porting grows cell area
+ * super-linearly (wire pitch per port in both dimensions).
+ */
+
+#ifndef SW_AREA_CACTI_LITE_HH
+#define SW_AREA_CACTI_LITE_HH
+
+#include <cstdint>
+
+namespace sw {
+
+/** 7 nm-class HD SRAM bit cell (um^2). */
+inline constexpr double kSramBitCellUm2 = 0.031;
+
+/** CAM bit cell: match line + 2 search lines; ~2x the SRAM cell. */
+inline constexpr double kCamBitCellUm2 = 0.062;
+
+/** Peripheral overhead factor (decoders, sense amps, comparators). */
+inline constexpr double kPeripheryFactor = 1.35;
+
+/**
+ * Port scaling: each extra port adds a wordline/bitline pair in both
+ * dimensions, growing cell area roughly quadratically in port count.
+ */
+double portScale(std::uint32_t ports);
+
+/** Area of a @p bits SRAM structure with @p ports ports, in mm^2. */
+double sramAreaMm2(std::uint64_t bits, std::uint32_t ports = 1);
+
+/**
+ * Area of a CAM with @p entries x @p bits_per_entry and @p search_ports
+ * search ports, in mm^2.
+ */
+double camAreaMm2(std::uint64_t entries, std::uint32_t bits_per_entry,
+                  std::uint32_t search_ports = 1);
+
+/** Area breakdown of the hardware page-walk subsystem. */
+struct PtwSubsystemArea
+{
+    double pwbMm2 = 0;      ///< page walk buffer (CAM)
+    double mshrMm2 = 0;     ///< L2 TLB MSHR file (CAM)
+    double walkerMm2 = 0;   ///< walker state machines
+    double totalMm2 = 0;
+};
+
+/**
+ * Cost of a hardware configuration: @p num_ptws walkers, a @p pwb_entries
+ * PWB with @p pwb_ports ports, and @p mshr_entries L2 TLB MSHRs.
+ */
+PtwSubsystemArea ptwSubsystemArea(std::uint32_t num_ptws,
+                                  std::uint32_t pwb_entries,
+                                  std::uint32_t pwb_ports,
+                                  std::uint32_t mshr_entries);
+
+/**
+ * SoftWalker's added hardware (§5.2): per-SM controller state (1470 bits)
+ * plus the In-TLB MSHR pending bits and control logic.
+ */
+double softwalkerOverheadMm2(std::uint32_t num_sms,
+                             std::uint32_t l2_tlb_entries);
+
+/** The paper's synthesized In-TLB MSHR control logic (28 nm): 0.0061 mm^2. */
+inline constexpr double kInTlbMshrLogicMm2 = 0.0061;
+
+/** GA102 full-chip area the paper cites for perspective (mm^2). */
+inline constexpr double kGa102ChipMm2 = 628.4;
+
+} // namespace sw
+
+#endif // SW_AREA_CACTI_LITE_HH

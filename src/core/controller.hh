@@ -1,0 +1,74 @@
+/**
+ * @file
+ * SoftWalker Controller (§4.4): the per-SM unit that accepts page-walk
+ * requests from the Request Distributor, fills them into the SoftPWB
+ * (updating the status bitmap), and triggers the PW Warp.
+ */
+
+#ifndef SW_CORE_CONTROLLER_HH
+#define SW_CORE_CONTROLLER_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "core/pw_warp.hh"
+#include "core/soft_pwb.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+#include "vm/walk.hh"
+
+namespace sw {
+
+/** Per-SM controller: SoftPWB + PW Warp pair. */
+class SoftWalkerController
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t accepted = 0;
+    };
+
+    SoftWalkerController(EventQueue &eq, SmId sm,
+                         std::uint32_t pwb_entries,
+                         const PageTableBase &pt, PwWarp::Hooks hooks,
+                         PwWarpCodeTiming timing, std::uint32_t lanes,
+                         Cycle comm_latency)
+        : eventq(eq), smId(sm), pwb(pwb_entries),
+          warp(std::make_unique<PwWarp>(eq, pt, pwb, std::move(hooks),
+                                        timing, lanes, comm_latency))
+    {
+    }
+
+    /** A request arrived from the distributor (after the comm latency). */
+    void
+    accept(WalkRequest req)
+    {
+        ++stats_.accepted;
+        pwb.insert(std::move(req), eventq.now());
+        warp->notifyWork();
+    }
+
+    SmId sm() const { return smId; }
+    const SoftPwb &buffer() const { return pwb; }
+    const PwWarp &pwWarp() const { return *warp; }
+    const Stats &stats() const { return stats_; }
+
+    void
+    resetStats()
+    {
+        stats_ = Stats{};
+        pwb.resetStats();
+        warp->resetStats();
+    }
+
+  private:
+    EventQueue &eventq;
+    SmId smId;
+    SoftPwb pwb;
+    std::unique_ptr<PwWarp> warp;
+    Stats stats_;
+};
+
+} // namespace sw
+
+#endif // SW_CORE_CONTROLLER_HH

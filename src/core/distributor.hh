@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Request Distributor (§4.4): the L2-TLB-side unit that assigns each L2 TLB
+ * miss to an SM with free PW Warp capacity.
+ *
+ * Maintains a per-core credit counter capped at the SoftPWB size so that a
+ * core is never handed more requests than its buffer can hold; the counter
+ * is decremented when the core's FL2T fill arrives back.  Selection policy
+ * is round-robin by default, with random and stall-aware alternatives
+ * (Fig 26).
+ */
+
+#ifndef SW_CORE_DISTRIBUTOR_HH
+#define SW_CORE_DISTRIBUTOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace sw {
+
+/** Returns how many warps are stalled on SM @p sm (stall-aware policy). */
+using StallProbeFn = std::function<std::uint32_t(SmId)>;
+
+/** SM selector with per-core credit counters. */
+class RequestDistributor
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t dispatched = 0;
+        std::uint64_t capacityStalls = 0;   ///< select() found no free core
+    };
+
+    RequestDistributor(std::uint32_t num_sms, std::uint32_t per_core_capacity,
+                       DistributorPolicy policy, std::uint64_t seed,
+                       StallProbeFn stall_probe = {})
+        : counters(num_sms, 0), capacity(per_core_capacity),
+          policy_(policy), rng(seed), stallProbe(std::move(stall_probe))
+    {
+        SW_ASSERT(num_sms > 0 && per_core_capacity > 0,
+                  "distributor needs cores and capacity");
+    }
+
+    /**
+     * Pick a target SM with spare credit and charge one credit.
+     * @retval kInvalidSm if every core is at capacity.
+     */
+    SmId
+    select()
+    {
+        SmId choice = kInvalidSm;
+        switch (policy_) {
+          case DistributorPolicy::RoundRobin:
+            choice = selectRoundRobin();
+            break;
+          case DistributorPolicy::Random:
+            choice = selectRandom();
+            break;
+          case DistributorPolicy::StallAware:
+            choice = selectStallAware();
+            break;
+        }
+        if (choice == kInvalidSm) {
+            ++stats_.capacityStalls;
+            return choice;
+        }
+        ++counters[choice];
+        ++stats_.dispatched;
+        return choice;
+    }
+
+    /** FL2T arrived from @p sm: release one credit. */
+    void
+    release(SmId sm)
+    {
+        SW_ASSERT(counters.at(sm) > 0, "distributor credit underflow");
+        --counters[sm];
+    }
+
+    std::uint32_t counter(SmId sm) const { return counters.at(sm); }
+    std::uint32_t perCoreCapacity() const { return capacity; }
+    DistributorPolicy policy() const { return policy_; }
+    void resetStats() { stats_ = Stats{}; }
+
+    const Stats &stats() const { return stats_; }
+
+    std::uint64_t
+    totalCredits() const
+    {
+        std::uint64_t total = 0;
+        for (auto count : counters)
+            total += count;
+        return total;
+    }
+
+  private:
+    SmId
+    selectRoundRobin()
+    {
+        for (std::size_t i = 0; i < counters.size(); ++i) {
+            SmId sm = SmId((rrNext + i) % counters.size());
+            if (counters[sm] < capacity) {
+                rrNext = (sm + 1) % std::uint32_t(counters.size());
+                return sm;
+            }
+        }
+        return kInvalidSm;
+    }
+
+    SmId
+    selectRandom()
+    {
+        // A few random probes, then fall back to a scan.
+        for (int attempt = 0; attempt < 4; ++attempt) {
+            SmId sm = SmId(rng.range(counters.size()));
+            if (counters[sm] < capacity)
+                return sm;
+        }
+        for (SmId sm = 0; sm < SmId(counters.size()); ++sm)
+            if (counters[sm] < capacity)
+                return sm;
+        return kInvalidSm;
+    }
+
+    SmId
+    selectStallAware()
+    {
+        SW_ASSERT(bool(stallProbe), "stall-aware policy needs a probe");
+        SmId best = kInvalidSm;
+        std::uint32_t best_stalled = 0;
+        for (SmId sm = 0; sm < SmId(counters.size()); ++sm) {
+            if (counters[sm] >= capacity)
+                continue;
+            std::uint32_t stalled = stallProbe(sm);
+            if (best == kInvalidSm || stalled > best_stalled) {
+                best = sm;
+                best_stalled = stalled;
+            }
+        }
+        return best;
+    }
+
+    std::vector<std::uint32_t> counters;
+    std::uint32_t capacity;
+    DistributorPolicy policy_;
+    Rng rng;
+    StallProbeFn stallProbe;
+    std::uint32_t rrNext = 0;
+    Stats stats_;
+};
+
+} // namespace sw
+
+#endif // SW_CORE_DISTRIBUTOR_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * ISA extension for SoftWalker (Table 2) and the timing of the PW Warp
+ * code sequence (Fig 14).
+ *
+ * | LDPT | Load a PTE from the page table, bypassing the TLB.        |
+ * | FL2T | Fill an L2 TLB entry with the final PTE.                  |
+ * | FPWC | Fill a Page Walk Cache entry.                             |
+ * | FFB  | Log an invalid PTE into the Fault Buffer.                 |
+ *
+ * The paper reports that the compiled page-walk routine needs only 16
+ * registers; the instruction counts below abstract the SASS sequence of
+ * Fig 14 into per-phase issue-slot costs charged to the SM's port.
+ */
+
+#ifndef SW_CORE_ISA_HH
+#define SW_CORE_ISA_HH
+
+#include <cstdint>
+
+namespace sw {
+
+/** Opcodes a PW Warp can issue (plain ALU ops plus Table 2). */
+enum class PwOpcode : std::uint8_t
+{
+    Alu,    ///< address arithmetic, loop control
+    Ldpt,   ///< page-table load (TLB bypass)
+    Fl2t,   ///< L2 TLB fill
+    Fpwc,   ///< page walk cache fill
+    Ffb,    ///< fault buffer fill
+};
+
+const char *toString(PwOpcode op);
+
+/** Issue-slot costs of the Fig 14 routine, by phase. */
+struct PwWarpCodeTiming
+{
+    /** Load the request from SoftPWB and decode it (Fig 14 lines 1-6). */
+    std::uint32_t setupInstrs = 6;
+    /**
+     * One radix level: offset computation, LDPT issue, validity check and
+     * FPWC store (Fig 14 lines 8-23).
+     */
+    std::uint32_t perLevelInstrs = 4;
+    /** Final FL2T (Fig 14 line 26). */
+    std::uint32_t finishInstrs = 1;
+    /** FFB on an invalid PTE (Fig 14 lines 16-19). */
+    std::uint32_t faultInstrs = 1;
+};
+
+/** Architectural registers one PW Warp occupies (§4.2). */
+inline constexpr std::uint32_t kPwWarpRegisters = 16;
+
+/** Per-SM storage for the PW Warp context, in bits (§5.2). */
+struct PwWarpContextBits
+{
+    /** Controller-side SoftPWB status bitmap: 2 b x 32 threads. */
+    std::uint32_t statusBitmap = 64;
+    std::uint32_t instructionBuffer = 64;
+    std::uint32_t scoreboardEntry = 126;
+    std::uint32_t simtStackEntries = 8 * 160;
+
+    /** The paper's per-SM figure: 1470 bits (64 + 126 + 8 x 160). */
+    std::uint32_t
+    total() const
+    {
+        return instructionBuffer + scoreboardEntry + simtStackEntries;
+    }
+};
+
+} // namespace sw
+
+#endif // SW_CORE_ISA_HH

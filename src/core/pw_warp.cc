@@ -1,0 +1,152 @@
+#include "core/pw_warp.hh"
+
+#include "sim/logging.hh"
+
+namespace sw {
+
+const char *
+toString(PwOpcode op)
+{
+    switch (op) {
+      case PwOpcode::Alu:  return "ALU";
+      case PwOpcode::Ldpt: return "LDPT";
+      case PwOpcode::Fl2t: return "FL2T";
+      case PwOpcode::Fpwc: return "FPWC";
+      case PwOpcode::Ffb:  return "FFB";
+    }
+    return "?";
+}
+
+PwWarp::PwWarp(EventQueue &eq, const PageTableBase &pt, SoftPwb &buffer,
+               Hooks hooks_in, PwWarpCodeTiming timing_in,
+               std::uint32_t num_lanes, Cycle comm_latency)
+    : eventq(eq), pageTable(pt), pwb(buffer), hooks(std::move(hooks_in)),
+      timing(timing_in), numLanes(num_lanes), commLatency(comm_latency)
+{
+    SW_ASSERT(numLanes > 0 && numLanes <= 32, "PW Warp lanes out of range");
+}
+
+void
+PwWarp::notifyWork()
+{
+    if (running)
+        return;
+    if (pwb.validCount() == 0)
+        return;
+    startBatch();
+}
+
+void
+PwWarp::startBatch()
+{
+    running = true;
+    batchStart = eventq.now();
+
+    std::vector<std::uint32_t> picked = pwb.collectValid(numLanes);
+    SW_ASSERT(!picked.empty(), "batch started with no valid entries");
+
+    lanes.clear();
+    lanes.reserve(picked.size());
+    for (std::uint32_t slot_idx : picked) {
+        const SoftPwb::Slot &slot = pwb.slot(slot_idx);
+        Lane lane;
+        lane.slot = slot_idx;
+        lane.cursor = slot.req.cursor;
+        lane.pickedUp = eventq.now();
+        lane.created = slot.req.created;
+        lane.id = slot.req.id;
+        lane.vpn = slot.req.vpn;
+        lanes.push_back(lane);
+    }
+
+    ++stats_.batches;
+    stats_.batchSize.add(lanes.size());
+
+    // Fig 14 lines 1-6: load the requests from SoftPWB and decode them.
+    stats_.instructionsIssued += timing.setupInstrs;
+    Cycle setup_done = hooks.reserveIssue(timing.setupInstrs);
+    eventq.schedule(setup_done, [this]() { levelIteration(); });
+}
+
+void
+PwWarp::levelIteration()
+{
+    // Lanes proceed in SIMT lockstep: each iteration handles one radix
+    // level for every lane that still has levels to read.
+    std::vector<std::uint32_t> active;
+    for (std::uint32_t i = 0; i < lanes.size(); ++i)
+        if (!lanes[i].cursor.done)
+            active.push_back(i);
+
+    if (active.empty()) {
+        finishBatch();
+        return;
+    }
+
+    // Offset computation, LDPT issue, validity check, FPWC store.
+    stats_.instructionsIssued += timing.perLevelInstrs;
+    stats_.ldptIssued += active.size();
+    Cycle issue_done = hooks.reserveIssue(timing.perLevelInstrs);
+
+    pendingLoads = std::uint32_t(active.size());
+    for (std::uint32_t lane_idx : active) {
+        PhysAddr addr = pageTable.pteAddr(lanes[lane_idx].cursor);
+        eventq.schedule(issue_done, [this, lane_idx, addr]() {
+            hooks.ptAccess(addr, [this, lane_idx]() {
+                Lane &lane = lanes[lane_idx];
+                int level_read = lane.cursor.level;
+                pageTable.advance(lane.cursor);
+                if (!lane.cursor.done && level_read > 1) {
+                    // FPWC: publish the just-learned table base.
+                    ++stats_.fpwcIssued;
+                    hooks.pwcFill(lane.cursor.level, lane.vpn,
+                                  lane.cursor.tableBase);
+                }
+                SW_ASSERT(pendingLoads > 0, "LDPT completion underflow");
+                if (--pendingLoads == 0)
+                    levelIteration();
+            });
+        });
+    }
+}
+
+void
+PwWarp::finishBatch()
+{
+    // FL2T for every lane (plus FFB for faulted lanes), then the fills
+    // travel back to the L2 TLB over the interconnect.
+    std::uint32_t fault_lanes = 0;
+    for (const Lane &lane : lanes)
+        if (lane.cursor.fault)
+            ++fault_lanes;
+
+    std::uint32_t instrs =
+        timing.finishInstrs + fault_lanes * timing.faultInstrs;
+    stats_.instructionsIssued += instrs;
+    stats_.fl2tIssued += lanes.size() - fault_lanes;
+    stats_.ffbIssued += fault_lanes;
+
+    Cycle issue_done = hooks.reserveIssue(instrs);
+    Cycle arrive = issue_done + commLatency;
+
+    for (const Lane &lane : lanes) {
+        WalkResult result;
+        result.id = lane.id;
+        result.vpn = lane.vpn;
+        result.pfn = lane.cursor.pfn;
+        result.fault = lane.cursor.fault;
+        result.queueDelay = lane.pickedUp - lane.created;
+        result.accessLatency = arrive - lane.pickedUp;
+        eventq.schedule(arrive, [this, result]() { hooks.complete(result); });
+        pwb.release(lane.slot);
+        ++stats_.walksCompleted;
+    }
+    stats_.batchLatency.add(eventq.now() - batchStart);
+
+    running = false;
+    lanes.clear();
+    // More requests may have become valid while this batch ran.
+    notifyWork();
+}
+
+} // namespace sw

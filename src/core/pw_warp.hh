@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Page Walk Warp (§4.2, §4.6): the dedicated, isolated warp resident on
+ * each SM that executes the Fig 14 software page-walk routine.
+ *
+ * The warp sits in a wait-execute loop.  When the SoftWalker Controller
+ * signals valid SoftPWB entries, it claims a batch (one request per lane,
+ * up to 32), charges the SM issue port for the routine's instructions
+ * (with highest scheduling priority), performs the per-level LDPT memory
+ * loads in SIMT lockstep, fills the PWC (FPWC), and finally sends FL2T
+ * fills back to the L2 TLB across the interconnect.
+ */
+
+#ifndef SW_CORE_PW_WARP_HH
+#define SW_CORE_PW_WARP_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/isa.hh"
+#include "core/soft_pwb.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "vm/page_walk_cache.hh"
+#include "vm/walk.hh"
+
+namespace sw {
+
+/** Per-lane software page walk executor. */
+class PwWarp
+{
+  public:
+    /** Environment supplied by the SoftWalker backend. */
+    struct Hooks
+    {
+        /** Sm::reservePwIssue — charge issue slots, returns finish cycle. */
+        std::function<Cycle(std::uint32_t)> reserveIssue;
+        /** Engine's page-table memory read (LDPT). */
+        PtAccessFn ptAccess;
+        /** FPWC: cache (level, vpn) -> table base. */
+        std::function<void(int, Vpn, PhysAddr)> pwcFill;
+        /**
+         * FL2T arrival at the L2 TLB (after the communication latency):
+         * resolves the walk and releases the distributor credit.
+         */
+        WalkCompleteFn complete;
+    };
+
+    struct Stats
+    {
+        std::uint64_t batches = 0;
+        std::uint64_t walksCompleted = 0;
+        std::uint64_t instructionsIssued = 0;
+        std::uint64_t ldptIssued = 0;
+        std::uint64_t fl2tIssued = 0;
+        std::uint64_t fpwcIssued = 0;
+        std::uint64_t ffbIssued = 0;
+        LatencyStat batchSize;
+        LatencyStat batchLatency;
+    };
+
+    PwWarp(EventQueue &eq, const PageTableBase &pt, SoftPwb &pwb,
+           Hooks hooks, PwWarpCodeTiming timing, std::uint32_t lanes,
+           Cycle comm_latency);
+
+    PwWarp(const PwWarp &) = delete;
+    PwWarp &operator=(const PwWarp &) = delete;
+
+    /** Controller signal: valid entries are available. */
+    void notifyWork();
+
+    bool busy() const { return running; }
+    void resetStats() { stats_ = Stats{}; }
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    struct Lane
+    {
+        std::uint32_t slot = 0;
+        WalkCursor cursor;
+        Cycle pickedUp = 0;
+        Cycle created = 0;
+        std::uint64_t id = 0;
+        Vpn vpn = 0;
+    };
+
+    void startBatch();
+    void levelIteration();
+    void finishBatch();
+
+    EventQueue &eventq;
+    const PageTableBase &pageTable;
+    SoftPwb &pwb;
+    Hooks hooks;
+    PwWarpCodeTiming timing;
+    std::uint32_t numLanes;
+    Cycle commLatency;
+
+    bool running = false;
+    std::vector<Lane> lanes;
+    std::uint32_t pendingLoads = 0;
+    Cycle batchStart = 0;
+
+    Stats stats_;
+};
+
+} // namespace sw
+
+#endif // SW_CORE_PW_WARP_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * SoftPWB: the shared-memory request buffer holding pending page-walk
+ * requests on each SM, together with the SoftPWB Status Bitmap the
+ * SoftWalker Controller uses to track per-slot state (§4.4).
+ *
+ * Each slot mirrors one 96-bit shared-memory record (33-bit VPN, 31-bit
+ * table-base PFN, 2-bit level) and is invalid / valid / processing.
+ */
+
+#ifndef SW_CORE_SOFT_PWB_HH
+#define SW_CORE_SOFT_PWB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+#include "vm/walk.hh"
+
+namespace sw {
+
+/** Per-SM software page walk buffer. */
+class SoftPwb
+{
+  public:
+    enum class SlotState : std::uint8_t { Invalid, Valid, Processing };
+
+    struct Slot
+    {
+        SlotState state = SlotState::Invalid;
+        WalkRequest req;
+        Cycle arrived = 0;
+    };
+
+    struct Stats
+    {
+        std::uint64_t inserts = 0;
+        std::uint64_t peakOccupancy = 0;
+    };
+
+    explicit SoftPwb(std::uint32_t num_entries) : slots(num_entries)
+    {
+        SW_ASSERT(num_entries > 0, "SoftPWB needs entries");
+    }
+
+    std::uint32_t
+    freeSlots() const
+    {
+        std::uint32_t free_count = 0;
+        for (const auto &slot : slots)
+            if (slot.state == SlotState::Invalid)
+                ++free_count;
+        return free_count;
+    }
+
+    std::uint32_t
+    validCount() const
+    {
+        std::uint32_t count = 0;
+        for (const auto &slot : slots)
+            if (slot.state == SlotState::Valid)
+                ++count;
+        return count;
+    }
+
+    /** Fill an invalid slot with a request (controller step 4-5). */
+    std::uint32_t
+    insert(WalkRequest req, Cycle now)
+    {
+        for (std::uint32_t i = 0; i < slots.size(); ++i) {
+            if (slots[i].state == SlotState::Invalid) {
+                slots[i].state = SlotState::Valid;
+                slots[i].req = std::move(req);
+                slots[i].arrived = now;
+                ++stats_.inserts;
+                std::uint64_t occ = slots.size() - freeSlots();
+                stats_.peakOccupancy = std::max(stats_.peakOccupancy, occ);
+                return i;
+            }
+        }
+        panic("SoftPWB overflow: distributor credit accounting broken");
+    }
+
+    /** Mark up to @p max valid slots processing; returns their indices. */
+    std::vector<std::uint32_t>
+    collectValid(std::uint32_t max)
+    {
+        std::vector<std::uint32_t> picked;
+        for (std::uint32_t i = 0; i < slots.size() && picked.size() < max;
+             ++i) {
+            if (slots[i].state == SlotState::Valid) {
+                slots[i].state = SlotState::Processing;
+                picked.push_back(i);
+            }
+        }
+        return picked;
+    }
+
+    Slot &slot(std::uint32_t idx) { return slots.at(idx); }
+    const Slot &slot(std::uint32_t idx) const { return slots.at(idx); }
+
+    /** Walk finished: processing -> invalid (controller step 10). */
+    void
+    release(std::uint32_t idx)
+    {
+        SW_ASSERT(slots.at(idx).state == SlotState::Processing,
+                  "release of a non-processing SoftPWB slot");
+        slots[idx].state = SlotState::Invalid;
+    }
+
+    std::uint32_t size() const { return std::uint32_t(slots.size()); }
+    void resetStats() { stats_ = Stats{}; }
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    std::vector<Slot> slots;
+    Stats stats_;
+};
+
+} // namespace sw
+
+#endif // SW_CORE_SOFT_PWB_HH

@@ -1,0 +1,197 @@
+#include "core/softwalker.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace sw {
+
+SoftWalkerBackend::SoftWalkerBackend(Gpu &gpu_ref, const GpuConfig &config)
+    : gpu(gpu_ref), cfg(config),
+      hybrid(config.mode == TranslationMode::Hybrid),
+      engineComplete(gpu_ref.engine().completionFn())
+{
+    SW_ASSERT(cfg.mode == TranslationMode::SoftWalker ||
+              cfg.mode == TranslationMode::Hybrid,
+              "SoftWalkerBackend built for a hardware mode");
+
+    StallProbeFn probe;
+    if (cfg.distributorPolicy == DistributorPolicy::StallAware) {
+        probe = [this](SmId sm) { return gpu.sm(sm).stalledWarps(); };
+    }
+    distributor_ = std::make_unique<RequestDistributor>(
+        cfg.numSms, cfg.softPwbEntries, cfg.distributorPolicy,
+        cfg.rngSeed ^ 0x5077a1cebeefULL, std::move(probe));
+
+    EventQueue &eq = gpu.eventQueue();
+    TranslationEngine &engine = gpu.engine();
+    Cycle comm = cfg.effectiveCommLatency();
+    PwWarpCodeTiming timing;
+
+    controllers.reserve(cfg.numSms);
+    for (SmId sm = 0; sm < cfg.numSms; ++sm) {
+        PwWarp::Hooks hooks;
+        hooks.reserveIssue = [this, sm](std::uint32_t slots) {
+            return gpu.sm(sm).reservePwIssue(slots);
+        };
+        hooks.ptAccess = [&engine](PhysAddr addr,
+                                   std::function<void()> done) {
+            engine.ptAccess(addr, std::move(done));
+        };
+        hooks.pwcFill = [&engine](int level, Vpn vpn, PhysAddr base) {
+            engine.pwc().fill(engine.pageTable(), level, vpn, base);
+        };
+        hooks.complete = [this, sm](const WalkResult &result) {
+            onSoftwareComplete(sm, result);
+        };
+        controllers.push_back(std::make_unique<SoftWalkerController>(
+            eq, sm, cfg.softPwbEntries, gpu.pageTable(), std::move(hooks),
+            timing, cfg.pwWarpThreads, comm));
+    }
+
+    if (hybrid) {
+        HardwarePtwPool::Params pool;
+        pool.numWalkers = cfg.numPtws;
+        pool.pwbEntries = cfg.pwbEntries;
+        pool.pwbPorts = cfg.pwbPorts;
+        pool.nhaCoalescing = cfg.nhaCoalescing;
+        pool.nhaSectorBytes = cfg.sectorBytes;
+        hwPool = std::make_unique<HardwarePtwPool>(
+            eq, pool, gpu.pageTable(), engine.pwc(),
+            [&engine](PhysAddr addr, std::function<void()> done) {
+                engine.ptAccess(addr, std::move(done));
+            },
+            [this](const WalkResult &result) {
+                SW_ASSERT(inFlightCount > 0, "hybrid in-flight underflow");
+                --inFlightCount;
+                engineComplete(result);
+            });
+    }
+}
+
+std::string
+SoftWalkerBackend::name() const
+{
+    return hybrid ? "softwalker-hybrid" : "softwalker";
+}
+
+void
+SoftWalkerBackend::resetStats()
+{
+    stats_ = Stats{};
+    distributor_->resetStats();
+    for (auto &controller : controllers)
+        controller->resetStats();
+    if (hwPool)
+        hwPool->resetStats();
+}
+
+void
+SoftWalkerBackend::submit(WalkRequest req)
+{
+    ++stats_.submitted;
+    ++inFlightCount;
+
+    // Hybrid fast path (§5.4): prefer a free hardware walker; spill to
+    // software only once the hardware subsystem is saturated.
+    if (hybrid) {
+        bool hw_free =
+            hwPool->busyWalkers() + hwPool->pwbOccupancy() < cfg.numPtws;
+        if (hw_free) {
+            ++stats_.toHardware;
+            hwPool->submit(std::move(req));
+            return;
+        }
+    }
+    dispatchSoftware(std::move(req));
+}
+
+void
+SoftWalkerBackend::dispatchSoftware(WalkRequest req)
+{
+    SmId target = distributor_->select();
+    if (target == kInvalidSm) {
+        // Every PW Warp is at SoftPWB capacity: the request queues at the
+        // distributor (this wait is part of the measured queueing delay).
+        waiting.push_back(std::move(req));
+        ++stats_.queuedNoCapacity;
+        stats_.peakQueued =
+            std::max<std::uint64_t>(stats_.peakQueued, waiting.size());
+        return;
+    }
+    ++stats_.toSoftware;
+    // L2 TLB -> SM interconnect hop (modeled as the L2 TLB latency, §6.1).
+    gpu.eventQueue().scheduleIn(
+        cfg.effectiveCommLatency(),
+        [this, target, req = std::move(req)]() mutable {
+            controllers[target]->accept(std::move(req));
+        });
+}
+
+void
+SoftWalkerBackend::onSoftwareComplete(SmId sm, const WalkResult &result)
+{
+    distributor_->release(sm);
+    SW_ASSERT(inFlightCount > 0, "software in-flight underflow");
+    --inFlightCount;
+    engineComplete(result);
+    drainQueue();
+}
+
+void
+SoftWalkerBackend::drainQueue()
+{
+    while (!waiting.empty()) {
+        SmId target = distributor_->select();
+        if (target == kInvalidSm)
+            return;
+        WalkRequest req = std::move(waiting.front());
+        waiting.pop_front();
+        ++stats_.toSoftware;
+        gpu.eventQueue().scheduleIn(
+            cfg.effectiveCommLatency(),
+            [this, target, req = std::move(req)]() mutable {
+                controllers[target]->accept(std::move(req));
+            });
+    }
+}
+
+PwWarp::Stats
+SoftWalkerBackend::aggregatePwWarpStats() const
+{
+    PwWarp::Stats agg;
+    for (const auto &controller : controllers) {
+        const PwWarp::Stats &s = controller->pwWarp().stats();
+        agg.batches += s.batches;
+        agg.walksCompleted += s.walksCompleted;
+        agg.instructionsIssued += s.instructionsIssued;
+        agg.ldptIssued += s.ldptIssued;
+        agg.fl2tIssued += s.fl2tIssued;
+        agg.fpwcIssued += s.fpwcIssued;
+        agg.ffbIssued += s.ffbIssued;
+        agg.batchSize.merge(s.batchSize);
+        agg.batchLatency.merge(s.batchLatency);
+    }
+    return agg;
+}
+
+void
+installWalkBackend(Gpu &gpu)
+{
+    const GpuConfig &cfg = gpu.config();
+    if (cfg.mode == TranslationMode::HardwarePtw ||
+        cfg.mode == TranslationMode::Ideal) {
+        // The GPU self-installed these at construction.
+        SW_ASSERT(gpu.backendInstalled(), "hardware backend missing");
+        return;
+    }
+    gpu.installBackend(std::make_unique<SoftWalkerBackend>(gpu, cfg));
+}
+
+SoftWalkerBackend *
+softWalkerOf(Gpu &gpu)
+{
+    return dynamic_cast<SoftWalkerBackend *>(gpu.engine().backend());
+}
+
+} // namespace sw

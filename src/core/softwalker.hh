@@ -1,0 +1,96 @@
+/**
+ * @file
+ * SoftWalker backend: the paper's contribution, assembled.
+ *
+ * Installs a Request Distributor at the L2 TLB, a SoftWalker Controller +
+ * SoftPWB + PW Warp on every SM, and (in Hybrid mode, §5.4) keeps the
+ * hardware PTW pool as the preferred fast path, spilling to software
+ * walkers only when no hardware walker is free.
+ */
+
+#ifndef SW_CORE_SOFTWALKER_HH
+#define SW_CORE_SOFTWALKER_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/controller.hh"
+#include "core/distributor.hh"
+#include "gpu/gpu.hh"
+#include "sim/config.hh"
+#include "vm/ptw.hh"
+#include "vm/walk.hh"
+
+namespace sw {
+
+/** Software (or hybrid software+hardware) walk backend. */
+class SoftWalkerBackend : public WalkBackend
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t submitted = 0;
+        std::uint64_t toSoftware = 0;
+        std::uint64_t toHardware = 0;      ///< hybrid fast path
+        std::uint64_t queuedNoCapacity = 0;///< all PW Warps at capacity
+        std::uint64_t peakQueued = 0;
+    };
+
+    /**
+     * @param gpu fully constructed GPU (SMs and engine exist)
+     * @param cfg configuration (mode selects pure SoftWalker vs Hybrid)
+     */
+    SoftWalkerBackend(Gpu &gpu, const GpuConfig &cfg);
+
+    void submit(WalkRequest req) override;
+    std::uint64_t inFlight() const override { return inFlightCount; }
+    std::string name() const override;
+    void resetStats() override;
+
+    const Stats &stats() const { return stats_; }
+    const RequestDistributor &distributor() const { return *distributor_; }
+    const SoftWalkerController &controller(SmId sm) const
+    {
+        return *controllers.at(sm);
+    }
+    const HardwarePtwPool *hardwarePool() const { return hwPool.get(); }
+
+    /** Aggregate PW Warp stats across all SMs. */
+    PwWarp::Stats aggregatePwWarpStats() const;
+
+  private:
+    void dispatchSoftware(WalkRequest req);
+    void onSoftwareComplete(SmId sm, const WalkResult &result);
+    void drainQueue();
+
+    Gpu &gpu;
+    GpuConfig cfg;
+    bool hybrid;
+    WalkCompleteFn engineComplete;
+
+    std::unique_ptr<RequestDistributor> distributor_;
+    std::vector<std::unique_ptr<SoftWalkerController>> controllers;
+    std::unique_ptr<HardwarePtwPool> hwPool;
+
+    /** Requests waiting for any PW Warp capacity. */
+    std::deque<WalkRequest> waiting;
+    std::uint64_t inFlightCount = 0;
+
+    Stats stats_;
+};
+
+/**
+ * Build and install the right backend for @p cfg.mode on @p gpu.
+ * HardwarePtw/Ideal GPUs already self-installed; this is the entry point
+ * harnesses use for every mode.
+ */
+void installWalkBackend(Gpu &gpu);
+
+/** Access the SoftWalker backend of a GPU (nullptr in hardware modes). */
+SoftWalkerBackend *softWalkerOf(Gpu &gpu);
+
+} // namespace sw
+
+#endif // SW_CORE_SOFTWALKER_HH

@@ -1,0 +1,203 @@
+#include "gpu/gpu.hh"
+
+#include "sim/logging.hh"
+#include "vm/ptw.hh"
+
+namespace sw {
+
+Gpu::Gpu(GpuConfig config, std::unique_ptr<Workload> wl)
+    : cfg(config), workload_(std::move(wl))
+{
+    cfg.validate();
+    SW_ASSERT(workload_ != nullptr, "GPU needs a workload");
+
+    PageGeometry geom(cfg.pageBytes);
+    allocator = std::make_unique<FrameAllocator>(cfg.pageBytes);
+    if (cfg.pageTableKind == PageTableKind::Hashed) {
+        pageTable_ = std::make_unique<HashedPageTable>(geom, *allocator);
+    } else {
+        pageTable_ = std::make_unique<RadixPageTable>(geom, *allocator);
+    }
+
+    mem = std::make_unique<MemorySystem>(eventq, cfg);
+    engine_ = std::make_unique<TranslationEngine>(eventq, cfg, *mem,
+                                                  *pageTable_);
+
+    sms.reserve(cfg.numSms);
+    for (SmId id = 0; id < cfg.numSms; ++id) {
+        Sm::Params params;
+        params.id = id;
+        params.numWarps = cfg.maxWarpsPerSm;
+        params.warpSize = cfg.warpSize;
+        params.pageBytes = cfg.pageBytes;
+        params.sectorBytes = cfg.sectorBytes;
+        params.rngSeed = cfg.rngSeed;
+        sms.push_back(std::make_unique<Sm>(
+            eventq, params, *workload_,
+            [this, id](Vpn vpn, std::function<void(Pfn)> done) {
+                engine_->translate(id, vpn, std::move(done));
+            },
+            [this, id](PhysAddr pa, bool write, std::function<void()> done) {
+                MemAccess acc;
+                acc.addr = pa;
+                acc.write = write;
+                acc.pte = false;
+                acc.sm = id;
+                acc.onDone = std::move(done);
+                mem->access(std::move(acc));
+            }));
+    }
+
+    // Hardware and Ideal backends are self-contained; SoftWalker/Hybrid
+    // backends come from src/core via installBackend().
+    if (cfg.mode == TranslationMode::HardwarePtw ||
+        cfg.mode == TranslationMode::Ideal) {
+        HardwarePtwPool::Params pool;
+        if (cfg.mode == TranslationMode::Ideal) {
+            pool.numWalkers = 1u << 15;
+            pool.pwbEntries = 1u << 20;
+            pool.pwbPorts = 64;
+            pool.nhaCoalescing = false;
+        } else {
+            pool.numWalkers = cfg.numPtws;
+            pool.pwbEntries = cfg.pwbEntries;
+            pool.pwbPorts = cfg.pwbPorts;
+            pool.nhaCoalescing = cfg.nhaCoalescing;
+            pool.nhaSectorBytes = cfg.sectorBytes;
+        }
+        engine_->setBackend(std::make_unique<HardwarePtwPool>(
+            eventq, pool, *pageTable_, engine_->pwc(),
+            [this](PhysAddr addr, std::function<void()> done) {
+                engine_->ptAccess(addr, std::move(done));
+            },
+            engine_->completionFn()));
+    }
+}
+
+Gpu::~Gpu() = default;
+
+void
+Gpu::installBackend(std::unique_ptr<WalkBackend> backend)
+{
+    engine_->setBackend(std::move(backend));
+}
+
+bool
+Gpu::backendInstalled() const
+{
+    return const_cast<TranslationEngine &>(*engine_).backend() != nullptr;
+}
+
+void
+Gpu::run(const RunLimits &limits)
+{
+    SW_ASSERT(backendInstalled(),
+              "run() before a walk backend was installed");
+    quotaRemaining = limits.warpInstrQuota + limits.warmupInstrs;
+
+    // Distribute active warps across SMs (round-robin when capped).
+    std::vector<std::uint32_t> active(sms.size(), cfg.maxWarpsPerSm);
+    if (limits.maxActiveWarps > 0) {
+        std::fill(active.begin(), active.end(), 0u);
+        for (std::uint64_t k = 0; k < limits.maxActiveWarps; ++k) {
+            SmId sm = SmId(k % sms.size());
+            if (active[sm] < cfg.maxWarpsPerSm)
+                ++active[sm];
+        }
+    }
+
+    warpsAlive = 0;
+    for (auto &sm : sms) {
+        sm->onWarpRetired = [this]() {
+            SW_ASSERT(warpsAlive > 0, "warp retirement underflow");
+            --warpsAlive;
+        };
+    }
+    for (std::size_t i = 0; i < sms.size(); ++i) {
+        warpsAlive += active[i];
+        if (active[i] > 0)
+            sms[i]->start(&quotaRemaining, active[i]);
+    }
+
+    measureStart = 0;
+    if (limits.warmupInstrs > 0)
+        scheduleWarmupCheck(limits.warpInstrQuota);
+
+    eventq.run(limits.maxCycles);
+
+    for (auto &sm : sms)
+        sm->finalizeStats();
+}
+
+void
+Gpu::scheduleWarmupCheck(std::uint64_t measured_quota)
+{
+    // Poll until the warmup portion of the quota has been issued, then
+    // zero every component's statistics.
+    eventq.scheduleIn(200, [this, measured_quota]() {
+        if (quotaRemaining <= measured_quota) {
+            resetAllStats();
+            return;
+        }
+        if (warpsAlive > 0)
+            scheduleWarmupCheck(measured_quota);
+    });
+}
+
+void
+Gpu::resetAllStats()
+{
+    measureStart = eventq.now();
+    for (auto &sm : sms)
+        sm->resetStats();
+    engine_->resetStats();
+    mem->resetStats();
+}
+
+std::uint64_t
+Gpu::instructionsIssued() const
+{
+    std::uint64_t total = 0;
+    for (const auto &sm : sms)
+        total += sm->stats().warpInstrs;
+    return total;
+}
+
+Sm::Stats
+Gpu::aggregateSmStats() const
+{
+    Sm::Stats agg;
+    for (const auto &sm : sms) {
+        const Sm::Stats &s = sm->stats();
+        agg.warpInstrs += s.warpInstrs;
+        agg.issueSlotCycles += s.issueSlotCycles;
+        agg.pwIssueCycles += s.pwIssueCycles;
+        agg.computeCycles += s.computeCycles;
+        agg.memStallCycles += s.memStallCycles;
+        agg.translationsRequested += s.translationsRequested;
+        agg.dataAccesses += s.dataAccesses;
+        agg.warpMemLatency.merge(s.warpMemLatency);
+        agg.accessLatency.merge(s.accessLatency);
+    }
+    return agg;
+}
+
+double
+Gpu::performance() const
+{
+    // SM stats are zeroed when the measured region starts, so
+    // instructionsIssued() already counts only measured instructions.
+    Cycle elapsed = measuredCycles();
+    if (elapsed == 0)
+        return 0.0;
+    return double(instructionsIssued()) / double(elapsed);
+}
+
+void
+Gpu::setTraceHook(TraceHookFn hook)
+{
+    for (auto &sm : sms)
+        sm->traceHook = hook;
+}
+
+} // namespace sw

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Top-level simulated GPU: SMs + translation engine + memory hierarchy +
+ * page table, bound to a workload.
+ *
+ * Construction wires everything except — for SoftWalker/Hybrid modes — the
+ * walk backend, which lives in the core library (src/core) and is attached
+ * via installBackend() (see makeSoftWalkerBackend()).  Hardware and Ideal
+ * modes are self-contained and install their backend here.
+ */
+
+#ifndef SW_GPU_GPU_HH
+#define SW_GPU_GPU_HH
+
+#include <memory>
+#include <vector>
+
+#include "gpu/sm.hh"
+#include "mem/memory_system.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "vm/hashed_page_table.hh"
+#include "vm/page_table.hh"
+#include "vm/translation.hh"
+
+namespace sw {
+
+/** The whole simulated machine. */
+class Gpu
+{
+  public:
+    /** Stopping conditions for a simulation run. */
+    struct RunLimits
+    {
+        /** Warp memory instructions to issue across the whole GPU. */
+        std::uint64_t warpInstrQuota = 10000;
+        /**
+         * Warp instructions issued before all statistics are zeroed.
+         * Removes the cold-start transient (TLB/cache/window fill) from
+         * the measured region; standard simulator warmup methodology.
+         */
+        std::uint64_t warmupInstrs = 0;
+        /** Hard cycle cap (contention-bound configs may not finish). */
+        Cycle maxCycles = 3000000;
+        /** Cap on concurrently active warps (0 = all); Fig 4 uses this. */
+        std::uint64_t maxActiveWarps = 0;
+    };
+
+    Gpu(GpuConfig cfg, std::unique_ptr<Workload> workload);
+    ~Gpu();
+
+    Gpu(const Gpu &) = delete;
+    Gpu &operator=(const Gpu &) = delete;
+
+    /** Attach the walk backend (SoftWalker/Hybrid modes). */
+    void installBackend(std::unique_ptr<WalkBackend> backend);
+    bool backendInstalled() const;
+
+    /** Run until the quota completes, the queue drains, or the cap hits. */
+    void run(const RunLimits &limits);
+
+    /** Simulated cycles elapsed (including warmup). */
+    Cycle cycles() const { return eventq.now(); }
+
+    /** Cycles in the measured (post-warmup) region. */
+    Cycle measuredCycles() const { return eventq.now() - measureStart; }
+
+    /** Warp instructions issued across all SMs. */
+    std::uint64_t instructionsIssued() const;
+
+    /** Sum of per-SM stats. */
+    Sm::Stats aggregateSmStats() const;
+
+    /** Completed fraction of quota / elapsed cycles: the speedup metric. */
+    double performance() const;
+
+    TranslationEngine &engine() { return *engine_; }
+    const TranslationEngine &engine() const { return *engine_; }
+    MemorySystem &memory() { return *mem; }
+    const MemorySystem &memory() const { return *mem; }
+    EventQueue &eventQueue() { return eventq; }
+    PageTableBase &pageTable() { return *pageTable_; }
+    Workload &workload() { return *workload_; }
+    Sm &sm(SmId id) { return *sms.at(id); }
+    const Sm &sm(SmId id) const { return *sms.at(id); }
+    std::uint32_t numSms() const { return std::uint32_t(sms.size()); }
+    const GpuConfig &config() const { return cfg; }
+
+    /** Install a per-instruction trace hook on every SM (Fig 3). */
+    void setTraceHook(TraceHookFn hook);
+
+    /** Zero every component's statistics (end of warmup). */
+    void resetAllStats();
+
+  private:
+    void scheduleWarmupCheck(std::uint64_t measured_quota);
+
+    GpuConfig cfg;
+    EventQueue eventq;
+    std::unique_ptr<FrameAllocator> allocator;
+    std::unique_ptr<PageTableBase> pageTable_;
+    std::unique_ptr<MemorySystem> mem;
+    std::unique_ptr<TranslationEngine> engine_;
+    std::unique_ptr<Workload> workload_;
+    std::vector<std::unique_ptr<Sm>> sms;
+
+    std::uint64_t quotaRemaining = 0;
+    std::uint64_t warpsAlive = 0;
+    Cycle measureStart = 0;        ///< cycle the measured region began
+    std::uint64_t warmupBaseline = 0; ///< instrs issued when warmup ended
+};
+
+} // namespace sw
+
+#endif // SW_GPU_GPU_HH

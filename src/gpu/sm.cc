@@ -1,0 +1,205 @@
+#include "gpu/sm.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace sw {
+
+Sm::Sm(EventQueue &eq, Params params, Workload &wl,
+       SmTranslateFn translate_fn, SmDataAccessFn data_fn)
+    : eventq(eq), params_(params), workload(wl),
+      translate(std::move(translate_fn)), dataAccess(std::move(data_fn)),
+      geometry(params.pageBytes),
+      rng(params.rngSeed * 0x100000001b3ULL + params.id)
+{
+    SW_ASSERT(params_.numWarps > 0, "SM needs warps");
+    warps.resize(params_.numWarps);
+}
+
+void
+Sm::start(std::uint64_t *instr_quota, std::uint32_t active_warps)
+{
+    quota = instr_quota;
+    std::uint32_t count = std::min(active_warps, params_.numWarps);
+    for (WarpId w = 0; w < count; ++w) {
+        warps[w].live = true;
+        ++liveWarps;
+    }
+    for (WarpId w = 0; w < count; ++w)
+        fetchAndSchedule(w);
+}
+
+Cycle
+Sm::reservePwIssue(std::uint32_t slots)
+{
+    Cycle start = std::max(eventq.now(), nextIssueFree);
+    nextIssueFree = start + slots;
+    stats_.pwIssueCycles += slots;
+    return start + slots;
+}
+
+void
+Sm::fetchAndSchedule(WarpId warp)
+{
+    WarpState &ws = warps[warp];
+    SW_ASSERT(ws.live, "fetch on a dead warp");
+    if (*quota == 0) {
+        retireWarp(warp);
+        return;
+    }
+    --*quota;
+    ws.pending = workload.next(params_.id, warp, rng);
+    stats_.computeCycles += ws.pending.computeGap;
+    eventq.scheduleIn(ws.pending.computeGap,
+                      [this, warp]() { tryIssue(warp); });
+}
+
+void
+Sm::tryIssue(WarpId warp)
+{
+    Cycle now = eventq.now();
+    if (nextIssueFree > now) {
+        // Issue port busy (another warp or the PW Warp): retry when free.
+        eventq.schedule(nextIssueFree, [this, warp]() { tryIssue(warp); });
+        return;
+    }
+    nextIssueFree = now + 1;
+    ++stats_.issueSlotCycles;
+    ++stats_.warpInstrs;
+    execMemInstr(warp);
+}
+
+void
+Sm::execMemInstr(WarpId warp)
+{
+    WarpState &ws = warps[warp];
+    const WarpInstr &instr = ws.pending;
+    ws.issuedAt = eventq.now();
+
+    if (traceHook)
+        traceHook(params_.id, warp, ws.issuedAt, instr);
+
+    // Coalesce the warp's lanes: unique pages for translation, unique
+    // sectors within each page for data accesses.
+    struct PageGroup
+    {
+        Vpn vpn;
+        std::vector<std::uint64_t> sectorOffsets;   ///< within the page
+    };
+    std::vector<PageGroup> groups;
+    std::uint32_t lanes = std::min<std::uint32_t>(instr.activeLanes,
+                                                  params_.warpSize);
+    std::uint32_t total_sectors = 0;
+    for (std::uint32_t lane = 0; lane < lanes; ++lane) {
+        VirtAddr va = instr.addrs[lane];
+        Vpn vpn = geometry.vpnOf(va);
+        std::uint64_t sector_off =
+            geometry.offsetOf(va) / params_.sectorBytes;
+        PageGroup *group = nullptr;
+        for (auto &candidate : groups) {
+            if (candidate.vpn == vpn) {
+                group = &candidate;
+                break;
+            }
+        }
+        if (!group) {
+            groups.push_back({vpn, {}});
+            group = &groups.back();
+        }
+        if (std::find(group->sectorOffsets.begin(),
+                      group->sectorOffsets.end(),
+                      sector_off) == group->sectorOffsets.end()) {
+            group->sectorOffsets.push_back(sector_off);
+            ++total_sectors;
+        }
+    }
+
+    if (total_sectors == 0) {
+        // Degenerate instruction: nothing to do, move on next cycle.
+        eventq.scheduleIn(1, [this, warp]() { fetchAndSchedule(warp); });
+        return;
+    }
+
+    ws.outstanding = total_sectors;
+    enterBlocked(warp);
+    stats_.translationsRequested += groups.size();
+
+    bool write = instr.write;
+    for (auto &group : groups) {
+        translate(group.vpn,
+                  [this, warp, write, offsets = std::move(group.sectorOffsets),
+                   start = ws.issuedAt](Pfn pfn) {
+                      for (std::uint64_t off : offsets) {
+                          PhysAddr pa = geometry.composePa(
+                              pfn, off * params_.sectorBytes);
+                          ++stats_.dataAccesses;
+                          dataAccess(pa, write, [this, warp, start]() {
+                              stats_.accessLatency.add(eventq.now() - start);
+                              accessDone(warp);
+                          });
+                      }
+                  });
+    }
+}
+
+void
+Sm::accessDone(WarpId warp)
+{
+    WarpState &ws = warps[warp];
+    SW_ASSERT(ws.outstanding > 0, "access completion underflow");
+    if (--ws.outstanding == 0) {
+        stats_.warpMemLatency.add(eventq.now() - ws.issuedAt);
+        leaveBlocked(warp);
+        fetchAndSchedule(warp);
+    }
+}
+
+void
+Sm::enterBlocked(WarpId warp)
+{
+    WarpState &ws = warps[warp];
+    SW_ASSERT(!ws.blocked, "double block");
+    ws.blocked = true;
+    ++blockedWarps;
+    updateStallWindow();
+}
+
+void
+Sm::leaveBlocked(WarpId warp)
+{
+    WarpState &ws = warps[warp];
+    SW_ASSERT(ws.blocked, "unblock of a running warp");
+    ws.blocked = false;
+    SW_ASSERT(blockedWarps > 0, "blocked warp underflow");
+    --blockedWarps;
+    updateStallWindow();
+}
+
+void
+Sm::retireWarp(WarpId warp)
+{
+    WarpState &ws = warps[warp];
+    ws.live = false;
+    SW_ASSERT(liveWarps > 0, "live warp underflow");
+    --liveWarps;
+    updateStallWindow();
+    if (onWarpRetired)
+        onWarpRetired();
+}
+
+void
+Sm::updateStallWindow()
+{
+    bool stalled_now = liveWarps > 0 && blockedWarps >= liveWarps;
+    Cycle now = eventq.now();
+    if (stalled_now && !fullyStalled) {
+        fullyStalled = true;
+        stallStart = now;
+    } else if (!stalled_now && fullyStalled) {
+        fullyStalled = false;
+        stats_.memStallCycles += now - stallStart;
+    }
+}
+
+} // namespace sw

@@ -1,0 +1,166 @@
+#include "harness/experiment.hh"
+
+#include <cstdlib>
+
+#include "core/softwalker.hh"
+#include "sim/logging.hh"
+#include "workload/generators.hh"
+
+namespace sw {
+
+namespace {
+
+std::uint64_t
+envUint(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (end == value)
+        fatal("environment variable %s='%s' is not a number", name, value);
+    return parsed;
+}
+
+} // namespace
+
+Gpu::RunLimits
+defaultLimits()
+{
+    Gpu::RunLimits limits;
+    // Post-warmup measurement region sized so the full figure sweep runs
+    // in tens of minutes on one core; raise via the environment for
+    // higher-fidelity runs (e.g. SW_QUOTA=24000 SW_WARMUP=8000).
+    limits.warpInstrQuota = envUint("SW_QUOTA", 12000);
+    limits.warmupInstrs = envUint("SW_WARMUP", 5000);
+    limits.maxCycles = envUint("SW_MAXCYCLES", 4000000);
+    return limits;
+}
+
+RunResult
+collectResult(Gpu &gpu, const std::string &name)
+{
+    RunResult out;
+    out.benchmark = name;
+    out.mode = gpu.config().mode;
+    out.cycles = gpu.measuredCycles();
+    out.warpInstrs = gpu.instructionsIssued();
+    out.perf = gpu.performance();
+
+    const TranslationEngine::Stats &ts = gpu.engine().stats();
+    out.l1TlbHits = ts.l1Hits;
+    out.l1TlbMisses = ts.l1Misses;
+    out.l2TlbAccesses = ts.l2Accesses;
+    out.l2TlbHits = ts.l2Hits;
+    out.l2TlbMisses = ts.l2Misses;
+    out.l2MshrFailures = ts.l2MshrFailures;
+    out.inTlbMshrAllocs = ts.inTlbMshrAllocs;
+    out.inTlbMshrPeak = ts.inTlbMshrPeak;
+    out.walks = ts.walksCompleted;
+    out.avgWalkQueueDelay = ts.walkQueueDelay.mean();
+    out.avgWalkAccessLatency = ts.walkAccessLatency.mean();
+    out.avgWalkTotalLatency =
+        ts.walkQueueDelay.mean() + ts.walkAccessLatency.mean();
+    out.avgTranslationLatency = ts.translationLatency.mean();
+    out.faults = ts.faults;
+    std::uint64_t thread_instrs =
+        out.warpInstrs * gpu.config().warpSize;
+    out.l2TlbMpki = thread_instrs
+        ? 1000.0 * double(ts.l2Misses) / double(thread_instrs) : 0.0;
+    out.l2TlbHitRate = gpu.engine().l2Tlb().stats().hitRate();
+
+    const Cache::Stats &l2d = gpu.memory().l2d().stats();
+    out.l2dMissRate = l2d.missRate();
+    out.l2dAccesses = l2d.accesses;
+    out.l2dMshrFailures = l2d.mshrFailures;
+    out.dramUtilisation = gpu.memory().dram().utilisation();
+
+    Sm::Stats sm = gpu.aggregateSmStats();
+    out.memStallCycles = sm.memStallCycles;
+    out.issueSlotCycles = sm.issueSlotCycles;
+    out.computeCycles = sm.computeCycles;
+    out.pwIssueCycles = sm.pwIssueCycles;
+    out.avgAccessLatency = sm.accessLatency.mean();
+
+    if (SoftWalkerBackend *backend = softWalkerOf(gpu)) {
+        out.swToHardware = backend->stats().toHardware;
+        out.swToSoftware = backend->stats().toSoftware;
+        PwWarp::Stats pw = backend->aggregatePwWarpStats();
+        out.swBatches = pw.batches;
+        out.swAvgBatchSize = pw.batchSize.mean();
+        out.swInstructions = pw.instructionsIssued;
+    }
+    return out;
+}
+
+RunResult
+runWorkload(const GpuConfig &cfg, std::unique_ptr<Workload> workload,
+            const Gpu::RunLimits &limits)
+{
+    // Large-page runs scatter the synthetic hot windows (see
+    // SyntheticWorkload::setWindowSpread): real irregular working sets are
+    // scattered objects, which is what makes them exceed even 2 MB TLB
+    // coverage (§6.3, Fig 25).
+    if (cfg.pageBytes > 64ull * 1024) {
+        if (auto *synthetic = dynamic_cast<SyntheticWorkload *>(
+                workload.get())) {
+            synthetic->setWindowSpread(cfg.pageBytes + 64ull * 1024);
+        }
+    }
+    std::string name = workload->name();
+    Gpu gpu(cfg, std::move(workload));
+    installWalkBackend(gpu);
+    gpu.run(limits);
+    return collectResult(gpu, name);
+}
+
+Gpu::RunLimits
+limitsFor(const BenchmarkInfo &info)
+{
+    Gpu::RunLimits limits = defaultLimits();
+    if (!info.irregular) {
+        // Regular workloads run at high IPC, so the kernel-start TLB-fill
+        // storm (one cold walk per warp) spans many instructions; warm
+        // past it, then measure a comparable steady-state region.
+        limits.warpInstrQuota = envUint("SW_QUOTA_REG", 40000);
+        limits.warmupInstrs = envUint("SW_WARMUP_REG", 80000);
+    }
+    return limits;
+}
+
+RunResult
+runBenchmark(const GpuConfig &cfg, const BenchmarkInfo &info,
+             double footprint_scale)
+{
+    return runWorkload(cfg, makeWorkload(info, footprint_scale),
+                       limitsFor(info));
+}
+
+RunResult
+runBenchmark(const GpuConfig &cfg, const BenchmarkInfo &info,
+             const Gpu::RunLimits &limits, double footprint_scale)
+{
+    return runWorkload(cfg, makeWorkload(info, footprint_scale), limits);
+}
+
+double
+speedup(const RunResult &base, const RunResult &opt)
+{
+    SW_ASSERT(base.perf > 0.0, "baseline made no progress");
+    return opt.perf / base.perf;
+}
+
+std::vector<double>
+speedups(const std::vector<RunResult> &base,
+         const std::vector<RunResult> &opt)
+{
+    SW_ASSERT(base.size() == opt.size(), "result vectors differ in size");
+    std::vector<double> out;
+    out.reserve(base.size());
+    for (std::size_t i = 0; i < base.size(); ++i)
+        out.push_back(speedup(base[i], opt[i]));
+    return out;
+}
+
+} // namespace sw

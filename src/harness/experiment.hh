@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Experiment harness: builds a GPU from a configuration and a Table 4
+ * benchmark, runs it to an instruction quota, and extracts the metric set
+ * every figure in the paper draws from.
+ */
+
+#ifndef SW_HARNESS_EXPERIMENT_HH
+#define SW_HARNESS_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/gpu.hh"
+#include "sim/config.hh"
+#include "workload/benchmarks.hh"
+
+namespace sw {
+
+/** Everything the figure harnesses read out of one simulation run. */
+struct RunResult
+{
+    std::string benchmark;
+    TranslationMode mode = TranslationMode::HardwarePtw;
+
+    // Progress / performance
+    Cycle cycles = 0;
+    std::uint64_t warpInstrs = 0;
+    double perf = 0.0;              ///< warp instructions per cycle
+
+    // Translation path
+    std::uint64_t l1TlbHits = 0;
+    std::uint64_t l1TlbMisses = 0;
+    std::uint64_t l2TlbAccesses = 0;
+    std::uint64_t l2TlbHits = 0;
+    std::uint64_t l2TlbMisses = 0;
+    std::uint64_t l2MshrFailures = 0;
+    std::uint64_t inTlbMshrAllocs = 0;
+    std::uint64_t inTlbMshrPeak = 0;
+    std::uint64_t walks = 0;
+    double avgWalkQueueDelay = 0.0;
+    double avgWalkAccessLatency = 0.0;
+    double avgWalkTotalLatency = 0.0;
+    double avgTranslationLatency = 0.0;
+    double l2TlbMpki = 0.0;         ///< per thread-kilo-instruction
+    double l2TlbHitRate = 0.0;
+    std::uint64_t faults = 0;
+
+    // Data memory
+    double l2dMissRate = 0.0;
+    std::uint64_t l2dAccesses = 0;
+    std::uint64_t l2dMshrFailures = 0;
+    double dramUtilisation = 0.0;
+
+    // SM scheduler accounting
+    std::uint64_t memStallCycles = 0;   ///< summed over SMs
+    std::uint64_t issueSlotCycles = 0;
+    std::uint64_t computeCycles = 0;
+    std::uint64_t pwIssueCycles = 0;
+    double avgAccessLatency = 0.0;      ///< per data access (Fig 4)
+
+    // SoftWalker internals (zero in hardware modes)
+    std::uint64_t swToHardware = 0;
+    std::uint64_t swToSoftware = 0;
+    std::uint64_t swBatches = 0;
+    double swAvgBatchSize = 0.0;
+    std::uint64_t swInstructions = 0;
+
+    /** Stall cycles normalised by total SM-cycles. */
+    double
+    stallFraction(std::uint32_t num_sms) const
+    {
+        return cycles ? double(memStallCycles) /
+                        (double(cycles) * double(num_sms))
+                      : 0.0;
+    }
+};
+
+/** Stopping conditions with environment overrides (SW_QUOTA, SW_MAXCYCLES). */
+Gpu::RunLimits defaultLimits();
+
+/**
+ * Per-benchmark limits: regular workloads run fast but suffer a long
+ * kernel-start TLB-fill storm, so they get a larger warmup and quota;
+ * irregular workloads reach their (contended) steady state quickly.
+ */
+Gpu::RunLimits limitsFor(const BenchmarkInfo &info);
+
+/** Run a prepared GPU and extract the result. */
+RunResult collectResult(Gpu &gpu, const std::string &name);
+
+/**
+ * Build + run one (configuration, benchmark) pair with limitsFor(info).
+ * @param footprint_scale multiplies the published footprint (Fig 6).
+ */
+RunResult runBenchmark(const GpuConfig &cfg, const BenchmarkInfo &info,
+                       double footprint_scale = 1.0);
+
+/** Same, with explicit limits. */
+RunResult runBenchmark(const GpuConfig &cfg, const BenchmarkInfo &info,
+                       const Gpu::RunLimits &limits,
+                       double footprint_scale);
+
+/** Run an arbitrary workload instance. */
+RunResult runWorkload(const GpuConfig &cfg,
+                      std::unique_ptr<Workload> workload,
+                      const Gpu::RunLimits &limits = defaultLimits());
+
+/** Speedup of @p opt over @p base (performance ratio). */
+double speedup(const RunResult &base, const RunResult &opt);
+
+/** Convenience: geomean-ready vector of speedups vs. per-bench baselines. */
+std::vector<double> speedups(const std::vector<RunResult> &base,
+                             const std::vector<RunResult> &opt);
+
+} // namespace sw
+
+#endif // SW_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,115 @@
+#include "harness/report.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace sw {
+
+namespace {
+
+/** Escape a string for a JSON literal (our names are tame, but be safe). */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (char ch : text) {
+        switch (ch) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:   out += ch; break;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+toJson(const RunResult &r)
+{
+    std::ostringstream out;
+    out << "{"
+        << "\"benchmark\":\"" << jsonEscape(r.benchmark) << "\","
+        << "\"mode\":\"" << toString(r.mode) << "\","
+        << "\"cycles\":" << r.cycles << ","
+        << "\"warp_instrs\":" << r.warpInstrs << ","
+        << "\"perf\":" << r.perf << ","
+        << "\"l1_tlb_hits\":" << r.l1TlbHits << ","
+        << "\"l1_tlb_misses\":" << r.l1TlbMisses << ","
+        << "\"l2_tlb_accesses\":" << r.l2TlbAccesses << ","
+        << "\"l2_tlb_hits\":" << r.l2TlbHits << ","
+        << "\"l2_tlb_misses\":" << r.l2TlbMisses << ","
+        << "\"l2_tlb_mpki\":" << r.l2TlbMpki << ","
+        << "\"l2_mshr_failures\":" << r.l2MshrFailures << ","
+        << "\"in_tlb_mshr_allocs\":" << r.inTlbMshrAllocs << ","
+        << "\"in_tlb_mshr_peak\":" << r.inTlbMshrPeak << ","
+        << "\"walks\":" << r.walks << ","
+        << "\"walk_queue_delay\":" << r.avgWalkQueueDelay << ","
+        << "\"walk_access_latency\":" << r.avgWalkAccessLatency << ","
+        << "\"translation_latency\":" << r.avgTranslationLatency << ","
+        << "\"l2d_miss_rate\":" << r.l2dMissRate << ","
+        << "\"dram_utilisation\":" << r.dramUtilisation << ","
+        << "\"mem_stall_cycles\":" << r.memStallCycles << ","
+        << "\"pw_issue_cycles\":" << r.pwIssueCycles << ","
+        << "\"sw_to_hardware\":" << r.swToHardware << ","
+        << "\"sw_to_software\":" << r.swToSoftware << ","
+        << "\"sw_batches\":" << r.swBatches << ","
+        << "\"sw_avg_batch_size\":" << r.swAvgBatchSize << ","
+        << "\"faults\":" << r.faults
+        << "}";
+    return out.str();
+}
+
+std::string
+toJson(const std::vector<RunResult> &results)
+{
+    std::ostringstream out;
+    out << "[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i)
+            out << ",";
+        out << toJson(results[i]);
+    }
+    out << "]";
+    return out.str();
+}
+
+std::string
+csvHeader()
+{
+    return "benchmark,mode,cycles,warp_instrs,perf,l2_tlb_mpki,"
+           "l2_mshr_failures,in_tlb_mshr_allocs,walks,walk_queue_delay,"
+           "walk_access_latency,translation_latency,l2d_miss_rate,"
+           "dram_utilisation,mem_stall_cycles,sw_to_software,faults";
+}
+
+std::string
+toCsvRow(const RunResult &r)
+{
+    return strprintf(
+        "%s,%s,%llu,%llu,%.6f,%.4f,%llu,%llu,%llu,%.2f,%.2f,%.2f,%.4f,"
+        "%.4f,%llu,%llu,%llu",
+        r.benchmark.c_str(), toString(r.mode),
+        (unsigned long long)r.cycles, (unsigned long long)r.warpInstrs,
+        r.perf, r.l2TlbMpki, (unsigned long long)r.l2MshrFailures,
+        (unsigned long long)r.inTlbMshrAllocs, (unsigned long long)r.walks,
+        r.avgWalkQueueDelay, r.avgWalkAccessLatency,
+        r.avgTranslationLatency, r.l2dMissRate, r.dramUtilisation,
+        (unsigned long long)r.memStallCycles,
+        (unsigned long long)r.swToSoftware, (unsigned long long)r.faults);
+}
+
+void
+writeCsv(std::ostream &out, const std::vector<RunResult> &results)
+{
+    out << csvHeader() << '\n';
+    for (const RunResult &result : results)
+        out << toCsvRow(result) << '\n';
+}
+
+} // namespace sw

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Machine-readable result output: serialise RunResults to JSON or CSV so
+ * plotting pipelines can consume sweeps without scraping the text tables.
+ */
+
+#ifndef SW_HARNESS_REPORT_HH
+#define SW_HARNESS_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace sw {
+
+/** Serialise one result as a single JSON object (no trailing newline). */
+std::string toJson(const RunResult &result);
+
+/** Serialise many results as a JSON array. */
+std::string toJson(const std::vector<RunResult> &results);
+
+/** CSV header matching writeCsvRow's columns. */
+std::string csvHeader();
+
+/** One CSV row (no trailing newline). */
+std::string toCsvRow(const RunResult &result);
+
+/** Write header + rows to a stream. */
+void writeCsv(std::ostream &out, const std::vector<RunResult> &results);
+
+} // namespace sw
+
+#endif // SW_HARNESS_REPORT_HH

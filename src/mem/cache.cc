@@ -1,0 +1,213 @@
+#include "mem/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace sw {
+
+Cache::Cache(EventQueue &eq, Params params, CacheForwardFn fwd)
+    : eventq(eq), params_(std::move(params)), forward(std::move(fwd))
+{
+    SW_ASSERT(params_.lineBytes % params_.sectorBytes == 0,
+              "line size must be a multiple of sector size");
+    std::uint64_t num_lines = params_.sizeBytes / params_.lineBytes;
+    SW_ASSERT(num_lines % params_.ways == 0,
+              "cache lines (%llu) not divisible by ways (%u)",
+              static_cast<unsigned long long>(num_lines), params_.ways);
+    numSets = static_cast<std::uint32_t>(num_lines / params_.ways);
+    sectorsPerLine = params_.lineBytes / params_.sectorBytes;
+    SW_ASSERT(sectorsPerLine <= 32, "sector mask limited to 32 sectors");
+    lines.resize(num_lines);
+}
+
+std::uint64_t
+Cache::lineAddr(PhysAddr addr) const
+{
+    return addr / params_.lineBytes;
+}
+
+std::uint64_t
+Cache::sectorAddr(PhysAddr addr) const
+{
+    return addr / params_.sectorBytes;
+}
+
+std::uint32_t
+Cache::sectorIndex(PhysAddr addr) const
+{
+    return static_cast<std::uint32_t>(
+        (addr / params_.sectorBytes) % sectorsPerLine);
+}
+
+std::uint64_t
+Cache::setIndex(std::uint64_t line_addr) const
+{
+    return line_addr % numSets;
+}
+
+std::uint64_t
+Cache::tagOf(std::uint64_t line_addr) const
+{
+    return line_addr / numSets;
+}
+
+void
+Cache::access(PhysAddr addr, bool write, std::function<void()> on_done)
+{
+    ++stats_.accesses;
+    eventq.scheduleIn(params_.latency, [this, addr, write,
+                                        cb = std::move(on_done)]() mutable {
+        lookup(addr, write, std::move(cb));
+    });
+}
+
+bool
+Cache::isResident(PhysAddr addr) const
+{
+    std::uint64_t la = lineAddr(addr);
+    std::uint64_t set = setIndex(la);
+    std::uint64_t tag = tagOf(la);
+    std::uint32_t sector_bit = 1u << sectorIndex(addr);
+    for (std::uint32_t w = 0; w < params_.ways; ++w) {
+        const Line &line = lines[set * params_.ways + w];
+        if (line.valid && line.tag == tag && (line.sectorMask & sector_bit))
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines)
+        line = Line{};
+}
+
+void
+Cache::lookup(PhysAddr addr, bool write, std::function<void()> on_done,
+              bool retry)
+{
+    std::uint64_t la = lineAddr(addr);
+    std::uint64_t set = setIndex(la);
+    std::uint64_t tag = tagOf(la);
+    std::uint32_t sector_bit = 1u << sectorIndex(addr);
+
+    for (std::uint32_t w = 0; w < params_.ways; ++w) {
+        Line &line = lines[set * params_.ways + w];
+        if (line.valid && line.tag == tag) {
+            if (line.sectorMask & sector_bit) {
+                if (!retry)
+                    ++stats_.hits;
+                line.lruTick = ++lruCounter;
+                on_done();
+                return;
+            }
+            if (!retry)
+                ++stats_.sectorMisses;
+            break;
+        }
+    }
+
+    if (!retry)
+        ++stats_.misses;
+
+    // Writes allocate like reads in this model (write-allocate,
+    // fetch-on-write); the timing consequence is identical.
+    std::uint64_t sa = sectorAddr(addr);
+    auto it = mshrs.find(sa);
+    if (it != mshrs.end()) {
+        if (it->second.waiters.size() <
+            static_cast<std::size_t>(params_.maxMergesPerMshr)) {
+            ++stats_.mshrMerges;
+            it->second.waiters.push_back(std::move(on_done));
+            return;
+        }
+        // Merge capacity exhausted: treat like a full MSHR file.
+        ++stats_.mshrFailures;
+        waitingForMshr.push_back({addr, write, std::move(on_done)});
+        return;
+    }
+
+    if (mshrs.size() >= params_.mshrEntries) {
+        ++stats_.mshrFailures;
+        waitingForMshr.push_back({addr, write, std::move(on_done)});
+        return;
+    }
+
+    Mshr &mshr = mshrs[sa];
+    mshr.waiters.push_back(std::move(on_done));
+    forward(addr, write, [this, addr]() { handleFill(addr); });
+}
+
+void
+Cache::handleFill(PhysAddr addr)
+{
+    install(addr);
+
+    std::uint64_t sa = sectorAddr(addr);
+    auto it = mshrs.find(sa);
+    SW_ASSERT(it != mshrs.end(), "fill for sector without an MSHR");
+    std::vector<std::function<void()>> waiters = std::move(it->second.waiters);
+    mshrs.erase(it);
+
+    for (auto &waiter : waiters)
+        waiter();
+
+    retryWaiting();
+}
+
+void
+Cache::install(PhysAddr addr)
+{
+    std::uint64_t la = lineAddr(addr);
+    std::uint64_t set = setIndex(la);
+    std::uint64_t tag = tagOf(la);
+    std::uint32_t sector_bit = 1u << sectorIndex(addr);
+
+    // Existing line: just set the sector bit.
+    for (std::uint32_t w = 0; w < params_.ways; ++w) {
+        Line &line = lines[set * params_.ways + w];
+        if (line.valid && line.tag == tag) {
+            line.sectorMask |= sector_bit;
+            line.lruTick = ++lruCounter;
+            return;
+        }
+    }
+
+    // Pick invalid way, else LRU victim.
+    Line *victim = nullptr;
+    for (std::uint32_t w = 0; w < params_.ways; ++w) {
+        Line &line = lines[set * params_.ways + w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (!victim || line.lruTick < victim->lruTick)
+            victim = &line;
+    }
+    if (victim->valid)
+        ++stats_.evictions;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->sectorMask = sector_bit;
+    victim->lruTick = ++lruCounter;
+}
+
+void
+Cache::retryWaiting()
+{
+    // Re-issue queued requests now that an MSHR has freed.  Each retry goes
+    // through the full lookup path again (it may now hit thanks to the
+    // fill).  A retry can park itself again (e.g. its target MSHR is still
+    // merge-full); stop as soon as the queue makes no progress.
+    while (!waitingForMshr.empty() && mshrs.size() < params_.mshrEntries) {
+        std::size_t before = waitingForMshr.size();
+        Waiting wait_entry = std::move(waitingForMshr.front());
+        waitingForMshr.pop_front();
+        lookup(wait_entry.addr, wait_entry.write,
+               std::move(wait_entry.onDone), /*retry=*/true);
+        if (waitingForMshr.size() >= before)
+            break;
+    }
+}
+
+} // namespace sw

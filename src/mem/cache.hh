@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Generic non-blocking, sectored, set-associative cache model.
+ *
+ * Models tags, LRU replacement, sector-valid bits, and MSHRs with merging.
+ * Data values are not stored: the simulator tracks timing, not contents.
+ * Used for both the per-SM L1D caches and the shared L2D cache.
+ */
+
+#ifndef SW_MEM_CACHE_HH
+#define SW_MEM_CACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace sw {
+
+/**
+ * Forwarding hook to the next level: called with the sector address of a
+ * miss; the callee must invoke the supplied callback when the fill data is
+ * available.
+ */
+using CacheForwardFn =
+    std::function<void(PhysAddr sector_addr, bool write,
+                       std::function<void()> on_fill)>;
+
+/** Sectored set-associative cache with MSHRs. */
+class Cache
+{
+  public:
+    struct Params
+    {
+        std::string name = "cache";
+        std::uint64_t sizeBytes = 128 * 1024;
+        std::uint32_t ways = 8;
+        std::uint32_t lineBytes = 128;
+        std::uint32_t sectorBytes = 32;
+        Cycle latency = 40;
+        std::uint32_t mshrEntries = 256;
+        std::uint32_t maxMergesPerMshr = 64;
+    };
+
+    struct Stats
+    {
+        std::uint64_t accesses = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;        ///< line or sector misses
+        std::uint64_t sectorMisses = 0;  ///< line present, sector absent
+        std::uint64_t mshrMerges = 0;
+        std::uint64_t mshrFailures = 0;  ///< attempts rejected: MSHRs full
+        std::uint64_t evictions = 0;
+
+        double
+        missRate() const
+        {
+            return accesses ? double(misses) / double(accesses) : 0.0;
+        }
+    };
+
+    Cache(EventQueue &eq, Params params, CacheForwardFn forward);
+
+    Cache(const Cache &) = delete;
+    Cache &operator=(const Cache &) = delete;
+
+    /**
+     * Access one sector.  @p on_done fires once the sector is resident
+     * (after the hit latency, or after the fill returns from below).
+     */
+    void access(PhysAddr addr, bool write, std::function<void()> on_done);
+
+    /** Tag-only probe (no latency, no LRU update); used by tests. */
+    bool isResident(PhysAddr addr) const;
+
+    /** Invalidate everything (tests / kernel boundaries). */
+    void flush();
+
+    /** Zero the statistics (post-warmup measurement reset). */
+    void resetStats() { stats_ = Stats{}; }
+
+    const Stats &stats() const { return stats_; }
+    const Params &params() const { return params_; }
+    std::size_t outstandingMshrs() const { return mshrs.size(); }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint32_t sectorMask = 0;   ///< bit per resident sector
+        std::uint64_t lruTick = 0;
+    };
+
+    struct Mshr
+    {
+        std::vector<std::function<void()>> waiters;
+    };
+
+    std::uint64_t lineAddr(PhysAddr addr) const;
+    std::uint64_t sectorAddr(PhysAddr addr) const;
+    std::uint32_t sectorIndex(PhysAddr addr) const;
+    std::uint64_t setIndex(std::uint64_t line_addr) const;
+    std::uint64_t tagOf(std::uint64_t line_addr) const;
+
+    /**
+     * After the lookup latency: resolve hit/miss.
+     * @param retry re-issue of a parked request; skips demand hit/miss
+     *        accounting so stats count each access once.
+     */
+    void lookup(PhysAddr addr, bool write, std::function<void()> on_done,
+                bool retry = false);
+
+    /** Fill returned from the level below. */
+    void handleFill(PhysAddr addr);
+
+    /** Install the sector into the tag store, evicting if needed. */
+    void install(PhysAddr addr);
+
+    void retryWaiting();
+
+    EventQueue &eventq;
+    Params params_;
+    CacheForwardFn forward;
+
+    std::uint32_t numSets;
+    std::uint32_t sectorsPerLine;
+    std::vector<Line> lines;            ///< numSets * ways
+    std::uint64_t lruCounter = 0;
+
+    /** Outstanding misses keyed by sector address. */
+    std::unordered_map<std::uint64_t, Mshr> mshrs;
+
+    /** Requests waiting for a free MSHR. */
+    struct Waiting
+    {
+        PhysAddr addr;
+        bool write;
+        std::function<void()> onDone;
+    };
+    std::deque<Waiting> waitingForMshr;
+
+    Stats stats_;
+};
+
+} // namespace sw
+
+#endif // SW_MEM_CACHE_HH

@@ -1,0 +1,58 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace sw {
+
+Dram::Dram(EventQueue &eq, Params params)
+    : eventq(eq), params_(params),
+      channelFree(params.channels, 0),
+      channelBusyCycles(params.channels, 0)
+{
+    SW_ASSERT(params_.channels > 0, "DRAM needs at least one channel");
+}
+
+void
+Dram::access(PhysAddr addr, bool write, std::function<void()> on_done)
+{
+    (void)write; // reads and writes share timing in this model
+    ++stats_.accesses;
+
+    std::uint32_t chan = static_cast<std::uint32_t>(
+        (addr >> params_.channelShift) % params_.channels);
+
+    Cycle now = eventq.now();
+    Cycle start = std::max(now, channelFree[chan]);
+    channelFree[chan] = start + params_.cyclesPerSector;
+    channelBusyCycles[chan] += params_.cyclesPerSector;
+
+    Cycle done_at = start + params_.accessLatency;
+    stats_.queueDelay.add(start - now);
+    stats_.totalLatency.add(done_at - now);
+
+    eventq.schedule(done_at, std::move(on_done));
+}
+
+void
+Dram::resetStats()
+{
+    stats_ = Stats{};
+    std::fill(channelBusyCycles.begin(), channelBusyCycles.end(), 0);
+    statsSince = eventq.now();
+}
+
+double
+Dram::utilisation() const
+{
+    Cycle now = eventq.now();
+    if (now <= statsSince)
+        return 0.0;
+    std::uint64_t busiest = 0;
+    for (auto busy : channelBusyCycles)
+        busiest = std::max(busiest, busy);
+    return double(busiest) / double(now - statsSince);
+}
+
+} // namespace sw

@@ -1,0 +1,88 @@
+#include "mem/memory_system.hh"
+
+#include "sim/logging.hh"
+
+namespace sw {
+
+MemorySystem::MemorySystem(EventQueue &eq, const GpuConfig &cfg)
+    : eventq(eq)
+{
+    dramModel = std::make_unique<Dram>(
+        eq, Dram::Params{cfg.dramChannels, cfg.dramLatency,
+                         cfg.dramCyclesPerSector, /*channelShift=*/5});
+
+    Cache::Params l2_params;
+    l2_params.name = "l2d";
+    l2_params.sizeBytes = cfg.l2dBytes;
+    l2_params.ways = cfg.l2dWays;
+    l2_params.lineBytes = cfg.lineBytes;
+    l2_params.sectorBytes = cfg.sectorBytes;
+    l2_params.latency = cfg.l2dLatency;
+    l2_params.mshrEntries = cfg.l2dMshrs;
+    // PTE sectors attract very wide sharing (every concurrent walk of a
+    // hot table level); GPU L2 merge lists are effectively per-sector.
+    l2_params.maxMergesPerMshr = 4096;
+    l2dCache = std::make_unique<Cache>(
+        eq, l2_params,
+        [this](PhysAddr addr, bool write, std::function<void()> on_fill) {
+            dramModel->access(addr, write, std::move(on_fill));
+        });
+
+    Cache::Params l1_params;
+    l1_params.sizeBytes = cfg.l1dBytes;
+    l1_params.ways = cfg.l1dWays;
+    l1_params.lineBytes = cfg.lineBytes;
+    l1_params.sectorBytes = cfg.sectorBytes;
+    l1_params.latency = cfg.l1dLatency;
+    l1_params.mshrEntries = cfg.l1dMshrs;
+    l1dCaches.reserve(cfg.numSms);
+    for (SmId sm = 0; sm < cfg.numSms; ++sm) {
+        l1_params.name = strprintf("l1d[%u]", sm);
+        l1dCaches.push_back(std::make_unique<Cache>(
+            eventq, l1_params,
+            [this](PhysAddr addr, bool write, std::function<void()> on_fill) {
+                l2dCache->access(addr, write, std::move(on_fill));
+            }));
+    }
+}
+
+void
+MemorySystem::access(MemAccess acc)
+{
+    if (acc.pte) {
+        // PTE path: L2-only caching.
+        l2dCache->access(acc.addr, acc.write, std::move(acc.onDone));
+        return;
+    }
+    SW_ASSERT(acc.sm < l1dCaches.size(),
+              "data access from unknown SM %u", acc.sm);
+    l1dCaches[acc.sm]->access(acc.addr, acc.write, std::move(acc.onDone));
+}
+
+void
+MemorySystem::resetStats()
+{
+    for (auto &cache : l1dCaches)
+        cache->resetStats();
+    l2dCache->resetStats();
+    dramModel->resetStats();
+}
+
+Cache::Stats
+MemorySystem::aggregateL1dStats() const
+{
+    Cache::Stats agg;
+    for (const auto &cache : l1dCaches) {
+        const Cache::Stats &s = cache->stats();
+        agg.accesses += s.accesses;
+        agg.hits += s.hits;
+        agg.misses += s.misses;
+        agg.sectorMisses += s.sectorMisses;
+        agg.mshrMerges += s.mshrMerges;
+        agg.mshrFailures += s.mshrFailures;
+        agg.evictions += s.evictions;
+    }
+    return agg;
+}
+
+} // namespace sw

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Data-memory hierarchy façade: per-SM L1D caches, a shared L2D, and DRAM.
+ *
+ * Page-table accesses (MemAccess::pte) skip the L1D and are cached only in
+ * the L2D, matching the paper's assumption (footnote 2: "we assume PTEs are
+ * cached only in the L2 cache").
+ */
+
+#ifndef SW_MEM_MEMORY_SYSTEM_HH
+#define SW_MEM_MEMORY_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/request.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+
+namespace sw {
+
+/** Wires L1D -> L2D -> DRAM and routes accesses. */
+class MemorySystem
+{
+  public:
+    MemorySystem(EventQueue &eq, const GpuConfig &cfg);
+
+    MemorySystem(const MemorySystem &) = delete;
+    MemorySystem &operator=(const MemorySystem &) = delete;
+
+    /** Issue one sector access through the hierarchy. */
+    void access(MemAccess acc);
+
+    const Cache &l1d(SmId sm) const { return *l1dCaches.at(sm); }
+    const Cache &l2d() const { return *l2dCache; }
+    const Dram &dram() const { return *dramModel; }
+
+    /** Aggregate L1D stats across all SMs. */
+    Cache::Stats aggregateL1dStats() const;
+
+    /** Zero every cache's and DRAM's statistics (post-warmup reset). */
+    void resetStats();
+
+  private:
+    EventQueue &eventq;
+    std::vector<std::unique_ptr<Cache>> l1dCaches;
+    std::unique_ptr<Cache> l2dCache;
+    std::unique_ptr<Dram> dramModel;
+};
+
+} // namespace sw
+
+#endif // SW_MEM_MEMORY_SYSTEM_HH

@@ -1,0 +1,110 @@
+#include "sim/config.hh"
+
+#include "sim/logging.hh"
+
+namespace sw {
+
+const char *
+toString(TranslationMode mode)
+{
+    switch (mode) {
+      case TranslationMode::HardwarePtw: return "hw-ptw";
+      case TranslationMode::SoftWalker:  return "softwalker";
+      case TranslationMode::Hybrid:      return "hybrid";
+      case TranslationMode::Ideal:       return "ideal";
+    }
+    return "?";
+}
+
+const char *
+toString(PageTableKind kind)
+{
+    switch (kind) {
+      case PageTableKind::Radix4: return "radix4";
+      case PageTableKind::Hashed: return "hashed";
+    }
+    return "?";
+}
+
+const char *
+toString(DistributorPolicy policy)
+{
+    switch (policy) {
+      case DistributorPolicy::RoundRobin: return "round-robin";
+      case DistributorPolicy::Random:     return "random";
+      case DistributorPolicy::StallAware: return "stall-aware";
+    }
+    return "?";
+}
+
+std::uint32_t
+GpuConfig::pageTableLevels() const
+{
+    // 49-bit virtual addresses (GP100 MMU format). 64 KB pages leave a
+    // 33-bit VPN covered by four radix levels; 2 MB pages leave a 28-bit
+    // VPN covered by three.
+    return pageBytes >= 2ull * 1024 * 1024 ? 3 : 4;
+}
+
+void
+GpuConfig::validate() const
+{
+    if (numSms == 0 || maxWarpsPerSm == 0 || warpSize == 0)
+        fatal("GpuConfig: core organisation must be non-zero");
+    if (warpSize > 32)
+        fatal("GpuConfig: warpSize > 32 unsupported");
+    if (l2TlbEntries % l2TlbWays != 0)
+        fatal("GpuConfig: L2 TLB entries (%u) not divisible by ways (%u)",
+              l2TlbEntries, l2TlbWays);
+    if (pageBytes != 64ull * 1024 && pageBytes != 2ull * 1024 * 1024)
+        fatal("GpuConfig: page size must be 64KB or 2MB");
+    if (lineBytes % sectorBytes != 0)
+        fatal("GpuConfig: line size not a multiple of sector size");
+    if (mode != TranslationMode::HardwarePtw &&
+        mode != TranslationMode::Ideal && softPwbEntries == 0) {
+        fatal("GpuConfig: SoftWalker mode requires SoftPWB entries");
+    }
+    if (mode == TranslationMode::HardwarePtw && numPtws == 0)
+        fatal("GpuConfig: hardware mode requires at least one PTW");
+    if (inTlbMshrMax > l2TlbEntries)
+        fatal("GpuConfig: In-TLB MSHR capacity (%u) exceeds L2 TLB size (%u)",
+              inTlbMshrMax, l2TlbEntries);
+}
+
+GpuConfig
+makeDefaultConfig()
+{
+    return GpuConfig{};
+}
+
+GpuConfig
+makeSoftWalkerConfig(TranslationMode mode, std::uint32_t in_tlb_mshrs)
+{
+    if (mode != TranslationMode::SoftWalker &&
+        mode != TranslationMode::Hybrid) {
+        fatal("makeSoftWalkerConfig: mode must be SoftWalker or Hybrid");
+    }
+    GpuConfig cfg;
+    cfg.mode = mode;
+    cfg.inTlbMshrMax = in_tlb_mshrs;
+    return cfg;
+}
+
+void
+scalePtwSubsystem(GpuConfig &cfg, std::uint32_t num_ptws,
+                  bool scale_mshrs, bool scale_pwb)
+{
+    SW_ASSERT(num_ptws > 0, "cannot scale to zero PTWs");
+    double factor = double(num_ptws) / 32.0;
+    cfg.numPtws = num_ptws;
+    if (scale_pwb) {
+        cfg.pwbEntries =
+            static_cast<std::uint32_t>(std::max(1.0, 64.0 * factor));
+    }
+    if (scale_mshrs) {
+        cfg.l2TlbMshrs =
+            static_cast<std::uint32_t>(std::max(1.0, 128.0 * factor));
+    }
+}
+
+} // namespace sw

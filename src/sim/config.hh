@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Simulated GPU configuration.
+ *
+ * Defaults reproduce Table 3 of the paper (an RTX 3070-like GPU: 46 SMs,
+ * 1500 MHz, two-level TLBs, 32 hardware page-table walkers, GDDR6).
+ * Every experiment harness starts from makeDefaultConfig() and overrides the
+ * knobs its sweep varies.
+ */
+
+#ifndef SW_SIM_CONFIG_HH
+#define SW_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace sw {
+
+/** Which engine resolves L2 TLB misses. */
+enum class TranslationMode
+{
+    HardwarePtw,   ///< Baseline: fixed pool of hardware walkers.
+    SoftWalker,    ///< All walks handled by PW Warps on the SMs.
+    Hybrid,        ///< HW walkers first; overflow goes to PW Warps (§5.4).
+    Ideal,         ///< Unbounded walkers and MSHRs (upper bound).
+};
+
+/** Page-table organisation. */
+enum class PageTableKind
+{
+    Radix4,        ///< Four-level radix table (baseline, §2.1).
+    Hashed,        ///< Fixed-size hashed page table (FS-HPT baseline).
+};
+
+/** Request Distributor SM-selection policy (§6.3, Fig 26). */
+enum class DistributorPolicy
+{
+    RoundRobin,    ///< Default (paper's choice).
+    Random,
+    StallAware,    ///< Prefer the SM with the most stalled warps.
+};
+
+const char *toString(TranslationMode mode);
+const char *toString(PageTableKind kind);
+const char *toString(DistributorPolicy policy);
+
+/** Full simulated-machine configuration (Table 3 defaults). */
+struct GpuConfig
+{
+    // ---- Core organisation ------------------------------------------
+    std::uint32_t numSms = 46;
+    std::uint32_t maxWarpsPerSm = 48;
+    std::uint32_t warpSize = 32;
+    double clockGhz = 1.5;
+
+    // ---- L1 TLB (per SM, fully associative) -------------------------
+    std::uint32_t l1TlbEntries = 32;
+    Cycle l1TlbLatency = 10;
+    std::uint32_t l1TlbMshrs = 32;
+    std::uint32_t l1TlbMergesPerMshr = 192;
+
+    // ---- L2 TLB (shared, 16-way) ------------------------------------
+    std::uint32_t l2TlbEntries = 1024;
+    std::uint32_t l2TlbWays = 16;
+    Cycle l2TlbLatency = 80;
+    std::uint32_t l2TlbMshrs = 128;
+    std::uint32_t l2TlbMergesPerMshr = 46;
+
+    // ---- Data caches --------------------------------------------------
+    std::uint64_t l1dBytes = 128 * 1024;      ///< per SM
+    Cycle l1dLatency = 40;
+    std::uint32_t l1dWays = 8;
+    std::uint64_t l2dBytes = 4ull * 1024 * 1024;
+    Cycle l2dLatency = 180;
+    std::uint32_t l2dWays = 16;
+    std::uint32_t lineBytes = 128;
+    std::uint32_t sectorBytes = 32;
+    std::uint32_t l1dMshrs = 256;             ///< per SM
+    /** Aggregate across the banked L2 slices (32 slices x 128). */
+    std::uint32_t l2dMshrs = 4096;
+
+    // ---- DRAM (GDDR6, 16 channels, 448 GB/s aggregate) ----------------
+    std::uint32_t dramChannels = 16;
+    Cycle dramLatency = 160;                  ///< access latency per request
+    Cycle dramCyclesPerSector = 2;            ///< channel occupancy per 32 B
+
+    // ---- Virtual memory ------------------------------------------------
+    std::uint64_t pageBytes = 64 * 1024;      ///< base page (64 KB)
+    PageTableKind pageTableKind = PageTableKind::Radix4;
+    std::uint32_t pwcEntries = 32;            ///< page walk cache
+    Cycle pwcLatency = 4;
+
+    // ---- Hardware page-walk subsystem ----------------------------------
+    std::uint32_t numPtws = 32;
+    std::uint32_t pwbEntries = 64;            ///< page walk buffer capacity
+    std::uint32_t pwbPorts = 1;               ///< enq+deq bandwidth per cycle
+    bool nhaCoalescing = false;               ///< NHA baseline (§2.3)
+
+    // ---- SoftWalker ------------------------------------------------------
+    TranslationMode mode = TranslationMode::HardwarePtw;
+    std::uint32_t pwWarpThreads = 32;         ///< lanes per PW Warp
+    std::uint32_t softPwbEntries = 32;        ///< SoftPWB entries per SM
+    /**
+     * In-TLB MSHR capacity; 0 (the baseline default) disables it.
+     * SoftWalker configurations enable up to 1024 entries (Table 3).
+     */
+    std::uint32_t inTlbMshrMax = 0;
+    DistributorPolicy distributorPolicy = DistributorPolicy::RoundRobin;
+    /** SM <-> L2 TLB communication latency; 0 means "same as L2 TLB". */
+    Cycle commLatency = 0;
+
+    // ---- Sensitivity-study overrides ------------------------------------
+    /**
+     * When non-zero, replaces the dynamically measured per-level page-table
+     * access latency with a fixed value (Fig 23 sweep).
+     */
+    Cycle fixedPtAccessLatency = 0;
+
+    // ---- Run control ------------------------------------------------------
+    std::uint64_t rngSeed = 1;
+
+    /** Effective SM<->L2TLB communication latency. */
+    Cycle effectiveCommLatency() const
+    {
+        return commLatency ? commLatency : l2TlbLatency;
+    }
+
+    /** Number of page-table radix levels for the configured page size. */
+    std::uint32_t pageTableLevels() const;
+
+    /** Abort with fatal() if the configuration is inconsistent. */
+    void validate() const;
+};
+
+/** Table 3 baseline configuration. */
+GpuConfig makeDefaultConfig();
+
+/**
+ * Table 3 SoftWalker configuration: software (or hybrid) walks with
+ * 32 PW-Warp threads/SM, a 32-entry SoftPWB, and 1024 In-TLB MSHRs.
+ */
+GpuConfig makeSoftWalkerConfig(
+    TranslationMode mode = TranslationMode::SoftWalker,
+    std::uint32_t in_tlb_mshrs = 1024);
+
+/**
+ * Convenience: scale the hardware walk subsystem together, as the paper does
+ * in Figs 5/7/12 ("we also enlarge the L2 TLB MSHR and PWB entries
+ * proportionally").
+ */
+void scalePtwSubsystem(GpuConfig &cfg, std::uint32_t num_ptws,
+                       bool scale_mshrs = true, bool scale_pwb = true);
+
+} // namespace sw
+
+#endif // SW_SIM_CONFIG_HH

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Global event queue driving the cycle-level simulation.
+ *
+ * The simulator is event-driven: components schedule callbacks at absolute
+ * cycles and the kernel executes them in (cycle, insertion-order) order.
+ * There is no per-cycle tick loop; idle periods cost nothing, which is what
+ * makes sweeping twenty workloads over dozens of configurations cheap.
+ */
+
+#ifndef SW_SIM_EVENT_QUEUE_HH
+#define SW_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace sw {
+
+/** Callback executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * Tick-ordered event queue.  Events scheduled for the same cycle execute in
+ * insertion order, which keeps the model deterministic.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated cycle. */
+    Cycle now() const { return curCycle; }
+
+    /** Total number of events executed so far. */
+    std::uint64_t eventsExecuted() const { return numExecuted; }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap.size(); }
+
+    bool empty() const { return heap.empty(); }
+
+    /**
+     * Schedule @p fn to run at absolute cycle @p when.
+     * Scheduling in the past is a simulator bug.
+     */
+    void
+    schedule(Cycle when, EventFn fn)
+    {
+        SW_ASSERT(when >= curCycle,
+                  "event scheduled in the past (%llu < %llu)",
+                  static_cast<unsigned long long>(when),
+                  static_cast<unsigned long long>(curCycle));
+        heap.push(Event{when, nextSeq++, std::move(fn)});
+    }
+
+    /** Schedule @p fn to run @p delay cycles from now. */
+    void
+    scheduleIn(Cycle delay, EventFn fn)
+    {
+        schedule(curCycle + delay, std::move(fn));
+    }
+
+    /**
+     * Execute the earliest pending event, advancing the clock to it.
+     * @retval false if the queue was empty.
+     */
+    bool
+    runOne()
+    {
+        if (heap.empty())
+            return false;
+        // std::priority_queue::top() is const; the handler is moved out via
+        // a const_cast that is safe because the element is popped before the
+        // callback runs.
+        Event &ev = const_cast<Event &>(heap.top());
+        curCycle = ev.when;
+        EventFn fn = std::move(ev.fn);
+        heap.pop();
+        ++numExecuted;
+        fn();
+        return true;
+    }
+
+    /**
+     * Run events until the queue is empty, @p predicate returns true, or
+     * @p cycle_limit is reached.
+     * @return the cycle at which execution stopped.
+     */
+    Cycle
+    run(Cycle cycle_limit = kCycleMax,
+        const std::function<bool()> &predicate = {})
+    {
+        while (!heap.empty() && heap.top().when <= cycle_limit) {
+            if (predicate && predicate())
+                break;
+            runOne();
+            if ((numExecuted & ((1u << 24) - 1)) == 0) {
+                inform("event queue: %llu events, cycle %llu, %zu pending",
+                       static_cast<unsigned long long>(numExecuted),
+                       static_cast<unsigned long long>(curCycle),
+                       heap.size());
+            }
+        }
+        return curCycle;
+    }
+
+    /** Drop all pending events and reset the clock (tests only). */
+    void
+    reset()
+    {
+        heap = decltype(heap)();
+        curCycle = 0;
+        nextSeq = 0;
+        numExecuted = 0;
+    }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap;
+    Cycle curCycle = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t numExecuted = 0;
+};
+
+} // namespace sw
+
+#endif // SW_SIM_EVENT_QUEUE_HH

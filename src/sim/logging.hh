@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Error and status reporting helpers, following the gem5 convention:
+ * panic() for simulator bugs, fatal() for user/configuration errors,
+ * warn()/inform() for status messages that never stop the simulation.
+ */
+
+#ifndef SW_SIM_LOGGING_HH
+#define SW_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace sw {
+
+/**
+ * Abort the simulation because of an internal invariant violation.
+ * Calls std::abort() so a core dump / debugger trap is possible.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate the simulation because of a user error (bad configuration,
+ * invalid arguments). Exits with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious but non-fatal condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Backend of SW_ASSERT: panic with the failed condition text. */
+[[noreturn]] void panicAssert(const char *cond, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace sw
+
+/**
+ * Assert a simulator invariant with a formatted message.  Unlike assert(),
+ * stays active in release builds: model correctness depends on it.
+ */
+#define SW_ASSERT(cond, fmt, ...)                                           \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::sw::panicAssert(#cond, fmt __VA_OPT__(,) __VA_ARGS__);        \
+        }                                                                   \
+    } while (0)
+
+#endif // SW_SIM_LOGGING_HH

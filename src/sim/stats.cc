@@ -1,0 +1,84 @@
+#include "sim/stats.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace sw {
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        SW_ASSERT(v > 0.0, "geomean over non-positive value %f", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / double(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / double(values.size());
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+{
+    rows.push_back(std::move(header));
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    SW_ASSERT(cells.size() == rows.front().size(),
+              "row arity %zu != header arity %zu",
+              cells.size(), rows.front().size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::str() const
+{
+    std::vector<std::size_t> widths(rows.front().size(), 0);
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        for (std::size_t c = 0; c < rows[r].size(); ++c) {
+            out << rows[r][c];
+            if (c + 1 < rows[r].size()) {
+                out << std::string(widths[c] - rows[r][c].size() + 2, ' ');
+            }
+        }
+        out << '\n';
+        if (r == 0) {
+            std::size_t total = 0;
+            for (std::size_t c = 0; c < widths.size(); ++c)
+                total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+            out << std::string(total, '-') << '\n';
+        }
+    }
+    return out.str();
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+} // namespace sw

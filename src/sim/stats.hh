@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Lightweight statistics primitives.
+ *
+ * Components expose plain stat structs for speed; these helpers cover the
+ * common aggregations (latency accumulation, histograms) and the table
+ * formatting used by the benchmark harnesses.
+ */
+
+#ifndef SW_SIM_STATS_HH
+#define SW_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace sw {
+
+/** Accumulates count/sum/min/max of a sampled quantity (e.g. a latency). */
+struct LatencyStat
+{
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t minv = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t maxv = 0;
+
+    void
+    add(std::uint64_t v)
+    {
+        ++count;
+        sum += v;
+        minv = std::min(minv, v);
+        maxv = std::max(maxv, v);
+    }
+
+    double mean() const { return count ? double(sum) / double(count) : 0.0; }
+
+    void
+    merge(const LatencyStat &o)
+    {
+        count += o.count;
+        sum += o.sum;
+        minv = std::min(minv, o.minv);
+        maxv = std::max(maxv, o.maxv);
+    }
+
+    void reset() { *this = LatencyStat{}; }
+};
+
+/** Fixed-bucket histogram with power-of-two bucket widths. */
+class Histogram
+{
+  public:
+    /**
+     * @param num_buckets number of linear buckets
+     * @param bucket_width width of each bucket; samples beyond the last
+     *        bucket land in the overflow bucket.
+     */
+    explicit Histogram(std::size_t num_buckets = 32,
+                       std::uint64_t bucket_width = 64)
+        : width(bucket_width), buckets(num_buckets + 1, 0)
+    {
+    }
+
+    void
+    add(std::uint64_t v)
+    {
+        std::size_t idx = static_cast<std::size_t>(v / width);
+        if (idx >= buckets.size() - 1)
+            idx = buckets.size() - 1;
+        ++buckets[idx];
+        ++total;
+    }
+
+    std::uint64_t bucket(std::size_t i) const { return buckets.at(i); }
+    std::size_t numBuckets() const { return buckets.size(); }
+    std::uint64_t samples() const { return total; }
+    std::uint64_t bucketWidth() const { return width; }
+
+    /** Value below which @p fraction of samples fall (approximate). */
+    std::uint64_t
+    percentile(double fraction) const
+    {
+        if (total == 0)
+            return 0;
+        std::uint64_t target =
+            static_cast<std::uint64_t>(fraction * double(total));
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < buckets.size(); ++i) {
+            seen += buckets[i];
+            if (seen >= target)
+                return (i + 1) * width;
+        }
+        return buckets.size() * width;
+    }
+
+    void reset() { std::fill(buckets.begin(), buckets.end(), 0); total = 0; }
+
+  private:
+    std::uint64_t width;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t total = 0;
+};
+
+/** Geometric mean of a vector of ratios (speedups). */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &values);
+
+/**
+ * Simple fixed-width text-table formatter used by the figure harnesses to
+ * print paper-style result rows.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    std::string str() const;
+
+    /** Convenience: format a double with @p precision digits. */
+    static std::string num(double v, int precision = 2);
+
+  private:
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace sw
+
+#endif // SW_SIM_STATS_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every simulator module.
+ */
+
+#ifndef SW_SIM_TYPES_HH
+#define SW_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace sw {
+
+/** Simulated clock cycle. The whole GPU runs in a single clock domain. */
+using Cycle = std::uint64_t;
+
+/** Sentinel for "never" / "unscheduled". */
+inline constexpr Cycle kCycleMax = std::numeric_limits<Cycle>::max();
+
+/** Simulated virtual address (49-bit space per GP100 MMU format). */
+using VirtAddr = std::uint64_t;
+
+/** Simulated physical address (47-bit space). */
+using PhysAddr = std::uint64_t;
+
+/** Virtual page number. */
+using Vpn = std::uint64_t;
+
+/** Physical frame number. */
+using Pfn = std::uint64_t;
+
+/** Identifier of a Streaming Multiprocessor. */
+using SmId = std::uint32_t;
+
+/** Identifier of a warp within an SM. */
+using WarpId = std::uint32_t;
+
+inline constexpr SmId kInvalidSm = std::numeric_limits<SmId>::max();
+
+} // namespace sw
+
+#endif // SW_SIM_TYPES_HH

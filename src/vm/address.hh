@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Virtual/physical address helpers.
+ *
+ * The simulated machine uses 49-bit virtual and 47-bit physical addresses
+ * (GP100 MMU format, as the paper assumes in §4.4).
+ */
+
+#ifndef SW_VM_ADDRESS_HH
+#define SW_VM_ADDRESS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace sw {
+
+inline constexpr unsigned kVirtAddrBits = 49;
+inline constexpr unsigned kPhysAddrBits = 47;
+
+/** Page-size plumbing: offset bits, VPN extraction, recomposition. */
+class PageGeometry
+{
+  public:
+    explicit PageGeometry(std::uint64_t page_bytes)
+        : bytes(page_bytes),
+          offsetBits(static_cast<unsigned>(std::countr_zero(page_bytes)))
+    {
+        SW_ASSERT(std::has_single_bit(page_bytes),
+                  "page size must be a power of two");
+    }
+
+    std::uint64_t pageBytes() const { return bytes; }
+    unsigned pageOffsetBits() const { return offsetBits; }
+
+    Vpn vpnOf(VirtAddr va) const { return va >> offsetBits; }
+    std::uint64_t offsetOf(VirtAddr va) const { return va & (bytes - 1); }
+
+    VirtAddr
+    composeVa(Vpn vpn, std::uint64_t offset) const
+    {
+        return (vpn << offsetBits) | (offset & (bytes - 1));
+    }
+
+    PhysAddr
+    composePa(Pfn pfn, std::uint64_t offset) const
+    {
+        return (pfn << offsetBits) | (offset & (bytes - 1));
+    }
+
+    /** Number of VPN bits for this page size in the 49-bit VA space. */
+    unsigned vpnBits() const { return kVirtAddrBits - offsetBits; }
+
+  private:
+    std::uint64_t bytes;
+    unsigned offsetBits;
+};
+
+} // namespace sw
+
+#endif // SW_VM_ADDRESS_HH

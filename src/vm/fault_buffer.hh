@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fault Buffer: the target of the FFB instruction (Table 2).
+ *
+ * When a walker (hardware or PW Warp) loads an invalid PTE it logs the
+ * faulting VPN here; the UVM-style driver drains the buffer, maps the page,
+ * and the walk is replayed (§5.5).
+ */
+
+#ifndef SW_VM_FAULT_BUFFER_HH
+#define SW_VM_FAULT_BUFFER_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/types.hh"
+
+namespace sw {
+
+/** Bounded log of pending page faults. */
+class FaultBuffer
+{
+  public:
+    struct Record
+    {
+        Vpn vpn;
+        int level;       ///< page-table level at which the walk faulted
+        Cycle when;
+    };
+
+    struct Stats
+    {
+        std::uint64_t recorded = 0;
+        std::uint64_t drained = 0;
+        std::uint64_t overflows = 0;
+    };
+
+    explicit FaultBuffer(std::size_t capacity = 64) : capacity_(capacity) {}
+
+    /** Log a fault (FFB). @retval false if the buffer is full. */
+    bool
+    record(Vpn vpn, int level, Cycle when)
+    {
+        if (records.size() >= capacity_) {
+            ++stats_.overflows;
+            return false;
+        }
+        records.push_back({vpn, level, when});
+        ++stats_.recorded;
+        return true;
+    }
+
+    bool empty() const { return records.empty(); }
+    std::size_t size() const { return records.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Driver side: pop the oldest fault. */
+    Record
+    pop()
+    {
+        Record record = records.front();
+        records.pop_front();
+        ++stats_.drained;
+        return record;
+    }
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    std::size_t capacity_;
+    std::deque<Record> records;
+    Stats stats_;
+};
+
+} // namespace sw
+
+#endif // SW_VM_FAULT_BUFFER_HH

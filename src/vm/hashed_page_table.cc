@@ -1,0 +1,147 @@
+#include "vm/hashed_page_table.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace sw {
+
+HashedPageTable::HashedPageTable(const PageGeometry &geom,
+                                 FrameAllocator &alloc, std::uint64_t nslots)
+    : geometry(geom), allocator(alloc), numSlots(nslots)
+{
+    SW_ASSERT(std::has_single_bit(numSlots),
+              "hash table slots must be a power of two");
+    tableBase = allocator.allocTable(numSlots * kSlotBytes);
+    slots.resize(numSlots);
+}
+
+std::uint64_t
+HashedPageTable::hashVpn(Vpn vpn) const
+{
+    // Fibonacci hashing: cheap and well distributed for sequential VPNs.
+    return (vpn * 0x9e3779b97f4a7c15ULL) >> (64 - std::countr_zero(numSlots));
+}
+
+Pfn
+HashedPageTable::ensureMapped(Vpn vpn)
+{
+    std::uint64_t idx = hashVpn(vpn);
+    for (std::uint64_t probe = 0; probe < numSlots; ++probe) {
+        Slot &slot = slots[(idx + probe) & (numSlots - 1)];
+        if (slot.used && slot.vpn == vpn)
+            return slot.pfn;
+        if (!slot.used) {
+            slot.used = true;
+            slot.vpn = vpn;
+            slot.pfn = allocator.allocDataFrame();
+            ++usedSlots;
+            if (probe > 0)
+                ++collisionCount;
+            return slot.pfn;
+        }
+    }
+    fatal("hashed page table full (%llu slots)",
+          static_cast<unsigned long long>(numSlots));
+}
+
+bool
+HashedPageTable::isMapped(Vpn vpn) const
+{
+    std::uint64_t idx = hashVpn(vpn);
+    for (std::uint64_t probe = 0; probe < numSlots; ++probe) {
+        const Slot &slot = slots[(idx + probe) & (numSlots - 1)];
+        if (!slot.used)
+            return false;
+        if (slot.vpn == vpn)
+            return true;
+    }
+    return false;
+}
+
+Pfn
+HashedPageTable::translate(Vpn vpn) const
+{
+    std::uint64_t idx = hashVpn(vpn);
+    for (std::uint64_t probe = 0; probe < numSlots; ++probe) {
+        const Slot &slot = slots[(idx + probe) & (numSlots - 1)];
+        SW_ASSERT(slot.used, "translate() on unmapped VPN");
+        if (slot.vpn == vpn)
+            return slot.pfn;
+    }
+    panic("translate() fell off the hash table");
+}
+
+WalkCursor
+HashedPageTable::startWalk(Vpn vpn) const
+{
+    WalkCursor cur;
+    cur.vpn = vpn;
+    cur.level = 1;
+    cur.tableBase = 0;   // probe counter lives in tableBase
+    return cur;
+}
+
+WalkCursor
+HashedPageTable::resumeWalk(Vpn vpn, int, PhysAddr) const
+{
+    return startWalk(vpn);
+}
+
+std::uint64_t
+HashedPageTable::probeOf(const WalkCursor &cur) const
+{
+    return cur.tableBase;   // linear-probe distance so far
+}
+
+PhysAddr
+HashedPageTable::pteAddr(const WalkCursor &cur) const
+{
+    SW_ASSERT(!cur.done, "pteAddr on a finished walk");
+    std::uint64_t idx = (hashVpn(cur.vpn) + probeOf(cur)) & (numSlots - 1);
+    return tableBase + idx * kSlotBytes;
+}
+
+void
+HashedPageTable::advance(WalkCursor &cur) const
+{
+    SW_ASSERT(!cur.done, "advance on a finished walk");
+    std::uint64_t idx = (hashVpn(cur.vpn) + probeOf(cur)) & (numSlots - 1);
+    const Slot &slot = slots[idx];
+    if (!slot.used) {
+        cur.done = true;
+        cur.fault = true;
+        return;
+    }
+    if (slot.vpn == cur.vpn) {
+        cur.done = true;
+        cur.pfn = slot.pfn;
+        return;
+    }
+    // Collision: continue the probe chain with another memory read.
+    ++cur.tableBase;
+    if (cur.tableBase >= numSlots) {
+        cur.done = true;
+        cur.fault = true;
+    }
+}
+
+int
+HashedPageTable::walkReads(Vpn vpn) const
+{
+    std::uint64_t idx = hashVpn(vpn);
+    for (std::uint64_t probe = 0; probe < numSlots; ++probe) {
+        const Slot &slot = slots[(idx + probe) & (numSlots - 1)];
+        if (!slot.used || slot.vpn == vpn)
+            return int(probe) + 1;
+    }
+    return int(numSlots);
+}
+
+double
+HashedPageTable::loadFactor() const
+{
+    return double(usedSlots) / double(numSlots);
+}
+
+} // namespace sw

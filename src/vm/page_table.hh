@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Simulated page tables: the walker protocol shared by the radix and hashed
+ * organisations, plus the four-level radix implementation and the physical
+ * frame allocator behind both.
+ *
+ * Tables are materialised at concrete simulated physical addresses so that
+ * walkers (hardware PTWs and PW Warps alike) generate real memory traffic
+ * through the L2 cache and DRAM — the paper measures page-table access
+ * latency dynamically through the memory model, and so do we.
+ */
+
+#ifndef SW_VM_PAGE_TABLE_HH
+#define SW_VM_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+#include "vm/address.hh"
+
+namespace sw {
+
+/** Size of one page-table entry in simulated memory. */
+inline constexpr std::uint64_t kPteBytes = 8;
+
+/**
+ * Bump allocator for simulated physical memory.
+ *
+ * Hands out data frames and page-table node storage from disjoint regions;
+ * no freeing (kernels in this simulator run to completion).
+ */
+class FrameAllocator
+{
+  public:
+    explicit FrameAllocator(std::uint64_t page_bytes);
+
+    /** Allocate one data page; returns its PFN. */
+    Pfn allocDataFrame();
+
+    /** Allocate @p bytes of page-table storage; returns its base address. */
+    PhysAddr allocTable(std::uint64_t bytes);
+
+    std::uint64_t dataFramesAllocated() const { return dataFrames; }
+    std::uint64_t tableBytesAllocated() const { return tableBytes; }
+
+  private:
+    std::uint64_t pageBytes;
+    std::uint64_t dataFrames = 0;
+    PhysAddr dataCursor;
+    PhysAddr tableCursor;
+    std::uint64_t tableBytes = 0;
+};
+
+/**
+ * Walker-visible cursor over an in-progress page walk.
+ *
+ * A walk is a sequence of (read PTE at pteAddr, advance) steps; the page
+ * table implementation interprets the cursor.  level counts down to 1 (the
+ * leaf); done/fault/pfn are the terminal outputs.
+ */
+struct WalkCursor
+{
+    Vpn vpn = 0;
+    int level = 0;          ///< level whose entry is read next (top..1)
+    PhysAddr tableBase = 0; ///< base address of the current-level table
+    bool done = false;
+    bool fault = false;
+    Pfn pfn = 0;
+};
+
+/** Common interface for the radix and hashed page tables. */
+class PageTableBase
+{
+  public:
+    virtual ~PageTableBase() = default;
+
+    // ---- OS side -------------------------------------------------------
+    /** Map @p vpn (idempotent), allocating frames/tables on demand. */
+    virtual Pfn ensureMapped(Vpn vpn) = 0;
+
+    /** True if a translation exists. */
+    virtual bool isMapped(Vpn vpn) const = 0;
+
+    /** Functional translation (tests / reference model). */
+    virtual Pfn translate(Vpn vpn) const = 0;
+
+    // ---- Walker protocol -------------------------------------------------
+    /** Begin a walk from the root. */
+    virtual WalkCursor startWalk(Vpn vpn) const = 0;
+
+    /** Resume from a page-walk-cache hit at @p level with @p base. */
+    virtual WalkCursor resumeWalk(Vpn vpn, int level,
+                                  PhysAddr base) const = 0;
+
+    /** Physical address of the PTE the cursor reads next. */
+    virtual PhysAddr pteAddr(const WalkCursor &cur) const = 0;
+
+    /** Consume the PTE read: descend a level or terminate the cursor. */
+    virtual void advance(WalkCursor &cur) const = 0;
+
+    /** Topmost level number (== number of levels). */
+    virtual int topLevel() const = 0;
+
+    /** Whether walks through this table can use the page walk cache. */
+    virtual bool usesPwc() const { return topLevel() > 1; }
+
+    /**
+     * Key prefix identifying the level-@p level table that @p vpn walks
+     * through (used as the PWC tag).  Only meaningful when usesPwc().
+     */
+    virtual std::uint64_t pwcPrefix(int level, Vpn vpn) const = 0;
+
+    /** Total simulated memory reads a full (uncached) walk performs. */
+    virtual int walkReads(Vpn vpn) const = 0;
+};
+
+/**
+ * Multi-level radix page table (four levels for 64 KB pages, three for
+ * 2 MB pages — §2.1, Table 3).
+ */
+class RadixPageTable : public PageTableBase
+{
+  public:
+    /**
+     * @param geom page geometry (determines VPN width and level split)
+     * @param alloc frame allocator owning simulated physical memory
+     */
+    RadixPageTable(const PageGeometry &geom, FrameAllocator &alloc);
+
+    Pfn ensureMapped(Vpn vpn) override;
+    bool isMapped(Vpn vpn) const override;
+    Pfn translate(Vpn vpn) const override;
+
+    WalkCursor startWalk(Vpn vpn) const override;
+    WalkCursor resumeWalk(Vpn vpn, int level, PhysAddr base) const override;
+    PhysAddr pteAddr(const WalkCursor &cur) const override;
+    void advance(WalkCursor &cur) const override;
+    int topLevel() const override { return int(levelBits.size()) - 1; }
+    std::uint64_t pwcPrefix(int level, Vpn vpn) const override;
+    int walkReads(Vpn) const override { return topLevel(); }
+
+    /** Radix index of @p vpn at @p level. */
+    std::uint64_t levelIndex(int level, Vpn vpn) const;
+
+    /** VPN bits consumed by levels strictly below @p level. */
+    unsigned bitsBelow(int level) const;
+
+    std::uint64_t nodesAllocated() const { return nodes.size(); }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        bool leaf = false;
+        std::uint64_t next = 0;   ///< next table base, or PFN when leaf
+    };
+
+    struct Node
+    {
+        PhysAddr base = 0;
+        std::vector<Entry> entries;
+    };
+
+    Node &nodeAt(PhysAddr base);
+    const Node *findNode(PhysAddr base) const;
+    PhysAddr allocNode(int level);
+
+    PageGeometry geometry;
+    FrameAllocator &allocator;
+    std::vector<unsigned> levelBits;  ///< index 0 unused; [1..top]
+    PhysAddr root;
+    std::unordered_map<PhysAddr, std::unique_ptr<Node>> nodes;
+};
+
+} // namespace sw
+
+#endif // SW_VM_PAGE_TABLE_HH

@@ -1,0 +1,85 @@
+#include "vm/page_walk_cache.hh"
+
+#include "sim/logging.hh"
+#include "vm/page_table.hh"
+
+namespace sw {
+
+PageWalkCache::PageWalkCache(std::uint32_t num_entries)
+{
+    SW_ASSERT(num_entries > 0, "PWC needs at least one entry");
+    entries.resize(num_entries);
+}
+
+bool
+PageWalkCache::lookup(const PageTableBase &pt, Vpn vpn, int &level,
+                      PhysAddr &base)
+{
+    ++stats_.lookups;
+    if (!pt.usesPwc())
+        return false;
+
+    // Search for the deepest (lowest-numbered) cached level.
+    Entry *best = nullptr;
+    for (int lvl = 1; lvl < pt.topLevel(); ++lvl) {
+        std::uint64_t prefix = pt.pwcPrefix(lvl, vpn);
+        for (auto &entry : entries) {
+            if (entry.valid && entry.level == lvl &&
+                entry.prefix == prefix) {
+                best = &entry;
+                break;
+            }
+        }
+        if (best)
+            break;
+    }
+    if (!best)
+        return false;
+
+    ++stats_.hits;
+    best->lruTick = ++lruCounter;
+    level = best->level;
+    base = best->base;
+    return true;
+}
+
+void
+PageWalkCache::fill(const PageTableBase &pt, int level, Vpn vpn,
+                    PhysAddr base)
+{
+    if (!pt.usesPwc() || level >= pt.topLevel() || level < 1)
+        return;
+    ++stats_.fills;
+    std::uint64_t prefix = pt.pwcPrefix(level, vpn);
+
+    Entry *victim = nullptr;
+    for (auto &entry : entries) {
+        if (entry.valid && entry.level == level && entry.prefix == prefix) {
+            entry.base = base;
+            entry.lruTick = ++lruCounter;
+            return;
+        }
+        if (!entry.valid) {
+            if (!victim || victim->valid)
+                victim = &entry;
+        } else if (!victim ||
+                   (victim->valid && entry.lruTick < victim->lruTick)) {
+            victim = &entry;
+        }
+    }
+    SW_ASSERT(victim != nullptr, "PWC victim selection failed");
+    victim->valid = true;
+    victim->level = level;
+    victim->prefix = prefix;
+    victim->base = base;
+    victim->lruTick = ++lruCounter;
+}
+
+void
+PageWalkCache::flush()
+{
+    for (auto &entry : entries)
+        entry.valid = false;
+}
+
+} // namespace sw

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Page Walk Cache: fully associative cache of page-directory entries that
+ * lets walkers skip upper page-table levels (§2.1 item 7).
+ *
+ * Keyed by (level, VPN prefix) -> table base.  Both hardware PTWs and PW
+ * Warps fill it (the FPWC instruction), and the Request Distributor consults
+ * it before dispatching a software walk so PW Warps start at the deepest
+ * cached level (§4.6).
+ */
+
+#ifndef SW_VM_PAGE_WALK_CACHE_HH
+#define SW_VM_PAGE_WALK_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace sw {
+
+class PageTableBase;
+
+/** Fully associative LRU cache of (level, prefix) -> table base. */
+class PageWalkCache
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t lookups = 0;
+        std::uint64_t hits = 0;     ///< any level hit
+        std::uint64_t fills = 0;
+
+        double
+        hitRate() const
+        {
+            return lookups ? double(hits) / double(lookups) : 0.0;
+        }
+    };
+
+    explicit PageWalkCache(std::uint32_t num_entries = 32);
+
+    /**
+     * Find the deepest cached level for @p vpn.
+     * @param pt page table supplying prefix extraction
+     * @param[out] level deepest level whose table base is cached
+     * @param[out] base that table's base address
+     * @retval false on a complete miss (walk starts from the root).
+     */
+    bool lookup(const PageTableBase &pt, Vpn vpn, int &level,
+                PhysAddr &base);
+
+    /** Cache the base of the level-@p level table covering @p vpn (FPWC). */
+    void fill(const PageTableBase &pt, int level, Vpn vpn, PhysAddr base);
+
+    void flush();
+
+    /** Zero the statistics (post-warmup measurement reset). */
+    void resetStats() { stats_ = Stats{}; }
+
+    const Stats &stats() const { return stats_; }
+    std::uint32_t size() const { return std::uint32_t(entries.size()); }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        int level = 0;
+        std::uint64_t prefix = 0;
+        PhysAddr base = 0;
+        std::uint64_t lruTick = 0;
+    };
+
+    std::vector<Entry> entries;
+    std::uint64_t lruCounter = 0;
+    Stats stats_;
+};
+
+} // namespace sw
+
+#endif // SW_VM_PAGE_WALK_CACHE_HH

@@ -1,0 +1,196 @@
+#include "vm/ptw.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace sw {
+
+HardwarePtwPool::HardwarePtwPool(EventQueue &eq, Params params,
+                                 const PageTableBase &pt, PageWalkCache &cache,
+                                 PtAccessFn pt_access,
+                                 WalkCompleteFn on_complete)
+    : eventq(eq), params_(params), pageTable(pt), pwc(cache),
+      ptAccess(std::move(pt_access)), onComplete(std::move(on_complete))
+{
+    SW_ASSERT(params_.numWalkers > 0, "need at least one walker");
+    SW_ASSERT(params_.pwbPorts > 0, "need at least one PWB port");
+    active.resize(params_.numWalkers);
+    idleSlots.reserve(params_.numWalkers);
+    for (std::uint32_t i = 0; i < params_.numWalkers; ++i)
+        idleSlots.push_back(params_.numWalkers - 1 - i);
+    portFree.assign(params_.pwbPorts, 0);
+}
+
+Cycle
+HardwarePtwPool::reservePort()
+{
+    // Pick the earliest-free port; each PWB CAM operation occupies it for
+    // one cycle.  With few ports and many walkers this becomes the
+    // dispatch-rate bottleneck Fig 15 sweeps.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < portFree.size(); ++i) {
+        if (portFree[i] < portFree[best])
+            best = i;
+    }
+    Cycle start = std::max(eventq.now(), portFree[best]);
+    portFree[best] = start + 1;
+    return start + 1;
+}
+
+std::uint64_t
+HardwarePtwPool::nhaKey(const WalkRequest &req) const
+{
+    std::uint64_t ptes_per_sector = params_.nhaSectorBytes / kPteBytes;
+    return req.vpn / std::max<std::uint64_t>(1, ptes_per_sector);
+}
+
+void
+HardwarePtwPool::submit(WalkRequest req)
+{
+    ++stats_.submitted;
+    ++inFlightCount;
+    stats_.peakInFlight = std::max(stats_.peakInFlight, inFlightCount);
+
+    Cycle enq_done = reservePort();
+    eventq.schedule(enq_done, [this, req = std::move(req)]() mutable {
+        if (pwb.size() < params_.pwbEntries) {
+            pwb.push_back(std::move(req));
+        } else {
+            ++stats_.pwbOverflows;
+            overflow.push_back(std::move(req));
+        }
+        dispatch();
+    });
+}
+
+void
+HardwarePtwPool::dispatch()
+{
+    while (!idleSlots.empty() && !(pwb.empty() && overflow.empty())) {
+        std::uint32_t slot = idleSlots.back();
+        idleSlots.pop_back();
+        ++activeWalkers;
+
+        WalkRequest req;
+        if (!pwb.empty()) {
+            req = std::move(pwb.front());
+            pwb.pop_front();
+        } else {
+            req = std::move(overflow.front());
+            overflow.pop_front();
+        }
+        // Backfill the PWB from the overflow spill.
+        while (!overflow.empty() && pwb.size() < params_.pwbEntries) {
+            pwb.push_back(std::move(overflow.front()));
+            overflow.pop_front();
+        }
+
+        ActiveWalk &walk = active[slot];
+        walk.primary = std::move(req);
+        walk.coalesced.clear();
+        walk.live = true;
+
+        // NHA: absorb queued walks whose leaf PTEs share this walk's
+        // sector of the page table (Shin et al., MICRO'18).
+        if (params_.nhaCoalescing && pageTable.usesPwc()) {
+            std::uint64_t key = nhaKey(walk.primary);
+            std::uint64_t limit = params_.nhaSectorBytes / kPteBytes;
+            auto absorb = [&](std::deque<WalkRequest> &queue) {
+                for (auto it = queue.begin();
+                     it != queue.end() &&
+                     walk.coalesced.size() + 1 < limit;) {
+                    if (nhaKey(*it) == key && it->vpn != walk.primary.vpn) {
+                        walk.coalesced.push_back(std::move(*it));
+                        ++stats_.nhaMerged;
+                        it = queue.erase(it);
+                    } else {
+                        ++it;
+                    }
+                }
+            };
+            absorb(pwb);
+            absorb(overflow);
+        }
+
+        Cycle deq_done = reservePort();
+        eventq.schedule(deq_done, [this, slot]() {
+            ActiveWalk &w = active[slot];
+            w.started = eventq.now();
+            w.cursor = w.primary.cursor;
+            stats_.queueDelay.add(w.started - w.primary.created);
+            for (const auto &rider : w.coalesced)
+                stats_.queueDelay.add(w.started - rider.created);
+            walkStep(slot);
+        });
+    }
+}
+
+void
+HardwarePtwPool::walkStep(std::uint64_t slot)
+{
+    ActiveWalk &walk = active[slot];
+    SW_ASSERT(walk.live, "walk step on an idle walker");
+    if (walk.cursor.done) {
+        finishWalk(walk);
+        return;
+    }
+
+    PhysAddr addr = pageTable.pteAddr(walk.cursor);
+    ++stats_.memReads;
+    ptAccess(addr, [this, slot]() {
+        ActiveWalk &w = active[slot];
+        int level_read = w.cursor.level;
+        pageTable.advance(w.cursor);
+        if (!w.cursor.done && level_read > 1) {
+            // The read returned the base of the next-lower table: cache it
+            // so later walks can skip the levels above it.
+            pwc.fill(pageTable, w.cursor.level, w.cursor.vpn,
+                     w.cursor.tableBase);
+        }
+        if (w.cursor.done) {
+            finishWalk(w);
+        } else {
+            walkStep(slot);
+        }
+    });
+}
+
+void
+HardwarePtwPool::finishWalk(ActiveWalk &walk)
+{
+    Cycle now = eventq.now();
+    Cycle access = now - walk.started;
+
+    auto complete_one = [&](const WalkRequest &req, Pfn pfn, bool fault) {
+        WalkResult result;
+        result.id = req.id;
+        result.vpn = req.vpn;
+        result.pfn = pfn;
+        result.fault = fault;
+        result.queueDelay = walk.started - req.created;
+        result.accessLatency = access;
+        ++stats_.completed;
+        stats_.accessLatency.add(access);
+        SW_ASSERT(inFlightCount > 0, "in-flight underflow");
+        --inFlightCount;
+        onComplete(result);
+    };
+
+    complete_one(walk.primary, walk.cursor.pfn, walk.cursor.fault);
+    for (const auto &rider : walk.coalesced) {
+        bool mapped = pageTable.isMapped(rider.vpn);
+        complete_one(rider, mapped ? pageTable.translate(rider.vpn) : 0,
+                     !mapped);
+    }
+
+    walk.live = false;
+    walk.coalesced.clear();
+    std::uint32_t slot = std::uint32_t(&walk - active.data());
+    idleSlots.push_back(slot);
+    SW_ASSERT(activeWalkers > 0, "active walker underflow");
+    --activeWalkers;
+    dispatch();
+}
+
+} // namespace sw

@@ -1,0 +1,182 @@
+#include "vm/tlb.hh"
+
+#include "sim/logging.hh"
+
+namespace sw {
+
+TlbArray::TlbArray(std::string name, std::uint32_t num_entries,
+                   std::uint32_t num_ways)
+    : name_(std::move(name)), ways(num_ways)
+{
+    SW_ASSERT(num_entries > 0 && num_ways > 0,
+              "TLB must have entries and ways");
+    SW_ASSERT(num_entries % num_ways == 0,
+              "TLB entries (%u) not divisible by ways (%u)",
+              num_entries, num_ways);
+    sets = num_entries / num_ways;
+    entries.resize(num_entries);
+}
+
+TlbArray::Entry *
+TlbArray::findValid(Vpn vpn)
+{
+    std::uint64_t set = setOf(vpn);
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        Entry &entry = entries[set * ways + w];
+        if (entry.state == EntryState::Valid && entry.vpn == vpn)
+            return &entry;
+    }
+    return nullptr;
+}
+
+const TlbArray::Entry *
+TlbArray::findValidConst(Vpn vpn) const
+{
+    std::uint64_t set = setOf(vpn);
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        const Entry &entry = entries[set * ways + w];
+        if (entry.state == EntryState::Valid && entry.vpn == vpn)
+            return &entry;
+    }
+    return nullptr;
+}
+
+bool
+TlbArray::lookup(Vpn vpn, Pfn &pfn)
+{
+    ++stats_.lookups;
+    if (Entry *entry = findValid(vpn)) {
+        ++stats_.hits;
+        entry->lruTick = ++lruCounter;
+        pfn = entry->pfn;
+        return true;
+    }
+    return false;
+}
+
+bool
+TlbArray::probe(Vpn vpn) const
+{
+    return findValidConst(vpn) != nullptr;
+}
+
+bool
+TlbArray::fill(Vpn vpn, Pfn pfn)
+{
+    ++stats_.fills;
+    std::uint64_t set = setOf(vpn);
+
+    // Refresh an existing valid entry in place.
+    if (Entry *entry = findValid(vpn)) {
+        entry->pfn = pfn;
+        entry->lruTick = ++lruCounter;
+        return true;
+    }
+
+    Entry *victim = nullptr;
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        Entry &entry = entries[set * ways + w];
+        if (entry.state == EntryState::Pending)
+            continue;
+        if (entry.state == EntryState::Invalid) {
+            victim = &entry;
+            break;
+        }
+        if (!victim || entry.lruTick < victim->lruTick)
+            victim = &entry;
+    }
+    if (!victim) {
+        ++stats_.fillsSkipped;
+        return false;
+    }
+    if (victim->state == EntryState::Valid)
+        ++stats_.evictions;
+    victim->state = EntryState::Valid;
+    victim->vpn = vpn;
+    victim->pfn = pfn;
+    victim->lruTick = ++lruCounter;
+    return true;
+}
+
+bool
+TlbArray::allocPending(Vpn vpn)
+{
+    std::uint64_t set = setOf(vpn);
+
+    // Same-tag pending reservation: merge onto the existing slot (§4.5
+    // "we allow the In-TLB MSHR to reserve the same tag in a set index").
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        Entry &entry = entries[set * ways + w];
+        if (entry.state == EntryState::Pending && entry.vpn == vpn)
+            return true;
+    }
+
+    Entry *victim = nullptr;
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        Entry &entry = entries[set * ways + w];
+        if (entry.state == EntryState::Pending)
+            continue;
+        if (entry.state == EntryState::Invalid) {
+            victim = &entry;
+            break;
+        }
+        if (!victim || entry.lruTick < victim->lruTick)
+            victim = &entry;
+    }
+    if (!victim) {
+        ++stats_.pendingAllocFailures;
+        return false;
+    }
+    if (victim->state == EntryState::Valid)
+        ++stats_.pendingEvictedValid;
+    victim->state = EntryState::Pending;
+    victim->vpn = vpn;
+    victim->pfn = 0;
+    victim->lruTick = ++lruCounter;
+    ++numPending;
+    ++stats_.pendingAllocs;
+    return true;
+}
+
+bool
+TlbArray::hasPending(Vpn vpn) const
+{
+    std::uint64_t set = setOf(vpn);
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        const Entry &entry = entries[set * ways + w];
+        if (entry.state == EntryState::Pending && entry.vpn == vpn)
+            return true;
+    }
+    return false;
+}
+
+void
+TlbArray::clearPending(Vpn vpn)
+{
+    std::uint64_t set = setOf(vpn);
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        Entry &entry = entries[set * ways + w];
+        if (entry.state == EntryState::Pending && entry.vpn == vpn) {
+            entry.state = EntryState::Invalid;
+            SW_ASSERT(numPending > 0, "pending underflow");
+            --numPending;
+        }
+    }
+}
+
+void
+TlbArray::invalidate(Vpn vpn)
+{
+    if (Entry *entry = findValid(vpn))
+        entry->state = EntryState::Invalid;
+}
+
+void
+TlbArray::flush()
+{
+    for (auto &entry : entries)
+        entry = Entry{};
+    numPending = 0;
+}
+
+} // namespace sw

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Set-associative TLB tag/data array with In-TLB MSHR support.
+ *
+ * Each entry is in one of three states (valid translation, invalid, or
+ * *pending* — repurposed as an In-TLB MSHR slot holding metadata for an
+ * outstanding miss, §4.5).  The same array class backs the fully
+ * associative per-SM L1 TLBs (ways == entries) and the shared 16-way
+ * L2 TLB.
+ */
+
+#ifndef SW_VM_TLB_HH
+#define SW_VM_TLB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace sw {
+
+/** TLB tag store with LRU replacement and tri-state entries. */
+class TlbArray
+{
+  public:
+    enum class EntryState : std::uint8_t { Invalid, Valid, Pending };
+
+    struct Stats
+    {
+        std::uint64_t lookups = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t fills = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t fillsSkipped = 0;      ///< all ways pending: no fill
+        std::uint64_t pendingAllocs = 0;     ///< In-TLB MSHR allocations
+        std::uint64_t pendingAllocFailures = 0; ///< set fully pending
+        std::uint64_t pendingEvictedValid = 0;  ///< valid entry sacrificed
+
+        double
+        hitRate() const
+        {
+            return lookups ? double(hits) / double(lookups) : 0.0;
+        }
+    };
+
+    TlbArray(std::string name, std::uint32_t entries, std::uint32_t ways);
+
+    /** Look up a translation; updates LRU on hit. */
+    bool lookup(Vpn vpn, Pfn &pfn);
+
+    /** Tag-only probe without LRU side effects. */
+    bool probe(Vpn vpn) const;
+
+    /**
+     * Install a valid translation (TLB fill / FL2T).
+     * Victim preference: invalid way, else LRU valid way; pending ways are
+     * never displaced.
+     * @retval false if every way of the set is pending (fill skipped).
+     */
+    bool fill(Vpn vpn, Pfn pfn);
+
+    /**
+     * Convert a victim entry of vpn's set into an In-TLB MSHR slot.
+     * @retval false if every way of the set is already pending.
+     */
+    bool allocPending(Vpn vpn);
+
+    /** True if @p vpn currently occupies a pending (In-TLB MSHR) way. */
+    bool hasPending(Vpn vpn) const;
+
+    /** Clear every pending way whose tag matches @p vpn (walk completion). */
+    void clearPending(Vpn vpn);
+
+    /** Invalidate a specific translation (TLB shootdown). */
+    void invalidate(Vpn vpn);
+
+    /** Drop everything. */
+    void flush();
+
+    std::uint32_t pendingCount() const { return numPending; }
+    std::uint32_t numEntries() const { return std::uint32_t(entries.size()); }
+    std::uint32_t numWays() const { return ways; }
+    std::uint32_t numSets() const { return sets; }
+    std::uint64_t setOf(Vpn vpn) const { return vpn % sets; }
+
+    /** Zero the statistics (post-warmup measurement reset). */
+    void resetStats() { stats_ = Stats{}; }
+
+    const Stats &stats() const { return stats_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Entry
+    {
+        EntryState state = EntryState::Invalid;
+        Vpn vpn = 0;
+        Pfn pfn = 0;
+        std::uint64_t lruTick = 0;
+    };
+
+    Entry *findValid(Vpn vpn);
+    const Entry *findValidConst(Vpn vpn) const;
+
+    std::string name_;
+    std::uint32_t ways;
+    std::uint32_t sets;
+    std::vector<Entry> entries;
+    std::uint64_t lruCounter = 0;
+    std::uint32_t numPending = 0;
+    Stats stats_;
+};
+
+} // namespace sw
+
+#endif // SW_VM_TLB_HH

@@ -1,0 +1,313 @@
+#include "vm/translation.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace sw {
+
+TranslationEngine::TranslationEngine(EventQueue &eq, const GpuConfig &config,
+                                     MemorySystem &memory, PageTableBase &pt)
+    : eventq(eq), cfg(config), mem(memory), pageTable_(pt),
+      l2Array("l2tlb", config.l2TlbEntries, config.l2TlbWays),
+      pwcCache(config.pwcEntries)
+{
+    idealMshrs = (cfg.mode == TranslationMode::Ideal);
+    l1Arrays.reserve(cfg.numSms);
+    l1Mshrs.resize(cfg.numSms);
+    l1WaitQueues.resize(cfg.numSms);
+    for (SmId sm = 0; sm < cfg.numSms; ++sm) {
+        // Per-SM L1 TLBs are fully associative (ways == entries).
+        l1Arrays.emplace_back(strprintf("l1tlb[%u]", sm), cfg.l1TlbEntries,
+                              cfg.l1TlbEntries);
+    }
+}
+
+void
+TranslationEngine::setBackend(std::unique_ptr<WalkBackend> backend)
+{
+    walkBackend = std::move(backend);
+}
+
+void
+TranslationEngine::translate(SmId sm, Vpn vpn, TransDoneFn done)
+{
+    SW_ASSERT(sm < cfg.numSms, "translate from unknown SM %u", sm);
+    ++stats_.requests;
+    Cycle start = eventq.now();
+    eventq.scheduleIn(cfg.l1TlbLatency,
+                      [this, sm, vpn, done = std::move(done), start]() mutable {
+                          l1Lookup(sm, vpn, std::move(done), start);
+                      });
+}
+
+void
+TranslationEngine::l1Lookup(SmId sm, Vpn vpn, TransDoneFn done, Cycle start)
+{
+    Pfn pfn = 0;
+    if (l1Arrays[sm].lookup(vpn, pfn)) {
+        ++stats_.l1Hits;
+        stats_.translationLatency.add(eventq.now() - start);
+        done(pfn);
+        return;
+    }
+    ++stats_.l1Misses;
+
+    auto &mshrs = l1Mshrs[sm];
+    auto it = mshrs.find(vpn);
+    if (it != mshrs.end()) {
+        if (idealMshrs ||
+            it->second.size() <
+                static_cast<std::size_t>(cfg.l1TlbMergesPerMshr)) {
+            ++stats_.l1MshrMerges;
+            it->second.push_back({std::move(done), start});
+            return;
+        }
+        // Merge capacity exhausted: park until this SM resolves something.
+        ++stats_.l1MshrFailures;
+        l1WaitQueues[sm].push_back({vpn, std::move(done), start});
+        return;
+    }
+
+    if (!idealMshrs && mshrs.size() >=
+        static_cast<std::size_t>(cfg.l1TlbMshrs)) {
+        ++stats_.l1MshrFailures;
+        l1WaitQueues[sm].push_back({vpn, std::move(done), start});
+        return;
+    }
+
+    mshrs[vpn].push_back({std::move(done), start});
+    sendToL2(sm, vpn);
+}
+
+void
+TranslationEngine::drainL1WaitQueue(SmId sm)
+{
+    auto &queue = l1WaitQueues[sm];
+    while (!queue.empty()) {
+        std::size_t before = queue.size();
+        L1WaitEntry entry = std::move(queue.front());
+        queue.pop_front();
+        l1Lookup(sm, entry.vpn, std::move(entry.done), entry.start);
+        if (queue.size() >= before) {
+            // No progress: the retried request was parked again.
+            break;
+        }
+    }
+}
+
+void
+TranslationEngine::sendToL2(SmId sm, Vpn vpn)
+{
+    eventq.scheduleIn(cfg.l2TlbLatency,
+                      [this, sm, vpn]() { l2Access(sm, vpn); });
+}
+
+void
+TranslationEngine::l2Access(SmId sm, Vpn vpn)
+{
+    ++stats_.l2Accesses;
+    Pfn pfn = 0;
+    if (l2Array.lookup(vpn, pfn)) {
+        ++stats_.l2Hits;
+        resolveL1(sm, vpn, pfn);
+        return;
+    }
+    ++stats_.l2Misses;
+
+    if (!tryHandleL2Miss(sm, vpn, eventq.now())) {
+        // "MSHR failure" (§4.5): the L2 TLB cannot reserve the request.
+        // The requester parks until a walk completion frees capacity.
+        ++stats_.l2MshrFailures;
+        l2WaitQueue.push_back({sm, vpn, eventq.now()});
+    }
+}
+
+bool
+TranslationEngine::tryHandleL2Miss(SmId sm, Vpn vpn, Cycle arrival)
+{
+    auto it = outstanding.find(vpn);
+    if (it != outstanding.end()) {
+        L2Track &track = it->second;
+        if (idealMshrs || track.merges < cfg.l2TlbMergesPerMshr) {
+            ++track.merges;
+            ++stats_.l2MshrMerges;
+            track.waiterSms.push_back(sm);
+            return true;
+        }
+        return false;
+    }
+
+    // Allocate miss-tracking state: a regular MSHR if one is free, else an
+    // In-TLB MSHR slot (§4.5).
+    bool in_tlb_slot = false;
+    if (idealMshrs || regularMshrInUse < cfg.l2TlbMshrs) {
+        ++regularMshrInUse;
+        stats_.regularMshrPeak =
+            std::max<std::uint64_t>(stats_.regularMshrPeak,
+                                    regularMshrInUse);
+    } else if (cfg.inTlbMshrMax > 0 &&
+               l2Array.pendingCount() < cfg.inTlbMshrMax &&
+               l2Array.allocPending(vpn)) {
+        in_tlb_slot = true;
+        ++stats_.inTlbMshrAllocs;
+        stats_.inTlbMshrPeak =
+            std::max<std::uint64_t>(stats_.inTlbMshrPeak,
+                                    l2Array.pendingCount());
+    } else {
+        return false;
+    }
+
+    L2Track track;
+    track.inTlbSlot = in_tlb_slot;
+    track.created = arrival;
+    track.waiterSms.push_back(sm);
+    outstanding.emplace(vpn, std::move(track));
+    createWalk(vpn, arrival);
+    return true;
+}
+
+void
+TranslationEngine::drainL2WaitQueue()
+{
+    while (!l2WaitQueue.empty()) {
+        L2WaitEntry entry = l2WaitQueue.front();
+        // The blocking walk may have filled this entry's translation.
+        Pfn pfn = 0;
+        if (l2Array.lookup(entry.vpn, pfn)) {
+            ++stats_.l2Accesses;
+            ++stats_.l2Hits;
+            l2WaitQueue.pop_front();
+            resolveL1(entry.sm, entry.vpn, pfn);
+            continue;
+        }
+        if (!tryHandleL2Miss(entry.sm, entry.vpn, entry.arrival))
+            break;
+        l2WaitQueue.pop_front();
+    }
+}
+
+void
+TranslationEngine::createWalk(Vpn vpn, Cycle created)
+{
+    ++stats_.walksCreated;
+    SW_ASSERT(walkBackend != nullptr, "no walk backend installed");
+    if (mapOnDemand)
+        pageTable_.ensureMapped(vpn);
+
+    eventq.scheduleIn(cfg.pwcLatency, [this, vpn, created]() {
+        int level = 0;
+        PhysAddr base = 0;
+        WalkRequest req;
+        req.id = nextWalkId++;
+        req.vpn = vpn;
+        req.created = created;
+        if (pwcCache.lookup(pageTable_, vpn, level, base)) {
+            req.cursor = pageTable_.resumeWalk(vpn, level, base);
+        } else {
+            req.cursor = pageTable_.startWalk(vpn);
+        }
+        walkBackend->submit(std::move(req));
+    });
+}
+
+void
+TranslationEngine::onWalkComplete(const WalkResult &result)
+{
+    if (result.fault) {
+        ++stats_.faults;
+        faults_.record(result.vpn, 0, eventq.now());
+        // UVM-style handling: the driver maps the page, then the walk is
+        // replayed from scratch (§5.5).
+        eventq.scheduleIn(kOsFaultLatency, [this, vpn = result.vpn]() {
+            pageTable_.ensureMapped(vpn);
+            auto it = outstanding.find(vpn);
+            SW_ASSERT(it != outstanding.end(),
+                      "fault replay without tracking state");
+            createWalk(vpn, eventq.now());
+            --stats_.walksCreated;   // replay, not a new demand walk
+        });
+        return;
+    }
+
+    auto it = outstanding.find(result.vpn);
+    SW_ASSERT(it != outstanding.end(), "walk completion without tracker");
+    L2Track track = std::move(it->second);
+    outstanding.erase(it);
+
+    if (track.inTlbSlot) {
+        l2Array.clearPending(result.vpn);
+    } else {
+        SW_ASSERT(regularMshrInUse > 0, "regular MSHR underflow");
+        --regularMshrInUse;
+    }
+    l2Array.fill(result.vpn, result.pfn);
+
+    ++stats_.walksCompleted;
+    stats_.walkQueueDelay.add(result.queueDelay);
+    stats_.walkAccessLatency.add(result.accessLatency);
+
+    for (SmId sm : track.waiterSms)
+        resolveL1(sm, result.vpn, result.pfn);
+
+    drainL2WaitQueue();
+}
+
+void
+TranslationEngine::resolveL1(SmId sm, Vpn vpn, Pfn pfn)
+{
+    l1Arrays[sm].fill(vpn, pfn);
+    auto &mshrs = l1Mshrs[sm];
+    auto it = mshrs.find(vpn);
+    SW_ASSERT(it != mshrs.end(), "L1 resolve without an MSHR");
+    std::vector<L1Waiter> waiters = std::move(it->second);
+    mshrs.erase(it);
+    Cycle now = eventq.now();
+    for (auto &waiter : waiters) {
+        stats_.translationLatency.add(now - waiter.start);
+        waiter.done(pfn);
+    }
+    drainL1WaitQueue(sm);
+}
+
+void
+TranslationEngine::shootdown(Vpn vpn)
+{
+    for (auto &l1 : l1Arrays)
+        l1.invalidate(vpn);
+    l2Array.invalidate(vpn);
+}
+
+void
+TranslationEngine::resetStats()
+{
+    stats_ = Stats{};
+    for (auto &l1 : l1Arrays)
+        l1.resetStats();
+    l2Array.resetStats();
+    pwcCache.resetStats();
+    if (walkBackend)
+        walkBackend->resetStats();
+}
+
+void
+TranslationEngine::ptAccess(PhysAddr addr, std::function<void()> done)
+{
+    if (cfg.fixedPtAccessLatency > 0) {
+        stats_.ptReadLatency.add(cfg.fixedPtAccessLatency);
+        eventq.scheduleIn(cfg.fixedPtAccessLatency, std::move(done));
+        return;
+    }
+    MemAccess acc;
+    acc.addr = addr;
+    acc.write = false;
+    acc.pte = true;
+    acc.onDone = [this, start = eventq.now(),
+                  done = std::move(done)]() {
+        stats_.ptReadLatency.add(eventq.now() - start);
+        done();
+    };
+    mem.access(std::move(acc));
+}
+
+} // namespace sw

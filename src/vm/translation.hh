@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Translation engine: the full GPU address-translation path of Fig 2.
+ *
+ * Per-SM L1 TLBs with MSHRs feed the shared L2 TLB; L2 misses allocate a
+ * regular MSHR — or, when those are exhausted and In-TLB MSHR is enabled,
+ * repurpose an L2 TLB entry (§4.5) — consult the page walk cache, and hand a
+ * WalkRequest to the configured backend (hardware PTW pool, SoftWalker, or
+ * hybrid).  Completions fill the TLBs, wake all merged waiters, and record
+ * the queueing-delay / access-latency split the paper's Figs 7 and 18 plot.
+ */
+
+#ifndef SW_VM_TRANSLATION_HH
+#define SW_VM_TRANSLATION_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/memory_system.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "vm/fault_buffer.hh"
+#include "vm/page_walk_cache.hh"
+#include "vm/tlb.hh"
+#include "vm/walk.hh"
+
+namespace sw {
+
+/** Delivered with the PFN when a translation resolves. */
+using TransDoneFn = std::function<void(Pfn)>;
+
+/** Orchestrates L1 TLB -> L2 TLB -> PWC -> walk backend. */
+class TranslationEngine
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t requests = 0;
+        std::uint64_t l1Hits = 0;
+        std::uint64_t l1Misses = 0;
+        std::uint64_t l1MshrMerges = 0;
+        std::uint64_t l1MshrFailures = 0;
+        std::uint64_t l2Accesses = 0;
+        std::uint64_t l2Hits = 0;
+        std::uint64_t l2Misses = 0;
+        std::uint64_t l2MshrMerges = 0;
+        /** Rejected reservation attempts at the L2 TLB ("MSHR failures"). */
+        std::uint64_t l2MshrFailures = 0;
+        std::uint64_t inTlbMshrAllocs = 0;
+        std::uint64_t walksCreated = 0;
+        std::uint64_t walksCompleted = 0;
+        std::uint64_t faults = 0;
+        std::uint64_t regularMshrPeak = 0;
+        std::uint64_t inTlbMshrPeak = 0;
+        LatencyStat walkQueueDelay;
+        LatencyStat walkAccessLatency;
+        LatencyStat translationLatency;   ///< translate() -> completion
+        LatencyStat ptReadLatency;        ///< per page-table memory read
+    };
+
+    TranslationEngine(EventQueue &eq, const GpuConfig &cfg,
+                      MemorySystem &mem, PageTableBase &pt);
+
+    TranslationEngine(const TranslationEngine &) = delete;
+    TranslationEngine &operator=(const TranslationEngine &) = delete;
+
+    /** Install the walk backend (must happen before the first miss). */
+    void setBackend(std::unique_ptr<WalkBackend> backend);
+    WalkBackend *backend() { return walkBackend.get(); }
+
+    /** Translate @p vpn for SM @p sm; @p done fires with the PFN. */
+    void translate(SmId sm, Vpn vpn, TransDoneFn done);
+
+    /**
+     * Page-table memory read used by all walk backends: routes to the
+     * PTE path of the memory hierarchy, or to the fixed latency of the
+     * Fig 23 sensitivity sweep.
+     */
+    void ptAccess(PhysAddr addr, std::function<void()> done);
+
+    /** Walk-completion entry point, bound into backends at construction. */
+    WalkCompleteFn
+    completionFn()
+    {
+        return [this](const WalkResult &result) { onWalkComplete(result); };
+    }
+
+    /**
+     * When false, walks on unmapped pages fault into the Fault Buffer and
+     * are replayed after the OS maps the page (UVM flow, §5.5).  Default
+     * true: the OS maps pages on first touch, so no walk faults.
+     */
+    void setMapOnDemand(bool on) { mapOnDemand = on; }
+
+    /**
+     * TLB shootdown: drop @p vpn from every L1 TLB and the L2 TLB (page
+     * migration / unmap).  In-flight walks are not cancelled — as in real
+     * GPUs, the driver orders shootdowns against outstanding translations.
+     */
+    void shootdown(Vpn vpn);
+
+    PageWalkCache &pwc() { return pwcCache; }
+    const PageWalkCache &pwc() const { return pwcCache; }
+    PageTableBase &pageTable() { return pageTable_; }
+    const TlbArray &l1Tlb(SmId sm) const { return l1Arrays.at(sm); }
+    const TlbArray &l2Tlb() const { return l2Array; }
+    const FaultBuffer &faultBuffer() const { return faults_; }
+    /** Zero all statistics (engine, TLBs, PWC) after warmup. */
+    void resetStats();
+
+    const Stats &stats() const { return stats_; }
+    const GpuConfig &config() const { return cfg; }
+    EventQueue &eventQueue() { return eventq; }
+
+    /** Outstanding L2 misses currently tracked (regular + In-TLB). */
+    std::size_t outstandingWalks() const { return outstanding.size(); }
+
+    /** L2 TLB misses per kilo "instruction" given an instruction count. */
+    double
+    l2Mpki(std::uint64_t instructions) const
+    {
+        return instructions
+            ? 1000.0 * double(stats_.l2Misses) / double(instructions)
+            : 0.0;
+    }
+
+  private:
+    /** Tracking record for one outstanding L2 TLB miss. */
+    struct L2Track
+    {
+        bool inTlbSlot = false;     ///< held in an In-TLB MSHR
+        std::uint32_t merges = 0;
+        Cycle created = 0;
+        std::vector<SmId> waiterSms;
+    };
+
+    void l1Lookup(SmId sm, Vpn vpn, TransDoneFn done, Cycle start);
+    void sendToL2(SmId sm, Vpn vpn);
+    void l2Access(SmId sm, Vpn vpn);
+    /**
+     * Merge into or allocate L2 miss tracking; false when saturated.
+     * @param arrival when the request first reached the L2 TLB — walk
+     *        queueing delay is measured from here (§3.2), so time spent
+     *        waiting for an MSHR counts as queueing.
+     */
+    bool tryHandleL2Miss(SmId sm, Vpn vpn, Cycle arrival);
+    void drainL2WaitQueue();
+    void drainL1WaitQueue(SmId sm);
+    void createWalk(Vpn vpn, Cycle created);
+    void onWalkComplete(const WalkResult &result);
+    void resolveL1(SmId sm, Vpn vpn, Pfn pfn);
+
+    EventQueue &eventq;
+    GpuConfig cfg;
+    MemorySystem &mem;
+    PageTableBase &pageTable_;
+
+    std::vector<TlbArray> l1Arrays;
+    /** Per-SM L1 MSHRs: vpn -> waiting completions (with start stamps). */
+    struct L1Waiter
+    {
+        TransDoneFn done;
+        Cycle start;
+    };
+    std::vector<std::unordered_map<Vpn, std::vector<L1Waiter>>> l1Mshrs;
+
+    /** Requests rejected by a full L1 MSHR file, woken on any L1 resolve. */
+    struct L1WaitEntry
+    {
+        Vpn vpn;
+        TransDoneFn done;
+        Cycle start;
+    };
+    std::vector<std::deque<L1WaitEntry>> l1WaitQueues;
+
+    /** L2 arrivals rejected for lack of miss-tracking capacity. */
+    struct L2WaitEntry
+    {
+        SmId sm;
+        Vpn vpn;
+        Cycle arrival;
+    };
+    std::deque<L2WaitEntry> l2WaitQueue;
+
+    TlbArray l2Array;
+    std::unordered_map<Vpn, L2Track> outstanding;
+    std::uint32_t regularMshrInUse = 0;
+    bool idealMshrs = false;
+
+    PageWalkCache pwcCache;
+    FaultBuffer faults_;
+    std::unique_ptr<WalkBackend> walkBackend;
+    std::uint64_t nextWalkId = 1;
+    bool mapOnDemand = true;
+
+    /** Driver-side page-fault service time (UVM replay, §5.5). */
+    static constexpr Cycle kOsFaultLatency = 2000;
+
+    Stats stats_;
+};
+
+} // namespace sw
+
+#endif // SW_VM_TRANSLATION_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Walk-backend abstraction: the contract between the L2 TLB miss path and
+ * whatever resolves walks — the hardware PTW pool, the SoftWalker, or the
+ * hybrid of both.
+ */
+
+#ifndef SW_VM_WALK_HH
+#define SW_VM_WALK_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/types.hh"
+#include "vm/page_table.hh"
+
+namespace sw {
+
+/** One outstanding page-table walk. */
+struct WalkRequest
+{
+    std::uint64_t id = 0;
+    Vpn vpn = 0;
+    WalkCursor cursor;      ///< start point (after the PWC consult)
+    Cycle created = 0;      ///< cycle the L2 TLB miss spawned the walk
+};
+
+/** Terminal outcome of a walk, with the paper's latency split (§3.2). */
+struct WalkResult
+{
+    std::uint64_t id = 0;
+    Vpn vpn = 0;
+    Pfn pfn = 0;
+    bool fault = false;
+    Cycle queueDelay = 0;    ///< created -> picked up by a walker
+    Cycle accessLatency = 0; ///< picked up -> completed
+};
+
+/** Invoked by a backend when a walk finishes. */
+using WalkCompleteFn = std::function<void(const WalkResult &)>;
+
+/**
+ * Issues one page-table memory read; the engine routes it to the PTE path
+ * of the memory hierarchy (or a fixed latency in sensitivity sweeps).
+ */
+using PtAccessFn = std::function<void(PhysAddr, std::function<void()>)>;
+
+/** Resolver of page-table walks behind the L2 TLB. */
+class WalkBackend
+{
+  public:
+    virtual ~WalkBackend() = default;
+
+    /** Accept a walk; completion arrives via the WalkCompleteFn. */
+    virtual void submit(WalkRequest req) = 0;
+
+    /** Number of walks accepted but not yet completed. */
+    virtual std::uint64_t inFlight() const = 0;
+
+    virtual std::string name() const = 0;
+
+    /** Zero the statistics (post-warmup measurement reset). */
+    virtual void resetStats() = 0;
+};
+
+} // namespace sw
+
+#endif // SW_VM_WALK_HH

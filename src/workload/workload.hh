@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Workload abstraction: the address-stream side of a GPU kernel.
+ *
+ * The simulator abstracts computation as issue gaps between global memory
+ * instructions; what it models faithfully is the *page-level access
+ * pattern* — footprint, lanes-per-warp divergence, and locality — which is
+ * what drives address-translation behaviour (§2.2).  Concrete generators
+ * mimicking the paper's Table 4 suite live in generators.hh/benchmarks.hh.
+ */
+
+#ifndef SW_WORKLOAD_WORKLOAD_HH
+#define SW_WORKLOAD_WORKLOAD_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace sw {
+
+/** One warp-level global memory instruction. */
+struct WarpInstr
+{
+    /** Compute cycles the warp spends before issuing this instruction. */
+    std::uint32_t computeGap = 0;
+    /** Number of active lanes (1..32). */
+    std::uint32_t activeLanes = 32;
+    /** Per-lane virtual byte addresses (only [0, activeLanes) are used). */
+    std::array<VirtAddr, 32> addrs{};
+    bool write = false;
+};
+
+/** Generator of per-warp address streams. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Produce the next memory instruction for warp (sm, warp). */
+    virtual WarpInstr next(SmId sm, WarpId warp, Rng &rng) = 0;
+
+    /** Total bytes the kernel touches (Table 4 "Footprint"). */
+    virtual std::uint64_t footprintBytes() const = 0;
+
+    virtual std::string name() const = 0;
+
+    /** Table 4 classification (required PTWs > 32). */
+    virtual bool irregular() const = 0;
+};
+
+} // namespace sw
+
+#endif // SW_WORKLOAD_WORKLOAD_HH

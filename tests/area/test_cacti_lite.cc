@@ -1,0 +1,77 @@
+/** @file Tests for the CACTI-lite area model. */
+
+#include <gtest/gtest.h>
+
+#include "area/cacti_lite.hh"
+
+using namespace sw;
+
+TEST(CactiLite, SramAreaScalesLinearlyWithBits)
+{
+    double one = sramAreaMm2(1024);
+    double two = sramAreaMm2(2048);
+    EXPECT_NEAR(two / one, 2.0, 1e-9);
+}
+
+TEST(CactiLite, CamCostsMoreThanSram)
+{
+    EXPECT_GT(camAreaMm2(128, 96), sramAreaMm2(128 * 96));
+}
+
+TEST(CactiLite, PortScalingIsSuperLinear)
+{
+    EXPECT_DOUBLE_EQ(portScale(1), 1.0);
+    double p2 = portScale(2);
+    double p4 = portScale(4);
+    double p8 = portScale(8);
+    EXPECT_GT(p2, 1.0);
+    EXPECT_GT(p4 / p2, p2 / 1.0 * 0.99)
+        << "area per port grows with port count";
+    EXPECT_GT(p8, 4.0);
+}
+
+TEST(CactiLite, PtwSubsystemAreaGrowsWithEverything)
+{
+    PtwSubsystemArea base = ptwSubsystemArea(32, 64, 1, 128);
+    PtwSubsystemArea more_walkers = ptwSubsystemArea(128, 64, 1, 128);
+    PtwSubsystemArea more_ports = ptwSubsystemArea(32, 64, 8, 128);
+    PtwSubsystemArea more_entries = ptwSubsystemArea(32, 256, 1, 512);
+    EXPECT_GT(more_walkers.totalMm2, base.totalMm2);
+    EXPECT_GT(more_ports.totalMm2, base.totalMm2);
+    EXPECT_GT(more_entries.totalMm2, base.totalMm2);
+    EXPECT_DOUBLE_EQ(base.totalMm2,
+                     base.pwbMm2 + base.mshrMm2 + base.walkerMm2);
+}
+
+TEST(CactiLite, PriorWorkDatapointIsPlausible)
+{
+    // Lee et al. (HPCA'25): 192 walkers with an 18-port PWB occupy ~3.9%
+    // of a GPU chip.  Our model should land within the same magnitude
+    // relative to the GA102 die.
+    PtwSubsystemArea big = ptwSubsystemArea(192, 384, 18, 768);
+    double fraction = big.totalMm2 / kGa102ChipMm2;
+    EXPECT_GT(fraction, 0.002);
+    EXPECT_LT(fraction, 0.1);
+}
+
+TEST(CactiLite, SoftwalkerOverheadIsTiny)
+{
+    double overhead = softwalkerOverheadMm2(46, 1024);
+    EXPECT_LT(overhead, 0.1) << "well under 0.02% of the GA102 die";
+    EXPECT_GT(overhead, kInTlbMshrLogicMm2);
+}
+
+TEST(CactiLite, SoftwalkerBeatsIsoAreaPtwScaling)
+{
+    // The premise of Fig 15: SoftWalker's added area is far below even a
+    // modest hardware scaling step.
+    double softwalker = softwalkerOverheadMm2(46, 1024);
+    PtwSubsystemArea step = ptwSubsystemArea(64, 128, 2, 256);
+    PtwSubsystemArea base = ptwSubsystemArea(32, 64, 1, 128);
+    EXPECT_LT(softwalker, step.totalMm2 - base.totalMm2);
+}
+
+TEST(CactiLiteDeath, ZeroPortsRejected)
+{
+    EXPECT_DEATH(portScale(0), "port");
+}

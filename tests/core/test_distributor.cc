@@ -1,0 +1,148 @@
+/** @file Unit tests for the Request Distributor policies and credits. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/distributor.hh"
+#include "sim/rng.hh"
+
+using namespace sw;
+
+namespace {
+
+TEST(Distributor, RoundRobinCyclesThroughCores)
+{
+    RequestDistributor dist(4, 2, DistributorPolicy::RoundRobin, 1);
+    EXPECT_EQ(dist.select(), 0u);
+    EXPECT_EQ(dist.select(), 1u);
+    EXPECT_EQ(dist.select(), 2u);
+    EXPECT_EQ(dist.select(), 3u);
+    EXPECT_EQ(dist.select(), 0u);
+}
+
+TEST(Distributor, CreditsChargeAndRelease)
+{
+    RequestDistributor dist(2, 1, DistributorPolicy::RoundRobin, 1);
+    EXPECT_EQ(dist.select(), 0u);
+    EXPECT_EQ(dist.counter(0), 1u);
+    dist.release(0);
+    EXPECT_EQ(dist.counter(0), 0u);
+}
+
+TEST(Distributor, FullCoresAreSkipped)
+{
+    RequestDistributor dist(3, 1, DistributorPolicy::RoundRobin, 1);
+    dist.select();   // 0
+    dist.select();   // 1
+    dist.select();   // 2
+    EXPECT_EQ(dist.select(), kInvalidSm);
+    EXPECT_EQ(dist.stats().capacityStalls, 1u);
+    dist.release(1);
+    EXPECT_EQ(dist.select(), 1u);
+}
+
+TEST(Distributor, CapacityBoundsTotalCredits)
+{
+    RequestDistributor dist(4, 8, DistributorPolicy::RoundRobin, 1);
+    int granted = 0;
+    for (int i = 0; i < 100; ++i)
+        if (dist.select() != kInvalidSm)
+            ++granted;
+    EXPECT_EQ(granted, 32);
+    EXPECT_EQ(dist.totalCredits(), 32u);
+}
+
+TEST(Distributor, RandomPolicySpreadsLoad)
+{
+    RequestDistributor dist(8, 1000, DistributorPolicy::Random, 42);
+    std::map<SmId, int> counts;
+    for (int i = 0; i < 4000; ++i)
+        ++counts[dist.select()];
+    EXPECT_EQ(counts.size(), 8u);
+    for (auto [sm, count] : counts)
+        EXPECT_GT(count, 200) << "SM " << sm << " starved";
+}
+
+TEST(Distributor, RandomPolicyFallsBackToScanWhenNearlyFull)
+{
+    RequestDistributor dist(4, 1, DistributorPolicy::Random, 7);
+    std::set<SmId> chosen;
+    for (int i = 0; i < 4; ++i)
+        chosen.insert(dist.select());
+    EXPECT_EQ(chosen.size(), 4u);
+    EXPECT_EQ(dist.select(), kInvalidSm);
+}
+
+TEST(Distributor, StallAwarePicksMostStalledCore)
+{
+    std::vector<std::uint32_t> stalls = {1, 9, 3, 5};
+    RequestDistributor dist(4, 4, DistributorPolicy::StallAware, 1,
+                            [&](SmId sm) { return stalls[sm]; });
+    EXPECT_EQ(dist.select(), 1u);
+    stalls[1] = 0;
+    EXPECT_EQ(dist.select(), 3u);
+}
+
+TEST(Distributor, StallAwareSkipsFullCores)
+{
+    std::vector<std::uint32_t> stalls = {0, 9};
+    RequestDistributor dist(2, 1, DistributorPolicy::StallAware, 1,
+                            [&](SmId sm) { return stalls[sm]; });
+    EXPECT_EQ(dist.select(), 1u);
+    EXPECT_EQ(dist.select(), 0u) << "core 1 is at capacity";
+}
+
+TEST(Distributor, DispatchStatCounts)
+{
+    RequestDistributor dist(2, 2, DistributorPolicy::RoundRobin, 1);
+    dist.select();
+    dist.select();
+    EXPECT_EQ(dist.stats().dispatched, 2u);
+    dist.resetStats();
+    EXPECT_EQ(dist.stats().dispatched, 0u);
+    EXPECT_EQ(dist.counter(0), 1u) << "credits survive a stats reset";
+}
+
+TEST(DistributorDeath, ReleaseWithoutCreditPanics)
+{
+    RequestDistributor dist(2, 2, DistributorPolicy::RoundRobin, 1);
+    EXPECT_DEATH(dist.release(0), "underflow");
+}
+
+/** Property: across policies, credits never exceed capacity. */
+class DistributorPolicyParam
+    : public ::testing::TestWithParam<DistributorPolicy>
+{
+};
+
+TEST_P(DistributorPolicyParam, CreditsNeverExceedCapacity)
+{
+    RequestDistributor dist(6, 3, GetParam(), 99,
+                            [](SmId) { return 1u; });
+    Rng rng(5);
+    int outstanding_releases = 0;
+    std::vector<SmId> charged;
+    for (int i = 0; i < 500; ++i) {
+        if (rng.uniform() < 0.6) {
+            SmId sm = dist.select();
+            if (sm != kInvalidSm)
+                charged.push_back(sm);
+        } else if (!charged.empty()) {
+            dist.release(charged.back());
+            charged.pop_back();
+            ++outstanding_releases;
+        }
+        for (SmId sm = 0; sm < 6; ++sm)
+            ASSERT_LE(dist.counter(sm), 3u);
+    }
+    (void)outstanding_releases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, DistributorPolicyParam,
+                         ::testing::Values(DistributorPolicy::RoundRobin,
+                                           DistributorPolicy::Random,
+                                           DistributorPolicy::StallAware));
+
+} // namespace

@@ -1,0 +1,257 @@
+/** @file Unit tests for the PW Warp execution model (Fig 14 routine). */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/pw_warp.hh"
+#include "vm/page_table.hh"
+
+using namespace sw;
+
+namespace {
+
+/** Fixture: PW Warp over a radix table with scripted memory + issue port. */
+class PwWarpTest : public ::testing::Test
+{
+  protected:
+    PwWarpTest()
+        : geom(64 * 1024), alloc(64 * 1024), pt(geom, alloc), pwb(8)
+    {
+    }
+
+    std::unique_ptr<PwWarp>
+    makeWarp(std::uint32_t lanes = 8, Cycle comm = 40,
+             Cycle mem_latency = 50, PwWarpCodeTiming timing = {})
+    {
+        PwWarp::Hooks hooks;
+        hooks.reserveIssue = [this](std::uint32_t slots) {
+            Cycle start = std::max(eq.now(), issueFree);
+            issueFree = start + slots;
+            issueSlots += slots;
+            return start + slots;
+        };
+        hooks.ptAccess = [this, mem_latency](PhysAddr,
+                                             std::function<void()> done) {
+            ++memReads;
+            eq.scheduleIn(mem_latency, std::move(done));
+        };
+        hooks.pwcFill = [this](int level, Vpn, PhysAddr) {
+            pwcFills.push_back(level);
+        };
+        hooks.complete = [this](const WalkResult &result) {
+            results.push_back(result);
+        };
+        return std::make_unique<PwWarp>(eq, pt, pwb, std::move(hooks),
+                                        timing, lanes, comm);
+    }
+
+    WalkRequest
+    makeRequest(Vpn vpn, std::uint64_t id)
+    {
+        pt.ensureMapped(vpn);
+        WalkRequest req;
+        req.id = id;
+        req.vpn = vpn;
+        req.cursor = pt.startWalk(vpn);
+        req.created = eq.now();
+        return req;
+    }
+
+    EventQueue eq;
+    PageGeometry geom;
+    FrameAllocator alloc;
+    RadixPageTable pt;
+    SoftPwb pwb;
+    Cycle issueFree = 0;
+    std::uint64_t issueSlots = 0;
+    int memReads = 0;
+    std::vector<int> pwcFills;
+    std::vector<WalkResult> results;
+};
+
+TEST_F(PwWarpTest, IdleWithoutWork)
+{
+    auto warp = makeWarp();
+    warp->notifyWork();
+    EXPECT_FALSE(warp->busy());
+    eq.run();
+    EXPECT_TRUE(results.empty());
+}
+
+TEST_F(PwWarpTest, SingleWalkCompletes)
+{
+    auto warp = makeWarp();
+    pwb.insert(makeRequest(0x42, 1), eq.now());
+    warp->notifyWork();
+    EXPECT_TRUE(warp->busy());
+    eq.run();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].pfn, pt.translate(0x42));
+    EXPECT_FALSE(results[0].fault);
+    EXPECT_EQ(memReads, 4);
+    EXPECT_FALSE(warp->busy());
+    EXPECT_EQ(pwb.freeSlots(), 8u);
+}
+
+TEST_F(PwWarpTest, InstructionAccounting)
+{
+    PwWarpCodeTiming timing;
+    auto warp = makeWarp(8, 40, 50, timing);
+    pwb.insert(makeRequest(0x42, 1), eq.now());
+    warp->notifyWork();
+    eq.run();
+    // setup + 4 levels * perLevel + FL2T
+    std::uint64_t expected = timing.setupInstrs +
+        4 * timing.perLevelInstrs + timing.finishInstrs;
+    EXPECT_EQ(warp->stats().instructionsIssued, expected);
+    EXPECT_EQ(issueSlots, expected);
+    EXPECT_EQ(warp->stats().ldptIssued, 4u);
+    EXPECT_EQ(warp->stats().fl2tIssued, 1u);
+}
+
+TEST_F(PwWarpTest, CommunicationLatencyDelaysCompletion)
+{
+    auto warp = makeWarp(8, /*comm=*/1000, /*mem=*/10);
+    pwb.insert(makeRequest(0x1, 1), eq.now());
+    warp->notifyWork();
+    eq.run();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_GE(results[0].accessLatency, 1000u);
+}
+
+TEST_F(PwWarpTest, BatchProcessesMultipleLanes)
+{
+    auto warp = makeWarp(8, 40, 50);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        pwb.insert(makeRequest(Vpn(i) * 999 + 7, i), eq.now());
+    warp->notifyWork();
+    eq.run();
+    EXPECT_EQ(results.size(), 5u);
+    EXPECT_EQ(warp->stats().batches, 1u);
+    EXPECT_DOUBLE_EQ(warp->stats().batchSize.mean(), 5.0);
+    for (const auto &result : results)
+        EXPECT_EQ(result.pfn, pt.translate(result.vpn));
+}
+
+TEST_F(PwWarpTest, BatchBoundedByLaneCount)
+{
+    auto warp = makeWarp(/*lanes=*/4, 40, 50);
+    for (std::uint64_t i = 0; i < 8; ++i)
+        pwb.insert(makeRequest(Vpn(i) * 999 + 7, i), eq.now());
+    warp->notifyWork();
+    eq.run();
+    EXPECT_EQ(results.size(), 8u);
+    EXPECT_EQ(warp->stats().batches, 2u);
+}
+
+TEST_F(PwWarpTest, LockstepLanesShareLevelIterations)
+{
+    // 8 lanes walking 4 levels each issue their LDPTs in the same four
+    // iterations: per-level instruction cost is paid once per iteration.
+    PwWarpCodeTiming timing;
+    auto warp = makeWarp(8, 40, 50, timing);
+    for (std::uint64_t i = 0; i < 8; ++i)
+        pwb.insert(makeRequest(Vpn(i) * 999 + 7, i), eq.now());
+    warp->notifyWork();
+    eq.run();
+    std::uint64_t expected = timing.setupInstrs +
+        4 * timing.perLevelInstrs + timing.finishInstrs;
+    EXPECT_EQ(warp->stats().instructionsIssued, expected);
+    EXPECT_EQ(memReads, 32) << "8 lanes x 4 levels";
+}
+
+TEST_F(PwWarpTest, FaultLaneIssuesFfb)
+{
+    auto warp = makeWarp();
+    WalkRequest bad;
+    bad.id = 1;
+    bad.vpn = 0xBAD;
+    bad.cursor = pt.startWalk(0xBAD);   // unmapped
+    pwb.insert(std::move(bad), eq.now());
+    warp->notifyWork();
+    eq.run();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].fault);
+    EXPECT_EQ(warp->stats().ffbIssued, 1u);
+    EXPECT_EQ(warp->stats().fl2tIssued, 0u);
+}
+
+TEST_F(PwWarpTest, FpwcFillsOnDescent)
+{
+    auto warp = makeWarp();
+    pwb.insert(makeRequest(0x42, 1), eq.now());
+    warp->notifyWork();
+    eq.run();
+    // Levels 3, 2, 1 learned table bases.
+    EXPECT_EQ(pwcFills.size(), 3u);
+    EXPECT_EQ(warp->stats().fpwcIssued, 3u);
+}
+
+TEST_F(PwWarpTest, RequestsArrivingMidBatchJoinNextBatch)
+{
+    auto warp = makeWarp(8, 40, 200);
+    pwb.insert(makeRequest(0x1, 1), eq.now());
+    warp->notifyWork();
+    // Arrives while the first batch is in flight.
+    eq.scheduleIn(50, [&]() {
+        pwb.insert(makeRequest(0x2222, 2), eq.now());
+        warp->notifyWork();
+    });
+    eq.run();
+    EXPECT_EQ(results.size(), 2u);
+    EXPECT_EQ(warp->stats().batches, 2u);
+}
+
+TEST_F(PwWarpTest, QueueDelayMeasuredToPickup)
+{
+    auto warp = makeWarp(8, 40, 200);
+    pwb.insert(makeRequest(0x1, 1), eq.now());
+    warp->notifyWork();
+    eq.scheduleIn(10, [&]() {
+        pwb.insert(makeRequest(0x2222, 2), eq.now());
+        warp->notifyWork();
+    });
+    eq.run();
+    ASSERT_EQ(results.size(), 2u);
+    // The second request waited for batch 1 to finish.
+    EXPECT_GT(results[1].queueDelay, 500u);
+}
+
+TEST_F(PwWarpTest, ResumedCursorsSkipLevels)
+{
+    auto warp = makeWarp();
+    pt.ensureMapped(0x300);
+    WalkCursor cur = pt.startWalk(0x300);
+    while (cur.level > 1)
+        pt.advance(cur);
+    WalkRequest req;
+    req.id = 5;
+    req.vpn = 0x300;
+    req.cursor = pt.resumeWalk(0x300, 1, cur.tableBase);
+    pwb.insert(std::move(req), eq.now());
+    warp->notifyWork();
+    eq.run();
+    EXPECT_EQ(memReads, 1);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].pfn, pt.translate(0x300));
+}
+
+TEST_F(PwWarpTest, PwOpcodeNames)
+{
+    EXPECT_STREQ(toString(PwOpcode::Ldpt), "LDPT");
+    EXPECT_STREQ(toString(PwOpcode::Fl2t), "FL2T");
+    EXPECT_STREQ(toString(PwOpcode::Fpwc), "FPWC");
+    EXPECT_STREQ(toString(PwOpcode::Ffb), "FFB");
+    EXPECT_STREQ(toString(PwOpcode::Alu), "ALU");
+}
+
+TEST_F(PwWarpTest, ContextBitsMatchPaperSection52)
+{
+    PwWarpContextBits bits;
+    EXPECT_EQ(bits.total(), 1470u) << "64 + 126 + 8x160, as in §5.2";
+    EXPECT_EQ(bits.statusBitmap, 64u);
+    EXPECT_EQ(kPwWarpRegisters, 16u);
+}
+
+} // namespace

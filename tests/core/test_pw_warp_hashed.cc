@@ -1,0 +1,103 @@
+/** @file PW Warp over the hashed page table (FS-HPT + SoftWalker combo). */
+
+#include <gtest/gtest.h>
+
+#include "core/pw_warp.hh"
+#include "vm/hashed_page_table.hh"
+
+using namespace sw;
+
+namespace {
+
+class PwWarpHashedTest : public ::testing::Test
+{
+  protected:
+    PwWarpHashedTest()
+        : geom(64 * 1024), alloc(64 * 1024),
+          pt(geom, alloc, /*slots=*/1 << 12), pwb(8)
+    {
+    }
+
+    std::unique_ptr<PwWarp>
+    makeWarp()
+    {
+        PwWarp::Hooks hooks;
+        hooks.reserveIssue = [this](std::uint32_t slots) {
+            return eq.now() + slots;
+        };
+        hooks.ptAccess = [this](PhysAddr, std::function<void()> done) {
+            ++memReads;
+            eq.scheduleIn(40, std::move(done));
+        };
+        hooks.pwcFill = [this](int, Vpn, PhysAddr) { ++pwcFills; };
+        hooks.complete = [this](const WalkResult &result) {
+            results.push_back(result);
+        };
+        return std::make_unique<PwWarp>(eq, pt, pwb, std::move(hooks),
+                                        PwWarpCodeTiming{}, 8, 40);
+    }
+
+    EventQueue eq;
+    PageGeometry geom;
+    FrameAllocator alloc;
+    HashedPageTable pt;
+    SoftPwb pwb;
+    int memReads = 0;
+    int pwcFills = 0;
+    std::vector<WalkResult> results;
+};
+
+TEST_F(PwWarpHashedTest, SingleProbeWalk)
+{
+    pt.ensureMapped(0x99);
+    WalkRequest req;
+    req.id = 1;
+    req.vpn = 0x99;
+    req.cursor = pt.startWalk(0x99);
+    pwb.insert(std::move(req), eq.now());
+    auto warp = makeWarp();
+    warp->notifyWork();
+    eq.run();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].pfn, pt.translate(0x99));
+    EXPECT_EQ(memReads, pt.walkReads(0x99));
+    EXPECT_EQ(pwcFills, 0) << "hashed tables never fill the PWC";
+}
+
+TEST_F(PwWarpHashedTest, BatchOverHashedTable)
+{
+    auto warp = makeWarp();
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        Vpn vpn = 100 + i * 977;
+        pt.ensureMapped(vpn);
+        WalkRequest req;
+        req.id = i;
+        req.vpn = vpn;
+        req.cursor = pt.startWalk(vpn);
+        pwb.insert(std::move(req), eq.now());
+    }
+    warp->notifyWork();
+    eq.run();
+    ASSERT_EQ(results.size(), 6u);
+    for (const auto &result : results) {
+        EXPECT_FALSE(result.fault);
+        EXPECT_EQ(result.pfn, pt.translate(result.vpn));
+    }
+}
+
+TEST_F(PwWarpHashedTest, UnmappedVpnFaults)
+{
+    WalkRequest req;
+    req.id = 7;
+    req.vpn = 0xF00D;
+    req.cursor = pt.startWalk(0xF00D);
+    pwb.insert(std::move(req), eq.now());
+    auto warp = makeWarp();
+    warp->notifyWork();
+    eq.run();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].fault);
+    EXPECT_EQ(warp->stats().ffbIssued, 1u);
+}
+
+} // namespace

@@ -1,0 +1,202 @@
+/** @file Integration tests for the SoftWalker backend on a small GPU. */
+
+#include <gtest/gtest.h>
+
+#include "core/softwalker.hh"
+#include "test_util.hh"
+#include "workload/generators.hh"
+
+using namespace sw;
+
+namespace {
+
+std::unique_ptr<Workload>
+tinyGraphWorkload()
+{
+    GraphWorkload::Params params;
+    params.gatherFraction = 0.6;
+    params.pagesPerInstr = 1.0;
+    params.windowPages = 8;
+    return std::make_unique<GraphWorkload>("tiny", 256ull << 20, true, 10,
+                                           params);
+}
+
+Gpu::RunLimits
+tinyLimits()
+{
+    Gpu::RunLimits limits;
+    limits.warpInstrQuota = 400;
+    limits.maxCycles = 2000000;
+    return limits;
+}
+
+TEST(SoftWalkerBackend, InstallsOnSoftWalkerMode)
+{
+    Gpu gpu(test::smallSoftWalkerConfig(), tinyGraphWorkload());
+    EXPECT_FALSE(gpu.backendInstalled());
+    installWalkBackend(gpu);
+    ASSERT_TRUE(gpu.backendInstalled());
+    SoftWalkerBackend *backend = softWalkerOf(gpu);
+    ASSERT_NE(backend, nullptr);
+    EXPECT_EQ(backend->name(), "softwalker");
+    EXPECT_EQ(backend->hardwarePool(), nullptr);
+}
+
+TEST(SoftWalkerBackend, HybridKeepsHardwarePool)
+{
+    GpuConfig cfg = test::smallSoftWalkerConfig();
+    cfg.mode = TranslationMode::Hybrid;
+    Gpu gpu(cfg, tinyGraphWorkload());
+    installWalkBackend(gpu);
+    SoftWalkerBackend *backend = softWalkerOf(gpu);
+    ASSERT_NE(backend, nullptr);
+    EXPECT_EQ(backend->name(), "softwalker-hybrid");
+    EXPECT_NE(backend->hardwarePool(), nullptr);
+}
+
+TEST(SoftWalkerBackend, HardwareModesSelfInstall)
+{
+    Gpu gpu(test::smallConfig(), tinyGraphWorkload());
+    EXPECT_TRUE(gpu.backendInstalled());
+    EXPECT_EQ(softWalkerOf(gpu), nullptr);
+}
+
+TEST(SoftWalkerBackend, RunCompletesAllWalks)
+{
+    Gpu gpu(test::smallSoftWalkerConfig(), tinyGraphWorkload());
+    installWalkBackend(gpu);
+    gpu.run(tinyLimits());
+    const TranslationEngine::Stats &stats = gpu.engine().stats();
+    EXPECT_GT(stats.walksCreated, 0u);
+    EXPECT_EQ(stats.walksCompleted, stats.walksCreated);
+    SoftWalkerBackend *backend = softWalkerOf(gpu);
+    EXPECT_EQ(backend->inFlight(), 0u);
+    EXPECT_EQ(backend->stats().toSoftware, stats.walksCreated);
+}
+
+TEST(SoftWalkerBackend, PwWarpsExecuteTheWalks)
+{
+    Gpu gpu(test::smallSoftWalkerConfig(), tinyGraphWorkload());
+    installWalkBackend(gpu);
+    gpu.run(tinyLimits());
+    SoftWalkerBackend *backend = softWalkerOf(gpu);
+    PwWarp::Stats pw = backend->aggregatePwWarpStats();
+    EXPECT_EQ(pw.walksCompleted, gpu.engine().stats().walksCompleted);
+    EXPECT_GT(pw.instructionsIssued, 0u);
+    EXPECT_GT(pw.ldptIssued, 0u);
+    EXPECT_EQ(pw.ffbIssued, 0u) << "map-on-demand: no faults";
+    // PW Warp issue slots were charged to the SMs.
+    Sm::Stats sm = gpu.aggregateSmStats();
+    EXPECT_EQ(sm.pwIssueCycles, pw.instructionsIssued);
+}
+
+TEST(SoftWalkerBackend, DistributorCreditsDrainToZero)
+{
+    Gpu gpu(test::smallSoftWalkerConfig(), tinyGraphWorkload());
+    installWalkBackend(gpu);
+    gpu.run(tinyLimits());
+    SoftWalkerBackend *backend = softWalkerOf(gpu);
+    EXPECT_EQ(backend->distributor().totalCredits(), 0u);
+}
+
+TEST(SoftWalkerBackend, TranslationsAreCorrectUnderSoftWalks)
+{
+    Gpu gpu(test::smallSoftWalkerConfig(), tinyGraphWorkload());
+    installWalkBackend(gpu);
+    gpu.run(tinyLimits());
+    // Spot-check: L1 TLB contents agree with the page table.
+    EXPECT_EQ(gpu.engine().stats().faults, 0u);
+    EXPECT_GT(gpu.instructionsIssued(), 0u);
+}
+
+TEST(SoftWalkerBackend, HybridPrefersHardwareAtLowPressure)
+{
+    GpuConfig cfg = test::smallSoftWalkerConfig();
+    cfg.mode = TranslationMode::Hybrid;
+    // Streaming workload: very few concurrent walks.
+    StreamingWorkload::Params params;
+    Gpu gpu(cfg, std::make_unique<StreamingWorkload>(
+                     "stream", 512ull << 20, false, 10, params));
+    installWalkBackend(gpu);
+    gpu.run(tinyLimits());
+    SoftWalkerBackend *backend = softWalkerOf(gpu);
+    EXPECT_GT(backend->stats().toHardware, 0u);
+    EXPECT_GE(backend->stats().toHardware, backend->stats().toSoftware);
+}
+
+TEST(SoftWalkerBackend, HybridSpillsToSoftwareUnderPressure)
+{
+    GpuConfig cfg = test::smallSoftWalkerConfig();
+    cfg.mode = TranslationMode::Hybrid;
+    cfg.numPtws = 1;   // tiny hardware pool saturates instantly
+    cfg.pwbEntries = 1;
+    Gpu gpu(cfg, tinyGraphWorkload());
+    installWalkBackend(gpu);
+    gpu.run(tinyLimits());
+    SoftWalkerBackend *backend = softWalkerOf(gpu);
+    EXPECT_GT(backend->stats().toSoftware, 0u);
+    EXPECT_GT(backend->stats().toHardware, 0u);
+}
+
+TEST(SoftWalkerBackend, StallAwarePolicyRuns)
+{
+    GpuConfig cfg = test::smallSoftWalkerConfig();
+    cfg.distributorPolicy = DistributorPolicy::StallAware;
+    Gpu gpu(cfg, tinyGraphWorkload());
+    installWalkBackend(gpu);
+    gpu.run(tinyLimits());
+    EXPECT_GT(gpu.engine().stats().walksCompleted, 0u);
+}
+
+TEST(SoftWalkerBackend, RandomPolicyRuns)
+{
+    GpuConfig cfg = test::smallSoftWalkerConfig();
+    cfg.distributorPolicy = DistributorPolicy::Random;
+    Gpu gpu(cfg, tinyGraphWorkload());
+    installWalkBackend(gpu);
+    gpu.run(tinyLimits());
+    EXPECT_GT(gpu.engine().stats().walksCompleted, 0u);
+}
+
+TEST(SoftWalkerBackend, ResetStatsZeroesBackend)
+{
+    Gpu gpu(test::smallSoftWalkerConfig(), tinyGraphWorkload());
+    installWalkBackend(gpu);
+    gpu.run(tinyLimits());
+    SoftWalkerBackend *backend = softWalkerOf(gpu);
+    backend->resetStats();
+    EXPECT_EQ(backend->stats().submitted, 0u);
+    EXPECT_EQ(backend->aggregatePwWarpStats().batches, 0u);
+}
+
+TEST(SoftWalkerBackendDeath, RejectsHardwareModeConstruction)
+{
+    Gpu gpu(test::smallConfig(), tinyGraphWorkload());
+    EXPECT_DEATH(SoftWalkerBackend(gpu, test::smallConfig()),
+                 "hardware mode");
+}
+
+/** Property: every distributor policy completes the same walk count. */
+class PolicyEquivalence
+    : public ::testing::TestWithParam<DistributorPolicy>
+{
+};
+
+TEST_P(PolicyEquivalence, AllWalksComplete)
+{
+    GpuConfig cfg = test::smallSoftWalkerConfig();
+    cfg.distributorPolicy = GetParam();
+    Gpu gpu(cfg, tinyGraphWorkload());
+    installWalkBackend(gpu);
+    gpu.run(tinyLimits());
+    EXPECT_EQ(gpu.engine().stats().walksCompleted,
+              gpu.engine().stats().walksCreated);
+    EXPECT_EQ(softWalkerOf(gpu)->inFlight(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyEquivalence,
+                         ::testing::Values(DistributorPolicy::RoundRobin,
+                                           DistributorPolicy::Random,
+                                           DistributorPolicy::StallAware));
+
+} // namespace

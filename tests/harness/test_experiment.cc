@@ -1,0 +1,131 @@
+/** @file Tests for the experiment harness. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "harness/experiment.hh"
+#include "test_util.hh"
+#include "workload/generators.hh"
+
+using namespace sw;
+
+namespace {
+
+Gpu::RunLimits
+tinyLimits()
+{
+    Gpu::RunLimits limits;
+    limits.warpInstrQuota = 300;
+    limits.maxCycles = 2000000;
+    return limits;
+}
+
+std::unique_ptr<Workload>
+tinyWorkload()
+{
+    GraphWorkload::Params params;
+    params.pagesPerInstr = 0.5;
+    return std::make_unique<GraphWorkload>("tiny", 128ull << 20, true, 10,
+                                           params);
+}
+
+TEST(Experiment, RunWorkloadProducesPopulatedResult)
+{
+    RunResult result = runWorkload(test::smallConfig(), tinyWorkload(),
+                                   tinyLimits());
+    EXPECT_EQ(result.benchmark, "tiny");
+    EXPECT_EQ(result.mode, TranslationMode::HardwarePtw);
+    EXPECT_EQ(result.warpInstrs, 300u);
+    EXPECT_GT(result.cycles, 0u);
+    EXPECT_GT(result.perf, 0.0);
+    EXPECT_GT(result.walks, 0u);
+    EXPECT_GT(result.l2TlbMpki, 0.0);
+    EXPECT_GT(result.avgWalkTotalLatency, 0.0);
+    EXPECT_EQ(result.faults, 0u);
+}
+
+TEST(Experiment, SoftWalkerResultCarriesBackendStats)
+{
+    RunResult result = runWorkload(test::smallSoftWalkerConfig(),
+                                   tinyWorkload(), tinyLimits());
+    EXPECT_EQ(result.mode, TranslationMode::SoftWalker);
+    EXPECT_GT(result.swToSoftware, 0u);
+    EXPECT_GT(result.swBatches, 0u);
+    EXPECT_GT(result.swInstructions, 0u);
+}
+
+TEST(Experiment, HardwareResultHasNoSoftwalkerStats)
+{
+    RunResult result = runWorkload(test::smallConfig(), tinyWorkload(),
+                                   tinyLimits());
+    EXPECT_EQ(result.swToSoftware, 0u);
+    EXPECT_EQ(result.swBatches, 0u);
+}
+
+TEST(Experiment, SpeedupIsPerfRatio)
+{
+    RunResult base;
+    base.perf = 0.5;
+    RunResult opt;
+    opt.perf = 1.5;
+    EXPECT_DOUBLE_EQ(speedup(base, opt), 3.0);
+}
+
+TEST(Experiment, SpeedupsVectorised)
+{
+    RunResult a1, a2, b1, b2;
+    a1.perf = 1.0;
+    a2.perf = 2.0;
+    b1.perf = 2.0;
+    b2.perf = 2.0;
+    auto result = speedups({a1, a2}, {b1, b2});
+    ASSERT_EQ(result.size(), 2u);
+    EXPECT_DOUBLE_EQ(result[0], 2.0);
+    EXPECT_DOUBLE_EQ(result[1], 1.0);
+}
+
+TEST(Experiment, RunBenchmarkUsesRegistry)
+{
+    GpuConfig cfg = test::smallConfig();
+    Gpu::RunLimits limits = tinyLimits();
+    RunResult result = runBenchmark(cfg, findBenchmark("gemm"), limits,
+                                    1.0);
+    EXPECT_EQ(result.benchmark, "gemm");
+    EXPECT_EQ(result.warpInstrs, 300u);
+}
+
+TEST(Experiment, DefaultLimitsReadEnvironment)
+{
+    setenv("SW_QUOTA", "777", 1);
+    setenv("SW_WARMUP", "111", 1);
+    Gpu::RunLimits limits = defaultLimits();
+    EXPECT_EQ(limits.warpInstrQuota, 777u);
+    EXPECT_EQ(limits.warmupInstrs, 111u);
+    unsetenv("SW_QUOTA");
+    unsetenv("SW_WARMUP");
+}
+
+TEST(Experiment, LimitsForRegularAreLarger)
+{
+    Gpu::RunLimits regular = limitsFor(findBenchmark("2dc"));
+    Gpu::RunLimits irregular = limitsFor(findBenchmark("bfs"));
+    EXPECT_GT(regular.warmupInstrs, irregular.warmupInstrs);
+}
+
+TEST(Experiment, StallFractionNormalised)
+{
+    RunResult result;
+    result.cycles = 1000;
+    result.memStallCycles = 2000;
+    EXPECT_DOUBLE_EQ(result.stallFraction(4), 0.5);
+}
+
+TEST(ExperimentDeath, SpeedupWithZeroBaselinePanics)
+{
+    RunResult base, opt;
+    opt.perf = 1.0;
+    EXPECT_DEATH(speedup(base, opt), "no progress");
+}
+
+} // namespace

@@ -1,0 +1,82 @@
+/** @file Tests for the JSON/CSV result writers. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/report.hh"
+
+using namespace sw;
+
+namespace {
+
+RunResult
+sample()
+{
+    RunResult r;
+    r.benchmark = "bfs";
+    r.mode = TranslationMode::SoftWalker;
+    r.cycles = 1000;
+    r.warpInstrs = 500;
+    r.perf = 0.5;
+    r.l2TlbMpki = 22.5;
+    r.walks = 42;
+    r.avgWalkQueueDelay = 12.25;
+    r.swToSoftware = 42;
+    return r;
+}
+
+TEST(Report, JsonContainsKeyFields)
+{
+    std::string json = toJson(sample());
+    EXPECT_NE(json.find("\"benchmark\":\"bfs\""), std::string::npos);
+    EXPECT_NE(json.find("\"mode\":\"softwalker\""), std::string::npos);
+    EXPECT_NE(json.find("\"cycles\":1000"), std::string::npos);
+    EXPECT_NE(json.find("\"walks\":42"), std::string::npos);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Report, JsonEscapesSpecialCharacters)
+{
+    RunResult r = sample();
+    r.benchmark = "a\"b\\c";
+    std::string json = toJson(r);
+    EXPECT_NE(json.find("a\\\"b\\\\c"), std::string::npos);
+}
+
+TEST(Report, JsonArray)
+{
+    std::string json = toJson(std::vector<RunResult>{sample(), sample()});
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json.back(), ']');
+    // Two objects, one comma between them at the top level.
+    EXPECT_NE(json.find("},{"), std::string::npos);
+}
+
+TEST(Report, EmptyJsonArray)
+{
+    EXPECT_EQ(toJson(std::vector<RunResult>{}), "[]");
+}
+
+TEST(Report, CsvRowMatchesHeaderArity)
+{
+    std::string header = csvHeader();
+    std::string row = toCsvRow(sample());
+    auto count = [](const std::string &text) {
+        return std::count(text.begin(), text.end(), ',');
+    };
+    EXPECT_EQ(count(header), count(row));
+}
+
+TEST(Report, WriteCsvEmitsHeaderAndRows)
+{
+    std::ostringstream out;
+    writeCsv(out, {sample(), sample()});
+    std::string text = out.str();
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+    EXPECT_EQ(text.rfind("benchmark,", 0), 0u);
+    EXPECT_NE(text.find("bfs,softwalker,1000,500"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Property matrix: every (translation mode x page size x page-table kind)
+ * combination must complete the same work with consistent invariants —
+ * walks created == walks completed, no leaked credits or events, no
+ * faults under map-on-demand.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/softwalker.hh"
+#include "harness/experiment.hh"
+#include "test_util.hh"
+#include "workload/generators.hh"
+
+using namespace sw;
+
+namespace {
+
+using ModeMatrixParam =
+    std::tuple<TranslationMode, std::uint64_t, PageTableKind>;
+
+class ModeMatrix : public ::testing::TestWithParam<ModeMatrixParam>
+{
+};
+
+TEST_P(ModeMatrix, CompletesWithConsistentInvariants)
+{
+    auto [mode, page_bytes, pt_kind] = GetParam();
+
+    GpuConfig cfg = (mode == TranslationMode::SoftWalker ||
+                     mode == TranslationMode::Hybrid)
+        ? test::smallSoftWalkerConfig()
+        : test::smallConfig();
+    cfg.mode = mode;
+    cfg.pageBytes = page_bytes;
+    cfg.pageTableKind = pt_kind;
+
+    GraphWorkload::Params params;
+    params.gatherFraction = 0.5;
+    params.pagesPerInstr = 0.8;
+    params.windowPages = 8;
+    Gpu gpu(cfg, std::make_unique<GraphWorkload>("mm", 512ull << 20, true,
+                                                 10, params));
+    installWalkBackend(gpu);
+
+    Gpu::RunLimits limits;
+    limits.warpInstrQuota = 600;
+    limits.maxCycles = 3000000;
+    gpu.run(limits);
+
+    const TranslationEngine::Stats &stats = gpu.engine().stats();
+    EXPECT_EQ(gpu.instructionsIssued(), 600u);
+    EXPECT_EQ(stats.walksCreated, stats.walksCompleted);
+    EXPECT_EQ(stats.faults, 0u);
+    EXPECT_EQ(gpu.engine().outstandingWalks(), 0u);
+    EXPECT_EQ(gpu.engine().backend()->inFlight(), 0u);
+    EXPECT_TRUE(gpu.eventQueue().empty());
+    EXPECT_EQ(gpu.engine().l2Tlb().pendingCount(), 0u);
+
+    if (SoftWalkerBackend *backend = softWalkerOf(gpu)) {
+        EXPECT_EQ(backend->distributor().totalCredits(), 0u);
+    }
+
+    // Walk-latency stats are populated and internally consistent.
+    if (stats.walksCompleted > 0) {
+        EXPECT_EQ(stats.walkQueueDelay.count, stats.walksCompleted);
+        EXPECT_EQ(stats.walkAccessLatency.count, stats.walksCompleted);
+        EXPECT_GT(stats.walkAccessLatency.mean(), 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, ModeMatrix,
+    ::testing::Combine(
+        ::testing::Values(TranslationMode::HardwarePtw,
+                          TranslationMode::SoftWalker,
+                          TranslationMode::Hybrid, TranslationMode::Ideal),
+        ::testing::Values(64ull * 1024, 2ull * 1024 * 1024),
+        ::testing::Values(PageTableKind::Radix4, PageTableKind::Hashed)));
+
+/** NHA composes with every page-size / workload combination. */
+class NhaMatrix : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(NhaMatrix, NhaCompletesAndMerges)
+{
+    GpuConfig cfg = test::smallConfig();
+    cfg.nhaCoalescing = true;
+    cfg.pageBytes = GetParam();
+
+    // Streaming neighbours produce exactly the same-sector walks NHA
+    // merges.
+    StreamingWorkload::Params params;
+    params.strideBytes = 16 * 1024;
+    Gpu gpu(cfg, std::make_unique<StreamingWorkload>("nha", 1ull << 30,
+                                                     true, 5, params));
+    Gpu::RunLimits limits;
+    limits.warpInstrQuota = 800;
+    limits.maxCycles = 3000000;
+    gpu.run(limits);
+
+    const TranslationEngine::Stats &stats = gpu.engine().stats();
+    EXPECT_EQ(stats.walksCreated, stats.walksCompleted);
+    EXPECT_TRUE(gpu.eventQueue().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, NhaMatrix,
+                         ::testing::Values(64ull * 1024,
+                                           2ull * 1024 * 1024));
+
+/** Determinism: identical seeds give identical simulations. */
+TEST(Determinism, SameSeedSameCycles)
+{
+    auto run_once = []() {
+        GpuConfig cfg = test::smallSoftWalkerConfig();
+        cfg.rngSeed = 42;
+        GraphWorkload::Params params;
+        params.pagesPerInstr = 0.5;
+        Gpu gpu(cfg, std::make_unique<GraphWorkload>("det", 256ull << 20,
+                                                     true, 10, params));
+        installWalkBackend(gpu);
+        Gpu::RunLimits limits;
+        limits.warpInstrQuota = 500;
+        gpu.run(limits);
+        return std::make_tuple(gpu.cycles(),
+                               gpu.engine().stats().walksCompleted,
+                               gpu.eventQueue().eventsExecuted());
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Determinism, DifferentSeedsDiverge)
+{
+    auto run_once = [](std::uint64_t seed) {
+        GpuConfig cfg = test::smallConfig();
+        cfg.rngSeed = seed;
+        GraphWorkload::Params params;
+        params.pagesPerInstr = 0.5;
+        Gpu gpu(cfg, std::make_unique<GraphWorkload>("det", 256ull << 20,
+                                                     true, 10, params));
+        Gpu::RunLimits limits;
+        limits.warpInstrQuota = 500;
+        gpu.run(limits);
+        return gpu.cycles();
+    };
+    EXPECT_NE(run_once(1), run_once(2));
+}
+
+/** Large pages shorten walks: 3 radix levels instead of 4. */
+TEST(LargePages, WalksDoFewerReads)
+{
+    auto reads_per_walk = [](std::uint64_t page_bytes) {
+        GpuConfig cfg = test::smallConfig();
+        cfg.pageBytes = page_bytes;
+        cfg.pwcEntries = 1;   // mostly-cold PWC: count full walks
+        GpuConfig tweaked = cfg;
+        Gpu gpu(tweaked, std::make_unique<RandomAccessWorkload>(
+                             "rand", 2ull << 30, 10, 1.0));
+        Gpu::RunLimits limits;
+        limits.warpInstrQuota = 200;
+        limits.maxCycles = 3000000;
+        gpu.run(limits);
+        const TranslationEngine::Stats &stats = gpu.engine().stats();
+        return double(stats.ptReadLatency.count) /
+               double(std::max<std::uint64_t>(1, stats.walksCompleted));
+    };
+    double small = reads_per_walk(64 * 1024);
+    double large = reads_per_walk(2ull * 1024 * 1024);
+    EXPECT_GT(small, large);
+    EXPECT_LE(large, 3.2);
+    EXPECT_GT(small, 3.0);
+}
+
+} // namespace

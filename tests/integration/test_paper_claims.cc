@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Integration tests asserting the paper's qualitative claims hold on a
+ * scaled-down machine.  These are the repository's regression net for the
+ * headline results: if one of these breaks, the figures will too.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "test_util.hh"
+#include "workload/generators.hh"
+
+using namespace sw;
+
+namespace {
+
+/** Shared slow fixture: run the four configurations once on an irregular
+ *  workload and test many claims against the cached results. */
+class PaperClaims : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        Gpu::RunLimits limits;
+        limits.warpInstrQuota = 2500;
+        limits.warmupInstrs = 800;
+        limits.maxCycles = 4000000;
+
+        GpuConfig base = test::smallConfig();
+        GpuConfig soft = test::smallSoftWalkerConfig();
+        GpuConfig soft_no_intlb = test::smallSoftWalkerConfig();
+        soft_no_intlb.inTlbMshrMax = 0;
+        GpuConfig ideal = test::smallConfig();
+        ideal.mode = TranslationMode::Ideal;
+        GpuConfig hybrid = test::smallSoftWalkerConfig();
+        hybrid.mode = TranslationMode::Hybrid;
+
+        baseline = new RunResult(runWorkload(base, irregular(), limits));
+        softwalker = new RunResult(runWorkload(soft, irregular(), limits));
+        noInTlb = new RunResult(
+            runWorkload(soft_no_intlb, irregular(), limits));
+        idealRun = new RunResult(runWorkload(ideal, irregular(), limits));
+        hybridRun = new RunResult(runWorkload(hybrid, irregular(), limits));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete baseline;
+        delete softwalker;
+        delete noInTlb;
+        delete idealRun;
+        delete hybridRun;
+    }
+
+    static std::unique_ptr<Workload>
+    irregular()
+    {
+        GraphWorkload::Params params;
+        params.gatherFraction = 0.6;
+        params.pagesPerInstr = 1.2;
+        params.windowPages = 8;
+        return std::make_unique<GraphWorkload>("irr", 512ull << 20, true,
+                                               15, params);
+    }
+
+    static RunResult *baseline;
+    static RunResult *softwalker;
+    static RunResult *noInTlb;
+    static RunResult *idealRun;
+    static RunResult *hybridRun;
+};
+
+RunResult *PaperClaims::baseline = nullptr;
+RunResult *PaperClaims::softwalker = nullptr;
+RunResult *PaperClaims::noInTlb = nullptr;
+RunResult *PaperClaims::idealRun = nullptr;
+RunResult *PaperClaims::hybridRun = nullptr;
+
+TEST_F(PaperClaims, QueueingDominatesBaselineWalkLatency)
+{
+    // §3.2: queueing delay is ~95% of walk latency for irregular apps.
+    double queue_share = baseline->avgWalkQueueDelay /
+                         baseline->avgWalkTotalLatency;
+    EXPECT_GT(queue_share, 0.80);
+}
+
+TEST_F(PaperClaims, SoftWalkerOutperformsBaseline)
+{
+    EXPECT_GT(speedup(*baseline, *softwalker), 1.3);
+}
+
+TEST_F(PaperClaims, SoftWalkerCutsWalkLatency)
+{
+    // §6.2: ~72.8% average reduction in total page-walk latency.
+    EXPECT_LT(softwalker->avgWalkTotalLatency,
+              0.6 * baseline->avgWalkTotalLatency);
+}
+
+TEST_F(PaperClaims, SoftWalkerNearIdeal)
+{
+    // The scaled-down test machine gives SoftWalker only 4 SMs x 8 SoftPWB
+    // slots of concurrency, so it trails the unbounded ideal more than the
+    // full Table 3 machine does.
+    EXPECT_GT(softwalker->perf, 0.55 * idealRun->perf);
+}
+
+TEST_F(PaperClaims, InTlbMshrAddsOnTopOfSoftWalks)
+{
+    EXPECT_GE(softwalker->perf, noInTlb->perf * 0.95)
+        << "In-TLB MSHR must not hurt, and usually helps";
+    EXPECT_GT(softwalker->inTlbMshrAllocs, 0u);
+    EXPECT_EQ(noInTlb->inTlbMshrAllocs, 0u);
+}
+
+TEST_F(PaperClaims, InTlbMshrReducesMshrFailures)
+{
+    // Fig 17: enabling In-TLB MSHR removes most L2 TLB MSHR failures.
+    EXPECT_LT(double(softwalker->l2MshrFailures),
+              0.6 * double(baseline->l2MshrFailures));
+}
+
+TEST_F(PaperClaims, SoftWalkerReducesStalls)
+{
+    // Fig 19: stall-cycle reduction for irregular workloads.
+    EXPECT_LT(softwalker->memStallCycles, baseline->memStallCycles);
+}
+
+TEST_F(PaperClaims, HybridMatchesSoftWalkerOnIrregular)
+{
+    EXPECT_GT(hybridRun->perf, 0.85 * softwalker->perf);
+}
+
+TEST_F(PaperClaims, PerWalkLatencySlightlyHigherInSoftware)
+{
+    // Fig 9: software walks pay communication + instruction overhead per
+    // walk, traded against the eliminated queueing.
+    EXPECT_GT(softwalker->avgWalkAccessLatency,
+              baseline->avgWalkAccessLatency);
+    EXPECT_LT(softwalker->avgWalkQueueDelay, baseline->avgWalkQueueDelay);
+}
+
+TEST_F(PaperClaims, SameWorkSameWalkDemand)
+{
+    // Both configs translate the same address stream.  The warmup-reset
+    // poll (every 200 cycles) can shift the measured boundary by a few
+    // instructions.
+    EXPECT_NEAR(double(baseline->warpInstrs),
+                double(softwalker->warpInstrs), 25.0);
+    double ratio = double(softwalker->walks) / double(baseline->walks);
+    EXPECT_GT(ratio, 0.5);
+    EXPECT_LT(ratio, 2.0);
+}
+
+TEST_F(PaperClaims, L2CacheMissRateBarelyChanges)
+{
+    // Fig 20: the added page-walk traffic does not blow up the L2 data
+    // cache miss rate.
+    EXPECT_NEAR(softwalker->l2dMissRate, baseline->l2dMissRate, 0.15);
+}
+
+// ---- Regular-workload contract -----------------------------------------
+
+TEST(PaperClaimsRegular, SoftWalkerDoesNotHelpRegularApps)
+{
+    Gpu::RunLimits limits;
+    limits.warpInstrQuota = 3000;
+    limits.warmupInstrs = 3000;
+    StreamingWorkload::Params params;
+    auto make = []() {
+        StreamingWorkload::Params params;
+        return std::make_unique<StreamingWorkload>("reg", 512ull << 20,
+                                                   false, 10, params);
+    };
+    RunResult base = runWorkload(test::smallConfig(), make(), limits);
+    RunResult soft =
+        runWorkload(test::smallSoftWalkerConfig(), make(), limits);
+    double ratio = speedup(base, soft);
+    EXPECT_GT(ratio, 0.85);
+    EXPECT_LT(ratio, 1.15);
+}
+
+TEST(PaperClaimsRegular, HybridRestoresHardwareLatency)
+{
+    Gpu::RunLimits limits;
+    limits.warpInstrQuota = 3000;
+    limits.warmupInstrs = 3000;
+    auto make = []() {
+        StreamingWorkload::Params params;
+        return std::make_unique<StreamingWorkload>("reg", 512ull << 20,
+                                                   false, 10, params);
+    };
+    GpuConfig hybrid = test::smallSoftWalkerConfig();
+    hybrid.mode = TranslationMode::Hybrid;
+    RunResult base = runWorkload(test::smallConfig(), make(), limits);
+    RunResult hyb = runWorkload(hybrid, make(), limits);
+    // Hybrid keeps hardware walkers as the fast path: per-walk latency
+    // stays near the baseline's.
+    EXPECT_LT(hyb.avgWalkAccessLatency,
+              base.avgWalkAccessLatency * 1.5 + 100);
+    EXPECT_GT(speedup(base, hyb), 0.9);
+}
+
+// ---- PTW scaling (Fig 5 shape) ------------------------------------------
+
+TEST(PaperClaimsScaling, MorePtwsHelpIrregularUntilSaturation)
+{
+    Gpu::RunLimits limits;
+    limits.warpInstrQuota = 2000;
+    limits.warmupInstrs = 500;
+    auto make = []() {
+        GraphWorkload::Params params;
+        params.gatherFraction = 0.6;
+        params.pagesPerInstr = 1.2;
+        params.windowPages = 8;
+        return std::make_unique<GraphWorkload>("irr", 512ull << 20, true,
+                                               15, params);
+    };
+    std::vector<double> perfs;
+    for (std::uint32_t ptws : {2u, 8u, 64u}) {
+        GpuConfig cfg = test::smallConfig();
+        scalePtwSubsystem(cfg, ptws);
+        perfs.push_back(runWorkload(cfg, make(), limits).perf);
+    }
+    EXPECT_GT(perfs[1], perfs[0] * 1.1) << "2 -> 8 PTWs must help";
+    EXPECT_GT(perfs[2], perfs[1] * 0.95) << "more never hurts much";
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+/** @file Unit tests for the GDDR6 DRAM channel model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+
+using namespace sw;
+
+namespace {
+
+Dram::Params
+smallParams()
+{
+    Dram::Params params;
+    params.channels = 4;
+    params.accessLatency = 100;
+    params.cyclesPerSector = 2;
+    params.channelShift = 5;
+    return params;
+}
+
+TEST(Dram, SingleAccessTakesDeviceLatency)
+{
+    EventQueue eq;
+    Dram dram(eq, smallParams());
+    Cycle done_at = 0;
+    dram.access(0, false, [&]() { done_at = eq.now(); });
+    eq.run();
+    EXPECT_EQ(done_at, 100u);
+    EXPECT_EQ(dram.stats().accesses, 1u);
+}
+
+TEST(Dram, SameChannelAccessesQueue)
+{
+    EventQueue eq;
+    Dram dram(eq, smallParams());
+    std::vector<Cycle> done;
+    // Same channel: addresses differ by channels*32 B.
+    for (int i = 0; i < 3; ++i)
+        dram.access(PhysAddr(i) * 4 * 32, false,
+                    [&]() { done.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_EQ(done[0], 100u);
+    EXPECT_EQ(done[1], 102u);
+    EXPECT_EQ(done[2], 104u);
+    EXPECT_GT(dram.stats().queueDelay.sum, 0u);
+}
+
+TEST(Dram, DifferentChannelsDontQueue)
+{
+    EventQueue eq;
+    Dram dram(eq, smallParams());
+    std::vector<Cycle> done;
+    for (int i = 0; i < 4; ++i)
+        dram.access(PhysAddr(i) * 32, false,
+                    [&]() { done.push_back(eq.now()); });
+    eq.run();
+    for (Cycle c : done)
+        EXPECT_EQ(c, 100u);
+    EXPECT_EQ(dram.stats().queueDelay.sum, 0u);
+}
+
+TEST(Dram, ChannelSelectionBits)
+{
+    EventQueue eq;
+    Dram dram(eq, smallParams());
+    // Address bits below channelShift do not change the channel: two
+    // accesses within one sector of the same channel serialise.
+    std::vector<Cycle> done;
+    dram.access(0, false, [&]() { done.push_back(eq.now()); });
+    dram.access(16, false, [&]() { done.push_back(eq.now()); });
+    eq.run();
+    EXPECT_EQ(done[0], 100u);
+    EXPECT_EQ(done[1], 102u);
+}
+
+TEST(Dram, UtilisationGrowsWithTraffic)
+{
+    EventQueue eq;
+    Dram dram(eq, smallParams());
+    for (int i = 0; i < 50; ++i)
+        dram.access(0, false, []() {});
+    eq.run();
+    EXPECT_GT(dram.utilisation(), 0.5);
+}
+
+TEST(Dram, ResetStatsClearsCountersAndWindow)
+{
+    EventQueue eq;
+    Dram dram(eq, smallParams());
+    for (int i = 0; i < 10; ++i)
+        dram.access(0, false, []() {});
+    eq.run();
+    dram.resetStats();
+    EXPECT_EQ(dram.stats().accesses, 0u);
+    EXPECT_DOUBLE_EQ(dram.utilisation(), 0.0);
+}
+
+TEST(Dram, WritesShareTiming)
+{
+    EventQueue eq;
+    Dram dram(eq, smallParams());
+    Cycle done_at = 0;
+    dram.access(64, true, [&]() { done_at = eq.now(); });
+    eq.run();
+    EXPECT_EQ(done_at, 100u);
+}
+
+/** Bandwidth property: N back-to-back accesses on one channel take
+ *  N * cyclesPerSector of channel time. */
+class DramBandwidth : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DramBandwidth, ChannelOccupancyScalesLinearly)
+{
+    int n = GetParam();
+    EventQueue eq;
+    Dram::Params params = smallParams();
+    Dram dram(eq, params);
+    Cycle last = 0;
+    for (int i = 0; i < n; ++i)
+        dram.access(0, false, [&]() { last = eq.now(); });
+    eq.run();
+    EXPECT_EQ(last, params.accessLatency +
+                    Cycle(n - 1) * params.cyclesPerSector);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, DramBandwidth,
+                         ::testing::Values(1, 2, 8, 32, 128));
+
+} // namespace

@@ -1,0 +1,114 @@
+/** @file Unit tests for the memory-system façade (L1D/L2D/DRAM wiring). */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_system.hh"
+#include "test_util.hh"
+
+using namespace sw;
+
+namespace {
+
+class MemorySystemTest : public ::testing::Test
+{
+  protected:
+    MemorySystemTest() : cfg(test::smallConfig()), mem(eq, cfg) {}
+
+    Cycle
+    accessAndWait(PhysAddr addr, bool pte, SmId sm = 0)
+    {
+        Cycle start = eq.now();
+        bool done = false;
+        MemAccess acc;
+        acc.addr = addr;
+        acc.pte = pte;
+        acc.sm = sm;
+        acc.onDone = [&]() { done = true; };
+        mem.access(std::move(acc));
+        eq.run();
+        EXPECT_TRUE(done);
+        return eq.now() - start;
+    }
+
+    EventQueue eq;
+    GpuConfig cfg;
+    MemorySystem mem;
+};
+
+TEST_F(MemorySystemTest, DataAccessGoesThroughL1d)
+{
+    accessAndWait(0x10000, /*pte=*/false, /*sm=*/0);
+    EXPECT_EQ(mem.l1d(0).stats().accesses, 1u);
+    EXPECT_EQ(mem.l2d().stats().accesses, 1u);
+    EXPECT_EQ(mem.dram().stats().accesses, 1u);
+}
+
+TEST_F(MemorySystemTest, PteAccessBypassesL1d)
+{
+    accessAndWait(0x20000, /*pte=*/true);
+    for (SmId sm = 0; sm < cfg.numSms; ++sm)
+        EXPECT_EQ(mem.l1d(sm).stats().accesses, 0u);
+    EXPECT_EQ(mem.l2d().stats().accesses, 1u);
+}
+
+TEST_F(MemorySystemTest, PteCachedInL2Only)
+{
+    accessAndWait(0x20000, /*pte=*/true);
+    Cycle second = accessAndWait(0x20000, /*pte=*/true);
+    EXPECT_EQ(second, cfg.l2dLatency);   // L2D hit, no DRAM
+    EXPECT_EQ(mem.dram().stats().accesses, 1u);
+}
+
+TEST_F(MemorySystemTest, L1dHitAfterFill)
+{
+    accessAndWait(0x30000, false, 1);
+    Cycle second = accessAndWait(0x30000, false, 1);
+    EXPECT_EQ(second, cfg.l1dLatency);
+}
+
+TEST_F(MemorySystemTest, L1dsArePerSm)
+{
+    accessAndWait(0x40000, false, 0);
+    // Another SM missing the same line hits only in the shared L2D.
+    Cycle other_sm = accessAndWait(0x40000, false, 1);
+    EXPECT_EQ(other_sm, cfg.l1dLatency + cfg.l2dLatency);
+    EXPECT_EQ(mem.dram().stats().accesses, 1u);
+}
+
+TEST_F(MemorySystemTest, ColdMissLatencyIsSumOfLevels)
+{
+    Cycle latency = accessAndWait(0x50000, false, 2);
+    EXPECT_GE(latency, cfg.l1dLatency + cfg.l2dLatency + cfg.dramLatency);
+}
+
+TEST_F(MemorySystemTest, AggregateL1dStats)
+{
+    accessAndWait(0x60000, false, 0);
+    accessAndWait(0x61000, false, 1);
+    Cache::Stats agg = mem.aggregateL1dStats();
+    EXPECT_EQ(agg.accesses, 2u);
+    EXPECT_EQ(agg.misses, 2u);
+}
+
+TEST_F(MemorySystemTest, ResetStatsZeroesEverything)
+{
+    accessAndWait(0x70000, false, 0);
+    mem.resetStats();
+    EXPECT_EQ(mem.l2d().stats().accesses, 0u);
+    EXPECT_EQ(mem.dram().stats().accesses, 0u);
+    EXPECT_EQ(mem.aggregateL1dStats().accesses, 0u);
+}
+
+TEST(MemorySystemDeath, DataAccessFromUnknownSmPanics)
+{
+    EventQueue eq;
+    GpuConfig cfg = test::smallConfig();
+    MemorySystem mem(eq, cfg);
+    MemAccess acc;
+    acc.addr = 0x1000;
+    acc.sm = 999;
+    acc.onDone = []() {};
+    EXPECT_DEATH(mem.access(std::move(acc)), "unknown SM");
+}
+
+} // namespace

@@ -1,0 +1,52 @@
+/** @file Unit tests for logging/formatting helpers. */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+using namespace sw;
+
+TEST(Logging, StrprintfFormats)
+{
+    EXPECT_EQ(strprintf("x=%d y=%s", 7, "abc"), "x=7 y=abc");
+    EXPECT_EQ(strprintf("%05.1f", 2.25), "002.2");
+    EXPECT_EQ(strprintf("plain"), "plain");
+}
+
+TEST(Logging, StrprintfLongStrings)
+{
+    std::string big(5000, 'q');
+    std::string out = strprintf("[%s]", big.c_str());
+    EXPECT_EQ(out.size(), big.size() + 2);
+    EXPECT_EQ(out.front(), '[');
+    EXPECT_EQ(out.back(), ']');
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "panic: boom 42");
+}
+
+TEST(LoggingDeath, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("bad config %s", "xyz"),
+                ::testing::ExitedWithCode(1), "fatal: bad config xyz");
+}
+
+TEST(LoggingDeath, AssertMessageCarriesConditionText)
+{
+    // The condition text may contain '%' without corrupting the output.
+    int value = 3;
+    EXPECT_DEATH(SW_ASSERT(value % 2 == 0, "value was %d", value),
+                 "value % 2 == 0");
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    warn("just a warning %d", 1);
+    setVerbose(false);
+    inform("suppressed");
+    setVerbose(true);
+    inform("visible");
+    SUCCEED();
+}

@@ -1,0 +1,93 @@
+/** @file Unit and property tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/rng.hh"
+
+using namespace sw;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++equal;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng rng(7);
+    std::uint64_t first = rng.next();
+    rng.next();
+    rng.reseed(7);
+    EXPECT_EQ(rng.next(), first);
+}
+
+TEST(Rng, RangeStaysInBounds)
+{
+    Rng rng(42);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.range(bound), bound);
+    }
+}
+
+TEST(Rng, RangeOneAlwaysZero)
+{
+    Rng rng(5);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.range(1), 0u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsRoughlyHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    constexpr int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, RangeIsRoughlyUniform)
+{
+    Rng rng(13);
+    constexpr std::uint64_t buckets = 10;
+    constexpr int n = 50000;
+    int counts[buckets] = {};
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.range(buckets)];
+    for (std::uint64_t b = 0; b < buckets; ++b)
+        EXPECT_NEAR(double(counts[b]), n / double(buckets),
+                    0.1 * n / double(buckets));
+}
+
+TEST(Rng, ProducesDistinctValues)
+{
+    Rng rng(17);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.next());
+    EXPECT_EQ(seen.size(), 1000u);
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared helpers for the test suite: a scaled-down GPU configuration that
+ * keeps end-to-end tests fast while exercising every subsystem.
+ */
+
+#ifndef SW_TESTS_TEST_UTIL_HH
+#define SW_TESTS_TEST_UTIL_HH
+
+#include "sim/config.hh"
+
+namespace sw::test {
+
+/** A small machine: 4 SMs, 8 warps each, tiny TLBs. */
+inline GpuConfig
+smallConfig()
+{
+    GpuConfig cfg = makeDefaultConfig();
+    cfg.numSms = 4;
+    cfg.maxWarpsPerSm = 8;
+    cfg.l1TlbEntries = 8;
+    cfg.l1TlbMshrs = 8;
+    cfg.l2TlbEntries = 64;
+    cfg.l2TlbWays = 8;
+    cfg.l2TlbMshrs = 16;
+    cfg.numPtws = 4;
+    cfg.pwbEntries = 8;
+    cfg.softPwbEntries = 8;
+    cfg.pwWarpThreads = 8;
+    return cfg;
+}
+
+/** Small machine in SoftWalker mode with In-TLB MSHR enabled. */
+inline GpuConfig
+smallSoftWalkerConfig()
+{
+    GpuConfig cfg = smallConfig();
+    cfg.mode = TranslationMode::SoftWalker;
+    cfg.inTlbMshrMax = 32;
+    return cfg;
+}
+
+} // namespace sw::test
+
+#endif // SW_TESTS_TEST_UTIL_HH

@@ -1,0 +1,56 @@
+/** @file Unit tests for page geometry / address helpers. */
+
+#include <gtest/gtest.h>
+
+#include "vm/address.hh"
+
+using namespace sw;
+
+TEST(PageGeometry, SixtyFourKiloBytePages)
+{
+    PageGeometry geom(64 * 1024);
+    EXPECT_EQ(geom.pageBytes(), 64u * 1024u);
+    EXPECT_EQ(geom.pageOffsetBits(), 16u);
+    EXPECT_EQ(geom.vpnBits(), 33u);
+}
+
+TEST(PageGeometry, TwoMegaBytePages)
+{
+    PageGeometry geom(2ull * 1024 * 1024);
+    EXPECT_EQ(geom.pageOffsetBits(), 21u);
+    EXPECT_EQ(geom.vpnBits(), 28u);
+}
+
+TEST(PageGeometry, VpnAndOffsetRoundTrip)
+{
+    PageGeometry geom(64 * 1024);
+    VirtAddr va = (0x123456ull << 16) | 0xABCD;
+    EXPECT_EQ(geom.vpnOf(va), 0x123456u);
+    EXPECT_EQ(geom.offsetOf(va), 0xABCDu);
+    EXPECT_EQ(geom.composeVa(geom.vpnOf(va), geom.offsetOf(va)), va);
+}
+
+TEST(PageGeometry, ComposePaMasksOffset)
+{
+    PageGeometry geom(64 * 1024);
+    // Offsets beyond the page size are masked, never leak into the PFN.
+    EXPECT_EQ(geom.composePa(1, 0x1FFFF), (1ull << 16) | 0xFFFF);
+}
+
+TEST(PageGeometry, AdjacentAddressesSharePage)
+{
+    PageGeometry geom(64 * 1024);
+    EXPECT_EQ(geom.vpnOf(0x10000), geom.vpnOf(0x1FFFF));
+    EXPECT_NE(geom.vpnOf(0x1FFFF), geom.vpnOf(0x20000));
+}
+
+TEST(PageGeometryDeath, NonPowerOfTwoRejected)
+{
+    EXPECT_DEATH(PageGeometry(3000), "power of two");
+}
+
+TEST(AddressSpace, Constants)
+{
+    EXPECT_EQ(kVirtAddrBits, 49u);
+    EXPECT_EQ(kPhysAddrBits, 47u);
+}

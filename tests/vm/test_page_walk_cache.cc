@@ -1,0 +1,134 @@
+/** @file Unit tests for the page walk cache. */
+
+#include <gtest/gtest.h>
+
+#include "vm/hashed_page_table.hh"
+#include "vm/page_table.hh"
+#include "vm/page_walk_cache.hh"
+
+using namespace sw;
+
+namespace {
+
+class PwcTest : public ::testing::Test
+{
+  protected:
+    PwcTest() : geom(64 * 1024), alloc(64 * 1024), pt(geom, alloc), pwc(4)
+    {
+    }
+
+    PageGeometry geom;
+    FrameAllocator alloc;
+    RadixPageTable pt;
+    PageWalkCache pwc;
+};
+
+TEST_F(PwcTest, MissOnEmpty)
+{
+    int level = 0;
+    PhysAddr base = 0;
+    EXPECT_FALSE(pwc.lookup(pt, 0x100, level, base));
+    EXPECT_EQ(pwc.stats().lookups, 1u);
+    EXPECT_EQ(pwc.stats().hits, 0u);
+}
+
+TEST_F(PwcTest, FillThenHitAtThatLevel)
+{
+    pwc.fill(pt, 2, 0x100, 0xAA00);
+    int level = 0;
+    PhysAddr base = 0;
+    ASSERT_TRUE(pwc.lookup(pt, 0x100, level, base));
+    EXPECT_EQ(level, 2);
+    EXPECT_EQ(base, 0xAA00u);
+}
+
+TEST_F(PwcTest, DeepestLevelWins)
+{
+    pwc.fill(pt, 3, 0x100, 0xCC00);
+    pwc.fill(pt, 1, 0x100, 0xAA00);
+    int level = 0;
+    PhysAddr base = 0;
+    ASSERT_TRUE(pwc.lookup(pt, 0x100, level, base));
+    EXPECT_EQ(level, 1) << "level 1 lets the walker skip the most";
+    EXPECT_EQ(base, 0xAA00u);
+}
+
+TEST_F(PwcTest, PrefixSharingAcrossNeighbours)
+{
+    // Adjacent VPNs share the leaf table: one fill serves both.
+    pwc.fill(pt, 1, 0x100, 0xAA00);
+    int level = 0;
+    PhysAddr base = 0;
+    EXPECT_TRUE(pwc.lookup(pt, 0x101, level, base));
+    EXPECT_EQ(base, 0xAA00u);
+}
+
+TEST_F(PwcTest, DistantVpnMisses)
+{
+    pwc.fill(pt, 1, 0x100, 0xAA00);
+    int level = 0;
+    PhysAddr base = 0;
+    Vpn far = 0x100 + (1ull << 20);
+    EXPECT_FALSE(pwc.lookup(pt, far, level, base));
+}
+
+TEST_F(PwcTest, RefillUpdatesExistingEntry)
+{
+    pwc.fill(pt, 1, 0x100, 0xAA00);
+    pwc.fill(pt, 1, 0x100, 0xBB00);
+    int level = 0;
+    PhysAddr base = 0;
+    ASSERT_TRUE(pwc.lookup(pt, 0x100, level, base));
+    EXPECT_EQ(base, 0xBB00u);
+    EXPECT_EQ(pwc.stats().fills, 2u);
+}
+
+TEST_F(PwcTest, LruReplacementOnOverflow)
+{
+    // Capacity 4: fill five distant level-1 entries.
+    for (int i = 0; i < 5; ++i) {
+        pwc.fill(pt, 1, Vpn(i) << 20, PhysAddr(i) * 0x100);
+    }
+    int level = 0;
+    PhysAddr base = 0;
+    EXPECT_FALSE(pwc.lookup(pt, 0, level, base)) << "oldest evicted";
+    EXPECT_TRUE(pwc.lookup(pt, Vpn(4) << 20, level, base));
+}
+
+TEST_F(PwcTest, TopLevelAndInvalidLevelsIgnored)
+{
+    pwc.fill(pt, pt.topLevel(), 0x100, 0xAA00);   // root needs no PWC
+    pwc.fill(pt, 0, 0x100, 0xAA00);
+    EXPECT_EQ(pwc.stats().fills, 0u);
+}
+
+TEST_F(PwcTest, HashedTableNeverUsesPwc)
+{
+    FrameAllocator halloc(64 * 1024);
+    HashedPageTable hpt(geom, halloc, 1 << 10);
+    pwc.fill(hpt, 1, 0x100, 0xAA00);
+    int level = 0;
+    PhysAddr base = 0;
+    EXPECT_FALSE(pwc.lookup(hpt, 0x100, level, base));
+}
+
+TEST_F(PwcTest, FlushEmptiesCache)
+{
+    pwc.fill(pt, 1, 0x100, 0xAA00);
+    pwc.flush();
+    int level = 0;
+    PhysAddr base = 0;
+    EXPECT_FALSE(pwc.lookup(pt, 0x100, level, base));
+}
+
+TEST_F(PwcTest, HitRateStat)
+{
+    pwc.fill(pt, 1, 0x100, 0xAA00);
+    int level = 0;
+    PhysAddr base = 0;
+    pwc.lookup(pt, 0x100, level, base);
+    pwc.lookup(pt, Vpn(7) << 25, level, base);
+    EXPECT_NEAR(pwc.stats().hitRate(), 0.5, 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,265 @@
+/** @file Unit tests for the hardware PTW pool, PWB ports, and NHA. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "vm/ptw.hh"
+
+using namespace sw;
+
+namespace {
+
+class PtwTest : public ::testing::Test
+{
+  protected:
+    PtwTest()
+        : geom(64 * 1024), alloc(64 * 1024), pt(geom, alloc), pwc(32)
+    {
+    }
+
+    std::unique_ptr<HardwarePtwPool>
+    makePool(HardwarePtwPool::Params params, Cycle mem_latency = 50)
+    {
+        return std::make_unique<HardwarePtwPool>(
+            eq, params, pt, pwc,
+            [this, mem_latency](PhysAddr, std::function<void()> done) {
+                ++memReads;
+                eq.scheduleIn(mem_latency, std::move(done));
+            },
+            [this](const WalkResult &result) { results.push_back(result); });
+    }
+
+    WalkRequest
+    makeRequest(Vpn vpn, std::uint64_t id)
+    {
+        pt.ensureMapped(vpn);
+        WalkRequest req;
+        req.id = id;
+        req.vpn = vpn;
+        req.cursor = pt.startWalk(vpn);
+        req.created = eq.now();
+        return req;
+    }
+
+    EventQueue eq;
+    PageGeometry geom;
+    FrameAllocator alloc;
+    RadixPageTable pt;
+    PageWalkCache pwc;
+    int memReads = 0;
+    std::vector<WalkResult> results;
+};
+
+TEST_F(PtwTest, SingleWalkCompletesWithCorrectPfn)
+{
+    auto pool = makePool({});
+    Pfn expected = pt.translate(pt.ensureMapped(42) ? 42 : 42);
+    pool->submit(makeRequest(42, 1));
+    eq.run();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].id, 1u);
+    EXPECT_FALSE(results[0].fault);
+    EXPECT_EQ(results[0].pfn, pt.translate(42));
+    (void)expected;
+    EXPECT_EQ(memReads, 4) << "four radix levels read";
+    EXPECT_EQ(pool->inFlight(), 0u);
+}
+
+TEST_F(PtwTest, WalkLatencyIsLevelsTimesMemory)
+{
+    auto pool = makePool({}, /*mem_latency=*/50);
+    pool->submit(makeRequest(7, 1));
+    eq.run();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].accessLatency, 200u);
+}
+
+TEST_F(PtwTest, ResumedWalkSkipsLevels)
+{
+    auto pool = makePool({}, 50);
+    pt.ensureMapped(9);
+    // Learn the leaf base from a functional walk.
+    WalkCursor cur = pt.startWalk(9);
+    while (cur.level > 1)
+        pt.advance(cur);
+    WalkRequest req;
+    req.id = 2;
+    req.vpn = 9;
+    req.cursor = pt.resumeWalk(9, 1, cur.tableBase);
+    pool->submit(std::move(req));
+    eq.run();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].accessLatency, 50u) << "one read from the leaf";
+}
+
+TEST_F(PtwTest, ParallelWalkersOverlap)
+{
+    HardwarePtwPool::Params params;
+    params.numWalkers = 4;
+    params.pwbPorts = 8;
+    auto pool = makePool(params, 50);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        pool->submit(makeRequest(100 + Vpn(i) * 1000, i));
+    eq.run();
+    EXPECT_EQ(results.size(), 4u);
+    // Four walks of 4 levels at 50cy overlap: well under serial time.
+    EXPECT_LT(eq.now(), 4 * 200u);
+}
+
+TEST_F(PtwTest, LimitedWalkersSerialiseAndQueueDelayGrows)
+{
+    HardwarePtwPool::Params params;
+    params.numWalkers = 1;
+    auto pool = makePool(params, 50);
+    for (std::uint64_t i = 0; i < 3; ++i)
+        pool->submit(makeRequest(100 + Vpn(i) * 1000, i));
+    eq.run();
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(pool->stats().queueDelay.maxv,
+              results[2].queueDelay);
+    EXPECT_GE(results[2].queueDelay, 2 * 200u);
+}
+
+TEST_F(PtwTest, QueueDelayMeasuredFromCreation)
+{
+    auto pool = makePool({});
+    WalkRequest req = makeRequest(5, 1);
+    req.created = 0;
+    eq.schedule(100, [&, req]() mutable { pool->submit(std::move(req)); });
+    eq.run();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_GE(results[0].queueDelay, 100u);
+}
+
+TEST_F(PtwTest, WalksFillThePwc)
+{
+    auto pool = makePool({});
+    pool->submit(makeRequest(0x500, 1));
+    eq.run();
+    int level = 0;
+    PhysAddr base = 0;
+    EXPECT_TRUE(pwc.lookup(pt, 0x500, level, base));
+    EXPECT_EQ(level, 1) << "leaf table base cached";
+}
+
+TEST_F(PtwTest, FaultReportedForUnmappedVpn)
+{
+    auto pool = makePool({});
+    WalkRequest req;
+    req.id = 9;
+    req.vpn = 0xFFFF;
+    req.cursor = pt.startWalk(0xFFFF);
+    pool->submit(std::move(req));
+    eq.run();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].fault);
+}
+
+TEST_F(PtwTest, PwbOverflowSpillsAndRecovers)
+{
+    HardwarePtwPool::Params params;
+    params.numWalkers = 1;
+    params.pwbEntries = 2;
+    auto pool = makePool(params, 20);
+    for (std::uint64_t i = 0; i < 8; ++i)
+        pool->submit(makeRequest(Vpn(i) * 4096, i));
+    eq.run();
+    EXPECT_EQ(results.size(), 8u);
+    EXPECT_GT(pool->stats().pwbOverflows, 0u);
+}
+
+TEST_F(PtwTest, SinglePortSerialisesDispatch)
+{
+    HardwarePtwPool::Params one_port;
+    one_port.numWalkers = 16;
+    one_port.pwbPorts = 1;
+    auto pool_one = makePool(one_port, 400);
+    for (std::uint64_t i = 0; i < 16; ++i)
+        pool_one->submit(makeRequest(Vpn(i) * 4096, i));
+    eq.run();
+    Cycle one_port_time = eq.now();
+
+    results.clear();
+    eq.reset();
+    HardwarePtwPool::Params many_ports = one_port;
+    many_ports.pwbPorts = 16;
+    auto pool_many = makePool(many_ports, 400);
+    for (std::uint64_t i = 0; i < 16; ++i)
+        pool_many->submit(makeRequest(Vpn(i) * 4096, 100 + i));
+    eq.run();
+    EXPECT_LE(eq.now(), one_port_time);
+}
+
+// ---- NHA coalescing (§2.3) --------------------------------------------
+
+TEST_F(PtwTest, NhaMergesSameSectorWalks)
+{
+    HardwarePtwPool::Params params;
+    params.numWalkers = 1;
+    params.nhaCoalescing = true;
+    params.nhaSectorBytes = 32;   // 4 PTEs per sector
+    auto pool = makePool(params, 30);
+    // Four adjacent VPNs share the leaf-PTE sector.  The walker is busy
+    // with the first; the next three are in the PWB and coalesce.
+    for (std::uint64_t i = 0; i < 4; ++i)
+        pool->submit(makeRequest(0x1000 + Vpn(i), i));
+    eq.run();
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_GT(pool->stats().nhaMerged, 0u);
+    // Riders get their own PFNs.
+    for (const auto &result : results)
+        EXPECT_EQ(result.pfn, pt.translate(result.vpn));
+}
+
+TEST_F(PtwTest, NhaDoesNotMergeDistantVpns)
+{
+    HardwarePtwPool::Params params;
+    params.numWalkers = 1;
+    params.nhaCoalescing = true;
+    auto pool = makePool(params, 30);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        pool->submit(makeRequest(Vpn(i) * (1 << 16), i));
+    eq.run();
+    EXPECT_EQ(pool->stats().nhaMerged, 0u);
+    EXPECT_EQ(results.size(), 4u);
+}
+
+TEST_F(PtwTest, NhaMergeLimitIsSectorCapacity)
+{
+    HardwarePtwPool::Params params;
+    params.numWalkers = 1;
+    params.nhaCoalescing = true;
+    params.nhaSectorBytes = 32;
+    auto pool = makePool(params, 30);
+    // 8 adjacent VPNs: at most 3 can ride along with each primary (4 PTEs
+    // per 32 B sector).
+    for (std::uint64_t i = 0; i < 8; ++i)
+        pool->submit(makeRequest(0x2000 + Vpn(i), i));
+    eq.run();
+    EXPECT_EQ(results.size(), 8u);
+    EXPECT_LE(pool->stats().nhaMerged, 6u);
+}
+
+TEST_F(PtwTest, StatsResetPreservesInFlightAccounting)
+{
+    auto pool = makePool({});
+    pool->submit(makeRequest(1, 1));
+    pool->resetStats();
+    eq.run();
+    EXPECT_EQ(pool->stats().completed, 1u);
+    EXPECT_EQ(pool->inFlight(), 0u);
+}
+
+TEST_F(PtwTest, PeakInFlightTracksBurst)
+{
+    HardwarePtwPool::Params params;
+    params.numWalkers = 2;
+    auto pool = makePool(params, 50);
+    for (std::uint64_t i = 0; i < 6; ++i)
+        pool->submit(makeRequest(Vpn(i) * 512, i));
+    eq.run();
+    EXPECT_EQ(pool->stats().peakInFlight, 6u);
+}
+
+} // namespace

@@ -1,0 +1,211 @@
+/** @file Unit & property tests for the TLB array and In-TLB MSHR states. */
+
+#include <gtest/gtest.h>
+
+#include "vm/tlb.hh"
+
+using namespace sw;
+
+namespace {
+
+TEST(TlbArray, MissOnEmpty)
+{
+    TlbArray tlb("t", 16, 4);
+    Pfn pfn = 0;
+    EXPECT_FALSE(tlb.lookup(1, pfn));
+    EXPECT_EQ(tlb.stats().lookups, 1u);
+    EXPECT_EQ(tlb.stats().hits, 0u);
+}
+
+TEST(TlbArray, FillThenHit)
+{
+    TlbArray tlb("t", 16, 4);
+    EXPECT_TRUE(tlb.fill(7, 77));
+    Pfn pfn = 0;
+    EXPECT_TRUE(tlb.lookup(7, pfn));
+    EXPECT_EQ(pfn, 77u);
+    EXPECT_DOUBLE_EQ(tlb.stats().hitRate(), 1.0);
+}
+
+TEST(TlbArray, RefillUpdatesInPlace)
+{
+    TlbArray tlb("t", 16, 4);
+    tlb.fill(7, 77);
+    tlb.fill(7, 88);
+    Pfn pfn = 0;
+    EXPECT_TRUE(tlb.lookup(7, pfn));
+    EXPECT_EQ(pfn, 88u);
+    EXPECT_EQ(tlb.stats().evictions, 0u);
+}
+
+TEST(TlbArray, SetOverflowEvictsLru)
+{
+    TlbArray tlb("t", 16, 4);   // 4 sets, 4 ways
+    // Five VPNs mapping to set 0 (vpn % 4 == 0).
+    for (Vpn vpn = 0; vpn < 5; ++vpn)
+        tlb.fill(vpn * 4, vpn);
+    EXPECT_EQ(tlb.stats().evictions, 1u);
+    Pfn pfn = 0;
+    EXPECT_FALSE(tlb.lookup(0, pfn)) << "LRU entry evicted";
+    EXPECT_TRUE(tlb.lookup(16, pfn));
+}
+
+TEST(TlbArray, LookupRefreshesLru)
+{
+    TlbArray tlb("t", 16, 4);
+    for (Vpn vpn = 0; vpn < 4; ++vpn)
+        tlb.fill(vpn * 4, vpn);
+    Pfn pfn = 0;
+    tlb.lookup(0, pfn);        // refresh vpn 0
+    tlb.fill(16, 99);          // evicts vpn 4, not 0
+    EXPECT_TRUE(tlb.probe(0));
+    EXPECT_FALSE(tlb.probe(4));
+}
+
+TEST(TlbArray, FullyAssociativeWhenWaysEqualEntries)
+{
+    TlbArray tlb("l1", 8, 8);
+    EXPECT_EQ(tlb.numSets(), 1u);
+    for (Vpn vpn = 0; vpn < 8; ++vpn)
+        tlb.fill(vpn * 1000 + 3, vpn);
+    for (Vpn vpn = 0; vpn < 8; ++vpn)
+        EXPECT_TRUE(tlb.probe(vpn * 1000 + 3));
+}
+
+TEST(TlbArray, InvalidateRemovesEntry)
+{
+    TlbArray tlb("t", 16, 4);
+    tlb.fill(5, 50);
+    tlb.invalidate(5);
+    EXPECT_FALSE(tlb.probe(5));
+}
+
+TEST(TlbArray, FlushClearsEverything)
+{
+    TlbArray tlb("t", 16, 4);
+    tlb.fill(5, 50);
+    tlb.allocPending(9);
+    tlb.flush();
+    EXPECT_FALSE(tlb.probe(5));
+    EXPECT_EQ(tlb.pendingCount(), 0u);
+}
+
+// ---- In-TLB MSHR behaviour (§4.5) -------------------------------------
+
+TEST(InTlbMshr, AllocPendingOccupiesAWay)
+{
+    TlbArray tlb("t", 16, 4);
+    EXPECT_TRUE(tlb.allocPending(8));
+    EXPECT_EQ(tlb.pendingCount(), 1u);
+    EXPECT_TRUE(tlb.hasPending(8));
+    EXPECT_FALSE(tlb.hasPending(12));
+}
+
+TEST(InTlbMshr, SameTagReservationMerges)
+{
+    TlbArray tlb("t", 16, 4);
+    EXPECT_TRUE(tlb.allocPending(8));
+    EXPECT_TRUE(tlb.allocPending(8));
+    EXPECT_EQ(tlb.pendingCount(), 1u) << "same tag merges onto one slot";
+    EXPECT_EQ(tlb.stats().pendingAllocs, 1u);
+}
+
+TEST(InTlbMshr, SetFullyPendingFailsFurtherAllocs)
+{
+    TlbArray tlb("t", 16, 4);
+    // Four distinct tags in set 0 consume all ways.
+    for (Vpn vpn = 0; vpn < 4; ++vpn)
+        EXPECT_TRUE(tlb.allocPending(vpn * 4));
+    EXPECT_FALSE(tlb.allocPending(16 * 4));
+    EXPECT_EQ(tlb.stats().pendingAllocFailures, 1u);
+}
+
+TEST(InTlbMshr, PendingAllocEvictsValidLruEntry)
+{
+    TlbArray tlb("t", 16, 4);
+    for (Vpn vpn = 0; vpn < 4; ++vpn)
+        tlb.fill(vpn * 4, vpn);
+    EXPECT_TRUE(tlb.allocPending(100));   // 100 % 4 == 0 -> set 0
+    EXPECT_EQ(tlb.stats().pendingEvictedValid, 1u);
+    EXPECT_FALSE(tlb.probe(0)) << "LRU translation sacrificed";
+}
+
+TEST(InTlbMshr, PendingEntriesAreNotLookupHits)
+{
+    TlbArray tlb("t", 16, 4);
+    tlb.allocPending(8);
+    Pfn pfn = 0;
+    EXPECT_FALSE(tlb.lookup(8, pfn));
+}
+
+TEST(InTlbMshr, FillNeverDisplacesPending)
+{
+    TlbArray tlb("t", 16, 4);
+    for (Vpn vpn = 0; vpn < 4; ++vpn)
+        tlb.allocPending(vpn * 4);
+    // Every way of set 0 is pending: a fill to that set is skipped.
+    EXPECT_FALSE(tlb.fill(16 * 4, 1));
+    EXPECT_EQ(tlb.stats().fillsSkipped, 1u);
+    EXPECT_EQ(tlb.pendingCount(), 4u);
+}
+
+TEST(InTlbMshr, ClearPendingFreesAllMatchingWays)
+{
+    TlbArray tlb("t", 16, 4);
+    tlb.allocPending(8);
+    tlb.allocPending(12);
+    tlb.clearPending(8);
+    EXPECT_FALSE(tlb.hasPending(8));
+    EXPECT_TRUE(tlb.hasPending(12));
+    EXPECT_EQ(tlb.pendingCount(), 1u);
+}
+
+TEST(InTlbMshr, WalkCompletionFlow)
+{
+    // The full §4.5 sequence: alloc pending -> walk completes ->
+    // clear pending -> fill valid -> subsequent lookups hit.
+    TlbArray tlb("t", 16, 4);
+    ASSERT_TRUE(tlb.allocPending(8));
+    tlb.clearPending(8);
+    ASSERT_TRUE(tlb.fill(8, 80));
+    Pfn pfn = 0;
+    EXPECT_TRUE(tlb.lookup(8, pfn));
+    EXPECT_EQ(pfn, 80u);
+    EXPECT_EQ(tlb.pendingCount(), 0u);
+}
+
+TEST(TlbArrayDeath, RejectsIndivisibleGeometry)
+{
+    EXPECT_DEATH(TlbArray("bad", 10, 4), "divisible");
+}
+
+/** Property sweep over geometries: fills are always retrievable until the
+ *  set overflows, and pending counts stay consistent. */
+class TlbGeometry
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t,
+                                                 std::uint32_t>>
+{
+};
+
+TEST_P(TlbGeometry, PendingCountConsistency)
+{
+    auto [entries, ways] = GetParam();
+    TlbArray tlb("p", entries, ways);
+    std::uint32_t allocated = 0;
+    for (Vpn vpn = 0; vpn < entries * 2; ++vpn) {
+        if (tlb.allocPending(vpn))
+            ++allocated;
+    }
+    EXPECT_EQ(tlb.pendingCount(), allocated);
+    EXPECT_LE(allocated, entries);
+    for (Vpn vpn = 0; vpn < entries * 2; ++vpn)
+        tlb.clearPending(vpn);
+    EXPECT_EQ(tlb.pendingCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, TlbGeometry,
+    ::testing::Combine(::testing::Values(16u, 64u, 256u),
+                       ::testing::Values(2u, 4u, 16u)));
+
+} // namespace

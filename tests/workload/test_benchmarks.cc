@@ -1,0 +1,117 @@
+/** @file Tests for the Table 4 benchmark registry. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/rng.hh"
+#include "workload/benchmarks.hh"
+
+using namespace sw;
+
+namespace {
+
+TEST(Benchmarks, TwentyEntriesInPaperSplit)
+{
+    EXPECT_EQ(benchmarkSuite().size(), 20u);
+    EXPECT_EQ(irregularSuite().size(), 12u);
+    EXPECT_EQ(regularSuite().size(), 8u);
+    EXPECT_EQ(scalableSuite().size(), 10u);
+}
+
+TEST(Benchmarks, AbbreviationsAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &info : benchmarkSuite())
+        names.insert(info.abbr);
+    EXPECT_EQ(names.size(), 20u);
+}
+
+TEST(Benchmarks, Table4FootprintsMatchPaper)
+{
+    EXPECT_EQ(findBenchmark("bc").footprintMb, 1194u);
+    EXPECT_EQ(findBenchmark("dc").footprintMb, 1138u);
+    EXPECT_EQ(findBenchmark("sssp").footprintMb, 1788u);
+    EXPECT_EQ(findBenchmark("gc").footprintMb, 1294u);
+    EXPECT_EQ(findBenchmark("nw").footprintMb, 612u);
+    EXPECT_EQ(findBenchmark("st2d").footprintMb, 612u);
+    EXPECT_EQ(findBenchmark("xsb").footprintMb, 360u);
+    EXPECT_EQ(findBenchmark("bfs").footprintMb, 1396u);
+    EXPECT_EQ(findBenchmark("sy2k").footprintMb, 192u);
+    EXPECT_EQ(findBenchmark("spmv").footprintMb, 288u);
+    EXPECT_EQ(findBenchmark("gesv").footprintMb, 226u);
+    EXPECT_EQ(findBenchmark("gups").footprintMb, 308u);
+    EXPECT_EQ(findBenchmark("cc").footprintMb, 2306u);
+    EXPECT_EQ(findBenchmark("kc").footprintMb, 1152u);
+    EXPECT_EQ(findBenchmark("2dc").footprintMb, 1120u);
+    EXPECT_EQ(findBenchmark("fft").footprintMb, 610u);
+    EXPECT_EQ(findBenchmark("histo").footprintMb, 1124u);
+    EXPECT_EQ(findBenchmark("red").footprintMb, 1124u);
+    EXPECT_EQ(findBenchmark("scan").footprintMb, 516u);
+    EXPECT_EQ(findBenchmark("gemm").footprintMb, 288u);
+}
+
+TEST(Benchmarks, Table4RequiredPtwsMatchPaper)
+{
+    EXPECT_EQ(findBenchmark("sy2k").paperRequiredPtws, 1024u);
+    EXPECT_EQ(findBenchmark("gups").paperRequiredPtws, 1024u);
+    EXPECT_EQ(findBenchmark("nw").paperRequiredPtws, 512u);
+    EXPECT_EQ(findBenchmark("bc").paperRequiredPtws, 256u);
+    for (const auto *info : regularSuite())
+        EXPECT_EQ(info->paperRequiredPtws, 32u);
+}
+
+TEST(Benchmarks, IrregularsHaveHigherPaperMpkiThanRegulars)
+{
+    double min_irregular = 1e18;
+    double max_regular = 0.0;
+    for (const auto *info : irregularSuite())
+        min_irregular = std::min(min_irregular, info->paperMpki);
+    for (const auto *info : regularSuite())
+        max_regular = std::max(max_regular, info->paperMpki);
+    EXPECT_GT(min_irregular, max_regular);
+}
+
+TEST(Benchmarks, FactoriesProduceNamedWorkloads)
+{
+    for (const auto &info : benchmarkSuite()) {
+        auto wl = makeWorkload(info);
+        ASSERT_NE(wl, nullptr);
+        EXPECT_EQ(wl->name(), info.abbr);
+        EXPECT_EQ(wl->irregular(), info.irregular);
+        EXPECT_EQ(wl->footprintBytes(), info.footprintMb * 1024 * 1024);
+    }
+}
+
+TEST(Benchmarks, FootprintScaleMultiplies)
+{
+    const BenchmarkInfo &info = findBenchmark("bfs");
+    auto wl = makeWorkload(info, 2.0);
+    EXPECT_EQ(wl->footprintBytes(), info.footprintMb * 1024 * 1024 * 2);
+}
+
+TEST(Benchmarks, GeneratorsProduceValidInstructions)
+{
+    Rng rng(1);
+    for (const auto &info : benchmarkSuite()) {
+        auto wl = makeWorkload(info);
+        for (int i = 0; i < 20; ++i) {
+            WarpInstr instr = wl->next(SmId(i % 4), WarpId(i % 8), rng);
+            ASSERT_GE(instr.activeLanes, 1u);
+            ASSERT_LE(instr.activeLanes, 32u);
+        }
+    }
+}
+
+TEST(Benchmarks, ScalableSubsetIsIrregular)
+{
+    for (const auto *info : scalableSuite())
+        EXPECT_TRUE(info->irregular) << info->abbr;
+}
+
+TEST(BenchmarksDeath, UnknownAbbreviationIsFatal)
+{
+    EXPECT_DEATH(findBenchmark("nope"), "unknown benchmark");
+}
+
+} // namespace
