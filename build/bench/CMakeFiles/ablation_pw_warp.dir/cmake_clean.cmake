@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pw_warp.dir/ablation_pw_warp.cc.o"
+  "CMakeFiles/ablation_pw_warp.dir/ablation_pw_warp.cc.o.d"
+  "ablation_pw_warp"
+  "ablation_pw_warp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pw_warp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

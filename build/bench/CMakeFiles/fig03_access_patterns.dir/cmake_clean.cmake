@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_access_patterns.dir/fig03_access_patterns.cc.o"
+  "CMakeFiles/fig03_access_patterns.dir/fig03_access_patterns.cc.o.d"
+  "fig03_access_patterns"
+  "fig03_access_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_access_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

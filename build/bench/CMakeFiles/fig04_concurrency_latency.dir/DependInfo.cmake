@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig04_concurrency_latency.cc" "bench/CMakeFiles/fig04_concurrency_latency.dir/fig04_concurrency_latency.cc.o" "gcc" "bench/CMakeFiles/fig04_concurrency_latency.dir/fig04_concurrency_latency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/sw_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/sw_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sw_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sw_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sw_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/area/CMakeFiles/sw_area.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

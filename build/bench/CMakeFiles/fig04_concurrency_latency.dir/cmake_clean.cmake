@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_concurrency_latency.dir/fig04_concurrency_latency.cc.o"
+  "CMakeFiles/fig04_concurrency_latency.dir/fig04_concurrency_latency.cc.o.d"
+  "fig04_concurrency_latency"
+  "fig04_concurrency_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_concurrency_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

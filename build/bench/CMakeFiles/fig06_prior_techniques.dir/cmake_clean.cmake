@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_prior_techniques.dir/fig06_prior_techniques.cc.o"
+  "CMakeFiles/fig06_prior_techniques.dir/fig06_prior_techniques.cc.o.d"
+  "fig06_prior_techniques"
+  "fig06_prior_techniques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_prior_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_ptw_mshr_scaling.dir/fig12_ptw_mshr_scaling.cc.o"
+  "CMakeFiles/fig12_ptw_mshr_scaling.dir/fig12_ptw_mshr_scaling.cc.o.d"
+  "fig12_ptw_mshr_scaling"
+  "fig12_ptw_mshr_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ptw_mshr_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

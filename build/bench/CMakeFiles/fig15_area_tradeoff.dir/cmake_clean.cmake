@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_area_tradeoff.dir/fig15_area_tradeoff.cc.o"
+  "CMakeFiles/fig15_area_tradeoff.dir/fig15_area_tradeoff.cc.o.d"
+  "fig15_area_tradeoff"
+  "fig15_area_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_area_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

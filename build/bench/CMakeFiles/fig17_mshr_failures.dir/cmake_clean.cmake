@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_mshr_failures.dir/fig17_mshr_failures.cc.o"
+  "CMakeFiles/fig17_mshr_failures.dir/fig17_mshr_failures.cc.o.d"
+  "fig17_mshr_failures"
+  "fig17_mshr_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_mshr_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_l2_missrate.dir/fig20_l2_missrate.cc.o"
+  "CMakeFiles/fig20_l2_missrate.dir/fig20_l2_missrate.cc.o.d"
+  "fig20_l2_missrate"
+  "fig20_l2_missrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_l2_missrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

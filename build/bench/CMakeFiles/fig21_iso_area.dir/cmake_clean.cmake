@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_iso_area.dir/fig21_iso_area.cc.o"
+  "CMakeFiles/fig21_iso_area.dir/fig21_iso_area.cc.o.d"
+  "fig21_iso_area"
+  "fig21_iso_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_iso_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_tlb_latency.dir/fig22_tlb_latency.cc.o"
+  "CMakeFiles/fig22_tlb_latency.dir/fig22_tlb_latency.cc.o.d"
+  "fig22_tlb_latency"
+  "fig22_tlb_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_tlb_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

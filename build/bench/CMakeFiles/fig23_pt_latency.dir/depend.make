@@ -1,0 +1,2 @@
+# Empty dependencies file for fig23_pt_latency.
+# This may be replaced when dependencies are built.

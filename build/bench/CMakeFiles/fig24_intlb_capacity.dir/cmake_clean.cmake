@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24_intlb_capacity.dir/fig24_intlb_capacity.cc.o"
+  "CMakeFiles/fig24_intlb_capacity.dir/fig24_intlb_capacity.cc.o.d"
+  "fig24_intlb_capacity"
+  "fig24_intlb_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_intlb_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

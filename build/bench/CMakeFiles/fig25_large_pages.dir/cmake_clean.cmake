@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig25_large_pages.dir/fig25_large_pages.cc.o"
+  "CMakeFiles/fig25_large_pages.dir/fig25_large_pages.cc.o.d"
+  "fig25_large_pages"
+  "fig25_large_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25_large_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig26_distributor.dir/fig26_distributor.cc.o"
+  "CMakeFiles/fig26_distributor.dir/fig26_distributor.cc.o.d"
+  "fig26_distributor"
+  "fig26_distributor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig26_distributor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_hw_overhead.dir/table_hw_overhead.cc.o"
+  "CMakeFiles/table_hw_overhead.dir/table_hw_overhead.cc.o.d"
+  "table_hw_overhead"
+  "table_hw_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_hw_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

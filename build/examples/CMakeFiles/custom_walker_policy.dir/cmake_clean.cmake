@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_walker_policy.dir/custom_walker_policy.cpp.o"
+  "CMakeFiles/custom_walker_policy.dir/custom_walker_policy.cpp.o.d"
+  "custom_walker_policy"
+  "custom_walker_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_walker_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

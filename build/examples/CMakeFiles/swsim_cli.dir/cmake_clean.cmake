@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsim_cli.dir/swsim_cli.cpp.o"
+  "CMakeFiles/swsim_cli.dir/swsim_cli.cpp.o.d"
+  "swsim_cli"
+  "swsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_area.dir/cacti_lite.cc.o"
+  "CMakeFiles/sw_area.dir/cacti_lite.cc.o.d"
+  "libsw_area.a"
+  "libsw_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

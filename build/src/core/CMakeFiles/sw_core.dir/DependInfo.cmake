@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/pw_warp.cc" "src/core/CMakeFiles/sw_core.dir/pw_warp.cc.o" "gcc" "src/core/CMakeFiles/sw_core.dir/pw_warp.cc.o.d"
+  "/root/repo/src/core/softwalker.cc" "src/core/CMakeFiles/sw_core.dir/softwalker.cc.o" "gcc" "src/core/CMakeFiles/sw_core.dir/softwalker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/sw_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sw_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sw_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

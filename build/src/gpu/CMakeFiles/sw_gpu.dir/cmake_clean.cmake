@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_gpu.dir/gpu.cc.o"
+  "CMakeFiles/sw_gpu.dir/gpu.cc.o.d"
+  "CMakeFiles/sw_gpu.dir/sm.cc.o"
+  "CMakeFiles/sw_gpu.dir/sm.cc.o.d"
+  "libsw_gpu.a"
+  "libsw_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

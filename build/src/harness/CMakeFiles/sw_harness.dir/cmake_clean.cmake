@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_harness.dir/experiment.cc.o"
+  "CMakeFiles/sw_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/sw_harness.dir/report.cc.o"
+  "CMakeFiles/sw_harness.dir/report.cc.o.d"
+  "libsw_harness.a"
+  "libsw_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

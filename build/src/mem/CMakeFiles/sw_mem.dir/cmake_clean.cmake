@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_mem.dir/cache.cc.o"
+  "CMakeFiles/sw_mem.dir/cache.cc.o.d"
+  "CMakeFiles/sw_mem.dir/dram.cc.o"
+  "CMakeFiles/sw_mem.dir/dram.cc.o.d"
+  "CMakeFiles/sw_mem.dir/memory_system.cc.o"
+  "CMakeFiles/sw_mem.dir/memory_system.cc.o.d"
+  "libsw_mem.a"
+  "libsw_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/hashed_page_table.cc" "src/vm/CMakeFiles/sw_vm.dir/hashed_page_table.cc.o" "gcc" "src/vm/CMakeFiles/sw_vm.dir/hashed_page_table.cc.o.d"
+  "/root/repo/src/vm/page_table.cc" "src/vm/CMakeFiles/sw_vm.dir/page_table.cc.o" "gcc" "src/vm/CMakeFiles/sw_vm.dir/page_table.cc.o.d"
+  "/root/repo/src/vm/page_walk_cache.cc" "src/vm/CMakeFiles/sw_vm.dir/page_walk_cache.cc.o" "gcc" "src/vm/CMakeFiles/sw_vm.dir/page_walk_cache.cc.o.d"
+  "/root/repo/src/vm/ptw.cc" "src/vm/CMakeFiles/sw_vm.dir/ptw.cc.o" "gcc" "src/vm/CMakeFiles/sw_vm.dir/ptw.cc.o.d"
+  "/root/repo/src/vm/tlb.cc" "src/vm/CMakeFiles/sw_vm.dir/tlb.cc.o" "gcc" "src/vm/CMakeFiles/sw_vm.dir/tlb.cc.o.d"
+  "/root/repo/src/vm/translation.cc" "src/vm/CMakeFiles/sw_vm.dir/translation.cc.o" "gcc" "src/vm/CMakeFiles/sw_vm.dir/translation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sw_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

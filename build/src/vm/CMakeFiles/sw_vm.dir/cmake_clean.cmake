@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_vm.dir/hashed_page_table.cc.o"
+  "CMakeFiles/sw_vm.dir/hashed_page_table.cc.o.d"
+  "CMakeFiles/sw_vm.dir/page_table.cc.o"
+  "CMakeFiles/sw_vm.dir/page_table.cc.o.d"
+  "CMakeFiles/sw_vm.dir/page_walk_cache.cc.o"
+  "CMakeFiles/sw_vm.dir/page_walk_cache.cc.o.d"
+  "CMakeFiles/sw_vm.dir/ptw.cc.o"
+  "CMakeFiles/sw_vm.dir/ptw.cc.o.d"
+  "CMakeFiles/sw_vm.dir/tlb.cc.o"
+  "CMakeFiles/sw_vm.dir/tlb.cc.o.d"
+  "CMakeFiles/sw_vm.dir/translation.cc.o"
+  "CMakeFiles/sw_vm.dir/translation.cc.o.d"
+  "libsw_vm.a"
+  "libsw_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

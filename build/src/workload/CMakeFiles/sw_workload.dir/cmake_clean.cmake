@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_workload.dir/benchmarks.cc.o"
+  "CMakeFiles/sw_workload.dir/benchmarks.cc.o.d"
+  "CMakeFiles/sw_workload.dir/generators.cc.o"
+  "CMakeFiles/sw_workload.dir/generators.cc.o.d"
+  "libsw_workload.a"
+  "libsw_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/area/test_cacti_lite.cc" "tests/CMakeFiles/sw_tests.dir/area/test_cacti_lite.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/area/test_cacti_lite.cc.o.d"
+  "/root/repo/tests/core/test_distributor.cc" "tests/CMakeFiles/sw_tests.dir/core/test_distributor.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/core/test_distributor.cc.o.d"
+  "/root/repo/tests/core/test_pw_warp.cc" "tests/CMakeFiles/sw_tests.dir/core/test_pw_warp.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/core/test_pw_warp.cc.o.d"
+  "/root/repo/tests/core/test_pw_warp_hashed.cc" "tests/CMakeFiles/sw_tests.dir/core/test_pw_warp_hashed.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/core/test_pw_warp_hashed.cc.o.d"
+  "/root/repo/tests/core/test_soft_pwb.cc" "tests/CMakeFiles/sw_tests.dir/core/test_soft_pwb.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/core/test_soft_pwb.cc.o.d"
+  "/root/repo/tests/core/test_softwalker.cc" "tests/CMakeFiles/sw_tests.dir/core/test_softwalker.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/core/test_softwalker.cc.o.d"
+  "/root/repo/tests/gpu/test_gpu.cc" "tests/CMakeFiles/sw_tests.dir/gpu/test_gpu.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/gpu/test_gpu.cc.o.d"
+  "/root/repo/tests/gpu/test_sm.cc" "tests/CMakeFiles/sw_tests.dir/gpu/test_sm.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/gpu/test_sm.cc.o.d"
+  "/root/repo/tests/harness/test_experiment.cc" "tests/CMakeFiles/sw_tests.dir/harness/test_experiment.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/harness/test_experiment.cc.o.d"
+  "/root/repo/tests/harness/test_report.cc" "tests/CMakeFiles/sw_tests.dir/harness/test_report.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/harness/test_report.cc.o.d"
+  "/root/repo/tests/integration/test_failure_injection.cc" "tests/CMakeFiles/sw_tests.dir/integration/test_failure_injection.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/integration/test_failure_injection.cc.o.d"
+  "/root/repo/tests/integration/test_fuzz_translation.cc" "tests/CMakeFiles/sw_tests.dir/integration/test_fuzz_translation.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/integration/test_fuzz_translation.cc.o.d"
+  "/root/repo/tests/integration/test_mode_matrix.cc" "tests/CMakeFiles/sw_tests.dir/integration/test_mode_matrix.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/integration/test_mode_matrix.cc.o.d"
+  "/root/repo/tests/integration/test_paper_claims.cc" "tests/CMakeFiles/sw_tests.dir/integration/test_paper_claims.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/integration/test_paper_claims.cc.o.d"
+  "/root/repo/tests/mem/test_cache.cc" "tests/CMakeFiles/sw_tests.dir/mem/test_cache.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/mem/test_cache.cc.o.d"
+  "/root/repo/tests/mem/test_dram.cc" "tests/CMakeFiles/sw_tests.dir/mem/test_dram.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/mem/test_dram.cc.o.d"
+  "/root/repo/tests/mem/test_memory_system.cc" "tests/CMakeFiles/sw_tests.dir/mem/test_memory_system.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/mem/test_memory_system.cc.o.d"
+  "/root/repo/tests/sim/test_config.cc" "tests/CMakeFiles/sw_tests.dir/sim/test_config.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/sim/test_config.cc.o.d"
+  "/root/repo/tests/sim/test_event_queue.cc" "tests/CMakeFiles/sw_tests.dir/sim/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/sim/test_event_queue.cc.o.d"
+  "/root/repo/tests/sim/test_logging.cc" "tests/CMakeFiles/sw_tests.dir/sim/test_logging.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/sim/test_logging.cc.o.d"
+  "/root/repo/tests/sim/test_rng.cc" "tests/CMakeFiles/sw_tests.dir/sim/test_rng.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/sim/test_rng.cc.o.d"
+  "/root/repo/tests/sim/test_stats.cc" "tests/CMakeFiles/sw_tests.dir/sim/test_stats.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/sim/test_stats.cc.o.d"
+  "/root/repo/tests/vm/test_address.cc" "tests/CMakeFiles/sw_tests.dir/vm/test_address.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/vm/test_address.cc.o.d"
+  "/root/repo/tests/vm/test_fault_buffer.cc" "tests/CMakeFiles/sw_tests.dir/vm/test_fault_buffer.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/vm/test_fault_buffer.cc.o.d"
+  "/root/repo/tests/vm/test_hashed_page_table.cc" "tests/CMakeFiles/sw_tests.dir/vm/test_hashed_page_table.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/vm/test_hashed_page_table.cc.o.d"
+  "/root/repo/tests/vm/test_page_table.cc" "tests/CMakeFiles/sw_tests.dir/vm/test_page_table.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/vm/test_page_table.cc.o.d"
+  "/root/repo/tests/vm/test_page_walk_cache.cc" "tests/CMakeFiles/sw_tests.dir/vm/test_page_walk_cache.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/vm/test_page_walk_cache.cc.o.d"
+  "/root/repo/tests/vm/test_ptw.cc" "tests/CMakeFiles/sw_tests.dir/vm/test_ptw.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/vm/test_ptw.cc.o.d"
+  "/root/repo/tests/vm/test_ptw_timing.cc" "tests/CMakeFiles/sw_tests.dir/vm/test_ptw_timing.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/vm/test_ptw_timing.cc.o.d"
+  "/root/repo/tests/vm/test_tlb.cc" "tests/CMakeFiles/sw_tests.dir/vm/test_tlb.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/vm/test_tlb.cc.o.d"
+  "/root/repo/tests/vm/test_translation.cc" "tests/CMakeFiles/sw_tests.dir/vm/test_translation.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/vm/test_translation.cc.o.d"
+  "/root/repo/tests/workload/test_benchmarks.cc" "tests/CMakeFiles/sw_tests.dir/workload/test_benchmarks.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/workload/test_benchmarks.cc.o.d"
+  "/root/repo/tests/workload/test_generators.cc" "tests/CMakeFiles/sw_tests.dir/workload/test_generators.cc.o" "gcc" "tests/CMakeFiles/sw_tests.dir/workload/test_generators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/sw_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/sw_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sw_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sw_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sw_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/area/CMakeFiles/sw_area.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
