@@ -62,6 +62,8 @@ class SoftWalkerController
     }
 
   private:
+    friend struct AuditTester;   ///< negative-path audit tests only
+
     EventQueue &eventq;
     SmId smId;
     SoftPwb pwb;

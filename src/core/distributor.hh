@@ -17,6 +17,7 @@
 #include <functional>
 #include <vector>
 
+#include "check/audit.hh"
 #include "sim/config.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
@@ -71,6 +72,9 @@ class RequestDistributor
             return choice;
         }
         ++counters[choice];
+        SW_AUDIT(counters[choice] <= capacity,
+                 "SM %u charged past its SoftPWB capacity (%u > %u)",
+                 choice, counters[choice], capacity);
         ++stats_.dispatched;
         return choice;
     }
@@ -100,6 +104,8 @@ class RequestDistributor
     }
 
   private:
+    friend struct AuditTester;   ///< negative-path audit tests only
+
     SmId
     selectRoundRobin()
     {

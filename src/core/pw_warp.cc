@@ -1,5 +1,6 @@
 #include "core/pw_warp.hh"
 
+#include "check/audit.hh"
 #include "sim/logging.hh"
 
 namespace sw {
@@ -129,6 +130,10 @@ PwWarp::finishBatch()
     Cycle issue_done = hooks.reserveIssue(instrs);
     Cycle arrive = issue_done + commLatency;
 
+    SW_AUDIT(lanes.size() <= numLanes,
+             "batch carries %zu lanes but the warp has %u",
+             lanes.size(), numLanes);
+
     for (const Lane &lane : lanes) {
         WalkResult result;
         result.id = lane.id;
@@ -137,7 +142,14 @@ PwWarp::finishBatch()
         result.fault = lane.cursor.fault;
         result.queueDelay = lane.pickedUp - lane.created;
         result.accessLatency = arrive - lane.pickedUp;
-        eventq.schedule(arrive, [this, result]() { hooks.complete(result); });
+        // The SoftPWB slot frees now; the fill is in transit until the
+        // FL2T/FFB lands at the L2 TLB and the distributor credit drops.
+        ++fillsInTransit_;
+        eventq.schedule(arrive, [this, result]() {
+            SW_ASSERT(fillsInTransit_ > 0, "FL2T transit underflow");
+            --fillsInTransit_;
+            hooks.complete(result);
+        });
         pwb.release(lane.slot);
         ++stats_.walksCompleted;
     }

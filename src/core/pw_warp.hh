@@ -71,11 +71,21 @@ class PwWarp
     void notifyWork();
 
     bool busy() const { return running; }
+
+    /**
+     * FL2T/FFB fills issued by a finished batch that are still crossing
+     * the interconnect back to the L2 TLB.  The Simulation Auditor uses
+     * this to balance distributor credits against SoftPWB occupancy.
+     */
+    std::uint32_t fillsInTransit() const { return fillsInTransit_; }
+
     void resetStats() { stats_ = Stats{}; }
 
     const Stats &stats() const { return stats_; }
 
   private:
+    friend struct AuditTester;   ///< negative-path audit tests only
+
     struct Lane
     {
         std::uint32_t slot = 0;
@@ -101,6 +111,7 @@ class PwWarp
     bool running = false;
     std::vector<Lane> lanes;
     std::uint32_t pendingLoads = 0;
+    std::uint32_t fillsInTransit_ = 0;
     Cycle batchStart = 0;
 
     Stats stats_;

@@ -64,6 +64,23 @@ class SoftPwb
         return count;
     }
 
+    std::uint32_t
+    processingCount() const
+    {
+        std::uint32_t count = 0;
+        for (const auto &slot : slots)
+            if (slot.state == SlotState::Processing)
+                ++count;
+        return count;
+    }
+
+    /** Valid + processing slots (everything holding a live request). */
+    std::uint32_t
+    occupiedCount() const
+    {
+        return std::uint32_t(slots.size()) - freeSlots();
+    }
+
     /** Fill an invalid slot with a request (controller step 4-5). */
     std::uint32_t
     insert(WalkRequest req, Cycle now)
@@ -115,6 +132,8 @@ class SoftPwb
     const Stats &stats() const { return stats_; }
 
   private:
+    friend struct AuditTester;   ///< negative-path audit tests only
+
     std::vector<Slot> slots;
     Stats stats_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/audit.hh"
 #include "sim/logging.hh"
 
 namespace sw {
@@ -121,9 +122,12 @@ SoftWalkerBackend::dispatchSoftware(WalkRequest req)
     }
     ++stats_.toSoftware;
     // L2 TLB -> SM interconnect hop (modeled as the L2 TLB latency, §6.1).
+    ++commInTransit;
     gpu.eventQueue().scheduleIn(
         cfg.effectiveCommLatency(),
         [this, target, req = std::move(req)]() mutable {
+            SW_ASSERT(commInTransit > 0, "interconnect transit underflow");
+            --commInTransit;
             controllers[target]->accept(std::move(req));
         });
 }
@@ -148,12 +152,77 @@ SoftWalkerBackend::drainQueue()
         WalkRequest req = std::move(waiting.front());
         waiting.pop_front();
         ++stats_.toSoftware;
+        ++commInTransit;
         gpu.eventQueue().scheduleIn(
             cfg.effectiveCommLatency(),
             [this, target, req = std::move(req)]() mutable {
+                SW_ASSERT(commInTransit > 0,
+                          "interconnect transit underflow");
+                --commInTransit;
                 controllers[target]->accept(std::move(req));
             });
     }
+}
+
+void
+SoftWalkerBackend::registerAudits(Auditor &auditor)
+{
+    // Distributor credits charged == requests alive on the software path:
+    // crossing the interconnect, sitting in a SoftPWB slot, or riding a
+    // finished batch's FL2T back to the L2 TLB.  A credit leak starves the
+    // distributor; an early release overflows a SoftPWB.
+    auditor.registerAudit(
+        "core.distributor.credit-conservation", AuditScope::Continuous,
+        [this](AuditContext &ctx) {
+            std::uint64_t on_sms = 0;
+            for (const auto &controller : controllers) {
+                on_sms += controller->buffer().occupiedCount();
+                on_sms += controller->pwWarp().fillsInTransit();
+            }
+            std::uint64_t credits = distributor_->totalCredits();
+            if (credits != commInTransit + on_sms) {
+                ctx.fail(strprintf(
+                    "distributor credits %llu != interconnect transit %llu "
+                    "+ on-SM requests %llu",
+                    static_cast<unsigned long long>(credits),
+                    static_cast<unsigned long long>(commInTransit),
+                    static_cast<unsigned long long>(on_sms)));
+            }
+            for (SmId sm = 0; sm < SmId(controllers.size()); ++sm) {
+                if (distributor_->counter(sm) >
+                    distributor_->perCoreCapacity()) {
+                    ctx.fail(strprintf(
+                        "SM %u credit counter %u exceeds capacity %u",
+                        sm, distributor_->counter(sm),
+                        distributor_->perCoreCapacity()));
+                }
+            }
+        });
+
+    // PW-Warp slot lifecycle: Processing slots exist only while the warp
+    // is running a batch, and never more than it has lanes.
+    auditor.registerAudit(
+        "core.pwwarp.slot-lifecycle", AuditScope::Continuous,
+        [this](AuditContext &ctx) {
+            for (SmId sm = 0; sm < SmId(controllers.size()); ++sm) {
+                const SoftWalkerController &controller = *controllers[sm];
+                std::uint32_t processing =
+                    controller.buffer().processingCount();
+                if (processing > cfg.pwWarpThreads) {
+                    ctx.fail(strprintf(
+                        "SM %u: %u slots processing but the PW Warp has "
+                        "%u lanes", sm, processing, cfg.pwWarpThreads));
+                }
+                if (!controller.pwWarp().busy() && processing != 0) {
+                    ctx.fail(strprintf(
+                        "SM %u: %u slots stuck in Processing while the "
+                        "PW Warp is idle", sm, processing));
+                }
+            }
+        });
+
+    if (hwPool)
+        hwPool->registerAudits(auditor);
 }
 
 PwWarp::Stats

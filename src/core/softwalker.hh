@@ -49,6 +49,12 @@ class SoftWalkerBackend : public WalkBackend
     std::string name() const override;
     void resetStats() override;
 
+    /**
+     * Distributor credit conservation + PW-Warp slot lifecycle audits;
+     * in Hybrid mode also registers the hardware pool's audits.
+     */
+    void registerAudits(Auditor &auditor) override;
+
     const Stats &stats() const { return stats_; }
     const RequestDistributor &distributor() const { return *distributor_; }
     const SoftWalkerController &controller(SmId sm) const
@@ -61,6 +67,8 @@ class SoftWalkerBackend : public WalkBackend
     PwWarp::Stats aggregatePwWarpStats() const;
 
   private:
+    friend struct AuditTester;   ///< negative-path audit tests only
+
     void dispatchSoftware(WalkRequest req);
     void onSoftwareComplete(SmId sm, const WalkResult &result);
     void drainQueue();
@@ -77,6 +85,8 @@ class SoftWalkerBackend : public WalkBackend
     /** Requests waiting for any PW Warp capacity. */
     std::deque<WalkRequest> waiting;
     std::uint64_t inFlightCount = 0;
+    /** Dispatched requests still crossing the L2 TLB -> SM interconnect. */
+    std::uint64_t commInTransit = 0;
 
     Stats stats_;
 };

@@ -72,6 +72,57 @@ Gpu::Gpu(GpuConfig config, std::unique_ptr<Workload> wl)
             },
             engine_->completionFn()));
     }
+
+    registerGpuAudits();
+    engine_->registerAudits(auditor_);
+    mem->registerAudits(auditor_);
+    if (WalkBackend *backend = engine_->backend())
+        backend->registerAudits(auditor_);
+}
+
+void
+Gpu::registerGpuAudits()
+{
+    // Event time only ever moves forward between audit sweeps.
+    auditor_.registerAudit(
+        "sim.event-queue.monotonic-time", AuditScope::Continuous,
+        [this, last = std::make_shared<Cycle>(0)](AuditContext &ctx) {
+            Cycle now = eventq.now();
+            if (now < *last) {
+                ctx.fail(strprintf(
+                    "event clock moved backwards: %llu after %llu",
+                    static_cast<unsigned long long>(now),
+                    static_cast<unsigned long long>(*last)));
+            }
+            *last = now;
+        });
+
+    // Per-component stats cross-foot against the machine totals.  Only
+    // counters bumped atomically within one event are comparable: SMs
+    // count a translation request in the same call chain that enters the
+    // engine, and the L2 access split is recorded in a single function.
+    auditor_.registerAudit(
+        "gpu.stats.cross-foot", AuditScope::Continuous,
+        [this](AuditContext &ctx) {
+            std::uint64_t sm_requests = 0;
+            for (const auto &sm : sms)
+                sm_requests += sm->stats().translationsRequested;
+            const TranslationEngine::Stats &es = engine_->stats();
+            if (sm_requests != es.requests) {
+                ctx.fail(strprintf(
+                    "SMs requested %llu translations but the engine "
+                    "counted %llu",
+                    static_cast<unsigned long long>(sm_requests),
+                    static_cast<unsigned long long>(es.requests)));
+            }
+            if (es.l2Accesses != es.l2Hits + es.l2Misses) {
+                ctx.fail(strprintf(
+                    "L2 TLB accesses (%llu) != hits (%llu) + misses (%llu)",
+                    static_cast<unsigned long long>(es.l2Accesses),
+                    static_cast<unsigned long long>(es.l2Hits),
+                    static_cast<unsigned long long>(es.l2Misses)));
+            }
+        });
 }
 
 Gpu::~Gpu() = default;
@@ -79,7 +130,15 @@ Gpu::~Gpu() = default;
 void
 Gpu::installBackend(std::unique_ptr<WalkBackend> backend)
 {
+    // Replacing a backend would destroy it while its registered audits
+    // still capture it; one backend per GPU lifetime.
+    SW_ASSERT(!backendInstalled(),
+              "a walk backend is already installed (its audits would "
+              "dangle)");
+    WalkBackend *raw = backend.get();
     engine_->setBackend(std::move(backend));
+    if (raw)
+        raw->registerAudits(auditor_);
 }
 
 bool
@@ -123,10 +182,17 @@ Gpu::run(const RunLimits &limits)
     if (limits.warmupInstrs > 0)
         scheduleWarmupCheck(limits.warpInstrQuota);
 
+    if (cfg.auditIntervalCycles > 0)
+        auditor_.schedulePeriodic(eventq, cfg.auditIntervalCycles);
+
     eventq.run(limits.maxCycles);
 
     for (auto &sm : sms)
         sm->finalizeStats();
+
+    // End-of-sim audit: quiescent-only invariants (no leaked MSHR / miss)
+    // apply only when the run drained rather than hitting its cycle cap.
+    auditor_.finalCheck(eventq.now(), eventq.empty());
 }
 
 void

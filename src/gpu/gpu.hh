@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/audit.hh"
 #include "gpu/sm.hh"
 #include "mem/memory_system.hh"
 #include "sim/config.hh"
@@ -74,6 +75,15 @@ class Gpu
     /** Completed fraction of quota / elapsed cycles: the speedup metric. */
     double performance() const;
 
+    /**
+     * The Simulation Auditor holding every registered conservation audit.
+     * Components register at construction/installBackend time; run()
+     * schedules periodic sweeps (cfg.auditIntervalCycles) and performs the
+     * end-of-sim check.
+     */
+    Auditor &auditor() { return auditor_; }
+    const Auditor &auditor() const { return auditor_; }
+
     TranslationEngine &engine() { return *engine_; }
     const TranslationEngine &engine() const { return *engine_; }
     MemorySystem &memory() { return *mem; }
@@ -93,10 +103,14 @@ class Gpu
     void resetAllStats();
 
   private:
+    friend struct AuditTester;   ///< negative-path audit tests only
+
     void scheduleWarmupCheck(std::uint64_t measured_quota);
+    void registerGpuAudits();
 
     GpuConfig cfg;
     EventQueue eventq;
+    Auditor auditor_;
     std::unique_ptr<FrameAllocator> allocator;
     std::unique_ptr<PageTableBase> pageTable_;
     std::unique_ptr<MemorySystem> mem;

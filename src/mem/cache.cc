@@ -1,5 +1,6 @@
 #include "mem/cache.hh"
 
+#include "check/audit.hh"
 #include "sim/logging.hh"
 
 namespace sw {
@@ -135,6 +136,9 @@ Cache::lookup(PhysAddr addr, bool write, std::function<void()> on_done,
 
     Mshr &mshr = mshrs[sa];
     mshr.waiters.push_back(std::move(on_done));
+    SW_AUDIT(mshrs.size() <= params_.mshrEntries,
+             "%s: MSHR file overallocated (%zu > %u)",
+             params_.name.c_str(), mshrs.size(), params_.mshrEntries);
     forward(addr, write, [this, addr]() { handleFill(addr); });
 }
 

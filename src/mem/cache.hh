@@ -88,8 +88,11 @@ class Cache
     const Stats &stats() const { return stats_; }
     const Params &params() const { return params_; }
     std::size_t outstandingMshrs() const { return mshrs.size(); }
+    std::size_t waitingForMshrCount() const { return waitingForMshr.size(); }
 
   private:
+    friend struct AuditTester;   ///< negative-path audit tests only
+
     struct Line
     {
         bool valid = false;

@@ -1,5 +1,6 @@
 #include "mem/memory_system.hh"
 
+#include "check/audit.hh"
 #include "sim/logging.hh"
 
 namespace sw {
@@ -66,6 +67,52 @@ MemorySystem::resetStats()
         cache->resetStats();
     l2dCache->resetStats();
     dramModel->resetStats();
+}
+
+void
+MemorySystem::registerAudits(Auditor &auditor)
+{
+    // Cache miss-tracking never exceeds the configured MSHR file, at any
+    // level of the hierarchy.
+    auditor.registerAudit(
+        "mem.cache.mshr-capacity", AuditScope::Continuous,
+        [this](AuditContext &ctx) {
+            auto check = [&ctx](const Cache &cache) {
+                if (cache.outstandingMshrs() > cache.params().mshrEntries) {
+                    ctx.fail(strprintf(
+                        "%s: %zu MSHRs outstanding, capacity %u",
+                        cache.params().name.c_str(),
+                        cache.outstandingMshrs(),
+                        cache.params().mshrEntries));
+                }
+            };
+            for (const auto &cache : l1dCaches)
+                check(*cache);
+            check(*l2dCache);
+        });
+
+    // Once the machine drains, every miss has been filled: no MSHR is
+    // still allocated and nobody is parked waiting for one.
+    auditor.registerAudit(
+        "mem.cache.no-leaked-mshr", AuditScope::Quiescent,
+        [this](AuditContext &ctx) {
+            auto check = [&ctx](const Cache &cache) {
+                if (cache.outstandingMshrs() != 0) {
+                    ctx.fail(strprintf("%s: %zu MSHRs never filled",
+                                       cache.params().name.c_str(),
+                                       cache.outstandingMshrs()));
+                }
+                if (cache.waitingForMshrCount() != 0) {
+                    ctx.fail(strprintf(
+                        "%s: %zu requests still waiting for an MSHR",
+                        cache.params().name.c_str(),
+                        cache.waitingForMshrCount()));
+                }
+            };
+            for (const auto &cache : l1dCaches)
+                check(*cache);
+            check(*l2dCache);
+        });
 }
 
 Cache::Stats

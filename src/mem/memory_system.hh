@@ -21,6 +21,8 @@
 
 namespace sw {
 
+class Auditor;
+
 /** Wires L1D -> L2D -> DRAM and routes accesses. */
 class MemorySystem
 {
@@ -43,7 +45,12 @@ class MemorySystem
     /** Zero every cache's and DRAM's statistics (post-warmup reset). */
     void resetStats();
 
+    /** Cache MSHR capacity + leak audits for every level. */
+    void registerAudits(Auditor &auditor);
+
   private:
+    friend struct AuditTester;   ///< negative-path audit tests only
+
     EventQueue &eventq;
     std::vector<std::unique_ptr<Cache>> l1dCaches;
     std::unique_ptr<Cache> l2dCache;

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "check/audit.hh"
 #include "sim/types.hh"
 
 namespace sw {
@@ -120,6 +121,14 @@ struct GpuConfig
 
     // ---- Run control ------------------------------------------------------
     std::uint64_t rngSeed = 1;
+
+    /**
+     * Cycle interval between conservation-audit sweeps (src/check); 0
+     * disables periodic sweeps (the end-of-sim check always runs).  Audit
+     * builds (-DSOFTWALKER_AUDIT=ON) default to sweeping; regular builds
+     * keep the sweeps off the clock.
+     */
+    Cycle auditIntervalCycles = kAuditEnabled ? 10000 : 0;
 
     /** Effective SM<->L2TLB communication latency. */
     Cycle effectiveCommLatency() const

@@ -16,6 +16,7 @@
 #include <queue>
 #include <vector>
 
+#include "check/audit.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -81,12 +82,35 @@ class EventQueue
         // a const_cast that is safe because the element is popped before the
         // callback runs.
         Event &ev = const_cast<Event &>(heap.top());
+        SW_AUDIT(ev.when >= curCycle,
+                 "event time moved backwards (%llu < %llu)",
+                 static_cast<unsigned long long>(ev.when),
+                 static_cast<unsigned long long>(curCycle));
         curCycle = ev.when;
         EventFn fn = std::move(ev.fn);
         heap.pop();
         ++numExecuted;
         fn();
         return true;
+    }
+
+    /**
+     * Install a sweep hook invoked from run() between two events whenever at
+     * least @p interval cycles have elapsed since the previous sweep.  The
+     * hook piggybacks on real events: it never schedules anything, never
+     * advances the clock, and never keeps a drained simulation alive, so the
+     * simulated timeline is identical with and without it (the Simulation
+     * Auditor depends on this — audits observe, they must not perturb).
+     * An @p interval of 0 (or an empty @p fn) uninstalls the hook.
+     */
+    using SweepFn = std::function<void(Cycle)>;
+
+    void
+    setPeriodicCheck(Cycle interval, SweepFn fn)
+    {
+        sweepInterval = interval;
+        sweepFn = interval ? std::move(fn) : SweepFn{};
+        lastSweep = curCycle;
     }
 
     /**
@@ -102,6 +126,10 @@ class EventQueue
             if (predicate && predicate())
                 break;
             runOne();
+            if (sweepFn && curCycle - lastSweep >= sweepInterval) {
+                lastSweep = curCycle;
+                sweepFn(curCycle);
+            }
             if ((numExecuted & ((1u << 24) - 1)) == 0) {
                 inform("event queue: %llu events, cycle %llu, %zu pending",
                        static_cast<unsigned long long>(numExecuted),
@@ -123,6 +151,8 @@ class EventQueue
     }
 
   private:
+    friend struct AuditTester;   ///< negative-path audit tests only
+
     struct Event
     {
         Cycle when;
@@ -145,6 +175,9 @@ class EventQueue
     Cycle curCycle = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t numExecuted = 0;
+    SweepFn sweepFn;
+    Cycle sweepInterval = 0;
+    Cycle lastSweep = 0;
 };
 
 } // namespace sw

@@ -1,14 +1,39 @@
 #include "sim/logging.hh"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 namespace sw {
 
+LogLevel
+logLevelFromEnv()
+{
+    const char *env = std::getenv("SW_LOG_LEVEL");
+    if (!env || !*env)
+        return LogLevel::Info;
+    if (std::strcmp(env, "0") == 0 || std::strcmp(env, "quiet") == 0 ||
+        std::strcmp(env, "error") == 0) {
+        return LogLevel::Quiet;
+    }
+    if (std::strcmp(env, "1") == 0 || std::strcmp(env, "warn") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "2") == 0 || std::strcmp(env, "info") == 0 ||
+        std::strcmp(env, "verbose") == 0) {
+        return LogLevel::Info;
+    }
+    std::fprintf(stderr, "warn: unrecognised SW_LOG_LEVEL '%s' "
+                 "(expected 0/quiet, 1/warn, 2/info); defaulting to info\n",
+                 env);
+    return LogLevel::Info;
+}
+
 namespace {
 
-bool verboseEnabled = true;
+LogLevel currentLevel = logLevelFromEnv();
+FailureHookFn failureHook;
 
 std::string
 vformat(const char *fmt, va_list ap)
@@ -24,6 +49,21 @@ vformat(const char *fmt, va_list ap)
     return std::string(buf.data(), static_cast<size_t>(len));
 }
 
+/**
+ * The single terminating sink: every panic/fatal/assert/audit failure ends
+ * here, so diagnostics handling lives in exactly one place.
+ */
+[[noreturn]] void
+failureSink(const char *kind, const std::string &msg, bool abort_process)
+{
+    std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+    if (failureHook)
+        failureHook(kind, msg);
+    if (abort_process)
+        std::abort();
+    std::exit(1);
+}
+
 } // namespace
 
 void
@@ -33,8 +73,7 @@ panic(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
-    std::abort();
+    failureSink("panic", msg, /*abort_process=*/true);
 }
 
 void
@@ -44,13 +83,14 @@ fatal(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
-    std::exit(1);
+    failureSink("fatal", msg, /*abort_process=*/false);
 }
 
 void
 warn(const char *fmt, ...)
 {
+    if (currentLevel < LogLevel::Warn)
+        return;
     va_list ap;
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
@@ -61,7 +101,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (!verboseEnabled)
+    if (currentLevel < LogLevel::Info)
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -71,9 +111,28 @@ inform(const char *fmt, ...)
 }
 
 void
+setLogLevel(LogLevel level)
+{
+    currentLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return currentLevel;
+}
+
+void
 setVerbose(bool verbose)
 {
-    verboseEnabled = verbose;
+    // Legacy switch used by benches: toggles inform() only.
+    currentLevel = verbose ? LogLevel::Info : LogLevel::Warn;
+}
+
+void
+setFailureHook(FailureHookFn hook)
+{
+    failureHook = std::move(hook);
 }
 
 void
@@ -83,9 +142,9 @@ panicAssert(const char *cond, const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "panic: assertion '%s' failed: %s\n", cond,
-                 msg.c_str());
-    std::abort();
+    failureSink("panic",
+                strprintf("assertion '%s' failed: %s", cond, msg.c_str()),
+                /*abort_process=*/true);
 }
 
 std::string

@@ -3,15 +3,28 @@
  * Error and status reporting helpers, following the gem5 convention:
  * panic() for simulator bugs, fatal() for user/configuration errors,
  * warn()/inform() for status messages that never stop the simulation.
+ *
+ * Every terminating path (panic, fatal, SW_ASSERT, audit failures) funnels
+ * through a single failure sink so tools — and tests — can intercept all of
+ * them in one place (setFailureHook()).
  */
 
 #ifndef SW_SIM_LOGGING_HH
 #define SW_SIM_LOGGING_HH
 
 #include <cstdarg>
+#include <functional>
 #include <string>
 
 namespace sw {
+
+/** Verbosity levels for the status channels. */
+enum class LogLevel : int
+{
+    Quiet = 0,   ///< errors only: warn() and inform() are suppressed
+    Warn = 1,    ///< errors + warn()
+    Info = 2,    ///< everything (default)
+};
 
 /**
  * Abort the simulation because of an internal invariant violation.
@@ -33,8 +46,33 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Report normal operating status. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/**
+ * Set the verbosity threshold.  The initial value comes from the
+ * SW_LOG_LEVEL environment variable ("0"/"quiet", "1"/"warn",
+ * "2"/"info"); unset or unrecognised values default to Info.
+ */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/**
+ * Parse SW_LOG_LEVEL from the current environment (warns on an
+ * unrecognised value).  Called once at start-up for the initial
+ * threshold; exposed so tests can cover the parsing.
+ */
+LogLevel logLevelFromEnv();
+
 /** Enable/disable inform() output (benches silence it). */
 void setVerbose(bool verbose);
+
+/**
+ * Observer invoked by the failure sink just before the process terminates,
+ * with the failure kind ("panic" or "fatal") and the formatted message.
+ * Tests and external harnesses use it to capture diagnostics; it must not
+ * assume the process survives. Pass nullptr to clear.
+ */
+using FailureHookFn = std::function<void(const char *kind,
+                                         const std::string &msg)>;
+void setFailureHook(FailureHookFn hook);
 
 /** printf-style formatting into a std::string. */
 std::string strprintf(const char *fmt, ...)

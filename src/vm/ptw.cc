@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/audit.hh"
 #include "sim/logging.hh"
 
 namespace sw {
@@ -53,7 +54,10 @@ HardwarePtwPool::submit(WalkRequest req)
     stats_.peakInFlight = std::max(stats_.peakInFlight, inFlightCount);
 
     Cycle enq_done = reservePort();
+    ++enqInTransit;
     eventq.schedule(enq_done, [this, req = std::move(req)]() mutable {
+        SW_ASSERT(enqInTransit > 0, "PWB enqueue transit underflow");
+        --enqInTransit;
         if (pwb.size() < params_.pwbEntries) {
             pwb.push_back(std::move(req));
         } else {
@@ -71,6 +75,9 @@ HardwarePtwPool::dispatch()
         std::uint32_t slot = idleSlots.back();
         idleSlots.pop_back();
         ++activeWalkers;
+        SW_AUDIT(activeWalkers <= params_.numWalkers,
+                 "more active walkers (%u) than the pool has (%u)",
+                 activeWalkers, params_.numWalkers);
 
         WalkRequest req;
         if (!pwb.empty()) {
@@ -191,6 +198,54 @@ HardwarePtwPool::finishWalk(ActiveWalk &walk)
     SW_ASSERT(activeWalkers > 0, "active walker underflow");
     --activeWalkers;
     dispatch();
+}
+
+void
+HardwarePtwPool::registerAudits(Auditor &auditor)
+{
+    // PW slots allocated == released: every walker is either idle or
+    // accounted as active, and the live flags agree with the counter.
+    auditor.registerAudit(
+        "vm.ptw.slot-conservation", AuditScope::Continuous,
+        [this](AuditContext &ctx) {
+            if (activeWalkers + idleSlots.size() != params_.numWalkers) {
+                ctx.fail(strprintf(
+                    "active (%u) + idle (%zu) walkers != pool size (%u)",
+                    activeWalkers, idleSlots.size(), params_.numWalkers));
+            }
+            std::uint64_t live = 0;
+            for (const auto &walk : active)
+                if (walk.live)
+                    ++live;
+            if (live != activeWalkers) {
+                ctx.fail(strprintf(
+                    "live walk slots (%llu) != active walker counter (%u)",
+                    static_cast<unsigned long long>(live), activeWalkers));
+            }
+        });
+
+    // Walks in flight match sum(queues) + sum(walkers): nothing is lost
+    // between the submit port, the PWB, the overflow spill, and the
+    // walkers (including NHA-coalesced riders).
+    auditor.registerAudit(
+        "vm.ptw.inflight-conservation", AuditScope::Continuous,
+        [this](AuditContext &ctx) {
+            std::uint64_t walking = 0;
+            for (const auto &walk : active)
+                if (walk.live)
+                    walking += 1 + walk.coalesced.size();
+            std::uint64_t accounted =
+                enqInTransit + pwb.size() + overflow.size() + walking;
+            if (accounted != inFlightCount) {
+                ctx.fail(strprintf(
+                    "in-flight %llu != enq-transit %llu + PWB %zu + "
+                    "overflow %zu + walking %llu",
+                    static_cast<unsigned long long>(inFlightCount),
+                    static_cast<unsigned long long>(enqInTransit),
+                    pwb.size(), overflow.size(),
+                    static_cast<unsigned long long>(walking)));
+            }
+        });
 }
 
 } // namespace sw

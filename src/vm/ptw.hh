@@ -65,6 +65,9 @@ class HardwarePtwPool : public WalkBackend
 
     void resetStats() override { stats_ = Stats{}; }
 
+    /** PTW slot lifecycle + in-flight conservation audits. */
+    void registerAudits(Auditor &auditor) override;
+
     const Stats &stats() const { return stats_; }
     std::size_t pwbOccupancy() const
     {
@@ -73,6 +76,8 @@ class HardwarePtwPool : public WalkBackend
     std::uint32_t busyWalkers() const { return activeWalkers; }
 
   private:
+    friend struct AuditTester;   ///< negative-path audit tests only
+
     /** Reserve one PWB port operation; returns the cycle it completes. */
     Cycle reservePort();
 
@@ -110,6 +115,8 @@ class HardwarePtwPool : public WalkBackend
     std::uint32_t activeWalkers = 0;
     std::vector<Cycle> portFree;        ///< per-port next-free cycle
     std::uint64_t inFlightCount = 0;
+    /** Walks accepted but still crossing the PWB enqueue port. */
+    std::uint64_t enqInTransit = 0;
     Stats stats_;
 };
 

@@ -1,5 +1,6 @@
 #include "vm/tlb.hh"
 
+#include "check/audit.hh"
 #include "sim/logging.hh"
 
 namespace sw {
@@ -89,6 +90,8 @@ TlbArray::fill(Vpn vpn, Pfn pfn)
         ++stats_.fillsSkipped;
         return false;
     }
+    SW_AUDIT(victim->state != EntryState::Pending,
+             "fill displaced an In-TLB MSHR slot in %s", name_.c_str());
     if (victim->state == EntryState::Valid)
         ++stats_.evictions;
     victim->state = EntryState::Valid;
@@ -138,6 +141,16 @@ TlbArray::allocPending(Vpn vpn)
     return true;
 }
 
+std::uint32_t
+TlbArray::countPendingScan() const
+{
+    std::uint32_t count = 0;
+    for (const auto &entry : entries)
+        if (entry.state == EntryState::Pending)
+            ++count;
+    return count;
+}
+
 bool
 TlbArray::hasPending(Vpn vpn) const
 {
@@ -162,6 +175,9 @@ TlbArray::clearPending(Vpn vpn)
             --numPending;
         }
     }
+    SW_AUDIT(numPending == countPendingScan(),
+             "%s: pending counter %u diverged from array scan %u",
+             name_.c_str(), numPending, countPendingScan());
 }
 
 void

@@ -79,6 +79,13 @@ class TlbArray
     void flush();
 
     std::uint32_t pendingCount() const { return numPending; }
+
+    /**
+     * Recount pending ways by scanning the array; the Simulation Auditor
+     * cross-checks this against the running pendingCount() counter.
+     */
+    std::uint32_t countPendingScan() const;
+
     std::uint32_t numEntries() const { return std::uint32_t(entries.size()); }
     std::uint32_t numWays() const { return ways; }
     std::uint32_t numSets() const { return sets; }
@@ -91,6 +98,8 @@ class TlbArray
     const std::string &name() const { return name_; }
 
   private:
+    friend struct AuditTester;   ///< negative-path audit tests only
+
     struct Entry
     {
         EntryState state = EntryState::Invalid;

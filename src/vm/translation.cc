@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/audit.hh"
 #include "sim/logging.hh"
 
 namespace sw {
@@ -158,6 +159,11 @@ TranslationEngine::tryHandleL2Miss(SmId sm, Vpn vpn, Cycle arrival)
         return false;
     }
 
+    SW_AUDIT(idealMshrs || in_tlb_slot ||
+             regularMshrInUse <= cfg.l2TlbMshrs,
+             "regular L2 MSHR overallocation (%u > %u)",
+             regularMshrInUse, cfg.l2TlbMshrs);
+
     L2Track track;
     track.inTlbSlot = in_tlb_slot;
     track.created = arrival;
@@ -237,6 +243,9 @@ TranslationEngine::onWalkComplete(const WalkResult &result)
 
     if (track.inTlbSlot) {
         l2Array.clearPending(result.vpn);
+        SW_AUDIT(!l2Array.hasPending(result.vpn),
+                 "In-TLB MSHR slot survived walk completion for vpn %llu",
+                 static_cast<unsigned long long>(result.vpn));
     } else {
         SW_ASSERT(regularMshrInUse > 0, "regular MSHR underflow");
         --regularMshrInUse;
@@ -288,6 +297,120 @@ TranslationEngine::resetStats()
     pwcCache.resetStats();
     if (walkBackend)
         walkBackend->resetStats();
+}
+
+void
+TranslationEngine::registerAudits(Auditor &auditor)
+{
+    // Running pending counters never drift from an array recount.
+    auditor.registerAudit(
+        "vm.tlb.pending-count", AuditScope::Continuous,
+        [this](AuditContext &ctx) {
+            auto check = [&ctx](const TlbArray &tlb) {
+                std::uint32_t scanned = tlb.countPendingScan();
+                if (tlb.pendingCount() != scanned) {
+                    ctx.fail(strprintf(
+                        "%s: pending counter %u != array scan %u",
+                        tlb.name().c_str(), tlb.pendingCount(), scanned));
+                }
+            };
+            check(l2Array);
+            for (const auto &l1 : l1Arrays)
+                check(l1);
+        });
+
+    // Every outstanding L2 miss holds exactly one miss-tracking slot:
+    // a regular MSHR or an In-TLB MSHR (pending L2 TLB way), never both,
+    // never neither.
+    auditor.registerAudit(
+        "vm.l2.mshr-conservation", AuditScope::Continuous,
+        [this](AuditContext &ctx) {
+            std::uint64_t in_tlb = 0;
+            for (const auto &[vpn, track] : outstanding) {
+                if (!track.inTlbSlot)
+                    continue;
+                ++in_tlb;
+                if (!l2Array.hasPending(vpn)) {
+                    ctx.fail(strprintf(
+                        "outstanding In-TLB track for vpn %llu has no "
+                        "pending L2 TLB way",
+                        static_cast<unsigned long long>(vpn)));
+                }
+            }
+            std::uint64_t regular = outstanding.size() - in_tlb;
+            if (regularMshrInUse != regular) {
+                ctx.fail(strprintf(
+                    "regular MSHRs in use (%u) != regular-slot tracks (%llu)",
+                    regularMshrInUse,
+                    static_cast<unsigned long long>(regular)));
+            }
+            if (l2Array.pendingCount() != in_tlb) {
+                ctx.fail(strprintf(
+                    "L2 TLB pending ways (%u) != In-TLB-slot tracks (%llu)",
+                    l2Array.pendingCount(),
+                    static_cast<unsigned long long>(in_tlb)));
+            }
+        });
+
+    // The backend never holds more walks than the engine is tracking:
+    // a completion must always find its tracker.
+    auditor.registerAudit(
+        "vm.l2.walks-vs-backend", AuditScope::Continuous,
+        [this](AuditContext &ctx) {
+            if (!walkBackend)
+                return;
+            std::uint64_t backend_inflight = walkBackend->inFlight();
+            if (backend_inflight > outstanding.size()) {
+                ctx.fail(strprintf(
+                    "backend '%s' has %llu walks in flight but only %zu "
+                    "outstanding L2 misses are tracked",
+                    walkBackend->name().c_str(),
+                    static_cast<unsigned long long>(backend_inflight),
+                    outstanding.size()));
+            }
+        });
+
+    // Once the machine drains, every L2 TLB miss must have resolved: no
+    // leaked In-TLB MSHR or pending entry, no parked requester, no MSHR
+    // still charged.
+    auditor.registerAudit(
+        "vm.l2.no-leaked-miss", AuditScope::Quiescent,
+        [this](AuditContext &ctx) {
+            if (!outstanding.empty()) {
+                ctx.fail(strprintf("%zu L2 misses never resolved",
+                                   outstanding.size()));
+            }
+            if (!l2WaitQueue.empty()) {
+                ctx.fail(strprintf("%zu requesters still parked at the "
+                                   "L2 TLB", l2WaitQueue.size()));
+            }
+            if (regularMshrInUse != 0) {
+                ctx.fail(strprintf("%u regular L2 MSHRs never released",
+                                   regularMshrInUse));
+            }
+            if (l2Array.pendingCount() != 0) {
+                ctx.fail(strprintf("%u In-TLB MSHR slots leaked",
+                                   l2Array.pendingCount()));
+            }
+            for (SmId sm = 0; sm < SmId(l1Mshrs.size()); ++sm) {
+                if (!l1Mshrs[sm].empty()) {
+                    ctx.fail(strprintf("SM %u: %zu L1 MSHRs never resolved",
+                                       sm, l1Mshrs[sm].size()));
+                }
+                if (!l1WaitQueues[sm].empty()) {
+                    ctx.fail(strprintf(
+                        "SM %u: %zu requests still parked at the L1 TLB",
+                        sm, l1WaitQueues[sm].size()));
+                }
+            }
+            if (walkBackend && walkBackend->inFlight() != 0) {
+                ctx.fail(strprintf(
+                    "backend '%s' still reports %llu walks in flight",
+                    walkBackend->name().c_str(),
+                    static_cast<unsigned long long>(
+                        walkBackend->inFlight())));
+            }
+        });
 }
 
 void

@@ -31,6 +31,8 @@
 
 namespace sw {
 
+class Auditor;
+
 /** Delivered with the PFN when a translation resolves. */
 using TransDoneFn = std::function<void(Pfn)>;
 
@@ -120,6 +122,13 @@ class TranslationEngine
     /** Outstanding L2 misses currently tracked (regular + In-TLB). */
     std::size_t outstandingWalks() const { return outstanding.size(); }
 
+    /**
+     * Register the translation-path conservation audits: In-TLB MSHR /
+     * regular-MSHR bookkeeping, TLB pending counters, backend in-flight
+     * accounting, and the end-of-sim "every L2 miss resolved" check.
+     */
+    void registerAudits(Auditor &auditor);
+
     /** L2 TLB misses per kilo "instruction" given an instruction count. */
     double
     l2Mpki(std::uint64_t instructions) const
@@ -130,6 +139,8 @@ class TranslationEngine
     }
 
   private:
+    friend struct AuditTester;   ///< negative-path audit tests only
+
     /** Tracking record for one outstanding L2 TLB miss. */
     struct L2Track
     {

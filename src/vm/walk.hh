@@ -17,6 +17,8 @@
 
 namespace sw {
 
+class Auditor;
+
 /** One outstanding page-table walk. */
 struct WalkRequest
 {
@@ -62,6 +64,12 @@ class WalkBackend
 
     /** Zero the statistics (post-warmup measurement reset). */
     virtual void resetStats() = 0;
+
+    /**
+     * Register this backend's conservation audits (slot lifecycle,
+     * in-flight accounting) with the Simulation Auditor.  Default: none.
+     */
+    virtual void registerAudits(Auditor &auditor) { (void)auditor; }
 };
 
 } // namespace sw

@@ -50,3 +50,53 @@ TEST(Logging, WarnAndInformDoNotTerminate)
     inform("visible");
     SUCCEED();
 }
+
+TEST(Logging, LogLevelRoundTrips)
+{
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(LogLevel::Warn);
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+    setVerbose(true);
+    EXPECT_EQ(logLevel(), LogLevel::Info);
+    setVerbose(false);
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+    setLogLevel(before);
+}
+
+TEST(Logging, LogLevelParsesFromEnvironment)
+{
+    struct Case { const char *value; LogLevel expect; };
+    for (const Case &c : {Case{"0", LogLevel::Quiet},
+                          Case{"quiet", LogLevel::Quiet},
+                          Case{"error", LogLevel::Quiet},
+                          Case{"1", LogLevel::Warn},
+                          Case{"warn", LogLevel::Warn},
+                          Case{"2", LogLevel::Info},
+                          Case{"info", LogLevel::Info},
+                          Case{"verbose", LogLevel::Info},
+                          Case{"", LogLevel::Info},
+                          Case{"gibberish", LogLevel::Info}}) {
+        ASSERT_EQ(setenv("SW_LOG_LEVEL", c.value, 1), 0);
+        EXPECT_EQ(logLevelFromEnv(), c.expect) << "'" << c.value << "'";
+    }
+    unsetenv("SW_LOG_LEVEL");
+    EXPECT_EQ(logLevelFromEnv(), LogLevel::Info);
+}
+
+/** Every failure class reaches a hook installed on the single sink. */
+TEST(LoggingDeath, FailureHookSeesEveryFailureClass)
+{
+    auto with_hook = [](auto doom) {
+        setFailureHook([](const char *kind, const std::string &msg) {
+            std::fprintf(stderr, "hook[%s] %s\n", kind, msg.c_str());
+        });
+        doom();
+    };
+    EXPECT_DEATH(with_hook([] { panic("p"); }), "hook\\[panic\\] p");
+    EXPECT_EXIT(with_hook([] { fatal("f"); }),
+                ::testing::ExitedWithCode(1), "hook\\[fatal\\] f");
+    EXPECT_DEATH(with_hook([] { SW_ASSERT(false, "a"); }),
+                 "hook\\[panic\\] assertion 'false' failed: a");
+}
