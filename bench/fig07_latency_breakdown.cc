@@ -5,9 +5,15 @@
  *
  * Paper claim (§3.2): with 32 PTWs, queueing delay is ~95% of the total
  * walk latency for irregular applications.
+ *
+ * The phase attribution comes from the translation lifecycle tracer
+ * (src/obs): queue = WalkCreated -> walker pickup, access = pickup ->
+ * WalkFill, stamped per walk rather than read from coarse engine
+ * aggregates, so the breakdown is exact even when walks overlap.
  */
 
 #include "bench_common.hh"
+#include "obs/trace.hh"
 
 using namespace swbench;
 
@@ -21,7 +27,7 @@ main()
     auto suite = irregularSuite();
 
     TextTable table({"bench", "PTWs", "queue(cy)", "access(cy)",
-                     "total(cy)", "queue%"});
+                     "total(cy)", "queue%", "PT reads/walk"});
     std::vector<double> queue_shares_at_32;
     for (const BenchmarkInfo *info : suite) {
         for (std::uint32_t n : ptws) {
@@ -29,16 +35,25 @@ main()
             scalePtwSubsystem(cfg, n);
             std::fprintf(stderr, "  [%u ptws] %s...\n", n,
                          info->abbr.c_str());
-            RunResult r = runBenchmark(cfg, *info);
-            double share = r.avgWalkTotalLatency > 0
-                ? r.avgWalkQueueDelay / r.avgWalkTotalLatency : 0.0;
+
+            TranslationTracer tracer;
+            Observability obs;
+            obs.tracer = &tracer;
+            runBenchmark(cfg, *info, limitsFor(*info), 1.0, obs);
+
+            double queue = tracer.queuePhase().mean();
+            double access = tracer.walkPhase().mean();
+            double total = tracer.totalPhase().mean();
+            double share = total > 0 ? queue / total : 0.0;
             if (n == 32)
                 queue_shares_at_32.push_back(share);
             table.addRow({info->abbr, strprintf("%u", n),
-                          TextTable::num(r.avgWalkQueueDelay, 0),
-                          TextTable::num(r.avgWalkAccessLatency, 0),
-                          TextTable::num(r.avgWalkTotalLatency, 0),
-                          TextTable::num(100.0 * share, 1)});
+                          TextTable::num(queue, 0),
+                          TextTable::num(access, 0),
+                          TextTable::num(total, 0),
+                          TextTable::num(100.0 * share, 1),
+                          TextTable::num(tracer.ptReadsPerWalk().mean(),
+                                         2)});
         }
     }
     std::printf("%s\n", table.str().c_str());

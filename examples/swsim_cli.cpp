@@ -19,14 +19,22 @@
  *     --warmup <n>          warmup warp instructions
  *     --scale <f>           footprint scale factor
  *     --policy <rr|rand|stall>  distributor policy
+ *     --metrics-out <file>  dump the full stat registry as JSON
+ *     --trace-out <file>    dump translation lifecycle trace (Chrome JSON)
+ *     --samples-out <file>  dump periodic gauge samples as CSV
+ *     --sample-interval <n> sampling interval in cycles (default 10000)
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "harness/experiment.hh"
+#include "obs/sampler.hh"
+#include "obs/stat_registry.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 using namespace sw;
@@ -41,7 +49,9 @@ usage()
                  "[--ptws n]\n"
                  "  [--intlb n] [--page 64k|2m] [--pt radix|hashed] [--nha]"
                  "\n  [--quota n] [--warmup n] [--scale f] "
-                 "[--policy rr|rand|stall]\n");
+                 "[--policy rr|rand|stall]\n"
+                 "  [--metrics-out file] [--trace-out file] "
+                 "[--samples-out file]\n  [--sample-interval n]\n");
     std::exit(2);
 }
 
@@ -64,6 +74,8 @@ main(int argc, char **argv)
     Gpu::RunLimits limits = defaultLimits();
     bool explicit_limits = false;
     double scale = 1.0;
+    std::string metrics_out, trace_out, samples_out;
+    Cycle sample_interval = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -117,6 +129,15 @@ main(int argc, char **argv)
                 policy == "rand" ? DistributorPolicy::Random
                 : policy == "stall" ? DistributorPolicy::StallAware
                                     : DistributorPolicy::RoundRobin;
+        } else if (arg == "--metrics-out") {
+            metrics_out = require(argc, argv, i);
+        } else if (arg == "--trace-out") {
+            trace_out = require(argc, argv, i);
+        } else if (arg == "--samples-out") {
+            samples_out = require(argc, argv, i);
+        } else if (arg == "--sample-interval") {
+            sample_interval =
+                std::strtoull(require(argc, argv, i), nullptr, 10);
         } else {
             usage();
         }
@@ -126,11 +147,56 @@ main(int argc, char **argv)
     if (!explicit_limits)
         limits = limitsFor(info);
 
+    // Observability bundle: each sink exists only when its output file was
+    // requested, so a plain run installs nothing and stays bit-identical.
+    StatRegistry registry;
+    TranslationTracer tracer;
+    TimeSeriesSampler sampler;
+    Observability obs;
+    if (!metrics_out.empty())
+        obs.registry = &registry;
+    if (!trace_out.empty())
+        obs.tracer = &tracer;
+    if (!samples_out.empty()) {
+        obs.sampler = &sampler;
+        if (sample_interval > 0)
+            obs.sampleInterval = sample_interval;
+    }
+
     std::fprintf(stderr, "running %s (%s, mode=%s, quota=%llu)...\n",
                  info.abbr.c_str(), info.fullName.c_str(),
                  toString(cfg.mode),
                  (unsigned long long)limits.warpInstrQuota);
-    RunResult r = runBenchmark(cfg, info, limits, scale);
+    RunResult r = obs.any() ? runBenchmark(cfg, info, limits, scale, obs)
+                            : runBenchmark(cfg, info, limits, scale);
+
+    auto open_out = [](const std::string &path) {
+        std::ofstream out(path);
+        if (!out)
+            fatal("cannot open '%s' for writing", path.c_str());
+        return out;
+    };
+    if (!metrics_out.empty()) {
+        std::ofstream out = open_out(metrics_out);
+        registry.writeJson(out);
+        std::fprintf(stderr, "wrote %zu stats to %s\n", registry.size(),
+                     metrics_out.c_str());
+    }
+    if (!trace_out.empty()) {
+        std::ofstream out = open_out(trace_out);
+        tracer.writeTraceJson(out);
+        std::fprintf(stderr,
+                     "wrote %llu stamps / %llu walk spans to %s\n",
+                     (unsigned long long)tracer.stampsRecorded(),
+                     (unsigned long long)tracer.spansCompleted(),
+                     trace_out.c_str());
+    }
+    if (!samples_out.empty()) {
+        std::ofstream out = open_out(samples_out);
+        sampler.writeCsv(out);
+        std::fprintf(stderr, "wrote %zu samples to %s\n",
+                     sampler.numRows(), samples_out.c_str());
+    }
 
     std::printf("benchmark            %s (%s)\n", r.benchmark.c_str(),
                 info.irregular ? "irregular" : "regular");

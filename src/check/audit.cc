@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/stat_registry.hh"
 #include "sim/event_queue.hh"
 
 namespace sw {
@@ -92,6 +93,14 @@ Auditor::fired(const std::string &name) const
                        [&](const AuditViolation &v) {
                            return v.audit == name;
                        });
+}
+
+void
+Auditor::registerStats(StatGroup group)
+{
+    group.counter("sweeps", &stats_.sweeps);
+    group.counter("audits_run", &stats_.auditsRun);
+    group.counter("violations", &stats_.violations);
 }
 
 } // namespace sw

@@ -58,6 +58,7 @@
 namespace sw {
 
 class EventQueue;
+class StatGroup;
 
 /** True when the build was configured with -DSOFTWALKER_AUDIT=ON. */
 inline constexpr bool kAuditEnabled = SOFTWALKER_AUDIT != 0;
@@ -169,6 +170,9 @@ class Auditor
     bool fired(const std::string &name) const;
 
     const Stats &stats() const { return stats_; }
+
+    /** Register the auditor's own counters with the stat registry. */
+    void registerStats(StatGroup group);
 
   private:
     struct Registered

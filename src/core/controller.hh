@@ -61,6 +61,18 @@ class SoftWalkerController
         warp->resetStats();
     }
 
+    /** Forward the tracer to the PW Warp, stamping with this SM's id. */
+    void setTracer(TranslationTracer *tracer) { warp->setTracer(tracer, smId); }
+
+    /** Register controller + SoftPWB + PW Warp counters. */
+    void
+    registerStats(StatGroup group)
+    {
+        group.counter("accepted", &stats_.accepted);
+        pwb.registerStats(group.group("softpwb"));
+        warp->registerStats(group.group("pwwarp"));
+    }
+
   private:
     friend struct AuditTester;   ///< negative-path audit tests only
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "check/audit.hh"
+#include "obs/stat_registry.hh"
 #include "sim/config.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
@@ -91,6 +92,15 @@ class RequestDistributor
     std::uint32_t perCoreCapacity() const { return capacity; }
     DistributorPolicy policy() const { return policy_; }
     void resetStats() { stats_ = Stats{}; }
+
+    /** Register the distributor's counters with the unified stat registry. */
+    void
+    registerStats(StatGroup group)
+    {
+        group.counter("dispatched", &stats_.dispatched);
+        group.counter("capacity_stalls", &stats_.capacityStalls);
+        group.gauge("credits", [this]() { return double(totalCredits()); });
+    }
 
     const Stats &stats() const { return stats_; }
 

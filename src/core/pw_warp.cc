@@ -1,6 +1,7 @@
 #include "core/pw_warp.hh"
 
 #include "check/audit.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace sw {
@@ -58,6 +59,8 @@ PwWarp::startBatch()
         lane.id = slot.req.id;
         lane.vpn = slot.req.vpn;
         lanes.push_back(lane);
+        SW_TRACE(tracer_, TracePhase::WalkDispatch, eventq.now(), lane.id,
+                 lane.vpn, tracerWhere);
     }
 
     ++stats_.batches;
@@ -93,6 +96,8 @@ PwWarp::levelIteration()
     for (std::uint32_t lane_idx : active) {
         PhysAddr addr = pageTable.pteAddr(lanes[lane_idx].cursor);
         eventq.schedule(issue_done, [this, lane_idx, addr]() {
+            SW_TRACE(tracer_, TracePhase::PtRead, eventq.now(),
+                     lanes[lane_idx].id, lanes[lane_idx].vpn, tracerWhere);
             hooks.ptAccess(addr, [this, lane_idx]() {
                 Lane &lane = lanes[lane_idx];
                 int level_read = lane.cursor.level;
@@ -109,6 +114,21 @@ PwWarp::levelIteration()
             });
         });
     }
+}
+
+void
+PwWarp::registerStats(StatGroup group)
+{
+    group.counter("batches", &stats_.batches);
+    group.counter("walks_completed", &stats_.walksCompleted);
+    group.counter("instructions", &stats_.instructionsIssued);
+    group.counter("ldpt", &stats_.ldptIssued);
+    group.counter("fl2t", &stats_.fl2tIssued);
+    group.counter("fpwc", &stats_.fpwcIssued);
+    group.counter("ffb", &stats_.ffbIssued);
+    group.latency("batch_size", &stats_.batchSize);
+    group.latency("batch_latency", &stats_.batchLatency);
+    group.gauge("busy", [this]() { return running ? 1.0 : 0.0; });
 }
 
 void

@@ -81,6 +81,20 @@ class PwWarp
 
     void resetStats() { stats_ = Stats{}; }
 
+    /**
+     * Install a TranslationTracer; @p where identifies this warp's SM in
+     * the emitted stamps (the warp itself doesn't know its SM id).
+     */
+    void
+    setTracer(TranslationTracer *tracer, std::uint32_t where)
+    {
+        tracer_ = tracer;
+        tracerWhere = where;
+    }
+
+    /** Register the warp's counters with the unified stat registry. */
+    void registerStats(StatGroup group);
+
     const Stats &stats() const { return stats_; }
 
   private:
@@ -113,6 +127,8 @@ class PwWarp
     std::uint32_t pendingLoads = 0;
     std::uint32_t fillsInTransit_ = 0;
     Cycle batchStart = 0;
+    TranslationTracer *tracer_ = nullptr;
+    std::uint32_t tracerWhere = 0;
 
     Stats stats_;
 };

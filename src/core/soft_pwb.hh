@@ -129,6 +129,16 @@ class SoftPwb
     std::uint32_t size() const { return std::uint32_t(slots.size()); }
     void resetStats() { stats_ = Stats{}; }
 
+    /** Register the buffer's counters with the unified stat registry. */
+    void
+    registerStats(StatGroup group)
+    {
+        group.counter("inserts", &stats_.inserts);
+        group.counter("peak_occupancy", &stats_.peakOccupancy);
+        group.gauge("occupied",
+                    [this]() { return double(occupiedCount()); });
+    }
+
     const Stats &stats() const { return stats_; }
 
   private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/audit.hh"
+#include "obs/sampler.hh"
 #include "sim/logging.hh"
 
 namespace sw {
@@ -162,6 +163,54 @@ SoftWalkerBackend::drainQueue()
                 controllers[target]->accept(std::move(req));
             });
     }
+}
+
+void
+SoftWalkerBackend::setTracer(TranslationTracer *tracer)
+{
+    for (auto &controller : controllers)
+        controller->setTracer(tracer);
+    if (hwPool)
+        hwPool->setTracer(tracer);
+}
+
+void
+SoftWalkerBackend::registerStats(StatGroup group)
+{
+    group.counter("submitted", &stats_.submitted);
+    group.counter("to_software", &stats_.toSoftware);
+    group.counter("to_hardware", &stats_.toHardware);
+    group.counter("queued_no_capacity", &stats_.queuedNoCapacity);
+    group.counter("peak_queued", &stats_.peakQueued);
+    group.gauge("inflight", [this]() { return double(inFlightCount); });
+    group.gauge("queued", [this]() { return double(waiting.size()); });
+    distributor_->registerStats(group.group("distributor"));
+    for (SmId sm = 0; sm < SmId(controllers.size()); ++sm)
+        controllers[sm]->registerStats(group.group(strprintf("sm%u", sm)));
+    if (hwPool)
+        hwPool->registerStats(group.group("hw_pool"));
+}
+
+void
+SoftWalkerBackend::registerGauges(TimeSeriesSampler &sampler)
+{
+    sampler.gauge("pw_warps_busy", [this]() {
+        double busy = 0;
+        for (const auto &controller : controllers)
+            if (controller->pwWarp().busy())
+                ++busy;
+        return busy;
+    });
+    sampler.gauge("softpwb_occupied", [this]() {
+        double occupied = 0;
+        for (const auto &controller : controllers)
+            occupied += controller->buffer().occupiedCount();
+        return occupied;
+    });
+    sampler.gauge("distributor_queue_depth",
+                  [this]() { return double(waiting.size()); });
+    if (hwPool)
+        hwPool->registerGauges(sampler);
 }
 
 void

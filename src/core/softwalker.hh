@@ -55,6 +55,18 @@ class SoftWalkerBackend : public WalkBackend
      */
     void registerAudits(Auditor &auditor) override;
 
+    /** Forward the tracer to every PW Warp (and the hybrid hw pool). */
+    void setTracer(TranslationTracer *tracer) override;
+
+    /** Register backend, distributor, per-SM controller + warp counters. */
+    void registerStats(StatGroup group) override;
+
+    /** PW-Warp occupancy / SoftPWB / queue-depth time-series gauges. */
+    void registerGauges(TimeSeriesSampler &sampler) override;
+
+    /** Requests parked at the distributor awaiting PW-Warp capacity. */
+    std::size_t queuedRequests() const { return waiting.size(); }
+
     const Stats &stats() const { return stats_; }
     const RequestDistributor &distributor() const { return *distributor_; }
     const SoftWalkerController &controller(SmId sm) const

@@ -211,6 +211,80 @@ Gpu::scheduleWarmupCheck(std::uint64_t measured_quota)
 }
 
 void
+Gpu::installObservability(const Observability &obs)
+{
+    if (obs.tracer) {
+        tracer_ = obs.tracer;
+        engine_->setTracer(obs.tracer);
+    }
+    // After the tracer: registerStats() exposes "trace.*" only when one
+    // is installed.
+    if (obs.registry)
+        registerStats(*obs.registry);
+    if (obs.sampler) {
+        sampler_ = obs.sampler;
+        registerSamplerGauges(*obs.sampler);
+        if (WalkBackend *backend = engine_->backend())
+            backend->registerGauges(*obs.sampler);
+        obs.sampler->install(
+            eventq, obs.sampleInterval > 0 ? obs.sampleInterval : 10000);
+    }
+}
+
+void
+Gpu::registerStats(StatRegistry &registry)
+{
+    StatGroup root = registry.root();
+
+    StatGroup gpu_group = root.group("gpu");
+    gpu_group.gauge("cycles", [this]() { return double(eventq.now()); });
+    gpu_group.gauge("measured_cycles",
+                    [this]() { return double(measuredCycles()); });
+    gpu_group.gauge("events_executed",
+                    [this]() { return double(eventq.eventsExecuted()); });
+    gpu_group.gauge("performance", [this]() { return performance(); });
+
+    for (SmId id = 0; id < SmId(sms.size()); ++id)
+        sms[id]->registerStats(root.group(strprintf("sm%u", id)));
+
+    engine_->registerStats(root);
+    mem->registerStats(root.group("mem"));
+    auditor_.registerStats(root.group("audit"));
+
+    if (tracer_) {
+        StatGroup trace = root.group("trace");
+        trace.latency("queue_phase", &tracer_->queuePhase());
+        trace.latency("walk_phase", &tracer_->walkPhase());
+        trace.latency("total_phase", &tracer_->totalPhase());
+        trace.latency("pt_reads_per_walk", &tracer_->ptReadsPerWalk());
+    }
+}
+
+void
+Gpu::registerSamplerGauges(TimeSeriesSampler &sampler)
+{
+    sampler.gauge("l2tlb_pending",
+                  [this]() { return double(engine_->l2Tlb().pendingCount()); });
+    sampler.gauge("outstanding_walks",
+                  [this]() { return double(engine_->outstandingWalks()); });
+    sampler.gauge("backend_inflight", [this]() {
+        WalkBackend *backend = engine_->backend();
+        return backend ? double(backend->inFlight()) : 0.0;
+    });
+    sampler.gauge("l2tlb_miss_rate", [this]() {
+        const TranslationEngine::Stats &s = engine_->stats();
+        return s.l2Accesses ? double(s.l2Misses) / double(s.l2Accesses)
+                            : 0.0;
+    });
+    sampler.gauge("stalled_warps", [this]() {
+        double stalled = 0;
+        for (const auto &sm : sms)
+            stalled += sm->stalledWarps();
+        return stalled;
+    });
+}
+
+void
 Gpu::resetAllStats()
 {
     measureStart = eventq.now();
@@ -218,6 +292,8 @@ Gpu::resetAllStats()
         sm->resetStats();
     engine_->resetStats();
     mem->resetStats();
+    if (tracer_)
+        tracer_->resetAttribution();
 }
 
 std::uint64_t

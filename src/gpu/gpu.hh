@@ -18,6 +18,7 @@
 #include "check/audit.hh"
 #include "gpu/sm.hh"
 #include "mem/memory_system.hh"
+#include "obs/observability.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "vm/hashed_page_table.hh"
@@ -99,6 +100,22 @@ class Gpu
     /** Install a per-instruction trace hook on every SM (Fig 3). */
     void setTraceHook(TraceHookFn hook);
 
+    /**
+     * Attach the observability bundle: registers every component with the
+     * stat registry, installs the lifecycle tracer on the translation
+     * path, and arms the time-series sampler's periodic sweep.  Call
+     * AFTER the walk backend is installed so backend stats and gauges
+     * register too.  A GPU run with no observability (or a null bundle)
+     * is bit-identical to one that never called this.
+     */
+    void installObservability(const Observability &obs);
+
+    /** Register every component's stats with @p registry (dotted names). */
+    void registerStats(StatRegistry &registry);
+
+    /** Register machine-level time-series gauges with @p sampler. */
+    void registerSamplerGauges(TimeSeriesSampler &sampler);
+
     /** Zero every component's statistics (end of warmup). */
     void resetAllStats();
 
@@ -117,6 +134,9 @@ class Gpu
     std::unique_ptr<TranslationEngine> engine_;
     std::unique_ptr<Workload> workload_;
     std::vector<std::unique_ptr<Sm>> sms;
+
+    TranslationTracer *tracer_ = nullptr;
+    TimeSeriesSampler *sampler_ = nullptr;
 
     std::uint64_t quotaRemaining = 0;
     std::uint64_t warpsAlive = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/stat_registry.hh"
 #include "sim/logging.hh"
 
 namespace sw {
@@ -200,6 +201,22 @@ Sm::updateStallWindow()
         fullyStalled = false;
         stats_.memStallCycles += now - stallStart;
     }
+}
+
+void
+Sm::registerStats(StatGroup group)
+{
+    group.counter("warp_instrs", &stats_.warpInstrs);
+    group.counter("issue_slot_cycles", &stats_.issueSlotCycles);
+    group.counter("pw_issue_cycles", &stats_.pwIssueCycles);
+    group.counter("compute_cycles", &stats_.computeCycles);
+    group.counter("mem_stall_cycles", &stats_.memStallCycles);
+    group.counter("translations", &stats_.translationsRequested);
+    group.counter("data_accesses", &stats_.dataAccesses);
+    group.latency("warp_mem_latency", &stats_.warpMemLatency);
+    group.latency("access_latency", &stats_.accessLatency);
+    group.gauge("stalled_warps",
+                [this]() { return double(blockedWarps); });
 }
 
 } // namespace sw

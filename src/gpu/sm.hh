@@ -30,6 +30,8 @@
 
 namespace sw {
 
+class StatGroup;
+
 /** Translation issued on behalf of this SM: (vpn, completion). */
 using SmTranslateFn =
     std::function<void(Vpn, std::function<void(Pfn)>)>;
@@ -109,6 +111,9 @@ class Sm
         if (fullyStalled)
             stallStart = eventq.now();
     }
+
+    /** Register the SM's counters with the unified stat registry. */
+    void registerStats(StatGroup group);
 
     /** Close an open stall window (end-of-run accounting). */
     void

@@ -96,7 +96,7 @@ collectResult(Gpu &gpu, const std::string &name)
 
 RunResult
 runWorkload(const GpuConfig &cfg, std::unique_ptr<Workload> workload,
-            const Gpu::RunLimits &limits)
+            const Gpu::RunLimits &limits, const Observability *obs)
 {
     // Large-page runs scatter the synthetic hot windows (see
     // SyntheticWorkload::setWindowSpread): real irregular working sets are
@@ -111,8 +111,18 @@ runWorkload(const GpuConfig &cfg, std::unique_ptr<Workload> workload,
     std::string name = workload->name();
     Gpu gpu(cfg, std::move(workload));
     installWalkBackend(gpu);
+    if (obs && obs->any())
+        gpu.installObservability(*obs);
     gpu.run(limits);
-    return collectResult(gpu, name);
+    RunResult result = collectResult(gpu, name);
+    // The GPU (and every registered counter) dies on return; snapshot the
+    // registry so dumps outlive the run, and disarm the sampler before its
+    // event-queue pointer dangles.
+    if (obs && obs->registry)
+        obs->registry->capture();
+    if (obs && obs->sampler)
+        obs->sampler->uninstall();
+    return result;
 }
 
 Gpu::RunLimits
@@ -142,6 +152,15 @@ runBenchmark(const GpuConfig &cfg, const BenchmarkInfo &info,
              const Gpu::RunLimits &limits, double footprint_scale)
 {
     return runWorkload(cfg, makeWorkload(info, footprint_scale), limits);
+}
+
+RunResult
+runBenchmark(const GpuConfig &cfg, const BenchmarkInfo &info,
+             const Gpu::RunLimits &limits, double footprint_scale,
+             const Observability &obs)
+{
+    return runWorkload(cfg, makeWorkload(info, footprint_scale), limits,
+                       &obs);
 }
 
 double

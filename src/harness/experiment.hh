@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "gpu/gpu.hh"
+#include "obs/observability.hh"
 #include "sim/config.hh"
 #include "workload/benchmarks.hh"
 
@@ -102,10 +103,24 @@ RunResult runBenchmark(const GpuConfig &cfg, const BenchmarkInfo &info,
                        const Gpu::RunLimits &limits,
                        double footprint_scale);
 
-/** Run an arbitrary workload instance. */
+/**
+ * Same, with an observability bundle attached for the run's lifetime.
+ * The registry (when present) is capture()d before the GPU is destroyed,
+ * so its dump stays readable after this returns.
+ */
+RunResult runBenchmark(const GpuConfig &cfg, const BenchmarkInfo &info,
+                       const Gpu::RunLimits &limits,
+                       double footprint_scale, const Observability &obs);
+
+/**
+ * Run an arbitrary workload instance.  When @p obs is non-null the bundle
+ * is installed after the walk backend (so backend stats register too) and
+ * the registry is capture()d before the GPU is torn down.
+ */
 RunResult runWorkload(const GpuConfig &cfg,
                       std::unique_ptr<Workload> workload,
-                      const Gpu::RunLimits &limits = defaultLimits());
+                      const Gpu::RunLimits &limits = defaultLimits(),
+                      const Observability *obs = nullptr);
 
 /** Speedup of @p opt over @p base (performance ratio). */
 double speedup(const RunResult &base, const RunResult &opt);

@@ -3,66 +3,173 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/stat_registry.hh"
 #include "sim/logging.hh"
 
 namespace sw {
 
+void
+visitFields(const RunResult &r, RunResultFieldVisitor &v)
+{
+    // Identity + progress
+    v.str("benchmark", r.benchmark);
+    v.str("mode", toString(r.mode));
+    v.u64("cycles", r.cycles);
+    v.u64("warp_instrs", r.warpInstrs);
+    v.f64("perf", r.perf);
+
+    // Translation path
+    v.u64("l1_tlb_hits", r.l1TlbHits);
+    v.u64("l1_tlb_misses", r.l1TlbMisses);
+    v.u64("l2_tlb_accesses", r.l2TlbAccesses);
+    v.u64("l2_tlb_hits", r.l2TlbHits);
+    v.u64("l2_tlb_misses", r.l2TlbMisses);
+    v.f64("l2_tlb_mpki", r.l2TlbMpki);
+    v.f64("l2_tlb_hit_rate", r.l2TlbHitRate);
+    v.u64("l2_mshr_failures", r.l2MshrFailures);
+    v.u64("in_tlb_mshr_allocs", r.inTlbMshrAllocs);
+    v.u64("in_tlb_mshr_peak", r.inTlbMshrPeak);
+    v.u64("walks", r.walks);
+    v.f64("walk_queue_delay", r.avgWalkQueueDelay);
+    v.f64("walk_access_latency", r.avgWalkAccessLatency);
+    v.f64("walk_total_latency", r.avgWalkTotalLatency);
+    v.f64("translation_latency", r.avgTranslationLatency);
+    v.u64("faults", r.faults);
+
+    // Data memory
+    v.f64("l2d_miss_rate", r.l2dMissRate);
+    v.u64("l2d_accesses", r.l2dAccesses);
+    v.u64("l2d_mshr_failures", r.l2dMshrFailures);
+    v.f64("dram_utilisation", r.dramUtilisation);
+
+    // SM scheduler accounting
+    v.u64("mem_stall_cycles", r.memStallCycles);
+    v.u64("issue_slot_cycles", r.issueSlotCycles);
+    v.u64("compute_cycles", r.computeCycles);
+    v.u64("pw_issue_cycles", r.pwIssueCycles);
+    v.f64("access_latency", r.avgAccessLatency);
+
+    // SoftWalker internals
+    v.u64("sw_to_hardware", r.swToHardware);
+    v.u64("sw_to_software", r.swToSoftware);
+    v.u64("sw_batches", r.swBatches);
+    v.f64("sw_avg_batch_size", r.swAvgBatchSize);
+    v.u64("sw_instructions", r.swInstructions);
+}
+
 namespace {
 
-/** Escape a string for a JSON literal (our names are tame, but be safe). */
-std::string
-jsonEscape(const std::string &text)
+/** Emits `"name":value` pairs into one JSON object. */
+class JsonFieldWriter : public RunResultFieldVisitor
 {
-    std::string out;
-    out.reserve(text.size() + 2);
-    for (char ch : text) {
-        switch (ch) {
-          case '"':  out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:   out += ch; break;
-        }
+  public:
+    void
+    str(const char *name, const std::string &value) override
+    {
+        sep();
+        out << '"' << name << "\":\"" << jsonEscape(value) << '"';
     }
-    return out;
-}
+
+    void
+    u64(const char *name, std::uint64_t value) override
+    {
+        sep();
+        out << '"' << name << "\":"
+            << strprintf("%llu", (unsigned long long)value);
+    }
+
+    void
+    f64(const char *name, double value) override
+    {
+        sep();
+        out << '"' << name << "\":" << strprintf("%.6g", value);
+    }
+
+    std::string take() { return "{" + out.str() + "}"; }
+
+  private:
+    void
+    sep()
+    {
+        if (!first)
+            out << ',';
+        first = false;
+    }
+
+    std::ostringstream out;
+    bool first = true;
+};
+
+/** Collects the field names: the CSV header row. */
+class CsvHeaderWriter : public RunResultFieldVisitor
+{
+  public:
+    void str(const char *name, const std::string &) override { add(name); }
+    void u64(const char *name, std::uint64_t) override { add(name); }
+    void f64(const char *name, double) override { add(name); }
+
+    std::string take() { return out.str(); }
+
+  private:
+    void
+    add(const char *name)
+    {
+        if (!first)
+            out << ',';
+        first = false;
+        out << name;
+    }
+
+    std::ostringstream out;
+    bool first = true;
+};
+
+/** Collects the field values: one CSV data row. */
+class CsvRowWriter : public RunResultFieldVisitor
+{
+  public:
+    void
+    str(const char *, const std::string &value) override
+    {
+        add(value);
+    }
+
+    void
+    u64(const char *, std::uint64_t value) override
+    {
+        add(strprintf("%llu", (unsigned long long)value));
+    }
+
+    void
+    f64(const char *, double value) override
+    {
+        add(strprintf("%.6g", value));
+    }
+
+    std::string take() { return out.str(); }
+
+  private:
+    void
+    add(const std::string &value)
+    {
+        if (!first)
+            out << ',';
+        first = false;
+        out << value;
+    }
+
+    std::ostringstream out;
+    bool first = true;
+};
 
 } // namespace
 
 std::string
 toJson(const RunResult &r)
 {
-    std::ostringstream out;
-    out << "{"
-        << "\"benchmark\":\"" << jsonEscape(r.benchmark) << "\","
-        << "\"mode\":\"" << toString(r.mode) << "\","
-        << "\"cycles\":" << r.cycles << ","
-        << "\"warp_instrs\":" << r.warpInstrs << ","
-        << "\"perf\":" << r.perf << ","
-        << "\"l1_tlb_hits\":" << r.l1TlbHits << ","
-        << "\"l1_tlb_misses\":" << r.l1TlbMisses << ","
-        << "\"l2_tlb_accesses\":" << r.l2TlbAccesses << ","
-        << "\"l2_tlb_hits\":" << r.l2TlbHits << ","
-        << "\"l2_tlb_misses\":" << r.l2TlbMisses << ","
-        << "\"l2_tlb_mpki\":" << r.l2TlbMpki << ","
-        << "\"l2_mshr_failures\":" << r.l2MshrFailures << ","
-        << "\"in_tlb_mshr_allocs\":" << r.inTlbMshrAllocs << ","
-        << "\"in_tlb_mshr_peak\":" << r.inTlbMshrPeak << ","
-        << "\"walks\":" << r.walks << ","
-        << "\"walk_queue_delay\":" << r.avgWalkQueueDelay << ","
-        << "\"walk_access_latency\":" << r.avgWalkAccessLatency << ","
-        << "\"translation_latency\":" << r.avgTranslationLatency << ","
-        << "\"l2d_miss_rate\":" << r.l2dMissRate << ","
-        << "\"dram_utilisation\":" << r.dramUtilisation << ","
-        << "\"mem_stall_cycles\":" << r.memStallCycles << ","
-        << "\"pw_issue_cycles\":" << r.pwIssueCycles << ","
-        << "\"sw_to_hardware\":" << r.swToHardware << ","
-        << "\"sw_to_software\":" << r.swToSoftware << ","
-        << "\"sw_batches\":" << r.swBatches << ","
-        << "\"sw_avg_batch_size\":" << r.swAvgBatchSize << ","
-        << "\"faults\":" << r.faults
-        << "}";
-    return out.str();
+    JsonFieldWriter writer;
+    visitFields(r, writer);
+    return writer.take();
 }
 
 std::string
@@ -82,26 +189,17 @@ toJson(const std::vector<RunResult> &results)
 std::string
 csvHeader()
 {
-    return "benchmark,mode,cycles,warp_instrs,perf,l2_tlb_mpki,"
-           "l2_mshr_failures,in_tlb_mshr_allocs,walks,walk_queue_delay,"
-           "walk_access_latency,translation_latency,l2d_miss_rate,"
-           "dram_utilisation,mem_stall_cycles,sw_to_software,faults";
+    CsvHeaderWriter writer;
+    visitFields(RunResult{}, writer);
+    return writer.take();
 }
 
 std::string
 toCsvRow(const RunResult &r)
 {
-    return strprintf(
-        "%s,%s,%llu,%llu,%.6f,%.4f,%llu,%llu,%llu,%.2f,%.2f,%.2f,%.4f,"
-        "%.4f,%llu,%llu,%llu",
-        r.benchmark.c_str(), toString(r.mode),
-        (unsigned long long)r.cycles, (unsigned long long)r.warpInstrs,
-        r.perf, r.l2TlbMpki, (unsigned long long)r.l2MshrFailures,
-        (unsigned long long)r.inTlbMshrAllocs, (unsigned long long)r.walks,
-        r.avgWalkQueueDelay, r.avgWalkAccessLatency,
-        r.avgTranslationLatency, r.l2dMissRate, r.dramUtilisation,
-        (unsigned long long)r.memStallCycles,
-        (unsigned long long)r.swToSoftware, (unsigned long long)r.faults);
+    CsvRowWriter writer;
+    visitFields(r, writer);
+    return writer.take();
 }
 
 void

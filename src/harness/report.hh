@@ -2,11 +2,17 @@
  * @file
  * Machine-readable result output: serialise RunResults to JSON or CSV so
  * plotting pipelines can consume sweeps without scraping the text tables.
+ *
+ * Every serialiser is a RunResultFieldVisitor over the single field
+ * enumeration in visitFields(); adding a RunResult field means adding one
+ * line there and every format picks it up, with header/row arity agreement
+ * by construction.
  */
 
 #ifndef SW_HARNESS_REPORT_HH
 #define SW_HARNESS_REPORT_HH
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -15,13 +21,32 @@
 
 namespace sw {
 
+/** Receives each RunResult field in a fixed order (see visitFields()). */
+class RunResultFieldVisitor
+{
+  public:
+    virtual ~RunResultFieldVisitor() = default;
+
+    virtual void str(const char *name, const std::string &value) = 0;
+    virtual void u64(const char *name, std::uint64_t value) = 0;
+    virtual void f64(const char *name, double value) = 0;
+};
+
+/**
+ * Enumerate every field of @p result into @p visitor.  The order is fixed
+ * and shared by all serialisers: identity first (benchmark, mode), then
+ * progress, translation path, data memory, SM accounting, SoftWalker
+ * internals.
+ */
+void visitFields(const RunResult &result, RunResultFieldVisitor &visitor);
+
 /** Serialise one result as a single JSON object (no trailing newline). */
 std::string toJson(const RunResult &result);
 
 /** Serialise many results as a JSON array. */
 std::string toJson(const std::vector<RunResult> &results);
 
-/** CSV header matching writeCsvRow's columns. */
+/** CSV header matching toCsvRow's columns. */
 std::string csvHeader();
 
 /** One CSV row (no trailing newline). */

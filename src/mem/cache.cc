@@ -1,6 +1,7 @@
 #include "mem/cache.hh"
 
 #include "check/audit.hh"
+#include "obs/stat_registry.hh"
 #include "sim/logging.hh"
 
 namespace sw {
@@ -212,6 +213,21 @@ Cache::retryWaiting()
         if (waitingForMshr.size() >= before)
             break;
     }
+}
+
+void
+Cache::registerStats(StatGroup group)
+{
+    group.counter("accesses", &stats_.accesses);
+    group.counter("hits", &stats_.hits);
+    group.counter("misses", &stats_.misses);
+    group.counter("sector_misses", &stats_.sectorMisses);
+    group.counter("mshr_merges", &stats_.mshrMerges);
+    group.counter("mshr_fail", &stats_.mshrFailures);
+    group.counter("evictions", &stats_.evictions);
+    group.gauge("miss_rate", [this]() { return stats_.missRate(); });
+    group.gauge("outstanding_mshrs",
+                [this]() { return double(mshrs.size()); });
 }
 
 } // namespace sw

@@ -23,6 +23,8 @@
 
 namespace sw {
 
+class StatGroup;
+
 /**
  * Forwarding hook to the next level: called with the sector address of a
  * miss; the callee must invoke the supplied callback when the fill data is
@@ -84,6 +86,9 @@ class Cache
 
     /** Zero the statistics (post-warmup measurement reset). */
     void resetStats() { stats_ = Stats{}; }
+
+    /** Register the cache's counters with the unified stat registry. */
+    void registerStats(StatGroup group);
 
     const Stats &stats() const { return stats_; }
     const Params &params() const { return params_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/stat_registry.hh"
 #include "sim/logging.hh"
 
 namespace sw {
@@ -53,6 +54,15 @@ Dram::utilisation() const
     for (auto busy : channelBusyCycles)
         busiest = std::max(busiest, busy);
     return double(busiest) / double(now - statsSince);
+}
+
+void
+Dram::registerStats(StatGroup group)
+{
+    group.counter("accesses", &stats_.accesses);
+    group.latency("queue_delay", &stats_.queueDelay);
+    group.latency("total_latency", &stats_.totalLatency);
+    group.gauge("utilisation", [this]() { return utilisation(); });
 }
 
 } // namespace sw

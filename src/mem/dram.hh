@@ -21,6 +21,8 @@
 
 namespace sw {
 
+class StatGroup;
+
 /** Multi-channel DRAM with queueing delay and fixed device latency. */
 class Dram
 {
@@ -50,6 +52,9 @@ class Dram
 
     /** Zero the statistics (post-warmup measurement reset). */
     void resetStats();
+
+    /** Register the DRAM's counters with the unified stat registry. */
+    void registerStats(StatGroup group);
 
     const Stats &stats() const { return stats_; }
     const Params &params() const { return params_; }

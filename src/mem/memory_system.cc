@@ -1,6 +1,7 @@
 #include "mem/memory_system.hh"
 
 #include "check/audit.hh"
+#include "obs/stat_registry.hh"
 #include "sim/logging.hh"
 
 namespace sw {
@@ -113,6 +114,17 @@ MemorySystem::registerAudits(Auditor &auditor)
                 check(*cache);
             check(*l2dCache);
         });
+}
+
+void
+MemorySystem::registerStats(StatGroup group)
+{
+    for (std::size_t sm = 0; sm < l1dCaches.size(); ++sm) {
+        l1dCaches[sm]->registerStats(
+            group.group(strprintf("l1d%zu", sm)));
+    }
+    l2dCache->registerStats(group.group("l2d"));
+    dramModel->registerStats(group.group("dram"));
 }
 
 Cache::Stats

@@ -22,6 +22,7 @@
 namespace sw {
 
 class Auditor;
+class StatGroup;
 
 /** Wires L1D -> L2D -> DRAM and routes accesses. */
 class MemorySystem
@@ -47,6 +48,12 @@ class MemorySystem
 
     /** Cache MSHR capacity + leak audits for every level. */
     void registerAudits(Auditor &auditor);
+
+    /**
+     * Register the hierarchy with the unified stat registry:
+     * "l1d<N>.*", "l2d.*", "dram.*" under @p group's prefix.
+     */
+    void registerStats(StatGroup group);
 
   private:
     friend struct AuditTester;   ///< negative-path audit tests only

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Observability: optional bundle of the three src/obs layers.
+ *
+ * The experiment harness threads one of these (or nullptr) through a run:
+ * the registry collects component stats for the generic JSON dump, the
+ * tracer stamps translation lifecycles, and the sampler snapshots gauges
+ * every sampleInterval cycles.  Any member may be null; a null bundle (or
+ * the default-constructed one) reproduces the uninstrumented run exactly.
+ */
+
+#ifndef SW_OBS_OBSERVABILITY_HH
+#define SW_OBS_OBSERVABILITY_HH
+
+#include "obs/sampler.hh"
+#include "obs/stat_registry.hh"
+#include "obs/trace.hh"
+#include "sim/types.hh"
+
+namespace sw {
+
+/** Optional observability hooks for one simulation run. */
+struct Observability
+{
+    StatRegistry *registry = nullptr;
+    TranslationTracer *tracer = nullptr;
+    TimeSeriesSampler *sampler = nullptr;
+    /** Sweep period for the sampler (ignored when sampler is null). */
+    Cycle sampleInterval = 10000;
+
+    bool any() const { return registry || tracer || sampler; }
+};
+
+} // namespace sw
+
+#endif // SW_OBS_OBSERVABILITY_HH

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * StatRegistry: the unified statistics registry of the observability
+ * subsystem (src/obs).
+ *
+ * Components register their existing counters / LatencyStats / Histograms
+ * under hierarchical dotted names ("sm3.l1tlb.misses",
+ * "l2tlb.intlb_mshr.alloc_fail") through a non-owning StatGroup handle; the
+ * registry then dumps everything to JSON generically, so adding a counter
+ * to a component means adding one registration line instead of editing
+ * every serialiser by hand.  Registration is pointer-based and costs
+ * nothing on the simulation hot path: the registry only reads the values
+ * when capture()/dumpJson() is called.
+ *
+ * Lifetime: entries point into live component state.  capture() snapshots
+ * the current values into registry-owned storage so the dump remains valid
+ * after the components (the Gpu) are destroyed — the experiment harness
+ * captures right after a run completes.
+ */
+
+#ifndef SW_OBS_STAT_REGISTRY_HH
+#define SW_OBS_STAT_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace sw {
+
+class StatRegistry;
+
+/** Escape a string for embedding in a JSON literal. */
+std::string jsonEscape(const std::string &text);
+
+/**
+ * Non-owning registration handle scoped to a dotted prefix.  Cheap to copy;
+ * group("sub") derives a nested scope.  All registered pointers must
+ * outlive the registry's capture()/dumpJson() calls.
+ */
+class StatGroup
+{
+  public:
+    StatGroup(StatRegistry &registry, std::string prefix)
+        : registry_(&registry), prefix_(std::move(prefix))
+    {
+    }
+
+    /** Derive a nested scope: group("l1tlb") under "sm3" -> "sm3.l1tlb". */
+    StatGroup group(const std::string &name) const;
+
+    /** Register a monotonic 64-bit counter. */
+    void counter(const std::string &name, const std::uint64_t *value);
+
+    /** Register a 32-bit counter (occupancy counters and the like). */
+    void counter(const std::string &name, const std::uint32_t *value);
+
+    /** Register a floating-point value. */
+    void value(const std::string &name, const double *value);
+
+    /** Register a computed gauge (evaluated at capture time). */
+    void gauge(const std::string &name, std::function<double()> fn);
+
+    /** Register a LatencyStat (dumped as count/sum/min/max/mean). */
+    void latency(const std::string &name, const LatencyStat *stat);
+
+    /** Register a Histogram (dumped as samples/width/p50/p95/p99). */
+    void histogram(const std::string &name, const Histogram *hist);
+
+    const std::string &prefix() const { return prefix_; }
+
+  private:
+    std::string qualify(const std::string &name) const;
+
+    StatRegistry *registry_;
+    std::string prefix_;
+};
+
+/** Registry of hierarchically named, non-owned statistics. */
+class StatRegistry
+{
+  public:
+    StatRegistry() = default;
+
+    StatRegistry(const StatRegistry &) = delete;
+    StatRegistry &operator=(const StatRegistry &) = delete;
+
+    /** Root registration scope (empty prefix). */
+    StatGroup root() { return StatGroup(*this, ""); }
+
+    /** Registration scope under @p prefix. */
+    StatGroup group(std::string prefix)
+    {
+        return StatGroup(*this, std::move(prefix));
+    }
+
+    std::size_t size() const { return entries.size(); }
+    bool has(const std::string &name) const;
+
+    /** All registered dotted names, sorted. */
+    std::vector<std::string> names() const;
+
+    /**
+     * Snapshot every entry's current value into registry-owned storage.
+     * After capture() the registered pointers may dangle; dumpJson() keeps
+     * serving the captured values.
+     */
+    void capture();
+
+    /**
+     * One JSON object keyed by dotted stat name (sorted), e.g.
+     * {"l2tlb.hits":12,"walks.queue_delay":{"count":4,...}}.
+     * Serves the capture()d snapshot if one exists, else reads live.
+     */
+    std::string dumpJson() const;
+
+    /** Write dumpJson() to a stream. */
+    void writeJson(std::ostream &out) const;
+
+  private:
+    friend class StatGroup;
+
+    struct Entry
+    {
+        enum class Kind
+        {
+            U64,
+            U32,
+            F64,
+            Gauge,
+            Latency,
+            Hist,
+        };
+
+        Kind kind = Kind::U64;
+        const std::uint64_t *u64 = nullptr;
+        const std::uint32_t *u32 = nullptr;
+        const double *f64 = nullptr;
+        std::function<double()> gauge;
+        const LatencyStat *lat = nullptr;
+        const Histogram *hist = nullptr;
+    };
+
+    void add(std::string name, Entry entry);
+
+    /** Render one entry's current value as a JSON fragment. */
+    static std::string valueJson(const Entry &entry);
+
+    std::vector<std::pair<std::string, Entry>> entries;
+    /** capture()d name -> rendered-JSON-value pairs (empty: not captured). */
+    std::vector<std::pair<std::string, std::string>> snapshot;
+};
+
+} // namespace sw
+
+#endif // SW_OBS_STAT_REGISTRY_HH

@@ -1,0 +1,202 @@
+#include "obs/trace.hh"
+
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace sw {
+
+const char *
+toString(TracePhase phase)
+{
+    switch (phase) {
+      case TracePhase::L1Miss:        return "l1_miss";
+      case TracePhase::L2Lookup:      return "l2_lookup";
+      case TracePhase::L2Hit:         return "l2_hit";
+      case TracePhase::L2Miss:        return "l2_miss";
+      case TracePhase::MshrAlloc:     return "mshr_alloc";
+      case TracePhase::InTlbAlloc:    return "intlb_alloc";
+      case TracePhase::MshrFail:      return "mshr_fail";
+      case TracePhase::WalkCreated:   return "walk_created";
+      case TracePhase::BackendSubmit: return "backend_submit";
+      case TracePhase::WalkDispatch:  return "walk_dispatch";
+      case TracePhase::PtRead:        return "pt_read";
+      case TracePhase::WalkFill:      return "walk_fill";
+      case TracePhase::Fault:         return "fault";
+      case TracePhase::Wakeup:        return "wakeup";
+    }
+    return "?";
+}
+
+TranslationTracer::TranslationTracer(std::size_t capacity)
+    : capacity_(capacity)
+{
+    SW_ASSERT(capacity_ > 0, "tracer needs a non-zero ring capacity");
+    ring.reserve(capacity_);
+    spanRing.reserve(capacity_);
+}
+
+void
+TranslationTracer::record(TracePhase phase, Cycle cycle, std::uint64_t id,
+                          Vpn vpn, std::uint32_t where)
+{
+    ++stampsRecorded_;
+    Stamp stamp{cycle, id, vpn, where, phase};
+    if (ring.size() < capacity_) {
+        ring.push_back(stamp);
+    } else {
+        ring[ringNext] = stamp;
+        ringNext = (ringNext + 1) % capacity_;
+        ++stampsDropped_;
+    }
+
+    // Lifecycle reconstruction: only phases keyed by a walk id take part.
+    if (id == 0)
+        return;
+    switch (phase) {
+      case TracePhase::WalkCreated: {
+        WalkSpan span;
+        span.id = id;
+        span.vpn = vpn;
+        span.created = cycle;
+        live[id] = span;
+        break;
+      }
+      case TracePhase::WalkDispatch: {
+        auto it = live.find(id);
+        if (it != live.end() && it->second.dispatched == 0) {
+            it->second.dispatched = cycle;
+            it->second.where = where;
+        }
+        break;
+      }
+      case TracePhase::PtRead: {
+        auto it = live.find(id);
+        if (it != live.end())
+            ++it->second.ptReads;
+        break;
+      }
+      case TracePhase::WalkFill: {
+        auto it = live.find(id);
+        if (it == live.end())
+            break;
+        WalkSpan span = it->second;
+        live.erase(it);
+        span.filled = cycle;
+        // Faulted walks are replayed without a fresh WalkCreated; a
+        // replay that never went through dispatch attributes everything
+        // to the walk phase.
+        Cycle dispatch = span.dispatched ? span.dispatched : span.created;
+        queuePhase_.add(dispatch - span.created);
+        walkPhase_.add(span.filled - dispatch);
+        totalPhase_.add(span.filled - span.created);
+        ptReadsPerWalk_.add(span.ptReads);
+        ++spansCompleted_;
+        if (spanRing.size() < capacity_) {
+            spanRing.push_back(span);
+        } else {
+            spanRing[spanNext] = span;
+            spanNext = (spanNext + 1) % capacity_;
+            ++spansDropped_;
+        }
+        break;
+      }
+      case TracePhase::Fault:
+        // The replay arrives as a fresh WalkCreated with a new id; drop
+        // the faulted span so the live map doesn't accumulate them.
+        live.erase(id);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+TranslationTracer::resetAttribution()
+{
+    queuePhase_.reset();
+    walkPhase_.reset();
+    totalPhase_.reset();
+    ptReadsPerWalk_.reset();
+}
+
+std::vector<TranslationTracer::Stamp>
+TranslationTracer::stamps() const
+{
+    std::vector<Stamp> out;
+    out.reserve(ring.size());
+    for (std::size_t i = 0; i < ring.size(); ++i)
+        out.push_back(ring[(ringNext + i) % ring.size()]);
+    return out;
+}
+
+std::vector<TranslationTracer::WalkSpan>
+TranslationTracer::spans() const
+{
+    std::vector<WalkSpan> out;
+    out.reserve(spanRing.size());
+    for (std::size_t i = 0; i < spanRing.size(); ++i)
+        out.push_back(spanRing[(spanNext + i) % spanRing.size()]);
+    return out;
+}
+
+void
+TranslationTracer::writeTraceJson(std::ostream &out) const
+{
+    // Chrome trace_event "JSON array format": Perfetto and chrome://tracing
+    // both load a bare array of event objects.  ts/dur are simulated
+    // cycles (the viewers treat them as microseconds; only ratios matter).
+    out << "[";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            out << ",\n";
+        first = false;
+    };
+
+    for (const WalkSpan &span : spans()) {
+        unsigned long long tid =
+            span.where == kNoWhere ? 0ull
+                                   : static_cast<unsigned long long>(
+                                         span.where);
+        sep();
+        out << strprintf(
+            "{\"name\":\"queue\",\"cat\":\"walk\",\"ph\":\"X\","
+            "\"ts\":%llu,\"dur\":%llu,\"pid\":0,\"tid\":%llu,"
+            "\"args\":{\"id\":%llu,\"vpn\":%llu}}",
+            static_cast<unsigned long long>(span.created),
+            static_cast<unsigned long long>(
+                (span.dispatched ? span.dispatched : span.created) -
+                span.created),
+            tid, static_cast<unsigned long long>(span.id),
+            static_cast<unsigned long long>(span.vpn));
+        sep();
+        Cycle dispatch = span.dispatched ? span.dispatched : span.created;
+        out << strprintf(
+            "{\"name\":\"walk\",\"cat\":\"walk\",\"ph\":\"X\","
+            "\"ts\":%llu,\"dur\":%llu,\"pid\":0,\"tid\":%llu,"
+            "\"args\":{\"id\":%llu,\"vpn\":%llu,\"pt_reads\":%u}}",
+            static_cast<unsigned long long>(dispatch),
+            static_cast<unsigned long long>(span.filled - dispatch),
+            tid, static_cast<unsigned long long>(span.id),
+            static_cast<unsigned long long>(span.vpn), span.ptReads);
+    }
+
+    for (const Stamp &stamp : stamps()) {
+        sep();
+        out << strprintf(
+            "{\"name\":\"%s\",\"cat\":\"phase\",\"ph\":\"i\",\"s\":\"t\","
+            "\"ts\":%llu,\"pid\":0,\"tid\":%llu,"
+            "\"args\":{\"id\":%llu,\"vpn\":%llu}}",
+            toString(stamp.phase),
+            static_cast<unsigned long long>(stamp.cycle),
+            stamp.where == kNoWhere
+                ? 0ull
+                : static_cast<unsigned long long>(stamp.where),
+            static_cast<unsigned long long>(stamp.id),
+            static_cast<unsigned long long>(stamp.vpn));
+    }
+    out << "]\n";
+}
+
+} // namespace sw

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * TranslationTracer: ring-buffered per-request lifecycle recorder.
+ *
+ * Components stamp each translation's phase transitions (L1 TLB miss ->
+ * L2 lookup -> MSHR/In-TLB alloc -> backend submit -> PTW/PW-Warp dispatch
+ * -> per-level walk memory reads -> fill -> wakeup) through the SW_TRACE
+ * macro.  The tracer never schedules events and never advances the clock,
+ * so an installed tracer leaves the simulated timeline bit-identical; an
+ * uninstalled tracer (null pointer) costs one predicted branch, and builds
+ * configured with -DSOFTWALKER_TRACING=OFF compile the stamps away
+ * entirely, mirroring the SW_AUDIT pattern from src/check.
+ *
+ * Output: a Chrome/Perfetto trace_event JSON array (writeTraceJson) with
+ * one "X" (complete) event per walk phase span and "i" (instant) events
+ * for the raw stamps, plus per-phase latency attribution (queue = walk
+ * created -> walker pickup, walk = pickup -> fill) that the rebuilt Fig 7
+ * harness reads instead of coarse engine aggregates.
+ */
+
+#ifndef SW_OBS_TRACE_HH
+#define SW_OBS_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+#ifndef SOFTWALKER_TRACE
+#define SOFTWALKER_TRACE 1
+#endif
+
+#if SOFTWALKER_TRACE
+/** Stamp a lifecycle phase if a tracer is installed (null check only). */
+#define SW_TRACE(tracer, ...)                                               \
+    do {                                                                    \
+        if (tracer)                                                         \
+            (tracer)->record(__VA_ARGS__);                                  \
+    } while (0)
+#else
+#define SW_TRACE(tracer, ...)                                               \
+    do {                                                                    \
+        (void)sizeof(tracer);                                               \
+    } while (0)
+#endif
+
+namespace sw {
+
+/** True when the build compiles the SW_TRACE stamps in. */
+inline constexpr bool kTracingCompiled = SOFTWALKER_TRACE != 0;
+
+/** Lifecycle phases of one translation / page-table walk. */
+enum class TracePhase : std::uint8_t
+{
+    L1Miss,         ///< L1 TLB lookup missed
+    L2Lookup,       ///< request reached the L2 TLB
+    L2Hit,          ///< L2 TLB lookup hit
+    L2Miss,         ///< L2 TLB lookup missed
+    MshrAlloc,      ///< regular L2 MSHR allocated
+    InTlbAlloc,     ///< In-TLB MSHR slot allocated (§4.5)
+    MshrFail,       ///< no miss-tracking capacity; requester parked
+    WalkCreated,    ///< walk spawned (after the PWC consult)
+    BackendSubmit,  ///< walk handed to the walk backend
+    WalkDispatch,   ///< picked up by a hardware walker / PW-Warp lane
+    PtRead,         ///< one per-level page-table memory read issued
+    WalkFill,       ///< walk completed; TLBs filled
+    Fault,          ///< walk faulted into the Fault Buffer
+    Wakeup,         ///< an L1 waiter was resolved
+};
+
+const char *toString(TracePhase phase);
+
+/** Ring-buffered lifecycle recorder with per-phase latency attribution. */
+class TranslationTracer
+{
+  public:
+    /** @p where values meaning "not tied to one SM / walker". */
+    static constexpr std::uint32_t kNoWhere = ~0u;
+
+    /** One raw phase stamp. */
+    struct Stamp
+    {
+        Cycle cycle = 0;
+        std::uint64_t id = 0;    ///< walk id (0: not yet / not applicable)
+        Vpn vpn = 0;
+        std::uint32_t where = kNoWhere;  ///< SM id when known
+        TracePhase phase = TracePhase::L1Miss;
+    };
+
+    /** Reconstructed span record for one completed walk. */
+    struct WalkSpan
+    {
+        std::uint64_t id = 0;
+        Vpn vpn = 0;
+        Cycle created = 0;     ///< WalkCreated
+        Cycle dispatched = 0;  ///< first WalkDispatch
+        Cycle filled = 0;      ///< WalkFill
+        std::uint32_t ptReads = 0;
+        std::uint32_t where = kNoWhere;  ///< dispatch target when known
+    };
+
+    /**
+     * @param capacity ring capacity for raw stamps and completed spans;
+     *        the oldest records are overwritten (dropped counters track
+     *        how much history was lost).
+     */
+    explicit TranslationTracer(std::size_t capacity = 1 << 16);
+
+    TranslationTracer(const TranslationTracer &) = delete;
+    TranslationTracer &operator=(const TranslationTracer &) = delete;
+
+    /** Stamp one phase transition.  Never schedules; never perturbs. */
+    void record(TracePhase phase, Cycle cycle, std::uint64_t id, Vpn vpn,
+                std::uint32_t where = kNoWhere);
+
+    // ---- Per-phase latency attribution (completed walks) ----------------
+    /** Walk created -> walker/PW-Warp pickup. */
+    const LatencyStat &queuePhase() const { return queuePhase_; }
+    /** Pickup -> fill at the L2 TLB. */
+    const LatencyStat &walkPhase() const { return walkPhase_; }
+    /** Created -> fill (sum of the two phases). */
+    const LatencyStat &totalPhase() const { return totalPhase_; }
+    /** Page-table reads per completed walk. */
+    const LatencyStat &ptReadsPerWalk() const { return ptReadsPerWalk_; }
+
+    /** Zero the attribution stats (post-warmup measurement reset). */
+    void resetAttribution();
+
+    // ---- Raw history ----------------------------------------------------
+    std::uint64_t stampsRecorded() const { return stampsRecorded_; }
+    std::uint64_t stampsDropped() const { return stampsDropped_; }
+    std::uint64_t spansCompleted() const { return spansCompleted_; }
+    std::uint64_t spansDropped() const { return spansDropped_; }
+
+    /** Stamps still in the ring, oldest first. */
+    std::vector<Stamp> stamps() const;
+
+    /** Completed walk spans still in the ring, oldest first. */
+    std::vector<WalkSpan> spans() const;
+
+    /**
+     * Emit a Chrome/Perfetto trace_event JSON array: "X" complete events
+     * for each retained walk's queue and walk phases, "i" instant events
+     * for the retained raw stamps.  ts/dur are in simulated cycles.
+     */
+    void writeTraceJson(std::ostream &out) const;
+
+  private:
+    std::size_t capacity_;
+
+    std::vector<Stamp> ring;
+    std::size_t ringNext = 0;
+    std::uint64_t stampsRecorded_ = 0;
+    std::uint64_t stampsDropped_ = 0;
+
+    /** Walks between WalkCreated and WalkFill. */
+    std::unordered_map<std::uint64_t, WalkSpan> live;
+
+    std::vector<WalkSpan> spanRing;
+    std::size_t spanNext = 0;
+    std::uint64_t spansCompleted_ = 0;
+    std::uint64_t spansDropped_ = 0;
+
+    LatencyStat queuePhase_;
+    LatencyStat walkPhase_;
+    LatencyStat totalPhase_;
+    LatencyStat ptReadsPerWalk_;
+};
+
+} // namespace sw
+
+#endif // SW_OBS_TRACE_HH

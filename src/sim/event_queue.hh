@@ -11,6 +11,7 @@
 #ifndef SW_SIM_EVENT_QUEUE_HH
 #define SW_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -95,22 +96,59 @@ class EventQueue
     }
 
     /**
-     * Install a sweep hook invoked from run() between two events whenever at
-     * least @p interval cycles have elapsed since the previous sweep.  The
-     * hook piggybacks on real events: it never schedules anything, never
-     * advances the clock, and never keeps a drained simulation alive, so the
-     * simulated timeline is identical with and without it (the Simulation
-     * Auditor depends on this — audits observe, they must not perturb).
-     * An @p interval of 0 (or an empty @p fn) uninstalls the hook.
+     * Sweep hooks are invoked from run() between two events whenever at
+     * least their interval has elapsed since their previous sweep.  Hooks
+     * piggyback on real events: they never schedule anything, never
+     * advance the clock, and never keep a drained simulation alive, so the
+     * simulated timeline is identical with and without them (the
+     * Simulation Auditor and the observability sampler both depend on
+     * this — they observe, they must not perturb).
      */
     using SweepFn = std::function<void(Cycle)>;
 
+    /**
+     * Subscribe an independent sweep hook with its own interval.
+     * Several subscribers may coexist (e.g. the Auditor's conservation
+     * sweep and the TimeSeriesSampler); each fires on its own cadence.
+     * @return a handle for removePeriodicCheck().
+     */
+    std::uint64_t
+    addPeriodicCheck(Cycle interval, SweepFn fn)
+    {
+        SW_ASSERT(interval > 0 && fn, "sweep hook needs an interval and fn");
+        std::uint64_t id = nextSweepId++;
+        sweeps.push_back(Sweep{id, interval, curCycle, std::move(fn)});
+        return id;
+    }
+
+    /** Unsubscribe a hook added with addPeriodicCheck(); unknown ids ok. */
+    void
+    removePeriodicCheck(std::uint64_t id)
+    {
+        for (std::size_t i = 0; i < sweeps.size(); ++i) {
+            if (sweeps[i].id == id) {
+                sweeps.erase(sweeps.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+                if (legacySweepId == id)
+                    legacySweepId = 0;
+                return;
+            }
+        }
+    }
+
+    /**
+     * Legacy single-slot interface: (re)installs one hook, replacing the
+     * previous setPeriodicCheck() subscription.  An @p interval of 0 (or
+     * an empty @p fn) uninstalls it.  Hooks added via addPeriodicCheck()
+     * are unaffected.
+     */
     void
     setPeriodicCheck(Cycle interval, SweepFn fn)
     {
-        sweepInterval = interval;
-        sweepFn = interval ? std::move(fn) : SweepFn{};
-        lastSweep = curCycle;
+        if (legacySweepId)
+            removePeriodicCheck(legacySweepId);
+        if (interval && fn)
+            legacySweepId = addPeriodicCheck(interval, std::move(fn));
     }
 
     /**
@@ -126,9 +164,11 @@ class EventQueue
             if (predicate && predicate())
                 break;
             runOne();
-            if (sweepFn && curCycle - lastSweep >= sweepInterval) {
-                lastSweep = curCycle;
-                sweepFn(curCycle);
+            for (Sweep &sweep : sweeps) {
+                if (curCycle - sweep.last >= sweep.interval) {
+                    sweep.last = curCycle;
+                    sweep.fn(curCycle);
+                }
             }
             if ((numExecuted & ((1u << 24) - 1)) == 0) {
                 inform("event queue: %llu events, cycle %llu, %zu pending",
@@ -171,13 +211,22 @@ class EventQueue
         }
     };
 
+    /** One periodic sweep subscription (see addPeriodicCheck()). */
+    struct Sweep
+    {
+        std::uint64_t id;
+        Cycle interval;
+        Cycle last;
+        SweepFn fn;
+    };
+
     std::priority_queue<Event, std::vector<Event>, Later> heap;
     Cycle curCycle = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t numExecuted = 0;
-    SweepFn sweepFn;
-    Cycle sweepInterval = 0;
-    Cycle lastSweep = 0;
+    std::vector<Sweep> sweeps;
+    std::uint64_t nextSweepId = 1;
+    std::uint64_t legacySweepId = 0;
 };
 
 } // namespace sw

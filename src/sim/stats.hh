@@ -49,7 +49,7 @@ struct LatencyStat
     void reset() { *this = LatencyStat{}; }
 };
 
-/** Fixed-bucket histogram with power-of-two bucket widths. */
+/** Fixed-bucket histogram with uniform (linear) bucket widths. */
 class Histogram
 {
   public:
@@ -87,6 +87,11 @@ class Histogram
             return 0;
         std::uint64_t target =
             static_cast<std::uint64_t>(fraction * double(total));
+        // A zero target (fraction 0, or a fraction smaller than one
+        // sample) would stop the scan at the first bucket even when it is
+        // empty; the smallest meaningful rank is the first sample.
+        if (target == 0)
+            target = 1;
         std::uint64_t seen = 0;
         for (std::size_t i = 0; i < buckets.size(); ++i) {
             seen += buckets[i];
@@ -95,6 +100,13 @@ class Histogram
         }
         return buckets.size() * width;
     }
+
+    /** Median (upper bucket edge, like percentile()). */
+    std::uint64_t p50() const { return percentile(0.50); }
+    /** 95th percentile. */
+    std::uint64_t p95() const { return percentile(0.95); }
+    /** 99th percentile. */
+    std::uint64_t p99() const { return percentile(0.99); }
 
     void reset() { std::fill(buckets.begin(), buckets.end(), 0); total = 0; }
 

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "obs/stat_registry.hh"
 #include "sim/types.hh"
 
 namespace sw {
@@ -65,6 +66,16 @@ class FaultBuffer
     }
 
     const Stats &stats() const { return stats_; }
+
+    /** Register the buffer's counters with the unified stat registry. */
+    void
+    registerStats(StatGroup group)
+    {
+        group.counter("recorded", &stats_.recorded);
+        group.counter("drained", &stats_.drained);
+        group.counter("overflows", &stats_.overflows);
+        group.gauge("pending", [this]() { return double(records.size()); });
+    }
 
   private:
     std::size_t capacity_;

@@ -1,5 +1,6 @@
 #include "vm/page_walk_cache.hh"
 
+#include "obs/stat_registry.hh"
 #include "sim/logging.hh"
 #include "vm/page_table.hh"
 
@@ -80,6 +81,15 @@ PageWalkCache::flush()
 {
     for (auto &entry : entries)
         entry.valid = false;
+}
+
+void
+PageWalkCache::registerStats(StatGroup group)
+{
+    group.counter("lookups", &stats_.lookups);
+    group.counter("hits", &stats_.hits);
+    group.counter("fills", &stats_.fills);
+    group.gauge("hit_rate", [this]() { return stats_.hitRate(); });
 }
 
 } // namespace sw

@@ -20,6 +20,7 @@
 namespace sw {
 
 class PageTableBase;
+class StatGroup;
 
 /** Fully associative LRU cache of (level, prefix) -> table base. */
 class PageWalkCache
@@ -57,6 +58,9 @@ class PageWalkCache
 
     /** Zero the statistics (post-warmup measurement reset). */
     void resetStats() { stats_ = Stats{}; }
+
+    /** Register the cache's counters with the unified stat registry. */
+    void registerStats(StatGroup group);
 
     const Stats &stats() const { return stats_; }
     std::uint32_t size() const { return std::uint32_t(entries.size()); }

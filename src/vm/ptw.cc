@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "check/audit.hh"
+#include "obs/sampler.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace sw {
@@ -126,8 +128,13 @@ HardwarePtwPool::dispatch()
             w.started = eventq.now();
             w.cursor = w.primary.cursor;
             stats_.queueDelay.add(w.started - w.primary.created);
-            for (const auto &rider : w.coalesced)
+            SW_TRACE(tracer_, TracePhase::WalkDispatch, w.started,
+                     w.primary.id, w.primary.vpn, std::uint32_t(slot));
+            for (const auto &rider : w.coalesced) {
                 stats_.queueDelay.add(w.started - rider.created);
+                SW_TRACE(tracer_, TracePhase::WalkDispatch, w.started,
+                         rider.id, rider.vpn, std::uint32_t(slot));
+            }
             walkStep(slot);
         });
     }
@@ -145,6 +152,8 @@ HardwarePtwPool::walkStep(std::uint64_t slot)
 
     PhysAddr addr = pageTable.pteAddr(walk.cursor);
     ++stats_.memReads;
+    SW_TRACE(tracer_, TracePhase::PtRead, eventq.now(), walk.primary.id,
+             walk.primary.vpn, std::uint32_t(slot));
     ptAccess(addr, [this, slot]() {
         ActiveWalk &w = active[slot];
         int level_read = w.cursor.level;
@@ -198,6 +207,32 @@ HardwarePtwPool::finishWalk(ActiveWalk &walk)
     SW_ASSERT(activeWalkers > 0, "active walker underflow");
     --activeWalkers;
     dispatch();
+}
+
+void
+HardwarePtwPool::registerStats(StatGroup group)
+{
+    group.counter("submitted", &stats_.submitted);
+    group.counter("completed", &stats_.completed);
+    group.counter("nha_merged", &stats_.nhaMerged);
+    group.counter("pwb_overflows", &stats_.pwbOverflows);
+    group.counter("mem_reads", &stats_.memReads);
+    group.counter("peak_inflight", &stats_.peakInFlight);
+    group.latency("queue_delay", &stats_.queueDelay);
+    group.latency("access_latency", &stats_.accessLatency);
+    group.gauge("inflight", [this]() { return double(inFlightCount); });
+    group.gauge("busy_walkers", [this]() { return double(activeWalkers); });
+    group.gauge("pwb_occupancy",
+                [this]() { return double(pwbOccupancy()); });
+}
+
+void
+HardwarePtwPool::registerGauges(TimeSeriesSampler &sampler)
+{
+    sampler.gauge("ptw_busy_walkers",
+                  [this]() { return double(activeWalkers); });
+    sampler.gauge("ptw_queue_depth",
+                  [this]() { return double(pwbOccupancy()); });
 }
 
 void

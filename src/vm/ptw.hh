@@ -68,6 +68,10 @@ class HardwarePtwPool : public WalkBackend
     /** PTW slot lifecycle + in-flight conservation audits. */
     void registerAudits(Auditor &auditor) override;
 
+    void setTracer(TranslationTracer *tracer) override { tracer_ = tracer; }
+    void registerStats(StatGroup group) override;
+    void registerGauges(TimeSeriesSampler &sampler) override;
+
     const Stats &stats() const { return stats_; }
     std::size_t pwbOccupancy() const
     {
@@ -117,6 +121,7 @@ class HardwarePtwPool : public WalkBackend
     std::uint64_t inFlightCount = 0;
     /** Walks accepted but still crossing the PWB enqueue port. */
     std::uint64_t enqInTransit = 0;
+    TranslationTracer *tracer_ = nullptr;
     Stats stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "vm/tlb.hh"
 
 #include "check/audit.hh"
+#include "obs/stat_registry.hh"
 #include "sim/logging.hh"
 
 namespace sw {
@@ -193,6 +194,23 @@ TlbArray::flush()
     for (auto &entry : entries)
         entry = Entry{};
     numPending = 0;
+}
+
+void
+TlbArray::registerStats(StatGroup group)
+{
+    group.counter("lookups", &stats_.lookups);
+    group.counter("hits", &stats_.hits);
+    group.counter("fills", &stats_.fills);
+    group.counter("evictions", &stats_.evictions);
+    group.counter("fills_skipped", &stats_.fillsSkipped);
+    group.counter("pending_allocs", &stats_.pendingAllocs);
+    group.counter("pending_alloc_fail", &stats_.pendingAllocFailures);
+    group.counter("pending_evicted_valid", &stats_.pendingEvictedValid);
+    group.gauge("misses",
+                [this]() { return double(stats_.lookups - stats_.hits); });
+    group.gauge("hit_rate", [this]() { return stats_.hitRate(); });
+    group.gauge("pending", [this]() { return double(numPending); });
 }
 
 } // namespace sw

@@ -20,6 +20,8 @@
 
 namespace sw {
 
+class StatGroup;
+
 /** TLB tag store with LRU replacement and tri-state entries. */
 class TlbArray
 {
@@ -93,6 +95,9 @@ class TlbArray
 
     /** Zero the statistics (post-warmup measurement reset). */
     void resetStats() { stats_ = Stats{}; }
+
+    /** Register the array's counters with the unified stat registry. */
+    void registerStats(StatGroup group);
 
     const Stats &stats() const { return stats_; }
     const std::string &name() const { return name_; }

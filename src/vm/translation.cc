@@ -53,6 +53,7 @@ TranslationEngine::l1Lookup(SmId sm, Vpn vpn, TransDoneFn done, Cycle start)
         return;
     }
     ++stats_.l1Misses;
+    SW_TRACE(tracer_, TracePhase::L1Miss, eventq.now(), 0, vpn, sm);
 
     auto &mshrs = l1Mshrs[sm];
     auto it = mshrs.find(vpn);
@@ -108,18 +109,22 @@ void
 TranslationEngine::l2Access(SmId sm, Vpn vpn)
 {
     ++stats_.l2Accesses;
+    SW_TRACE(tracer_, TracePhase::L2Lookup, eventq.now(), 0, vpn, sm);
     Pfn pfn = 0;
     if (l2Array.lookup(vpn, pfn)) {
         ++stats_.l2Hits;
+        SW_TRACE(tracer_, TracePhase::L2Hit, eventq.now(), 0, vpn, sm);
         resolveL1(sm, vpn, pfn);
         return;
     }
     ++stats_.l2Misses;
+    SW_TRACE(tracer_, TracePhase::L2Miss, eventq.now(), 0, vpn, sm);
 
     if (!tryHandleL2Miss(sm, vpn, eventq.now())) {
         // "MSHR failure" (§4.5): the L2 TLB cannot reserve the request.
         // The requester parks until a walk completion frees capacity.
         ++stats_.l2MshrFailures;
+        SW_TRACE(tracer_, TracePhase::MshrFail, eventq.now(), 0, vpn, sm);
         l2WaitQueue.push_back({sm, vpn, eventq.now()});
     }
 }
@@ -147,10 +152,12 @@ TranslationEngine::tryHandleL2Miss(SmId sm, Vpn vpn, Cycle arrival)
         stats_.regularMshrPeak =
             std::max<std::uint64_t>(stats_.regularMshrPeak,
                                     regularMshrInUse);
+        SW_TRACE(tracer_, TracePhase::MshrAlloc, eventq.now(), 0, vpn, sm);
     } else if (cfg.inTlbMshrMax > 0 &&
                l2Array.pendingCount() < cfg.inTlbMshrMax &&
                l2Array.allocPending(vpn)) {
         in_tlb_slot = true;
+        SW_TRACE(tracer_, TracePhase::InTlbAlloc, eventq.now(), 0, vpn, sm);
         ++stats_.inTlbMshrAllocs;
         stats_.inTlbMshrPeak =
             std::max<std::uint64_t>(stats_.inTlbMshrPeak,
@@ -213,6 +220,9 @@ TranslationEngine::createWalk(Vpn vpn, Cycle created)
         } else {
             req.cursor = pageTable_.startWalk(vpn);
         }
+        SW_TRACE(tracer_, TracePhase::WalkCreated, created, req.id, vpn);
+        SW_TRACE(tracer_, TracePhase::BackendSubmit, eventq.now(), req.id,
+                 vpn);
         walkBackend->submit(std::move(req));
     });
 }
@@ -222,6 +232,8 @@ TranslationEngine::onWalkComplete(const WalkResult &result)
 {
     if (result.fault) {
         ++stats_.faults;
+        SW_TRACE(tracer_, TracePhase::Fault, eventq.now(), result.id,
+                 result.vpn);
         faults_.record(result.vpn, 0, eventq.now());
         // UVM-style handling: the driver maps the page, then the walk is
         // replayed from scratch (§5.5).
@@ -251,6 +263,8 @@ TranslationEngine::onWalkComplete(const WalkResult &result)
         --regularMshrInUse;
     }
     l2Array.fill(result.vpn, result.pfn);
+    SW_TRACE(tracer_, TracePhase::WalkFill, eventq.now(), result.id,
+             result.vpn);
 
     ++stats_.walksCompleted;
     stats_.walkQueueDelay.add(result.queueDelay);
@@ -272,6 +286,7 @@ TranslationEngine::resolveL1(SmId sm, Vpn vpn, Pfn pfn)
     std::vector<L1Waiter> waiters = std::move(it->second);
     mshrs.erase(it);
     Cycle now = eventq.now();
+    SW_TRACE(tracer_, TracePhase::Wakeup, now, 0, vpn, sm);
     for (auto &waiter : waiters) {
         stats_.translationLatency.add(now - waiter.start);
         waiter.done(pfn);
@@ -297,6 +312,64 @@ TranslationEngine::resetStats()
     pwcCache.resetStats();
     if (walkBackend)
         walkBackend->resetStats();
+}
+
+void
+TranslationEngine::setTracer(TranslationTracer *tracer)
+{
+    tracer_ = tracer;
+    if (walkBackend)
+        walkBackend->setTracer(tracer);
+}
+
+void
+TranslationEngine::registerStats(StatGroup root)
+{
+    for (SmId sm = 0; sm < cfg.numSms; ++sm) {
+        l1Arrays[sm].registerStats(
+            root.group(strprintf("sm%u", sm)).group("l1tlb"));
+    }
+
+    StatGroup l1 = root.group("l1tlb");
+    l1.counter("hits", &stats_.l1Hits);
+    l1.counter("misses", &stats_.l1Misses);
+    l1.counter("mshr_merges", &stats_.l1MshrMerges);
+    l1.counter("mshr_fail", &stats_.l1MshrFailures);
+
+    StatGroup l2 = root.group("l2tlb");
+    l2.counter("accesses", &stats_.l2Accesses);
+    l2.counter("hits", &stats_.l2Hits);
+    l2.counter("misses", &stats_.l2Misses);
+    l2.counter("mshr_merges", &stats_.l2MshrMerges);
+    l2.counter("mshr_fail", &stats_.l2MshrFailures);
+    l2.counter("regular_mshr_peak", &stats_.regularMshrPeak);
+    l2Array.registerStats(l2.group("array"));
+
+    StatGroup intlb = l2.group("intlb_mshr");
+    intlb.counter("allocs", &stats_.inTlbMshrAllocs);
+    intlb.counter("peak", &stats_.inTlbMshrPeak);
+    intlb.counter("alloc_fail", &l2Array.stats().pendingAllocFailures);
+    intlb.gauge("occupancy",
+                [this]() { return double(l2Array.pendingCount()); });
+
+    StatGroup walks = root.group("walks");
+    walks.counter("created", &stats_.walksCreated);
+    walks.counter("completed", &stats_.walksCompleted);
+    walks.counter("faults", &stats_.faults);
+    walks.gauge("outstanding",
+                [this]() { return double(outstanding.size()); });
+    walks.latency("queue_delay", &stats_.walkQueueDelay);
+    walks.latency("access_latency", &stats_.walkAccessLatency);
+    walks.latency("pt_read_latency", &stats_.ptReadLatency);
+
+    StatGroup trans = root.group("translation");
+    trans.counter("requests", &stats_.requests);
+    trans.latency("latency", &stats_.translationLatency);
+
+    pwcCache.registerStats(root.group("pwc"));
+    faults_.registerStats(root.group("faults"));
+    if (walkBackend)
+        walkBackend->registerStats(root.group(walkBackend->name()));
 }
 
 void

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "mem/memory_system.hh"
+#include "obs/trace.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -129,6 +130,21 @@ class TranslationEngine
      */
     void registerAudits(Auditor &auditor);
 
+    /**
+     * Register the whole translation path with the unified stat registry:
+     * per-SM L1 TLBs ("sm<N>.l1tlb.*"), the L2 TLB and its MSHRs
+     * ("l2tlb.*", "l2tlb.intlb_mshr.*"), walks, the PWC, the fault
+     * buffer, and the installed backend ("ptw.*" / "softwalker.*").
+     */
+    void registerStats(StatGroup root);
+
+    /**
+     * Install a TranslationTracer (nullptr detaches).  Forwarded to the
+     * walk backend; stamps are disabled while no tracer is installed.
+     */
+    void setTracer(TranslationTracer *tracer);
+    TranslationTracer *tracer() const { return tracer_; }
+
     /** L2 TLB misses per kilo "instruction" given an instruction count. */
     double
     l2Mpki(std::uint64_t instructions) const
@@ -208,6 +224,7 @@ class TranslationEngine
     std::unique_ptr<WalkBackend> walkBackend;
     std::uint64_t nextWalkId = 1;
     bool mapOnDemand = true;
+    TranslationTracer *tracer_ = nullptr;
 
     /** Driver-side page-fault service time (UVM replay, §5.5). */
     static constexpr Cycle kOsFaultLatency = 2000;

@@ -12,12 +12,15 @@
 #include <functional>
 #include <string>
 
+#include "obs/stat_registry.hh"
 #include "sim/types.hh"
 #include "vm/page_table.hh"
 
 namespace sw {
 
 class Auditor;
+class TimeSeriesSampler;
+class TranslationTracer;
 
 /** One outstanding page-table walk. */
 struct WalkRequest
@@ -70,6 +73,27 @@ class WalkBackend
      * in-flight accounting) with the Simulation Auditor.  Default: none.
      */
     virtual void registerAudits(Auditor &auditor) { (void)auditor; }
+
+    /**
+     * Install a TranslationTracer (nullptr detaches); backends stamp
+     * WalkDispatch / PtRead through it.  Default: ignore.
+     */
+    virtual void setTracer(TranslationTracer *tracer) { (void)tracer; }
+
+    /**
+     * Register this backend's counters with the unified stat registry
+     * under @p group's prefix ("ptw." / "softwalker.").  Default: none.
+     */
+    virtual void registerStats(StatGroup group) { (void)group; }
+
+    /**
+     * Register backend-specific time-series gauges (walker occupancy,
+     * queue depth) with @p sampler.  Default: none.
+     */
+    virtual void registerGauges(TimeSeriesSampler &sampler)
+    {
+        (void)sampler;
+    }
 };
 
 } // namespace sw

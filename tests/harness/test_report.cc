@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "harness/report.hh"
@@ -43,6 +44,52 @@ TEST(Report, JsonEscapesSpecialCharacters)
     r.benchmark = "a\"b\\c";
     std::string json = toJson(r);
     EXPECT_NE(json.find("a\\\"b\\\\c"), std::string::npos);
+}
+
+TEST(Report, JsonEscapesControlCharacters)
+{
+    RunResult r = sample();
+    r.benchmark = "a\nb\tc\x01";
+    std::string json = toJson(r);
+    EXPECT_NE(json.find("a\\nb\\tc\\u0001"), std::string::npos);
+    // No raw control characters survive in the output.
+    for (char ch : json)
+        EXPECT_GE(static_cast<unsigned char>(ch), 0x20u);
+}
+
+namespace {
+
+/** Counts fields per type; used to pin the visitor enumeration shape. */
+class CountingVisitor : public RunResultFieldVisitor
+{
+  public:
+    void str(const char *, const std::string &) override { ++strs; }
+    void u64(const char *, std::uint64_t) override { ++u64s; }
+    void f64(const char *, double) override { ++f64s; }
+
+    int strs = 0, u64s = 0, f64s = 0;
+};
+
+} // namespace
+
+TEST(Report, JsonRoundTripShapeMatchesFieldEnumeration)
+{
+    CountingVisitor counter;
+    visitFields(sample(), counter);
+    int fields = counter.strs + counter.u64s + counter.f64s;
+    ASSERT_GT(fields, 0);
+
+    // One "name": per field — keys survive serialisation one-to-one.
+    std::string json = toJson(sample());
+    int keys = 0;
+    for (std::string::size_type pos = 0;
+         (pos = json.find("\":", pos)) != std::string::npos; ++pos)
+        ++keys;
+    EXPECT_EQ(keys, fields);
+
+    // Balanced braces and no nested objects: one flat record.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 1);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '}'), 1);
 }
 
 TEST(Report, JsonArray)

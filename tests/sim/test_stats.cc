@@ -77,6 +77,36 @@ TEST(Histogram, PercentileIsMonotonic)
     EXPECT_LE(hist.percentile(0.9), hist.percentile(0.99));
 }
 
+TEST(Histogram, PercentileZeroReturnsFirstOccupiedBucketEdge)
+{
+    // fraction 0 used to stop the scan at bucket 0 even when it was
+    // empty; the smallest meaningful rank is the first sample.
+    Histogram hist(10, 10);
+    hist.add(35);  // only bucket 3 occupied
+    EXPECT_EQ(hist.percentile(0.0), 40u);
+    EXPECT_EQ(hist.percentile(0.0), hist.percentile(1.0));
+}
+
+TEST(Histogram, PercentileOfEmptyIsZero)
+{
+    Histogram hist(10, 10);
+    EXPECT_EQ(hist.percentile(0.0), 0u);
+    EXPECT_EQ(hist.percentile(0.99), 0u);
+}
+
+TEST(Histogram, PercentileShortcuts)
+{
+    Histogram hist(100, 1);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        hist.add(v);
+    EXPECT_EQ(hist.p50(), hist.percentile(0.50));
+    EXPECT_EQ(hist.p95(), hist.percentile(0.95));
+    EXPECT_EQ(hist.p99(), hist.percentile(0.99));
+    // 100 uniform samples of width 1: the p50 upper edge is 50.
+    EXPECT_EQ(hist.p50(), 50u);
+    EXPECT_EQ(hist.p99(), 99u);
+}
+
 TEST(Histogram, ResetClears)
 {
     Histogram hist(4, 10);
