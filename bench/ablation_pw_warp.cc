@@ -24,30 +24,33 @@ main()
     std::vector<const BenchmarkInfo *> suite = {
         &findBenchmark("bfs"), &findBenchmark("sssp"),
         &findBenchmark("gups")};
-    auto base = runSuite(baselineCfg(), suite, "baseline");
 
     const std::vector<std::uint32_t> lanes = {4, 8, 16, 32};
-    TextTable table({"PW lanes", "SoftPWB entries", "geomean speedup"});
+    std::vector<SuiteRun> specs = {{baselineCfg(), "baseline"}};
     for (std::uint32_t n : lanes) {
         GpuConfig cfg = swCfg();
         cfg.pwWarpThreads = n;
         cfg.softPwbEntries = n;
-        auto run = runSuite(cfg, suite,
-                            strprintf("%u-lane", n).c_str());
-        table.addRow({strprintf("%u", n), strprintf("%u", n),
-                      TextTable::num(geomeanSpeedup(base, run))});
+        specs.push_back({cfg, strprintf("%u-lane", n)});
     }
-
     // Decouple buffer depth from lane count: extra buffering without extra
     // lanes only smooths bursts.
-    {
-        GpuConfig cfg = swCfg();
-        cfg.pwWarpThreads = 16;
-        cfg.softPwbEntries = 64;
-        auto run = runSuite(cfg, suite, "16-lane/64-pwb");
-        table.addRow({"16", "64",
-                      TextTable::num(geomeanSpeedup(base, run))});
+    GpuConfig deep = swCfg();
+    deep.pwWarpThreads = 16;
+    deep.softPwbEntries = 64;
+    specs.push_back({deep, "16-lane/64-pwb"});
+
+    auto groups = runSuites(suite, specs);
+    auto &base = groups.front();
+
+    TextTable table({"PW lanes", "SoftPWB entries", "geomean speedup"});
+    for (std::size_t l = 0; l < lanes.size(); ++l) {
+        table.addRow({strprintf("%u", lanes[l]),
+                      strprintf("%u", lanes[l]),
+                      TextTable::num(geomeanSpeedup(base, groups[1 + l]))});
     }
+    table.addRow({"16", "64",
+                  TextTable::num(geomeanSpeedup(base, groups.back()))});
     std::printf("%s\n", table.str().c_str());
     std::printf("expectation: saturation near the Table 3 design point "
                 "(32 lanes, 32 entries)\n");

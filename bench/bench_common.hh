@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "harness/experiment.hh"
+#include "harness/sweep.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 
@@ -94,19 +95,71 @@ banner(const char *figure, const char *description)
                 "====\n\n");
 }
 
+/**
+ * One configuration swept across the suite: the unit every figure is built
+ * from.  Either a fixed footprint scale or a per-benchmark scale function
+ * (the Fig 6b / Fig 25 pattern); scaleOf wins when set.
+ */
+struct SuiteRun
+{
+    SuiteRun(GpuConfig cfg_, std::string label_, double scale_ = 1.0,
+             std::function<double(const BenchmarkInfo &)> scale_of = {})
+        : cfg(std::move(cfg_)), label(std::move(label_)), scale(scale_),
+          scaleOf(std::move(scale_of))
+    {
+    }
+
+    GpuConfig cfg;
+    std::string label;
+    double scale;
+    std::function<double(const BenchmarkInfo &)> scaleOf;
+};
+
+/**
+ * Run several configurations across one suite on the SweepRunner: all
+ * (config, benchmark) pairs become one job pool drained by SW_JOBS
+ * workers, and results come back grouped per configuration, each group in
+ * suite order.  Submission order is config-major, so SW_JOBS=1 reproduces
+ * the historical back-to-back runSuite() loop exactly — same simulations,
+ * same order, same progress lines.
+ */
+inline std::vector<std::vector<RunResult>>
+runSuites(const std::vector<const BenchmarkInfo *> &suite,
+          const std::vector<SuiteRun> &runs)
+{
+    SweepRunner runner;
+    for (const SuiteRun &run : runs) {
+        for (const BenchmarkInfo *info : suite) {
+            SweepJob job;
+            job.cfg = run.cfg;
+            job.info = info;
+            job.limits = limitsFor(*info);
+            job.footprintScale =
+                run.scaleOf ? run.scaleOf(*info) : run.scale;
+            job.label = run.label;
+            runner.submit(std::move(job));
+        }
+    }
+    std::vector<RunResult> flat = runner.run();
+    std::vector<std::vector<RunResult>> out;
+    out.reserve(runs.size());
+    auto it = flat.begin();
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+        out.emplace_back(std::make_move_iterator(it),
+                         std::make_move_iterator(it +
+                             static_cast<std::ptrdiff_t>(suite.size())));
+        it += static_cast<std::ptrdiff_t>(suite.size());
+    }
+    return out;
+}
+
 /** Run one configuration across a suite, with progress on stderr. */
 inline std::vector<RunResult>
 runSuite(const GpuConfig &cfg, const std::vector<const BenchmarkInfo *> &suite,
          const char *label, double footprint_scale = 1.0)
 {
-    std::vector<RunResult> out;
-    out.reserve(suite.size());
-    for (const BenchmarkInfo *info : suite) {
-        std::fprintf(stderr, "  [%s] %s...\n", label, info->abbr.c_str());
-        out.push_back(runBenchmark(cfg, *info, limitsFor(*info),
-                                   footprint_scale));
-    }
-    return out;
+    return std::move(
+        runSuites(suite, {{cfg, label, footprint_scale, {}}}).front());
 }
 
 /** Pointers to every Table 4 entry, paper order. */
@@ -138,14 +191,8 @@ runSuiteScaled(const GpuConfig &cfg,
                const char *label,
                const std::function<double(const BenchmarkInfo &)> &scale_of)
 {
-    std::vector<RunResult> out;
-    out.reserve(suite.size());
-    for (const BenchmarkInfo *info : suite) {
-        std::fprintf(stderr, "  [%s] %s...\n", label, info->abbr.c_str());
-        out.push_back(runBenchmark(cfg, *info, limitsFor(*info),
-                                   scale_of(*info)));
-    }
-    return out;
+    return std::move(
+        runSuites(suite, {{cfg, label, 1.0, scale_of}}).front());
 }
 
 /** Geomean helper over paired results. */

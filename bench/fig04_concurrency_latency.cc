@@ -20,25 +20,36 @@ main()
     banner("Figure 4", "memory latency vs concurrent page walks");
 
     const std::vector<std::uint64_t> concurrency = {1, 8, 32, 64, 128, 256};
+    std::vector<double> latency(concurrency.size(), 0.0);
+
+    SweepRunner runner;
+    for (std::size_t c = 0; c < concurrency.size(); ++c) {
+        std::uint64_t n = concurrency[c];
+        runner.submit(
+            strprintf("  [%llu walkers]...", (unsigned long long)n),
+            [n, c, &latency]() {
+                Gpu gpu(baselineCfg(),
+                        std::make_unique<PointerChaseWorkload>(2ull << 30));
+                Gpu::RunLimits limits;
+                limits.warpInstrQuota = 220 * n; // comparable run lengths
+                limits.maxActiveWarps = n;
+                limits.maxCycles = 6000000;
+                gpu.run(limits);
+                latency[c] = gpu.aggregateSmStats().accessLatency.mean();
+                return collectResult(gpu, "ptr-chase");
+            });
+    }
+    runner.run();
+
     TextTable table({"concurrent walks", "avg access latency (cy)",
                      "vs 1 walk"});
-    double single = 0.0;
-    for (std::uint64_t n : concurrency) {
-        Gpu gpu(baselineCfg(),
-                std::make_unique<PointerChaseWorkload>(2ull << 30));
-        Gpu::RunLimits limits;
-        limits.warpInstrQuota = 220 * n;   // keep run lengths comparable
-        limits.maxActiveWarps = n;
-        limits.maxCycles = 6000000;
-        std::fprintf(stderr, "  [%llu walkers]...\n",
-                     (unsigned long long)n);
-        gpu.run(limits);
-        double latency = gpu.aggregateSmStats().accessLatency.mean();
-        if (n == 1)
-            single = latency;
-        table.addRow({strprintf("%llu", (unsigned long long)n),
-                      TextTable::num(latency, 0),
-                      TextTable::num(single > 0 ? latency / single : 1.0)});
+    double single = latency.front();
+    for (std::size_t c = 0; c < concurrency.size(); ++c) {
+        table.addRow({strprintf("%llu",
+                                (unsigned long long)concurrency[c]),
+                      TextTable::num(latency[c], 0),
+                      TextTable::num(single > 0 ? latency[c] / single
+                                                : 1.0)});
     }
     std::printf("%s\n", table.str().c_str());
     std::printf("paper: ~4x latency growth at 256 concurrent walks "

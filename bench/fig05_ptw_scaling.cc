@@ -23,19 +23,23 @@ main()
     const std::vector<std::uint32_t> ptws = {32, 64, 128, 256, 512, 1024};
     auto suite = wholeSuite();
 
-    auto base = runSuite(baselineCfg(), suite, "32-ptw");
-    std::vector<std::vector<RunResult>> scaled;
+    std::vector<SuiteRun> specs = {{baselineCfg(), "32-ptw"}};
     for (std::uint32_t n : ptws) {
-        if (n == 32) {
-            scaled.push_back(base);
+        if (n == 32)
             continue;
-        }
         GpuConfig cfg = baselineCfg();
         scalePtwSubsystem(cfg, n);
-        scaled.push_back(runSuite(cfg, suite,
-                                  strprintf("%u-ptw", n).c_str()));
+        specs.push_back({cfg, strprintf("%u-ptw", n)});
     }
-    auto ideal = runSuite(idealCfg(), suite, "ideal");
+    specs.push_back({idealCfg(), "ideal"});
+    auto groups = runSuites(suite, specs);
+
+    auto &base = groups.front();
+    auto &ideal = groups.back();
+    std::vector<std::vector<RunResult>> scaled;
+    scaled.push_back(base);   // ptws[0] == 32 is the baseline itself
+    for (std::size_t g = 1; g + 1 < groups.size(); ++g)
+        scaled.push_back(groups[g]);
 
     std::vector<std::string> header = {"bench", "type"};
     for (std::uint32_t n : ptws)

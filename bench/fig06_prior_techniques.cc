@@ -21,19 +21,18 @@ sweep(const char *title, const GpuConfig &base, double footprint_scale)
     const std::vector<std::uint32_t> ptws = {32, 128, 512};
     auto suite = scalableSuite();
 
-    std::vector<std::vector<RunResult>> runs;
     auto scale_of = [footprint_scale,
                      &base](const BenchmarkInfo &info) {
         return base.pageBytes > 64 * 1024 ? largePageScale(info)
                                           : footprint_scale;
     };
+    std::vector<SuiteRun> specs;
     for (std::uint32_t n : ptws) {
         GpuConfig cfg = base;
         scalePtwSubsystem(cfg, n);
-        runs.push_back(runSuiteScaled(cfg, suite,
-                                      strprintf("%u-ptw", n).c_str(),
-                                      scale_of));
+        specs.push_back({cfg, strprintf("%u-ptw", n), 1.0, scale_of});
     }
+    auto runs = runSuites(suite, specs);
 
     std::vector<std::string> header = {"bench"};
     for (std::uint32_t n : ptws)

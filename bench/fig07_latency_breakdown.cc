@@ -26,34 +26,60 @@ main()
     const std::vector<std::uint32_t> ptws = {32, 128, 512};
     auto suite = irregularSuite();
 
+    // Each job owns its tracer (observability bundles are single-run
+    // instruments) and deposits the phase means into its own slot, so any
+    // number of jobs may run concurrently.
+    struct Phases
+    {
+        double queue = 0.0;
+        double access = 0.0;
+        double total = 0.0;
+        double ptReads = 0.0;
+    };
+    std::vector<Phases> phases(suite.size() * ptws.size());
+
+    SweepRunner runner;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const BenchmarkInfo *info = suite[i];
+        for (std::size_t p = 0; p < ptws.size(); ++p) {
+            std::uint32_t n = ptws[p];
+            GpuConfig cfg = baselineCfg();
+            scalePtwSubsystem(cfg, n);
+            std::size_t slot = i * ptws.size() + p;
+            runner.submit(
+                strprintf("  [%u ptws] %s...", n, info->abbr.c_str()),
+                [cfg, info, slot, &phases]() {
+                    TranslationTracer tracer;
+                    Observability obs;
+                    obs.tracer = &tracer;
+                    RunResult result = runBenchmark(cfg, *info,
+                                                    limitsFor(*info), 1.0,
+                                                    obs);
+                    phases[slot] = {tracer.queuePhase().mean(),
+                                    tracer.walkPhase().mean(),
+                                    tracer.totalPhase().mean(),
+                                    tracer.ptReadsPerWalk().mean()};
+                    return result;
+                });
+        }
+    }
+    runner.run();
+
     TextTable table({"bench", "PTWs", "queue(cy)", "access(cy)",
                      "total(cy)", "queue%", "PT reads/walk"});
     std::vector<double> queue_shares_at_32;
-    for (const BenchmarkInfo *info : suite) {
-        for (std::uint32_t n : ptws) {
-            GpuConfig cfg = baselineCfg();
-            scalePtwSubsystem(cfg, n);
-            std::fprintf(stderr, "  [%u ptws] %s...\n", n,
-                         info->abbr.c_str());
-
-            TranslationTracer tracer;
-            Observability obs;
-            obs.tracer = &tracer;
-            runBenchmark(cfg, *info, limitsFor(*info), 1.0, obs);
-
-            double queue = tracer.queuePhase().mean();
-            double access = tracer.walkPhase().mean();
-            double total = tracer.totalPhase().mean();
-            double share = total > 0 ? queue / total : 0.0;
-            if (n == 32)
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        for (std::size_t p = 0; p < ptws.size(); ++p) {
+            const Phases &ph = phases[i * ptws.size() + p];
+            double share = ph.total > 0 ? ph.queue / ph.total : 0.0;
+            if (ptws[p] == 32)
                 queue_shares_at_32.push_back(share);
-            table.addRow({info->abbr, strprintf("%u", n),
-                          TextTable::num(queue, 0),
-                          TextTable::num(access, 0),
-                          TextTable::num(total, 0),
+            table.addRow({suite[i]->abbr, strprintf("%u", ptws[p]),
+                          TextTable::num(ph.queue, 0),
+                          TextTable::num(ph.access, 0),
+                          TextTable::num(ph.total, 0),
                           TextTable::num(100.0 * share, 1),
-                          TextTable::num(tracer.ptReadsPerWalk().mean(),
-                                         2)});
+                          TextTable::num(ph.ptReads, 2)});
         }
     }
     std::printf("%s\n", table.str().c_str());

@@ -26,24 +26,30 @@ sweep(std::uint64_t page_bytes, double footprint_scale)
 
     GpuConfig base = baselineCfg();
     base.pageBytes = page_bytes;
-    auto base_r = runSuiteScaled(base, suite, "base", scale_of);
 
     GpuConfig ptws_only = base;
     scalePtwSubsystem(ptws_only, 512, /*scale_mshrs=*/false);
-    auto ptw_r = runSuiteScaled(ptws_only, suite, "ptws", scale_of);
 
     GpuConfig mshrs_only = base;
     mshrs_only.l2TlbMshrs = 1024;
-    auto mshr_r = runSuiteScaled(mshrs_only, suite, "mshrs", scale_of);
 
     GpuConfig both = base;
     scalePtwSubsystem(both, 512, /*scale_mshrs=*/false);
     both.l2TlbMshrs = 1024;
-    auto both_r = runSuiteScaled(both, suite, "both", scale_of);
 
     GpuConfig ideal = idealCfg();
     ideal.pageBytes = page_bytes;
-    auto ideal_r = runSuiteScaled(ideal, suite, "ideal", scale_of);
+
+    auto groups = runSuites(suite, {{base, "base", 1.0, scale_of},
+                                    {ptws_only, "ptws", 1.0, scale_of},
+                                    {mshrs_only, "mshrs", 1.0, scale_of},
+                                    {both, "both", 1.0, scale_of},
+                                    {ideal, "ideal", 1.0, scale_of}});
+    auto &base_r = groups[0];
+    auto &ptw_r = groups[1];
+    auto &mshr_r = groups[2];
+    auto &both_r = groups[3];
+    auto &ideal_r = groups[4];
 
     TextTable table({"bench", "PTWs", "MSHRs", "PTWs+MSHRs", "ideal"});
     for (std::size_t i = 0; i < suite.size(); ++i) {

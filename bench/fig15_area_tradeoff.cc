@@ -21,30 +21,40 @@ main()
     banner("Figure 15", "speedup vs area overhead of PTW scaling");
 
     auto suite = irregularSuite();
-    auto base = runSuite(baselineCfg(), suite, "32-ptw/1-port");
     double base_area = ptwSubsystemArea(32, 64, 1, 128).totalMm2;
-
-    TextTable table({"config", "ports", "rel area", "geomean speedup"});
-    table.addRow({"32 PTWs", "1", "1.00", "1.00"});
 
     const std::vector<std::uint32_t> ptw_counts = {64, 128, 256};
     const std::vector<std::uint32_t> port_counts = {1, 4, 8};
+    std::vector<SuiteRun> specs = {{baselineCfg(), "32-ptw/1-port"}};
+    std::vector<double> rel_areas;
     for (std::uint32_t n : ptw_counts) {
         for (std::uint32_t ports : port_counts) {
             GpuConfig cfg = baselineCfg();
             scalePtwSubsystem(cfg, n);
             cfg.pwbPorts = ports;
-            auto run = runSuite(cfg, suite,
-                                strprintf("%up/%uport", n, ports).c_str());
-            double area = ptwSubsystemArea(n, cfg.pwbEntries, ports,
-                                           cfg.l2TlbMshrs).totalMm2;
-            table.addRow({strprintf("%u PTWs", n), strprintf("%u", ports),
-                          TextTable::num(area / base_area),
-                          TextTable::num(geomeanSpeedup(base, run))});
+            specs.push_back({cfg, strprintf("%up/%uport", n, ports)});
+            rel_areas.push_back(ptwSubsystemArea(n, cfg.pwbEntries, ports,
+                                                 cfg.l2TlbMshrs).totalMm2 /
+                                base_area);
         }
     }
+    specs.push_back({swCfg(), "softwalker"});
+    auto groups = runSuites(suite, specs);
+    auto &base = groups.front();
+    auto &sw_run = groups.back();
 
-    auto sw_run = runSuite(swCfg(), suite, "softwalker");
+    TextTable table({"config", "ports", "rel area", "geomean speedup"});
+    table.addRow({"32 PTWs", "1", "1.00", "1.00"});
+
+    std::size_t g = 1;
+    for (std::uint32_t n : ptw_counts) {
+        for (std::uint32_t ports : port_counts) {
+            table.addRow({strprintf("%u PTWs", n), strprintf("%u", ports),
+                          TextTable::num(rel_areas[g - 1]),
+                          TextTable::num(geomeanSpeedup(base, groups[g]))});
+            ++g;
+        }
+    }
     GpuConfig table3 = baselineCfg();
     double sw_area = base_area +
         softwalkerOverheadMm2(table3.numSms, table3.l2TlbEntries);

@@ -21,13 +21,22 @@ main()
     banner("Figure 16", "overall speedup over the 32-PTW baseline");
 
     auto suite = wholeSuite();
-    auto base = runSuite(baselineCfg(), suite, "baseline");
-    auto nha = runSuite(nhaCfg(), suite, "nha");
-    auto hpt = runSuite(fsHptCfg(), suite, "fs-hpt");
-    auto sw_no = runSuite(swNoInTlbCfg(), suite, "sw-no-intlb");
-    auto sw_full = runSuite(swCfg(), suite, "softwalker");
-    auto hybrid = runSuite(hybridCfg(), suite, "hybrid");
-    auto ideal = runSuite(idealCfg(), suite, "ideal");
+    // One job pool for all 7 configurations x the whole suite; SW_JOBS
+    // workers drain it and the groups come back in the order listed.
+    auto runs = runSuites(suite, {{baselineCfg(), "baseline"},
+                                  {nhaCfg(), "nha"},
+                                  {fsHptCfg(), "fs-hpt"},
+                                  {swNoInTlbCfg(), "sw-no-intlb"},
+                                  {swCfg(), "softwalker"},
+                                  {hybridCfg(), "hybrid"},
+                                  {idealCfg(), "ideal"}});
+    auto &base = runs[0];
+    auto &nha = runs[1];
+    auto &hpt = runs[2];
+    auto &sw_no = runs[3];
+    auto &sw_full = runs[4];
+    auto &hybrid = runs[5];
+    auto &ideal = runs[6];
 
     TextTable table({"bench", "type", "NHA", "FS-HPT", "SW w/o In-TLB",
                      "SoftWalker", "SW Hybrid", "Ideal"});

@@ -18,8 +18,10 @@ main()
     banner("Figure 17", "L2 TLB MSHR-failure reduction from In-TLB MSHR");
 
     auto suite = irregularSuite();
-    auto base = runSuite(baselineCfg(), suite, "baseline");
-    auto sw_full = runSuite(swCfg(), suite, "softwalker");
+    auto groups = runSuites(suite, {{baselineCfg(), "baseline"},
+                                    {swCfg(), "softwalker"}});
+    auto &base = groups[0];
+    auto &sw_full = groups[1];
 
     TextTable table({"bench", "baseline failures", "softwalker failures",
                      "reduction%"});

@@ -17,10 +17,14 @@ main()
     banner("Figure 18", "normalised page-walk latency w/ queueing split");
 
     auto suite = wholeSuite();
-    auto base = runSuite(baselineCfg(), suite, "baseline");
-    auto nha = runSuite(nhaCfg(), suite, "nha");
-    auto hpt = runSuite(fsHptCfg(), suite, "fs-hpt");
-    auto sw_full = runSuite(swCfg(), suite, "softwalker");
+    auto groups = runSuites(suite, {{baselineCfg(), "baseline"},
+                                    {nhaCfg(), "nha"},
+                                    {fsHptCfg(), "fs-hpt"},
+                                    {swCfg(), "softwalker"}});
+    auto &base = groups[0];
+    auto &nha = groups[1];
+    auto &hpt = groups[2];
+    auto &sw_full = groups[3];
 
     TextTable table({"bench", "base q/a", "NHA norm", "FS-HPT norm",
                      "SW norm", "SW q/a"});

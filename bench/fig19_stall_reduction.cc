@@ -17,8 +17,10 @@ main()
     banner("Figure 19", "stall-cycle reduction vs baseline");
 
     auto suite = wholeSuite();
-    auto base = runSuite(baselineCfg(), suite, "baseline");
-    auto sw_full = runSuite(swCfg(), suite, "softwalker");
+    auto groups = runSuites(suite, {{baselineCfg(), "baseline"},
+                                    {swCfg(), "softwalker"}});
+    auto &base = groups[0];
+    auto &sw_full = groups[1];
 
     GpuConfig cfg = baselineCfg();
     TextTable table({"bench", "type", "base stall%", "sw stall%",

@@ -18,8 +18,10 @@ main()
     banner("Figure 20", "L2 data-cache miss rate");
 
     auto suite = wholeSuite();
-    auto base = runSuite(baselineCfg(), suite, "baseline");
-    auto sw_full = runSuite(swCfg(), suite, "softwalker");
+    auto groups = runSuites(suite, {{baselineCfg(), "baseline"},
+                                    {swCfg(), "softwalker"}});
+    auto &base = groups[0];
+    auto &sw_full = groups[1];
 
     TextTable table({"bench", "type", "base miss%", "sw miss%",
                      "base dram util%", "sw dram util%"});

@@ -20,22 +20,28 @@ main()
     banner("Figure 21", "iso-area comparison: SoftWalker vs 128 PTWs");
 
     auto suite = irregularSuite();
-    auto base = runSuite(baselineCfg(), suite, "32-ptw");
 
     GpuConfig base_intlb = baselineCfg();
     base_intlb.inTlbMshrMax = 1024;
-    auto base_intlb_r = runSuite(base_intlb, suite, "32-ptw+intlb");
 
     GpuConfig hw128 = baselineCfg();
     scalePtwSubsystem(hw128, 128);
-    auto hw128_r = runSuite(hw128, suite, "128-ptw");
 
     GpuConfig hw128_intlb = hw128;
     hw128_intlb.inTlbMshrMax = 1024;
-    auto hw128_intlb_r = runSuite(hw128_intlb, suite, "128-ptw+intlb");
 
-    auto sw_no = runSuite(swNoInTlbCfg(), suite, "sw-no-intlb");
-    auto sw_full = runSuite(swCfg(), suite, "softwalker");
+    auto groups = runSuites(suite, {{baselineCfg(), "32-ptw"},
+                                    {base_intlb, "32-ptw+intlb"},
+                                    {hw128, "128-ptw"},
+                                    {hw128_intlb, "128-ptw+intlb"},
+                                    {swNoInTlbCfg(), "sw-no-intlb"},
+                                    {swCfg(), "softwalker"}});
+    auto &base = groups[0];
+    auto &base_intlb_r = groups[1];
+    auto &hw128_r = groups[2];
+    auto &hw128_intlb_r = groups[3];
+    auto &sw_no = groups[4];
+    auto &sw_full = groups[5];
 
     TextTable table({"bench", "32+InTLB", "128 PTWs", "128+InTLB",
                      "SW w/o InTLB", "SoftWalker"});

@@ -22,20 +22,24 @@ main()
     // dominate the sweep's runtime.
     auto suite = irregularSuite();
 
-    TextTable table({"L2 TLB latency", "SoftWalker geomean speedup"});
+    std::vector<SuiteRun> specs;
     for (Cycle lat : latencies) {
         GpuConfig base = baselineCfg();
         base.l2TlbLatency = lat;
         GpuConfig soft = swCfg();
         soft.l2TlbLatency = lat;   // comm latency follows (§6.1)
-        auto base_r = runSuite(base, suite,
-                               strprintf("base@%llu",
-                                         (unsigned long long)lat).c_str());
-        auto soft_r = runSuite(soft, suite,
-                               strprintf("sw@%llu",
-                                         (unsigned long long)lat).c_str());
-        table.addRow({strprintf("%llu", (unsigned long long)lat),
-                      TextTable::num(geomeanSpeedup(base_r, soft_r))});
+        specs.push_back({base, strprintf("base@%llu",
+                                         (unsigned long long)lat)});
+        specs.push_back({soft, strprintf("sw@%llu",
+                                         (unsigned long long)lat)});
+    }
+    auto groups = runSuites(suite, specs);
+
+    TextTable table({"L2 TLB latency", "SoftWalker geomean speedup"});
+    for (std::size_t l = 0; l < latencies.size(); ++l) {
+        table.addRow({strprintf("%llu", (unsigned long long)latencies[l]),
+                      TextTable::num(geomeanSpeedup(groups[2 * l],
+                                                    groups[2 * l + 1]))});
     }
     std::printf("%s\n", table.str().c_str());
     std::printf("paper: 40cy 2.31x ... 200cy 2.07x (queueing still "

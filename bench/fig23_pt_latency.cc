@@ -21,18 +21,24 @@ main()
     const std::vector<Cycle> latencies = {50, 100, 200, 300, 400};
     auto suite = irregularSuite();
 
-    TextTable table({"per-level latency", "speedup", "queue reduction%"});
+    std::vector<SuiteRun> specs;
     for (Cycle lat : latencies) {
         GpuConfig base = baselineCfg();
         base.fixedPtAccessLatency = lat;
         GpuConfig soft = swCfg();
         soft.fixedPtAccessLatency = lat;
-        auto base_r = runSuite(base, suite,
-                               strprintf("base@%llu",
-                                         (unsigned long long)lat).c_str());
-        auto soft_r = runSuite(soft, suite,
-                               strprintf("sw@%llu",
-                                         (unsigned long long)lat).c_str());
+        specs.push_back({base, strprintf("base@%llu",
+                                         (unsigned long long)lat)});
+        specs.push_back({soft, strprintf("sw@%llu",
+                                         (unsigned long long)lat)});
+    }
+    auto groups = runSuites(suite, specs);
+
+    TextTable table({"per-level latency", "speedup", "queue reduction%"});
+    for (std::size_t l = 0; l < latencies.size(); ++l) {
+        Cycle lat = latencies[l];
+        auto &base_r = groups[2 * l];
+        auto &soft_r = groups[2 * l + 1];
         std::vector<double> queue_reductions;
         for (std::size_t i = 0; i < suite.size(); ++i) {
             if (base_r[i].avgWalkQueueDelay > 0) {

@@ -19,14 +19,16 @@ main()
 
     const std::vector<std::uint32_t> capacities = {0, 128, 256, 512, 1024};
     auto suite = wholeSuite();
-    auto base = runSuite(baselineCfg(), suite, "baseline");
-
-    std::vector<std::vector<RunResult>> runs;
+    std::vector<SuiteRun> specs = {{baselineCfg(), "baseline"}};
     for (std::uint32_t cap : capacities) {
-        runs.push_back(runSuite(
-            makeSoftWalkerConfig(TranslationMode::SoftWalker, cap), suite,
-            strprintf("in-tlb %u", cap).c_str()));
+        specs.push_back({makeSoftWalkerConfig(TranslationMode::SoftWalker,
+                                              cap),
+                         strprintf("in-tlb %u", cap)});
     }
+    auto groups = runSuites(suite, specs);
+    auto &base = groups.front();
+    std::vector<std::vector<RunResult>> runs(groups.begin() + 1,
+                                             groups.end());
 
     std::vector<std::string> header = {"bench", "type"};
     for (std::uint32_t cap : capacities)

@@ -27,8 +27,10 @@ main()
     auto scale_of = [](const BenchmarkInfo &info) {
         return largePageScale(info);
     };
-    auto base_r = runSuiteScaled(base, suite, "base-2mb", scale_of);
-    auto soft_r = runSuiteScaled(soft, suite, "sw-2mb", scale_of);
+    auto groups = runSuites(suite, {{base, "base-2mb", 1.0, scale_of},
+                                    {soft, "sw-2mb", 1.0, scale_of}});
+    auto &base_r = groups[0];
+    auto &soft_r = groups[1];
 
     TextTable table({"bench", "speedup", "base walkQ(cy)", "sw walkQ(cy)"});
     for (std::size_t i = 0; i < suite.size(); ++i) {

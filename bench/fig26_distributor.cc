@@ -18,17 +18,20 @@ main()
     banner("Figure 26", "Request Distributor policies");
 
     auto suite = irregularSuite();
-    auto base = runSuite(baselineCfg(), suite, "baseline");
 
     const DistributorPolicy policies[] = {DistributorPolicy::RoundRobin,
                                           DistributorPolicy::Random,
                                           DistributorPolicy::StallAware};
-    std::vector<std::vector<RunResult>> runs;
+    std::vector<SuiteRun> specs = {{baselineCfg(), "baseline"}};
     for (DistributorPolicy policy : policies) {
         GpuConfig cfg = swCfg();
         cfg.distributorPolicy = policy;
-        runs.push_back(runSuite(cfg, suite, toString(policy)));
+        specs.push_back({cfg, toString(policy)});
     }
+    auto groups = runSuites(suite, specs);
+    auto &base = groups.front();
+    std::vector<std::vector<RunResult>> runs(groups.begin() + 1,
+                                             groups.end());
 
     TextTable table({"bench", "round-robin", "random", "stall-aware"});
     for (std::size_t i = 0; i < suite.size(); ++i) {

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Sweep smoke test + wall-clock benchmark: runs a small multi-config,
+ * multi-benchmark sweep twice — once serial (jobs=1), once with the full
+ * worker pool (SW_JOBS or hardware_concurrency) — asserts every RunResult
+ * field is identical between the two, and writes the timings to
+ * BENCH_sweep.json (or argv[1]).
+ *
+ * Exit status is non-zero when the parallel sweep diverges from the
+ * serial one, so CI can gate on determinism as well as collect timings.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/report.hh"
+#include "harness/sweep.hh"
+#include "sim/logging.hh"
+#include "workload/benchmarks.hh"
+
+using namespace sw;
+
+namespace {
+
+/** Flattens every RunResult field into one exact string (%a for doubles). */
+class FieldPrinter : public RunResultFieldVisitor
+{
+  public:
+    std::string text;
+
+    void
+    str(const char *name, const std::string &value) override
+    {
+        text += strprintf("%s=%s\n", name, value.c_str());
+    }
+
+    void
+    u64(const char *name, std::uint64_t value) override
+    {
+        text += strprintf("%s=%llu\n", name, (unsigned long long)value);
+    }
+
+    void
+    f64(const char *name, double value) override
+    {
+        text += strprintf("%s=%a\n", name, value);
+    }
+};
+
+std::string
+fingerprint(const std::vector<RunResult> &results)
+{
+    FieldPrinter printer;
+    for (const RunResult &result : results)
+        visitFields(result, printer);
+    return printer.text;
+}
+
+void
+submitAll(SweepRunner &runner)
+{
+    // Two configs x the irregular suite with short quotas: enough work to
+    // keep several workers busy, small enough for a CI smoke step.
+    const std::vector<GpuConfig> cfgs = {makeDefaultConfig(),
+                                         makeSoftWalkerConfig()};
+    for (const GpuConfig &cfg : cfgs) {
+        for (const BenchmarkInfo *info : irregularSuite()) {
+            SweepJob job;
+            job.cfg = cfg;
+            job.info = info;
+            job.limits = limitsFor(*info);
+            job.limits.warpInstrQuota = 1500;
+            job.limits.warmupInstrs = 300;
+            runner.submit(std::move(job));
+        }
+    }
+}
+
+double
+timedRun(SweepRunner &runner, std::vector<RunResult> &out)
+{
+    auto begin = std::chrono::steady_clock::now();
+    out = runner.run();
+    auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(end - begin).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    const char *out_path = argc > 1 ? argv[1] : "BENCH_sweep.json";
+
+    unsigned pool = SweepRunner::defaultJobs();
+
+    SweepRunner serial(1);
+    submitAll(serial);
+    std::vector<RunResult> ser;
+    double jobs1_ms = timedRun(serial, ser);
+
+    SweepRunner parallel(pool);
+    submitAll(parallel);
+    std::vector<RunResult> par;
+    double jobsn_ms = timedRun(parallel, par);
+
+    bool identical = fingerprint(ser) == fingerprint(par);
+    double speedup = jobsn_ms > 0 ? jobs1_ms / jobsn_ms : 0.0;
+
+    std::FILE *out = std::fopen(out_path, "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n", out_path);
+        return 2;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"sweep_jobs\": %zu,\n"
+                 "  \"workers_jobs1\": 1,\n"
+                 "  \"workers_jobsN\": %u,\n"
+                 "  \"hardware_concurrency\": %u,\n"
+                 "  \"jobs1_ms\": %.1f,\n"
+                 "  \"jobsN_ms\": %.1f,\n"
+                 "  \"speedup\": %.2f,\n"
+                 "  \"results_identical\": %s\n"
+                 "}\n",
+                 ser.size(), pool, std::thread::hardware_concurrency(),
+                 jobs1_ms, jobsn_ms, speedup, identical ? "true" : "false");
+    std::fclose(out);
+
+    std::printf("sweep of %zu jobs: jobs=1 %.1f ms, jobs=%u %.1f ms "
+                "(%.2fx), results %s -> %s\n",
+                ser.size(), jobs1_ms, pool, jobsn_ms, speedup,
+                identical ? "identical" : "DIVERGED", out_path);
+    if (!identical) {
+        std::fprintf(stderr,
+                     "FAIL: parallel sweep diverged from serial sweep\n");
+        return 1;
+    }
+    return 0;
+}

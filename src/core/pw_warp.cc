@@ -69,7 +69,10 @@ PwWarp::startBatch()
     // Fig 14 lines 1-6: load the requests from SoftPWB and decode them.
     stats_.instructionsIssued += timing.setupInstrs;
     Cycle setup_done = hooks.reserveIssue(timing.setupInstrs);
-    eventq.schedule(setup_done, [this]() { levelIteration(); });
+    auto fire = [this]() { levelIteration(); };
+    static_assert(EventFn::fitsInline<decltype(fire)>(),
+                  "batch setup event must not spill to the slab pool");
+    eventq.schedule(setup_done, std::move(fire));
 }
 
 void
@@ -95,7 +98,7 @@ PwWarp::levelIteration()
     pendingLoads = std::uint32_t(active.size());
     for (std::uint32_t lane_idx : active) {
         PhysAddr addr = pageTable.pteAddr(lanes[lane_idx].cursor);
-        eventq.schedule(issue_done, [this, lane_idx, addr]() {
+        auto fire = [this, lane_idx, addr]() {
             SW_TRACE(tracer_, TracePhase::PtRead, eventq.now(),
                      lanes[lane_idx].id, lanes[lane_idx].vpn, tracerWhere);
             hooks.ptAccess(addr, [this, lane_idx]() {
@@ -112,7 +115,10 @@ PwWarp::levelIteration()
                 if (--pendingLoads == 0)
                     levelIteration();
             });
-        });
+        };
+        static_assert(EventFn::fitsInline<decltype(fire)>(),
+                      "LDPT issue event must not spill to the slab pool");
+        eventq.schedule(issue_done, std::move(fire));
     }
 }
 
@@ -165,11 +171,14 @@ PwWarp::finishBatch()
         // The SoftPWB slot frees now; the fill is in transit until the
         // FL2T/FFB lands at the L2 TLB and the distributor credit drops.
         ++fillsInTransit_;
-        eventq.schedule(arrive, [this, result]() {
+        auto fire = [this, result]() {
             SW_ASSERT(fillsInTransit_ > 0, "FL2T transit underflow");
             --fillsInTransit_;
             hooks.complete(result);
-        });
+        };
+        static_assert(EventFn::fitsInline<decltype(fire)>(),
+                      "FL2T fill event must not spill to the slab pool");
+        eventq.schedule(arrive, std::move(fire));
         pwb.release(lane.slot);
         ++stats_.walksCompleted;
     }

@@ -124,13 +124,14 @@ SoftWalkerBackend::dispatchSoftware(WalkRequest req)
     ++stats_.toSoftware;
     // L2 TLB -> SM interconnect hop (modeled as the L2 TLB latency, §6.1).
     ++commInTransit;
-    gpu.eventQueue().scheduleIn(
-        cfg.effectiveCommLatency(),
-        [this, target, req = std::move(req)]() mutable {
-            SW_ASSERT(commInTransit > 0, "interconnect transit underflow");
-            --commInTransit;
-            controllers[target]->accept(std::move(req));
-        });
+    auto fire = [this, target, req = std::move(req)]() mutable {
+        SW_ASSERT(commInTransit > 0, "interconnect transit underflow");
+        --commInTransit;
+        controllers[target]->accept(std::move(req));
+    };
+    static_assert(EventFn::fitsInline<decltype(fire)>(),
+                  "interconnect hop event must not spill to the slab pool");
+    gpu.eventQueue().scheduleIn(cfg.effectiveCommLatency(), std::move(fire));
 }
 
 void
@@ -154,14 +155,15 @@ SoftWalkerBackend::drainQueue()
         waiting.pop_front();
         ++stats_.toSoftware;
         ++commInTransit;
-        gpu.eventQueue().scheduleIn(
-            cfg.effectiveCommLatency(),
-            [this, target, req = std::move(req)]() mutable {
-                SW_ASSERT(commInTransit > 0,
-                          "interconnect transit underflow");
-                --commInTransit;
-                controllers[target]->accept(std::move(req));
-            });
+        auto fire = [this, target, req = std::move(req)]() mutable {
+            SW_ASSERT(commInTransit > 0, "interconnect transit underflow");
+            --commInTransit;
+            controllers[target]->accept(std::move(req));
+        };
+        static_assert(EventFn::fitsInline<decltype(fire)>(),
+                      "drain hop event must not spill to the slab pool");
+        gpu.eventQueue().scheduleIn(cfg.effectiveCommLatency(),
+                                    std::move(fire));
     }
 }
 

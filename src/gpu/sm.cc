@@ -52,8 +52,10 @@ Sm::fetchAndSchedule(WarpId warp)
     --*quota;
     ws.pending = workload.next(params_.id, warp, rng);
     stats_.computeCycles += ws.pending.computeGap;
-    eventq.scheduleIn(ws.pending.computeGap,
-                      [this, warp]() { tryIssue(warp); });
+    auto fire = [this, warp]() { tryIssue(warp); };
+    static_assert(EventFn::fitsInline<decltype(fire)>(),
+                  "warp issue event must not spill to the slab pool");
+    eventq.scheduleIn(ws.pending.computeGap, std::move(fire));
 }
 
 void

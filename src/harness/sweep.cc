@@ -1,0 +1,136 @@
+#include "harness/sweep.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace sw {
+
+unsigned
+SweepRunner::defaultJobs()
+{
+    if (const char *env = std::getenv("SW_JOBS"); env && *env) {
+        char *end = nullptr;
+        unsigned long parsed = std::strtoul(env, &end, 10);
+        if (end == env || *end != '\0' || parsed == 0)
+            fatal("SW_JOBS='%s' is not a positive integer", env);
+        return static_cast<unsigned>(parsed);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : jobs_(jobs ? jobs : defaultJobs())
+{
+}
+
+std::size_t
+SweepRunner::submit(SweepJob job)
+{
+    SW_ASSERT(job.info != nullptr, "sweep job without a benchmark");
+    std::string progress;
+    if (!job.label.empty()) {
+        progress = strprintf("  [%s] %s...", job.label.c_str(),
+                             job.info->abbr.c_str());
+    }
+    return submit(std::move(progress), [job = std::move(job)]() {
+        if (job.obs) {
+            return runBenchmark(job.cfg, *job.info, job.limits,
+                                job.footprintScale, *job.obs);
+        }
+        return runBenchmark(job.cfg, *job.info, job.limits,
+                            job.footprintScale);
+    });
+}
+
+std::size_t
+SweepRunner::submit(std::string progress, JobFn fn)
+{
+    SW_ASSERT(fn != nullptr, "sweep job without a function");
+    tasks.push_back(Task{std::move(progress), std::move(fn)});
+    return tasks.size() - 1;
+}
+
+std::vector<RunResult>
+SweepRunner::run()
+{
+    std::vector<RunResult> results =
+        jobs_ <= 1 || tasks.size() <= 1 ? runSerial() : runParallel();
+    tasks.clear();
+    return results;
+}
+
+std::vector<RunResult>
+SweepRunner::runSerial()
+{
+    // The SW_JOBS=1 contract: identical to the historical serial loop —
+    // same order, same progress lines at the same moments, exceptions
+    // surfacing straight from the failing job.
+    std::vector<RunResult> results;
+    results.reserve(tasks.size());
+    for (Task &task : tasks) {
+        if (!task.progress.empty())
+            std::fprintf(stderr, "%s\n", task.progress.c_str());
+        results.push_back(task.fn());
+    }
+    return results;
+}
+
+std::vector<RunResult>
+SweepRunner::runParallel()
+{
+    std::vector<RunResult> results(tasks.size());
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr firstError;
+    std::mutex errorMutex;
+    std::mutex progressMutex;
+
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= tasks.size() || failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                results[i] = tasks[i].fn();
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+            std::size_t done =
+                completed.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (!tasks[i].progress.empty()) {
+                // One fprintf per line keeps concurrent workers from
+                // tearing each other's output mid-line.
+                std::lock_guard<std::mutex> lock(progressMutex);
+                std::fprintf(stderr, "%s done (%zu/%zu)\n",
+                             tasks[i].progress.c_str(), done, tasks.size());
+            }
+        }
+    };
+
+    std::size_t spawn = std::min<std::size_t>(jobs_, tasks.size());
+    std::vector<std::thread> pool;
+    pool.reserve(spawn);
+    for (std::size_t i = 0; i < spawn; ++i)
+        pool.emplace_back(worker);
+    for (std::thread &thread : pool)
+        thread.join();
+
+    if (firstError)
+        std::rethrow_exception(firstError);
+    return results;
+}
+
+} // namespace sw

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * SweepRunner: a thread-pool job engine for independent simulations.
+ *
+ * Every figure in the paper is a sweep — N benchmarks x M configurations,
+ * each pair a completely independent simulation (its own Gpu, EventQueue,
+ * Rng; no shared mutable state).  SweepRunner exploits that: jobs are
+ * submitted in the order the figure wants its results, run on up to
+ * SW_JOBS worker threads (default: std::thread::hardware_concurrency()),
+ * and returned in submission order, so a harness's printed output is
+ * byte-identical no matter how many workers ran underneath it.
+ *
+ * SW_JOBS=1 short-circuits the pool entirely: jobs run inline on the
+ * calling thread, in submission order, with the classic per-job progress
+ * line printed *before* each run — exactly the pre-SweepRunner behaviour.
+ * With more than one worker, each job instead emits one buffered
+ * "... done (k/n)" line on completion, so interleaved stderr stays
+ * readable (one atomic fprintf per job, never a torn line).
+ *
+ * Determinism: a simulation's outcome depends only on its (config,
+ * benchmark, limits, scale) inputs — the worker it lands on, and whatever
+ * else runs concurrently, must not matter.  tests/harness/test_sweep.cc
+ * holds that property down with field-by-field RunResult comparisons.
+ */
+
+#ifndef SW_HARNESS_SWEEP_HH
+#define SW_HARNESS_SWEEP_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace sw {
+
+/** One independent (configuration, benchmark) simulation job. */
+struct SweepJob
+{
+    GpuConfig cfg;
+    const BenchmarkInfo *info = nullptr;
+    Gpu::RunLimits limits;
+    double footprintScale = 1.0;
+    /**
+     * Optional observability bundle for this job only.  The bundle must
+     * not be shared with a concurrently running job: registries, tracers
+     * and samplers are single-run instruments.
+     */
+    const Observability *obs = nullptr;
+    /** Progress label, e.g. "baseline"; empty disables the progress line. */
+    std::string label;
+};
+
+/** Runs submitted jobs concurrently; results come back in submission order. */
+class SweepRunner
+{
+  public:
+    /** A job is anything that produces a RunResult. */
+    using JobFn = std::function<RunResult()>;
+
+    /**
+     * Worker count from the environment: SW_JOBS when set (must be a
+     * positive integer), else hardware_concurrency(), else 1.
+     */
+    static unsigned defaultJobs();
+
+    /** @param jobs worker count; 0 means defaultJobs(). */
+    explicit SweepRunner(unsigned jobs = 0);
+
+    unsigned jobs() const { return jobs_; }
+    std::size_t submitted() const { return tasks.size(); }
+
+    /** Queue a standard benchmark job. @return its result index. */
+    std::size_t submit(SweepJob job);
+
+    /**
+     * Queue an arbitrary job.  @p progress is the full progress line
+     * (without trailing newline), or empty for silence.
+     * @return its result index.
+     */
+    std::size_t submit(std::string progress, JobFn fn);
+
+    /**
+     * Run every queued job and return results in submission order.
+     * Clears the queue.  If a job threw, the first exception (in
+     * submission order for jobs()==1, completion order otherwise) is
+     * rethrown after all workers have stopped; remaining queued jobs are
+     * abandoned.
+     */
+    std::vector<RunResult> run();
+
+  private:
+    struct Task
+    {
+        std::string progress;
+        JobFn fn;
+    };
+
+    std::vector<RunResult> runSerial();
+    std::vector<RunResult> runParallel();
+
+    unsigned jobs_;
+    std::vector<Task> tasks;
+};
+
+} // namespace sw
+
+#endif // SW_HARNESS_SWEEP_HH

@@ -56,10 +56,12 @@ void
 Cache::access(PhysAddr addr, bool write, std::function<void()> on_done)
 {
     ++stats_.accesses;
-    eventq.scheduleIn(params_.latency, [this, addr, write,
-                                        cb = std::move(on_done)]() mutable {
+    auto fire = [this, addr, write, cb = std::move(on_done)]() mutable {
         lookup(addr, write, std::move(cb));
-    });
+    };
+    static_assert(EventFn::fitsInline<decltype(fire)>(),
+                  "cache access event must not spill to the slab pool");
+    eventq.scheduleIn(params_.latency, std::move(fire));
 }
 
 bool

@@ -6,25 +6,56 @@
  * cycles and the kernel executes them in (cycle, insertion-order) order.
  * There is no per-cycle tick loop; idle periods cost nothing, which is what
  * makes sweeping twenty workloads over dozens of configurations cheap.
+ *
+ * The hot path is allocation-free and sift-cheap, split across two
+ * structures:
+ *
+ *  - a slot-recycling *event slab* holding the handlers themselves —
+ *    InlineFunctions whose captures live inside the slab entry (up to
+ *    kEventInlineBytes; larger captures recycle through a thread-local
+ *    overflow slab).  Slots freed by executed events are reused before the
+ *    slab ever grows, so steady state never touches the allocator.
+ *
+ *  - a binary heap of trivially-copyable 24-byte (cycle, seq, slot)
+ *    entries maintained with std::push_heap/std::pop_heap.  Sift
+ *    operations move only these PODs, never the closures, so push/pop
+ *    cost log(n) memcpys of three words instead of log(n) closure moves
+ *    (or, before this design, log(n) std::function moves plus a
+ *    malloc/free pair per event).
+ *
+ * Execution order is a strict total order on (cycle, insertion-seq), so
+ * neither the heap layout nor the slab slot assignment can change *which*
+ * event runs next — `cycles` and `eventsExecuted` are bit-identical to
+ * the std::function/priority_queue implementation this replaced.
  */
 
 #ifndef SW_SIM_EVENT_QUEUE_HH
 #define SW_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <type_traits>
 #include <vector>
 
 #include "check/audit.hh"
+#include "sim/inline_function.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace sw {
 
+/**
+ * Inline capture budget for event handlers.  Sized for the largest hot
+ * capture in the simulator — the SoftWalker interconnect hop, which moves
+ * a whole WalkRequest (64 bytes) plus a target SM id — with the hot files
+ * static_asserting that their closures fit (see e.g. core/softwalker.cc).
+ */
+inline constexpr std::size_t kEventInlineBytes = 80;
+
 /** Callback executed when an event fires. */
-using EventFn = std::function<void()>;
+using EventFn = InlineFunction<void(), kEventInlineBytes>;
 
 /**
  * Tick-ordered event queue.  Events scheduled for the same cycle execute in
@@ -60,7 +91,17 @@ class EventQueue
                   "event scheduled in the past (%llu < %llu)",
                   static_cast<unsigned long long>(when),
                   static_cast<unsigned long long>(curCycle));
-        heap.push(Event{when, nextSeq++, std::move(fn)});
+        std::uint32_t slot;
+        if (freeSlots.empty()) {
+            slot = static_cast<std::uint32_t>(slab.size());
+            slab.emplace_back();
+        } else {
+            slot = freeSlots.back();
+            freeSlots.pop_back();
+        }
+        slab[slot] = std::move(fn);
+        heap.push_back(HeapEntry{when, nextSeq++, slot});
+        std::push_heap(heap.begin(), heap.end(), Later{});
     }
 
     /** Schedule @p fn to run @p delay cycles from now. */
@@ -79,18 +120,20 @@ class EventQueue
     {
         if (heap.empty())
             return false;
-        // std::priority_queue::top() is const; the handler is moved out via
-        // a const_cast that is safe because the element is popped before the
-        // callback runs.
-        Event &ev = const_cast<Event &>(heap.top());
-        SW_AUDIT(ev.when >= curCycle,
+        std::pop_heap(heap.begin(), heap.end(), Later{});
+        HeapEntry top = heap.back();
+        heap.pop_back();
+        SW_AUDIT(top.when >= curCycle,
                  "event time moved backwards (%llu < %llu)",
-                 static_cast<unsigned long long>(ev.when),
+                 static_cast<unsigned long long>(top.when),
                  static_cast<unsigned long long>(curCycle));
-        curCycle = ev.when;
-        EventFn fn = std::move(ev.fn);
-        heap.pop();
+        curCycle = top.when;
         ++numExecuted;
+        // Move the handler out and recycle its slot *before* invoking:
+        // the callback is free to schedule (and the slab free to hand the
+        // slot straight back to it).
+        EventFn fn = std::move(slab[top.slot]);
+        freeSlots.push_back(top.slot);
         fn();
         return true;
     }
@@ -151,6 +194,9 @@ class EventQueue
             legacySweepId = addPeriodicCheck(interval, std::move(fn));
     }
 
+    /** Number of live periodic-check subscriptions. */
+    std::size_t numPeriodicChecks() const { return sweeps.size(); }
+
     /**
      * Run events until the queue is empty, @p predicate returns true, or
      * @p cycle_limit is reached.
@@ -160,7 +206,7 @@ class EventQueue
     run(Cycle cycle_limit = kCycleMax,
         const std::function<bool()> &predicate = {})
     {
-        while (!heap.empty() && heap.top().when <= cycle_limit) {
+        while (!heap.empty() && heap.front().when <= cycle_limit) {
             if (predicate && predicate())
                 break;
             runOne();
@@ -180,30 +226,43 @@ class EventQueue
         return curCycle;
     }
 
-    /** Drop all pending events and reset the clock (tests only). */
+    /**
+     * Drop all pending events, periodic-check subscriptions, and counters;
+     * reset the clock (tests only).  Sweep subscriptions must not survive:
+     * their captures point into components whose lifetime ended with the
+     * run being reset.
+     */
     void
     reset()
     {
-        heap = decltype(heap)();
+        heap.clear();
+        slab.clear();
+        freeSlots.clear();
         curCycle = 0;
         nextSeq = 0;
         numExecuted = 0;
+        sweeps.clear();
+        nextSweepId = 1;
+        legacySweepId = 0;
     }
 
   private:
     friend struct AuditTester;   ///< negative-path audit tests only
 
-    struct Event
+    /** Heap element: ordering key + slab slot; trivially copyable. */
+    struct HeapEntry
     {
         Cycle when;
         std::uint64_t seq;
-        EventFn fn;
+        std::uint32_t slot;
     };
+    static_assert(std::is_trivially_copyable_v<HeapEntry>,
+                  "heap sifts must be memcpys");
 
     struct Later
     {
         bool
-        operator()(const Event &a, const Event &b) const
+        operator()(const HeapEntry &a, const HeapEntry &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -220,7 +279,11 @@ class EventQueue
         SweepFn fn;
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap;
+    /** Binary min-heap on (when, seq); heap.front() is the next event. */
+    std::vector<HeapEntry> heap;
+    /** Handler storage; slots are recycled through freeSlots. */
+    std::vector<EventFn> slab;
+    std::vector<std::uint32_t> freeSlots;
     Cycle curCycle = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t numExecuted = 0;

@@ -1,9 +1,11 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <vector>
 
 namespace sw {
@@ -32,7 +34,12 @@ logLevelFromEnv()
 
 namespace {
 
-LogLevel currentLevel = logLevelFromEnv();
+// SweepRunner workers log and (on a bug) fail concurrently, so the level
+// is an atomic and the hook is handed over under a mutex.  warn()/inform()
+// stay lock-free: each emits its message as one fprintf, which the C
+// standard already makes atomic with respect to other stream operations.
+std::atomic<LogLevel> currentLevel{logLevelFromEnv()};
+std::mutex failureHookMutex;
 FailureHookFn failureHook;
 
 std::string
@@ -57,8 +64,13 @@ vformat(const char *fmt, va_list ap)
 failureSink(const char *kind, const std::string &msg, bool abort_process)
 {
     std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
-    if (failureHook)
-        failureHook(kind, msg);
+    FailureHookFn hook;
+    {
+        std::lock_guard<std::mutex> lock(failureHookMutex);
+        hook = failureHook;
+    }
+    if (hook)
+        hook(kind, msg);
     if (abort_process)
         std::abort();
     std::exit(1);
@@ -89,7 +101,7 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (currentLevel < LogLevel::Warn)
+    if (currentLevel.load(std::memory_order_relaxed) < LogLevel::Warn)
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -101,7 +113,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (currentLevel < LogLevel::Info)
+    if (currentLevel.load(std::memory_order_relaxed) < LogLevel::Info)
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -113,25 +125,26 @@ inform(const char *fmt, ...)
 void
 setLogLevel(LogLevel level)
 {
-    currentLevel = level;
+    currentLevel.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return currentLevel;
+    return currentLevel.load(std::memory_order_relaxed);
 }
 
 void
 setVerbose(bool verbose)
 {
     // Legacy switch used by benches: toggles inform() only.
-    currentLevel = verbose ? LogLevel::Info : LogLevel::Warn;
+    setLogLevel(verbose ? LogLevel::Info : LogLevel::Warn);
 }
 
 void
 setFailureHook(FailureHookFn hook)
 {
+    std::lock_guard<std::mutex> lock(failureHookMutex);
     failureHook = std::move(hook);
 }
 

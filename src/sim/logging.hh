@@ -50,6 +50,8 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
  * Set the verbosity threshold.  The initial value comes from the
  * SW_LOG_LEVEL environment variable ("0"/"quiet", "1"/"warn",
  * "2"/"info"); unset or unrecognised values default to Info.
+ * Thread-safe: the level is atomic, so concurrent SweepRunner workers
+ * may log while another thread adjusts verbosity.
  */
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
@@ -68,7 +70,9 @@ void setVerbose(bool verbose);
  * Observer invoked by the failure sink just before the process terminates,
  * with the failure kind ("panic" or "fatal") and the formatted message.
  * Tests and external harnesses use it to capture diagnostics; it must not
- * assume the process survives. Pass nullptr to clear.
+ * assume the process survives. Pass nullptr to clear.  Installation and
+ * invocation are mutex-guarded so a hook may be (re)set while SweepRunner
+ * workers are running.
  */
 using FailureHookFn = std::function<void(const char *kind,
                                          const std::string &msg)>;

@@ -36,10 +36,12 @@ TranslationEngine::translate(SmId sm, Vpn vpn, TransDoneFn done)
     SW_ASSERT(sm < cfg.numSms, "translate from unknown SM %u", sm);
     ++stats_.requests;
     Cycle start = eventq.now();
-    eventq.scheduleIn(cfg.l1TlbLatency,
-                      [this, sm, vpn, done = std::move(done), start]() mutable {
-                          l1Lookup(sm, vpn, std::move(done), start);
-                      });
+    auto fire = [this, sm, vpn, done = std::move(done), start]() mutable {
+        l1Lookup(sm, vpn, std::move(done), start);
+    };
+    static_assert(EventFn::fitsInline<decltype(fire)>(),
+                  "L1 lookup event must not spill to the slab pool");
+    eventq.scheduleIn(cfg.l1TlbLatency, std::move(fire));
 }
 
 void
@@ -101,8 +103,10 @@ TranslationEngine::drainL1WaitQueue(SmId sm)
 void
 TranslationEngine::sendToL2(SmId sm, Vpn vpn)
 {
-    eventq.scheduleIn(cfg.l2TlbLatency,
-                      [this, sm, vpn]() { l2Access(sm, vpn); });
+    auto fire = [this, sm, vpn]() { l2Access(sm, vpn); };
+    static_assert(EventFn::fitsInline<decltype(fire)>(),
+                  "L2 hop event must not spill to the slab pool");
+    eventq.scheduleIn(cfg.l2TlbLatency, std::move(fire));
 }
 
 void
@@ -208,7 +212,7 @@ TranslationEngine::createWalk(Vpn vpn, Cycle created)
     if (mapOnDemand)
         pageTable_.ensureMapped(vpn);
 
-    eventq.scheduleIn(cfg.pwcLatency, [this, vpn, created]() {
+    auto fire = [this, vpn, created]() {
         int level = 0;
         PhysAddr base = 0;
         WalkRequest req;
@@ -224,7 +228,10 @@ TranslationEngine::createWalk(Vpn vpn, Cycle created)
         SW_TRACE(tracer_, TracePhase::BackendSubmit, eventq.now(), req.id,
                  vpn);
         walkBackend->submit(std::move(req));
-    });
+    };
+    static_assert(EventFn::fitsInline<decltype(fire)>(),
+                  "walk-creation event must not spill to the slab pool");
+    eventq.scheduleIn(cfg.pwcLatency, std::move(fire));
 }
 
 void
