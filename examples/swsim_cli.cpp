@@ -2,65 +2,281 @@
  * @file
  * swsim — command-line driver for one-off simulations.
  *
- * Runs a single (benchmark, configuration) pair and dumps the full
- * statistics picture.  Useful for poking at a config without writing a
- * harness.
+ * Runs a single (benchmark, configuration) pair — or replays a recorded
+ * `.swtrace` page-access trace — and dumps the full statistics picture.
+ * Useful for poking at a config without writing a harness.
  *
- * Usage:
- *   swsim_cli [options]
- *     --bench <abbr>        Table 4 benchmark (default bfs)
- *     --mode <m>            hw | sw | hybrid | ideal (default hw)
- *     --ptws <n>            hardware walker count (scales MSHRs/PWB)
- *     --intlb <n>           In-TLB MSHR capacity
- *     --page <64k|2m>       page size
- *     --pt <radix|hashed>   page-table organisation
- *     --nha                 enable NHA page-walk coalescing
- *     --quota <n>           measured warp instructions
- *     --warmup <n>          warmup warp instructions
- *     --scale <f>           footprint scale factor
- *     --policy <rr|rand|stall>  distributor policy
- *     --metrics-out <file>  dump the full stat registry as JSON
- *     --trace-out <file>    dump translation lifecycle trace (Chrome JSON)
- *     --samples-out <file>  dump periodic gauge samples as CSV
- *     --sample-interval <n> sampling interval in cycles (default 10000)
+ * Options are declared once in a table (name, argument spec, doc string,
+ * setter); the parser, the generated `--help` text, and unknown-flag
+ * rejection all derive from that single declaration.  Options apply in
+ * command-line order, so e.g. `--intlb 64 --mode sw` seeds the SoftWalker
+ * config with the earlier In-TLB capacity, exactly as documented.
  */
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "harness/experiment.hh"
+#include "harness/report.hh"
 #include "obs/sampler.hh"
 #include "obs/stat_registry.hh"
 #include "obs/trace.hh"
 #include "sim/logging.hh"
+#include "trace/trace_convert.hh"
+#include "trace/trace_workload.hh"
 
 using namespace sw;
 
 namespace {
 
-[[noreturn]] void
-usage()
+/**
+ * One command-line option.  `args` is the space-separated metavariable
+ * spec shown in --help ("" for a bare flag, "<n>" for one value,
+ * "<in> <out>" for two); its word count is the option's arity.
+ */
+struct CliOption
 {
-    std::fprintf(stderr,
-                 "usage: swsim_cli [--bench b] [--mode hw|sw|hybrid|ideal] "
-                 "[--ptws n]\n"
-                 "  [--intlb n] [--page 64k|2m] [--pt radix|hashed] [--nha]"
-                 "\n  [--quota n] [--warmup n] [--scale f] "
-                 "[--policy rr|rand|stall]\n"
-                 "  [--metrics-out file] [--trace-out file] "
-                 "[--samples-out file]\n  [--sample-interval n]\n");
+    const char *name;
+    const char *args;
+    const char *doc;
+    std::function<void(const std::vector<std::string> &)> set;
+
+    int
+    arity() const
+    {
+        int words = 0;
+        for (const char *c = args; *c; ++c)
+            if (*c == '<')
+                ++words;
+        return words;
+    }
+};
+
+/** Parse errors: complain on stderr and exit 2 (matching historic usage). */
+[[noreturn]] void
+cliError(const std::string &message)
+{
+    std::fprintf(stderr, "swsim_cli: %s (try --help)\n", message.c_str());
     std::exit(2);
 }
 
-const char *
-require(int argc, char **argv, int &i)
+std::uint64_t
+parseUint(const std::string &value, const char *flag)
 {
-    if (++i >= argc)
-        usage();
-    return argv[i];
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        cliError(strprintf("%s expects a number, got '%s'", flag,
+                           value.c_str()));
+    return parsed;
+}
+
+double
+parseFloat(const std::string &value, const char *flag)
+{
+    char *end = nullptr;
+    double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        cliError(strprintf("%s expects a number, got '%s'", flag,
+                           value.c_str()));
+    return parsed;
+}
+
+/** Everything the option setters write into. */
+struct Options
+{
+    std::string bench = "bfs";
+    bool benchSet = false;
+    GpuConfig cfg = makeDefaultConfig();
+    Gpu::RunLimits limits = defaultLimits();
+    bool explicitLimits = false;
+    double scale = 1.0;
+    std::string metricsOut, traceOut, samplesOut;
+    Cycle sampleInterval = 0;
+    std::string recordPath, replayPath, fingerprintOut;
+    TraceEndPolicy replayEnd = TraceEndPolicy::Drain;
+    std::string convertIn, convertOut;
+    bool help = false;
+};
+
+std::vector<CliOption>
+optionTable(Options &opt)
+{
+    // Setters receive exactly arity() strings.  Mutating shared state in
+    // table order is what preserves the order-dependent --mode semantics.
+    return {
+        {"--help", "", "print this help and exit",
+         [&](const std::vector<std::string> &) { opt.help = true; }},
+        {"--bench", "<abbr>", "Table 4 benchmark (default bfs)",
+         [&](const std::vector<std::string> &a) {
+             opt.bench = a[0];
+             opt.benchSet = true;
+         }},
+        {"--mode", "<m>", "hw | sw | hybrid | ideal (default hw)",
+         [&](const std::vector<std::string> &a) {
+             if (a[0] == "hw") {
+                 opt.cfg.mode = TranslationMode::HardwarePtw;
+             } else if (a[0] == "sw") {
+                 std::uint32_t intlb = opt.cfg.inTlbMshrMax;
+                 opt.cfg = makeSoftWalkerConfig();
+                 if (intlb)
+                     opt.cfg.inTlbMshrMax = intlb;
+             } else if (a[0] == "hybrid") {
+                 opt.cfg = makeSoftWalkerConfig(TranslationMode::Hybrid);
+             } else if (a[0] == "ideal") {
+                 opt.cfg.mode = TranslationMode::Ideal;
+             } else {
+                 cliError("--mode expects hw|sw|hybrid|ideal, got '" +
+                          a[0] + "'");
+             }
+         }},
+        {"--ptws", "<n>", "hardware walker count (scales MSHRs/PWB)",
+         [&](const std::vector<std::string> &a) {
+             scalePtwSubsystem(opt.cfg,
+                               std::uint32_t(parseUint(a[0], "--ptws")));
+         }},
+        {"--intlb", "<n>", "In-TLB MSHR capacity",
+         [&](const std::vector<std::string> &a) {
+             opt.cfg.inTlbMshrMax =
+                 std::uint32_t(parseUint(a[0], "--intlb"));
+         }},
+        {"--page", "<64k|2m>", "page size",
+         [&](const std::vector<std::string> &a) {
+             opt.cfg.pageBytes = (a[0] == "2m") ? 2ull * 1024 * 1024
+                                                : 64ull * 1024;
+         }},
+        {"--pt", "<radix|hashed>", "page-table organisation",
+         [&](const std::vector<std::string> &a) {
+             opt.cfg.pageTableKind = (a[0] == "hashed")
+                 ? PageTableKind::Hashed : PageTableKind::Radix4;
+         }},
+        {"--nha", "", "enable NHA page-walk coalescing",
+         [&](const std::vector<std::string> &) {
+             opt.cfg.nhaCoalescing = true;
+         }},
+        {"--quota", "<n>", "measured warp instructions",
+         [&](const std::vector<std::string> &a) {
+             opt.limits.warpInstrQuota = parseUint(a[0], "--quota");
+             opt.explicitLimits = true;
+         }},
+        {"--warmup", "<n>", "warmup warp instructions",
+         [&](const std::vector<std::string> &a) {
+             opt.limits.warmupInstrs = parseUint(a[0], "--warmup");
+             opt.explicitLimits = true;
+         }},
+        {"--scale", "<f>", "footprint scale factor",
+         [&](const std::vector<std::string> &a) {
+             opt.scale = parseFloat(a[0], "--scale");
+         }},
+        {"--policy", "<rr|rand|stall>", "distributor policy",
+         [&](const std::vector<std::string> &a) {
+             opt.cfg.distributorPolicy =
+                 a[0] == "rand" ? DistributorPolicy::Random
+                 : a[0] == "stall" ? DistributorPolicy::StallAware
+                                   : DistributorPolicy::RoundRobin;
+         }},
+        {"--record", "<file>",
+         "record the page-access stream to a .swtrace file",
+         [&](const std::vector<std::string> &a) {
+             opt.recordPath = a[0];
+         }},
+        {"--replay", "<file>",
+         "replay a .swtrace instead of running a benchmark",
+         [&](const std::vector<std::string> &a) {
+             opt.replayPath = a[0];
+         }},
+        {"--replay-end", "<drain|loop>",
+         "what an exhausted trace stream does (default drain)",
+         [&](const std::vector<std::string> &a) {
+             if (a[0] == "drain")
+                 opt.replayEnd = TraceEndPolicy::Drain;
+             else if (a[0] == "loop")
+                 opt.replayEnd = TraceEndPolicy::Loop;
+             else
+                 cliError("--replay-end expects drain|loop, got '" + a[0] +
+                          "'");
+         }},
+        {"--trace-convert", "<in.txt> <out.swtrace>",
+         "convert a text trace to binary and exit",
+         [&](const std::vector<std::string> &a) {
+             opt.convertIn = a[0];
+             opt.convertOut = a[1];
+         }},
+        {"--fingerprint-out", "<file>",
+         "write the exact result fingerprint (for replay checks)",
+         [&](const std::vector<std::string> &a) {
+             opt.fingerprintOut = a[0];
+         }},
+        {"--metrics-out", "<file>",
+         "dump the full stat registry as JSON",
+         [&](const std::vector<std::string> &a) {
+             opt.metricsOut = a[0];
+         }},
+        {"--trace-out", "<file>",
+         "dump translation lifecycle trace (Chrome JSON)",
+         [&](const std::vector<std::string> &a) {
+             opt.traceOut = a[0];
+         }},
+        {"--samples-out", "<file>",
+         "dump periodic gauge samples as CSV",
+         [&](const std::vector<std::string> &a) {
+             opt.samplesOut = a[0];
+         }},
+        {"--sample-interval", "<n>",
+         "sampling interval in cycles (default 10000)",
+         [&](const std::vector<std::string> &a) {
+             opt.sampleInterval = parseUint(a[0], "--sample-interval");
+         }},
+    };
+}
+
+void
+printHelp(const std::vector<CliOption> &table)
+{
+    std::printf("usage: swsim_cli [options]\n\n"
+                "Run one simulation (or replay/convert a trace) and print "
+                "the full\nstatistics picture.\n\noptions:\n");
+    for (const CliOption &o : table) {
+        std::string left = o.name;
+        if (*o.args) {
+            left += ' ';
+            left += o.args;
+        }
+        std::printf("  %-28s %s\n", left.c_str(), o.doc);
+    }
+}
+
+void
+parseArgs(int argc, char **argv, const std::vector<CliOption> &table)
+{
+    for (int i = 1; i < argc;) {
+        const std::string arg = argv[i];
+        const CliOption *match = nullptr;
+        for (const CliOption &o : table)
+            if (arg == o.name)
+                match = &o;
+        if (!match)
+            cliError("unknown option '" + arg + "'");
+        int arity = match->arity();
+        if (i + arity >= argc)
+            cliError(strprintf("%s expects %s", match->name, match->args));
+        std::vector<std::string> values(argv + i + 1, argv + i + 1 + arity);
+        match->set(values);
+        i += 1 + arity;
+    }
+}
+
+std::ofstream
+openOut(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    return out;
 }
 
 } // namespace
@@ -69,83 +285,27 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    std::string bench = "bfs";
-    GpuConfig cfg = makeDefaultConfig();
-    Gpu::RunLimits limits = defaultLimits();
-    bool explicit_limits = false;
-    double scale = 1.0;
-    std::string metrics_out, trace_out, samples_out;
-    Cycle sample_interval = 0;
+    Options opt;
+    std::vector<CliOption> table = optionTable(opt);
+    parseArgs(argc, argv, table);
 
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg == "--bench") {
-            bench = require(argc, argv, i);
-        } else if (arg == "--mode") {
-            std::string mode = require(argc, argv, i);
-            if (mode == "hw") {
-                cfg.mode = TranslationMode::HardwarePtw;
-            } else if (mode == "sw") {
-                std::uint32_t intlb = cfg.inTlbMshrMax;
-                cfg = makeSoftWalkerConfig();
-                if (intlb)
-                    cfg.inTlbMshrMax = intlb;
-            } else if (mode == "hybrid") {
-                cfg = makeSoftWalkerConfig(TranslationMode::Hybrid);
-            } else if (mode == "ideal") {
-                cfg.mode = TranslationMode::Ideal;
-            } else {
-                usage();
-            }
-        } else if (arg == "--ptws") {
-            scalePtwSubsystem(cfg, std::uint32_t(
-                std::strtoul(require(argc, argv, i), nullptr, 10)));
-        } else if (arg == "--intlb") {
-            cfg.inTlbMshrMax = std::uint32_t(
-                std::strtoul(require(argc, argv, i), nullptr, 10));
-        } else if (arg == "--page") {
-            std::string page = require(argc, argv, i);
-            cfg.pageBytes = (page == "2m") ? 2ull * 1024 * 1024
-                                           : 64ull * 1024;
-        } else if (arg == "--pt") {
-            std::string kind = require(argc, argv, i);
-            cfg.pageTableKind = (kind == "hashed") ? PageTableKind::Hashed
-                                                   : PageTableKind::Radix4;
-        } else if (arg == "--nha") {
-            cfg.nhaCoalescing = true;
-        } else if (arg == "--quota") {
-            limits.warpInstrQuota =
-                std::strtoull(require(argc, argv, i), nullptr, 10);
-            explicit_limits = true;
-        } else if (arg == "--warmup") {
-            limits.warmupInstrs =
-                std::strtoull(require(argc, argv, i), nullptr, 10);
-            explicit_limits = true;
-        } else if (arg == "--scale") {
-            scale = std::strtod(require(argc, argv, i), nullptr);
-        } else if (arg == "--policy") {
-            std::string policy = require(argc, argv, i);
-            cfg.distributorPolicy =
-                policy == "rand" ? DistributorPolicy::Random
-                : policy == "stall" ? DistributorPolicy::StallAware
-                                    : DistributorPolicy::RoundRobin;
-        } else if (arg == "--metrics-out") {
-            metrics_out = require(argc, argv, i);
-        } else if (arg == "--trace-out") {
-            trace_out = require(argc, argv, i);
-        } else if (arg == "--samples-out") {
-            samples_out = require(argc, argv, i);
-        } else if (arg == "--sample-interval") {
-            sample_interval =
-                std::strtoull(require(argc, argv, i), nullptr, 10);
-        } else {
-            usage();
-        }
+    if (opt.help) {
+        printHelp(table);
+        return 0;
     }
 
-    const BenchmarkInfo &info = findBenchmark(bench);
-    if (!explicit_limits)
-        limits = limitsFor(info);
+    if (!opt.convertIn.empty()) {
+        if (opt.benchSet || !opt.replayPath.empty())
+            cliError("--trace-convert cannot be combined with a run");
+        std::size_t converted =
+            convertTextTrace(opt.convertIn, opt.convertOut);
+        std::fprintf(stderr, "converted %zu instructions: %s -> %s\n",
+                     converted, opt.convertIn.c_str(),
+                     opt.convertOut.c_str());
+        return 0;
+    }
+    if (opt.benchSet && !opt.replayPath.empty())
+        cliError("--bench and --replay are mutually exclusive");
 
     // Observability bundle: each sink exists only when its output file was
     // requested, so a plain run installs nothing and stays bit-identical.
@@ -153,53 +313,86 @@ main(int argc, char **argv)
     TranslationTracer tracer;
     TimeSeriesSampler sampler;
     Observability obs;
-    if (!metrics_out.empty())
+    if (!opt.metricsOut.empty())
         obs.registry = &registry;
-    if (!trace_out.empty())
+    if (!opt.traceOut.empty())
         obs.tracer = &tracer;
-    if (!samples_out.empty()) {
+    if (!opt.samplesOut.empty()) {
         obs.sampler = &sampler;
-        if (sample_interval > 0)
-            obs.sampleInterval = sample_interval;
+        if (opt.sampleInterval > 0)
+            obs.sampleInterval = opt.sampleInterval;
     }
 
-    std::fprintf(stderr, "running %s (%s, mode=%s, quota=%llu)...\n",
-                 info.abbr.c_str(), info.fullName.c_str(),
-                 toString(cfg.mode),
-                 (unsigned long long)limits.warpInstrQuota);
-    RunResult r = obs.any() ? runBenchmark(cfg, info, limits, scale, obs)
-                            : runBenchmark(cfg, info, limits, scale);
+    RunSpec spec;
+    spec.cfg = opt.cfg;
+    spec.footprintScale = opt.scale;
+    if (obs.any())
+        spec.obs = &obs;
+    if (opt.explicitLimits)
+        spec.limits = opt.limits;
+    spec.recordPath = opt.recordPath;
 
-    auto open_out = [](const std::string &path) {
-        std::ofstream out(path);
-        if (!out)
-            fatal("cannot open '%s' for writing", path.c_str());
-        return out;
-    };
-    if (!metrics_out.empty()) {
-        std::ofstream out = open_out(metrics_out);
+    const BenchmarkInfo *info = nullptr;
+    if (!opt.replayPath.empty()) {
+        spec.replayPath = opt.replayPath;
+        spec.replayEnd = opt.replayEnd;
+        std::fprintf(stderr, "replaying %s (mode=%s, end=%s)...\n",
+                     opt.replayPath.c_str(), toString(opt.cfg.mode),
+                     toString(opt.replayEnd));
+    } else {
+        info = &findBenchmark(opt.bench);
+        spec.benchmark = info;
+        // Limits resolution mirrors run(): explicit flags win, otherwise
+        // the benchmark's defaults; shown here so the banner matches.
+        std::fprintf(stderr, "running %s (%s, mode=%s, quota=%llu)...\n",
+                     info->abbr.c_str(), info->fullName.c_str(),
+                     toString(opt.cfg.mode),
+                     (unsigned long long)(opt.explicitLimits
+                         ? opt.limits : limitsFor(*info)).warpInstrQuota);
+    }
+
+    RunResult r = run(std::move(spec));
+
+    if (!opt.fingerprintOut.empty()) {
+        std::ofstream out = openOut(opt.fingerprintOut);
+        out << fingerprint(r);
+        std::fprintf(stderr, "wrote fingerprint to %s\n",
+                     opt.fingerprintOut.c_str());
+    }
+    if (!opt.metricsOut.empty()) {
+        std::ofstream out = openOut(opt.metricsOut);
         registry.writeJson(out);
         std::fprintf(stderr, "wrote %zu stats to %s\n", registry.size(),
-                     metrics_out.c_str());
+                     opt.metricsOut.c_str());
     }
-    if (!trace_out.empty()) {
-        std::ofstream out = open_out(trace_out);
+    if (!opt.traceOut.empty()) {
+        std::ofstream out = openOut(opt.traceOut);
         tracer.writeTraceJson(out);
         std::fprintf(stderr,
                      "wrote %llu stamps / %llu walk spans to %s\n",
                      (unsigned long long)tracer.stampsRecorded(),
                      (unsigned long long)tracer.spansCompleted(),
-                     trace_out.c_str());
+                     opt.traceOut.c_str());
     }
-    if (!samples_out.empty()) {
-        std::ofstream out = open_out(samples_out);
+    if (!opt.samplesOut.empty()) {
+        std::ofstream out = openOut(opt.samplesOut);
         sampler.writeCsv(out);
         std::fprintf(stderr, "wrote %zu samples to %s\n",
-                     sampler.numRows(), samples_out.c_str());
+                     sampler.numRows(), opt.samplesOut.c_str());
     }
 
-    std::printf("benchmark            %s (%s)\n", r.benchmark.c_str(),
-                info.irregular ? "irregular" : "regular");
+    // A replayed trace keeps its recorded workload name; if that matches a
+    // Table 4 benchmark, the paper comparison still applies.
+    if (!info)
+        info = findBenchmarkOrNull(r.benchmark);
+
+    if (info) {
+        std::printf("benchmark            %s (%s)\n", r.benchmark.c_str(),
+                    info->irregular ? "irregular" : "regular");
+    } else {
+        std::printf("benchmark            %s (trace)\n",
+                    r.benchmark.c_str());
+    }
     std::printf("mode                 %s\n", toString(r.mode));
     std::printf("measured cycles      %llu\n",
                 (unsigned long long)r.cycles);
@@ -213,8 +406,12 @@ main(int argc, char **argv)
     std::printf("L2 TLB accesses      %llu (hit rate %.2f%%)\n",
                 (unsigned long long)r.l2TlbAccesses,
                 100.0 * r.l2TlbHitRate);
-    std::printf("L2 TLB MPKI          %.2f (paper: %.2f)\n", r.l2TlbMpki,
-                info.paperMpki);
+    if (info) {
+        std::printf("L2 TLB MPKI          %.2f (paper: %.2f)\n",
+                    r.l2TlbMpki, info->paperMpki);
+    } else {
+        std::printf("L2 TLB MPKI          %.2f\n", r.l2TlbMpki);
+    }
     std::printf("L2 TLB MSHR failures %llu\n",
                 (unsigned long long)r.l2MshrFailures);
     std::printf("In-TLB MSHR allocs   %llu (peak %llu)\n",
@@ -228,7 +425,7 @@ main(int argc, char **argv)
     std::printf("DRAM utilisation     %.2f%%\n",
                 100.0 * r.dramUtilisation);
     std::printf("mem-stall fraction   %.2f%%\n",
-                100.0 * r.stallFraction(cfg.numSms));
+                100.0 * r.stallFraction(opt.cfg.numSms));
     if (r.swBatches) {
         std::printf("PW warp batches      %llu (avg size %.1f)\n",
                     (unsigned long long)r.swBatches, r.swAvgBatchSize);

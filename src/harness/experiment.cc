@@ -1,9 +1,11 @@
 #include "harness/experiment.hh"
 
 #include <cstdlib>
+#include <utility>
 
 #include "core/softwalker.hh"
 #include "sim/logging.hh"
+#include "trace/trace_recorder.hh"
 #include "workload/generators.hh"
 
 namespace sw {
@@ -94,27 +96,103 @@ collectResult(Gpu &gpu, const std::string &name)
     return out;
 }
 
-RunResult
-runWorkload(const GpuConfig &cfg, std::unique_ptr<Workload> workload,
-            const Gpu::RunLimits &limits, const Observability *obs)
+namespace {
+
+/** Materialise the spec's workload source and resolve the run limits. */
+std::unique_ptr<Workload>
+materialiseWorkload(RunSpec &spec, Gpu::RunLimits &limits)
 {
+    int sources = (spec.benchmark != nullptr) +
+                  !spec.workloadName.empty() + (spec.workload != nullptr) +
+                  !spec.replayPath.empty();
+    if (sources != 1)
+        fatal("RunSpec needs exactly one workload source (benchmark, "
+              "workloadName, workload, or replayPath); %d are set",
+              sources);
+
+    if (spec.benchmark) {
+        limits = spec.limits.value_or(limitsFor(*spec.benchmark));
+        return makeWorkload(*spec.benchmark, spec.footprintScale);
+    }
+    if (!spec.workloadName.empty()) {
+        std::unique_ptr<Workload> workload =
+            makeWorkload(spec.workloadName, spec.footprintScale);
+        const BenchmarkInfo *info = findBenchmarkOrNull(spec.workloadName);
+        limits = spec.limits.value_or(info ? limitsFor(*info)
+                                           : defaultLimits());
+        return workload;
+    }
+    if (spec.workload) {
+        limits = spec.limits.value_or(defaultLimits());
+        return std::move(spec.workload);
+    }
+
+    auto replay = std::make_unique<TraceWorkload>(spec.replayPath,
+                                                  spec.replayEnd);
+    replay->checkConfig(spec.cfg);
+    if (spec.limits.has_value()) {
+        limits = *spec.limits;
+    } else {
+        // Default to the recorded stopping conditions: a bare replay
+        // reruns exactly the captured region.  All-zero means the trace
+        // (e.g. a converted one) carries none.
+        const TraceLimits &recorded = replay->recordedLimits();
+        if (recorded.warpInstrQuota == 0 && recorded.maxCycles == 0) {
+            limits = defaultLimits();
+        } else {
+            limits.warpInstrQuota = recorded.warpInstrQuota;
+            limits.warmupInstrs = recorded.warmupInstrs;
+            limits.maxCycles = recorded.maxCycles;
+            limits.maxActiveWarps = recorded.maxActiveWarps;
+        }
+    }
+    return replay;
+}
+
+} // namespace
+
+RunResult
+run(RunSpec spec)
+{
+    Gpu::RunLimits limits;
+    std::unique_ptr<Workload> workload = materialiseWorkload(spec, limits);
+
     // Large-page runs scatter the synthetic hot windows (see
     // SyntheticWorkload::setWindowSpread): real irregular working sets are
     // scattered objects, which is what makes them exceed even 2 MB TLB
-    // coverage (§6.3, Fig 25).
-    if (cfg.pageBytes > 64ull * 1024) {
+    // coverage (§6.3, Fig 25).  Applied before any recording wrapper so
+    // the recorded stream is the spread one.
+    if (spec.cfg.pageBytes > 64ull * 1024) {
         if (auto *synthetic = dynamic_cast<SyntheticWorkload *>(
                 workload.get())) {
-            synthetic->setWindowSpread(cfg.pageBytes + 64ull * 1024);
+            synthetic->setWindowSpread(spec.cfg.pageBytes + 64ull * 1024);
         }
     }
+
+    TraceRecorder *recorder = nullptr;
+    if (!spec.recordPath.empty()) {
+        auto recording = std::make_unique<TraceRecorder>(
+            std::move(workload));
+        recorder = recording.get();
+        workload = std::move(recording);
+    }
+
+    const Observability *obs = spec.obs;
     std::string name = workload->name();
-    Gpu gpu(cfg, std::move(workload));
+    Gpu gpu(spec.cfg, std::move(workload));
     installWalkBackend(gpu);
     if (obs && obs->any())
         gpu.installObservability(*obs);
     gpu.run(limits);
     RunResult result = collectResult(gpu, name);
+    if (recorder) {
+        TraceLimits recorded;
+        recorded.warpInstrQuota = limits.warpInstrQuota;
+        recorded.warmupInstrs = limits.warmupInstrs;
+        recorded.maxCycles = limits.maxCycles;
+        recorded.maxActiveWarps = limits.maxActiveWarps;
+        recorder->writeFile(spec.recordPath, spec.cfg, recorded);
+    }
     // The GPU (and every registered counter) dies on return; snapshot the
     // registry so dumps outlive the run, and disarm the sampler before its
     // event-queue pointer dangles.
@@ -123,6 +201,18 @@ runWorkload(const GpuConfig &cfg, std::unique_ptr<Workload> workload,
     if (obs && obs->sampler)
         obs->sampler->uninstall();
     return result;
+}
+
+RunResult
+runWorkload(const GpuConfig &cfg, std::unique_ptr<Workload> workload,
+            const Gpu::RunLimits &limits, const Observability *obs)
+{
+    RunSpec spec;
+    spec.cfg = cfg;
+    spec.workload = std::move(workload);
+    spec.limits = limits;
+    spec.obs = obs;
+    return run(std::move(spec));
 }
 
 Gpu::RunLimits
@@ -143,15 +233,23 @@ RunResult
 runBenchmark(const GpuConfig &cfg, const BenchmarkInfo &info,
              double footprint_scale)
 {
-    return runWorkload(cfg, makeWorkload(info, footprint_scale),
-                       limitsFor(info));
+    RunSpec spec;
+    spec.cfg = cfg;
+    spec.benchmark = &info;
+    spec.footprintScale = footprint_scale;
+    return run(std::move(spec));
 }
 
 RunResult
 runBenchmark(const GpuConfig &cfg, const BenchmarkInfo &info,
              const Gpu::RunLimits &limits, double footprint_scale)
 {
-    return runWorkload(cfg, makeWorkload(info, footprint_scale), limits);
+    RunSpec spec;
+    spec.cfg = cfg;
+    spec.benchmark = &info;
+    spec.footprintScale = footprint_scale;
+    spec.limits = limits;
+    return run(std::move(spec));
 }
 
 RunResult
@@ -159,8 +257,13 @@ runBenchmark(const GpuConfig &cfg, const BenchmarkInfo &info,
              const Gpu::RunLimits &limits, double footprint_scale,
              const Observability &obs)
 {
-    return runWorkload(cfg, makeWorkload(info, footprint_scale), limits,
-                       &obs);
+    RunSpec spec;
+    spec.cfg = cfg;
+    spec.benchmark = &info;
+    spec.footprintScale = footprint_scale;
+    spec.limits = limits;
+    spec.obs = &obs;
+    return run(std::move(spec));
 }
 
 double

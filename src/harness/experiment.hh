@@ -9,12 +9,14 @@
 #define SW_HARNESS_EXPERIMENT_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "gpu/gpu.hh"
 #include "obs/observability.hh"
 #include "sim/config.hh"
+#include "trace/trace_workload.hh"
 #include "workload/benchmarks.hh"
 
 namespace sw {
@@ -92,31 +94,77 @@ Gpu::RunLimits limitsFor(const BenchmarkInfo &info);
 RunResult collectResult(Gpu &gpu, const std::string &name);
 
 /**
+ * Everything one simulation run needs, in one struct: configuration,
+ * workload source, stopping conditions, observability, and optional trace
+ * recording.  This is the single harness entry point — every other run
+ * signature is a thin shim over run(RunSpec).
+ *
+ * Workload source: set exactly one of
+ *   - `benchmark` (+ `footprintScale`): a Table 4 registry entry;
+ *   - `workloadName`: any factory-registry name, including scheme names
+ *     like "trace:run.swtrace";
+ *   - `workload`: a ready-made instance (RunSpec becomes move-only);
+ *   - `replayPath` (+ `replayEnd`): replay a recorded `.swtrace`.  The
+ *     file's config digest is verified against `cfg` before the run.
+ *
+ * Limits resolve in priority order: explicit `limits`; the benchmark's
+ * limitsFor(); a replayed trace's recorded limits; defaultLimits().
+ */
+struct RunSpec
+{
+    GpuConfig cfg;
+
+    // ---- Workload source (exactly one) -------------------------------
+    const BenchmarkInfo *benchmark = nullptr;
+    std::string workloadName;
+    std::unique_ptr<Workload> workload;
+    std::string replayPath;
+
+    /** Footprint multiplier for benchmark / workloadName sources. */
+    double footprintScale = 1.0;
+    /** End-of-trace behaviour for replayPath sources. */
+    TraceEndPolicy replayEnd = TraceEndPolicy::Drain;
+
+    // ---- Stopping conditions -----------------------------------------
+    std::optional<Gpu::RunLimits> limits;
+
+    // ---- Observability (non-owning; single-run instruments) ----------
+    const Observability *obs = nullptr;
+
+    // ---- Trace recording ---------------------------------------------
+    /** When non-empty, record this run's stream to a `.swtrace` here. */
+    std::string recordPath;
+};
+
+/**
+ * Run one simulation described by @p spec and extract its result.  When
+ * an observability bundle is attached it is installed after the walk
+ * backend (so backend stats register too) and the registry is capture()d
+ * before the GPU is torn down.
+ */
+RunResult run(RunSpec spec);
+
+/**
+ * @deprecated Build a RunSpec and call run() instead; these shims exist
+ * for one release and forward verbatim.
+ *
  * Build + run one (configuration, benchmark) pair with limitsFor(info).
  * @param footprint_scale multiplies the published footprint (Fig 6).
  */
 RunResult runBenchmark(const GpuConfig &cfg, const BenchmarkInfo &info,
                        double footprint_scale = 1.0);
 
-/** Same, with explicit limits. */
+/** @deprecated Same, with explicit limits; use run(RunSpec). */
 RunResult runBenchmark(const GpuConfig &cfg, const BenchmarkInfo &info,
                        const Gpu::RunLimits &limits,
                        double footprint_scale);
 
-/**
- * Same, with an observability bundle attached for the run's lifetime.
- * The registry (when present) is capture()d before the GPU is destroyed,
- * so its dump stays readable after this returns.
- */
+/** @deprecated Same, with observability attached; use run(RunSpec). */
 RunResult runBenchmark(const GpuConfig &cfg, const BenchmarkInfo &info,
                        const Gpu::RunLimits &limits,
                        double footprint_scale, const Observability &obs);
 
-/**
- * Run an arbitrary workload instance.  When @p obs is non-null the bundle
- * is installed after the walk backend (so backend stats register too) and
- * the registry is capture()d before the GPU is torn down.
- */
+/** @deprecated Run an arbitrary workload instance; use run(RunSpec). */
 RunResult runWorkload(const GpuConfig &cfg,
                       std::unique_ptr<Workload> workload,
                       const Gpu::RunLimits &limits = defaultLimits(),

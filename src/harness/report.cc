@@ -162,7 +162,44 @@ class CsvRowWriter : public RunResultFieldVisitor
     bool first = true;
 };
 
+/** Flattens every field into one exact string (%a for doubles). */
+class FingerprintWriter : public RunResultFieldVisitor
+{
+  public:
+    std::string text;
+
+    void
+    str(const char *name, const std::string &value) override
+    {
+        text += name;
+        text += '=';
+        text += value;
+        text += '\n';
+    }
+
+    void
+    u64(const char *name, std::uint64_t value) override
+    {
+        text += strprintf("%s=%llu\n", name, (unsigned long long)value);
+    }
+
+    void
+    f64(const char *name, double value) override
+    {
+        // %a is exact: any bit difference in a double shows up.
+        text += strprintf("%s=%a\n", name, value);
+    }
+};
+
 } // namespace
+
+std::string
+fingerprint(const RunResult &r)
+{
+    FingerprintWriter writer;
+    visitFields(r, writer);
+    return writer.text;
+}
 
 std::string
 toJson(const RunResult &r)

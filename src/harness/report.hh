@@ -55,6 +55,15 @@ std::string toCsvRow(const RunResult &result);
 /** Write header + rows to a stream. */
 void writeCsv(std::ostream &out, const std::vector<RunResult> &results);
 
+/**
+ * Exact textual fingerprint of a result: every visitFields() field as
+ * `name=value` lines, doubles rendered with %a so any bit difference
+ * shows.  Two runs are field-identical iff their fingerprints compare
+ * equal — the determinism contract the sweep and trace-replay tests (and
+ * the CI record/replay gate) hold down.
+ */
+std::string fingerprint(const RunResult &result);
+
 } // namespace sw
 
 #endif // SW_HARNESS_REPORT_HH

@@ -41,12 +41,16 @@ SweepRunner::submit(SweepJob job)
                              job.info->abbr.c_str());
     }
     return submit(std::move(progress), [job = std::move(job)]() {
-        if (job.obs) {
-            return runBenchmark(job.cfg, *job.info, job.limits,
-                                job.footprintScale, *job.obs);
-        }
-        return runBenchmark(job.cfg, *job.info, job.limits,
-                            job.footprintScale);
+        // Specs are built per execution: RunSpec is move-only (it can
+        // carry a workload instance) while queued JobFns must stay
+        // copyable, and the copyable SweepJob holds everything needed.
+        RunSpec spec;
+        spec.cfg = job.cfg;
+        spec.benchmark = job.info;
+        spec.footprintScale = job.footprintScale;
+        spec.limits = job.limits;
+        spec.obs = job.obs;
+        return sw::run(std::move(spec));
     });
 }
 

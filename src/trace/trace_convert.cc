@@ -1,0 +1,162 @@
+#include "trace/trace_convert.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace sw {
+
+namespace {
+
+std::uint64_t
+parseU64(const std::string &token, const std::string &context, int line)
+{
+    std::size_t used = 0;
+    std::uint64_t value = 0;
+    try {
+        value = std::stoull(token, &used, 0);   // base 0: 0x... accepted
+    } catch (...) {
+        used = 0;
+    }
+    if (used != token.size())
+        fatal("%s:%d: '%s' is not a number", context.c_str(), line,
+              token.c_str());
+    return value;
+}
+
+} // namespace
+
+TraceFile
+parseTextTrace(std::istream &in, const std::string &context)
+{
+    TraceFile trace;
+    TraceStream *current = nullptr;
+    bool saw_signature = false;
+    bool saw_name = false;
+    std::string line;
+    int lineno = 0;
+
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (std::size_t hash = line.find('#'); hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        std::string keyword;
+        if (!(fields >> keyword))
+            continue;   // blank / comment-only line
+
+        auto rest = [&](const char *what, std::size_t min_count) {
+            std::vector<std::string> tokens;
+            std::string token;
+            while (fields >> token)
+                tokens.push_back(token);
+            if (tokens.size() < min_count)
+                fatal("%s:%d: '%s' needs at least %zu argument(s) (%s)",
+                      context.c_str(), lineno, keyword.c_str(), min_count,
+                      what);
+            return tokens;
+        };
+
+        if (!saw_signature) {
+            if (keyword != "swtrace-text")
+                fatal("%s:%d: not a text trace (expected the "
+                      "'swtrace-text 1' signature, got '%s')",
+                      context.c_str(), lineno, keyword.c_str());
+            std::vector<std::string> args =
+                rest("format version", 1);
+            std::uint64_t version = parseU64(args[0], context, lineno);
+            if (version != 1)
+                fatal("%s:%d: unsupported text trace version %llu",
+                      context.c_str(), lineno,
+                      (unsigned long long)version);
+            saw_signature = true;
+        } else if (keyword == "name") {
+            trace.header.name = rest("workload name", 1)[0];
+            saw_name = true;
+        } else if (keyword == "footprint") {
+            trace.header.footprintBytes =
+                parseU64(rest("bytes", 1)[0], context, lineno);
+        } else if (keyword == "irregular") {
+            trace.header.irregular =
+                parseU64(rest("0 or 1", 1)[0], context, lineno) != 0;
+        } else if (keyword == "digest") {
+            trace.header.configDigest =
+                parseU64(rest("u64", 1)[0], context, lineno);
+        } else if (keyword == "limits") {
+            std::vector<std::string> args =
+                rest("quota warmup maxcycles maxwarps", 4);
+            trace.header.limits.warpInstrQuota =
+                parseU64(args[0], context, lineno);
+            trace.header.limits.warmupInstrs =
+                parseU64(args[1], context, lineno);
+            trace.header.limits.maxCycles =
+                parseU64(args[2], context, lineno);
+            trace.header.limits.maxActiveWarps =
+                parseU64(args[3], context, lineno);
+        } else if (keyword == "stream") {
+            std::vector<std::string> args = rest("sm warp", 2);
+            TraceStream stream;
+            stream.sm = SmId(parseU64(args[0], context, lineno));
+            stream.warp = WarpId(parseU64(args[1], context, lineno));
+            for (const TraceStream &existing : trace.streams)
+                if (existing.sm == stream.sm &&
+                    existing.warp == stream.warp)
+                    fatal("%s:%d: duplicate stream (%u, %u)",
+                          context.c_str(), lineno, stream.sm,
+                          stream.warp);
+            trace.streams.push_back(std::move(stream));
+            current = &trace.streams.back();
+        } else if (keyword == "instr") {
+            if (!current)
+                fatal("%s:%d: 'instr' before any 'stream' header",
+                      context.c_str(), lineno);
+            std::vector<std::string> args =
+                rest("computeGap r|w addr...", 2);
+            WarpInstr instr;
+            instr.computeGap =
+                std::uint32_t(parseU64(args[0], context, lineno));
+            if (args[1] == "r") {
+                instr.write = false;
+            } else if (args[1] == "w") {
+                instr.write = true;
+            } else {
+                fatal("%s:%d: access kind must be 'r' or 'w', got '%s'",
+                      context.c_str(), lineno, args[1].c_str());
+            }
+            std::size_t lanes = args.size() - 2;
+            if (lanes > 32)
+                fatal("%s:%d: %zu lane addresses (max 32)",
+                      context.c_str(), lineno, lanes);
+            instr.activeLanes = std::uint32_t(lanes);
+            for (std::size_t lane = 0; lane < lanes; ++lane)
+                instr.addrs[lane] =
+                    parseU64(args[lane + 2], context, lineno);
+            current->instrs.push_back(instr);
+        } else {
+            fatal("%s:%d: unknown keyword '%s'", context.c_str(), lineno,
+                  keyword.c_str());
+        }
+    }
+    if (!saw_signature)
+        fatal("%s: empty input (expected the 'swtrace-text 1' signature)",
+              context.c_str());
+    if (!saw_name)
+        fatal("%s: missing 'name' header", context.c_str());
+    return trace;
+}
+
+std::uint64_t
+convertTextTrace(const std::string &text_path,
+                 const std::string &swtrace_path)
+{
+    std::ifstream in(text_path);
+    if (!in)
+        fatal("cannot open text trace '%s' for reading",
+              text_path.c_str());
+    TraceFile trace = parseTextTrace(in, text_path);
+    writeTraceFile(swtrace_path, trace);
+    return trace.totalInstrs();
+}
+
+} // namespace sw

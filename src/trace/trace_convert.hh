@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Text-to-`.swtrace` converter: the ingestion point for traces produced
+ * by other simulators or profilers.
+ *
+ * Input is a line-oriented text format (normative spec in
+ * docs/TRACES.md):
+ *
+ *   swtrace-text 1
+ *   name bfs
+ *   footprint 1463812096
+ *   irregular 1
+ *   # optional: digest <u64>   (0/absent = unknown origin, check skipped)
+ *   # optional: limits <quota> <warmup> <maxcycles> <maxwarps>
+ *   stream <sm> <warp>
+ *   instr <computeGap> <r|w> <addr> [<addr> ...]
+ *   ...
+ *
+ * Addresses accept decimal or 0x-prefixed hex.  `#` starts a comment;
+ * blank lines are ignored.  Any malformed line is fatal() with its line
+ * number — never a crash, never a silently wrong trace.
+ */
+
+#ifndef SW_TRACE_TRACE_CONVERT_HH
+#define SW_TRACE_TRACE_CONVERT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace_format.hh"
+
+namespace sw {
+
+/** Parse the text format from @p in; @p context names it in errors. */
+TraceFile parseTextTrace(std::istream &in, const std::string &context);
+
+/**
+ * Convert text trace @p text_path to binary @p swtrace_path.
+ * @return the total number of instructions converted.
+ */
+std::uint64_t convertTextTrace(const std::string &text_path,
+                               const std::string &swtrace_path);
+
+} // namespace sw
+
+#endif // SW_TRACE_TRACE_CONVERT_HH

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The `.swtrace` on-disk page-access trace format.
+ *
+ * A trace decouples workload capture from memory-system modelling the way
+ * Accel-Sim's trace-driven frontend does for the paper's evaluation: the
+ * per-warp global-memory instruction stream is recorded once and can then
+ * be replayed through any translation configuration — or ingested from an
+ * entirely different simulator via the text converter (trace_convert.hh).
+ *
+ * Layout (little-endian; see docs/TRACES.md for the normative spec):
+ *
+ *   bytes 0..7   magic "SWTRACE\0"
+ *   bytes 8..11  u32 format version (kTraceVersion)
+ *   bytes 12..19 u64 config digest (0 = unknown origin, check skipped)
+ *   then varint-coded:
+ *     workload name (varint length + bytes)
+ *     footprint bytes (varint)
+ *     irregular flag (u8)
+ *     recorded limits: quota, warmup, max cycles, max active warps (varints)
+ *     stream count (varint)
+ *     per stream: sm (varint), warp (varint), instruction count (varint),
+ *                 then that many records
+ *
+ * Record encoding (one WarpInstr):
+ *   varint computeGap
+ *   u8     (activeLanes & 0x3F) | (write ? 0x40 : 0)  — 0..32 lanes;
+ *          0 is the idle instruction a drained replay emits
+ *   zigzag-varint delta of lane 0's address vs. the previous record's
+ *     lane 0 (per stream, starting from 0), then zigzag-varint deltas of
+ *     each further lane vs. the lane before it.  Lane addresses within a
+ *     warp are near-monotone for coalesced workloads and the per-stream
+ *     lane-0 chain is near-stationary for windowed ones, so deltas stay
+ *     short.
+ *
+ * Every malformed-input path funnels through fatal() with the offending
+ * file and offset — a broken trace must produce a diagnostic, never a
+ * crash or a silent misreplay.
+ */
+
+#ifndef SW_TRACE_TRACE_FORMAT_HH
+#define SW_TRACE_TRACE_FORMAT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "workload/workload.hh"
+
+namespace sw {
+
+/** First eight bytes of every .swtrace file. */
+inline constexpr char kTraceMagic[8] =
+    {'S', 'W', 'T', 'R', 'A', 'C', 'E', '\0'};
+
+/** Current format version; readers reject anything newer. */
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/**
+ * Digest placeholder for traces converted from external sources: replay
+ * cannot verify the recording configuration, so the check is skipped with
+ * a warning instead.
+ */
+inline constexpr std::uint64_t kUnknownConfigDigest = 0;
+
+/**
+ * Recorded stopping conditions (mirrors Gpu::RunLimits without depending
+ * on the GPU library).  All-zero means "not recorded": replay falls back
+ * to the harness defaults.
+ */
+struct TraceLimits
+{
+    std::uint64_t warpInstrQuota = 0;
+    std::uint64_t warmupInstrs = 0;
+    std::uint64_t maxCycles = 0;
+    std::uint64_t maxActiveWarps = 0;
+};
+
+/** Everything in a trace file ahead of the per-stream records. */
+struct TraceHeader
+{
+    std::uint64_t configDigest = kUnknownConfigDigest;
+    std::string name;
+    std::uint64_t footprintBytes = 0;
+    bool irregular = false;
+    TraceLimits limits;
+};
+
+/** One recorded per-(sm, warp) instruction stream. */
+struct TraceStream
+{
+    SmId sm = 0;
+    WarpId warp = 0;
+    std::vector<WarpInstr> instrs;
+};
+
+/** A fully decoded trace: header + streams sorted by (sm, warp). */
+struct TraceFile
+{
+    TraceHeader header;
+    std::vector<TraceStream> streams;
+
+    std::uint64_t
+    totalInstrs() const
+    {
+        std::uint64_t n = 0;
+        for (const TraceStream &stream : streams)
+            n += stream.instrs.size();
+        return n;
+    }
+};
+
+/**
+ * Digest of every simulation-relevant GpuConfig field (FNV-1a over a
+ * canonical serialisation).  Replaying a trace under a different
+ * configuration would silently model a machine the stream was never
+ * generated for, so the digest is checked before replay.  The audit sweep
+ * interval is excluded: conservation audits ride the non-perturbing
+ * periodic-check hook and cannot change simulated behaviour.
+ */
+std::uint64_t configDigest(const GpuConfig &cfg);
+
+// ---- Primitive encoders (exposed for tests and the converter) -----------
+
+/** Append an unsigned LEB128 varint. */
+void putVarint(std::vector<std::uint8_t> &out, std::uint64_t value);
+
+/** Append a zigzag-encoded signed delta. */
+void putSvarint(std::vector<std::uint8_t> &out, std::int64_t value);
+
+/**
+ * Bounds-checked cursor over an encoded trace; every read past the end is
+ * fatal() with @p context (normally the file path) and the byte offset.
+ */
+class TraceReader
+{
+  public:
+    TraceReader(const std::uint8_t *data, std::size_t size,
+                std::string context)
+        : data_(data), size_(size), context_(std::move(context))
+    {
+    }
+
+    std::size_t offset() const { return off; }
+    std::size_t remaining() const { return size_ - off; }
+
+    std::uint8_t u8();
+    std::uint32_t u32le();
+    std::uint64_t u64le();
+    std::uint64_t varint();
+    std::int64_t svarint();
+    /** Read @p n raw bytes into a string. */
+    std::string bytes(std::size_t n);
+
+  private:
+    [[noreturn]] void truncated(const char *what) const;
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t off = 0;
+    std::string context_;
+};
+
+// ---- Whole-file serialisation -------------------------------------------
+
+/** Encode @p trace into the binary format. */
+std::vector<std::uint8_t> encodeTrace(const TraceFile &trace);
+
+/**
+ * Decode a binary trace; fatal() with a diagnostic naming @p context on
+ * any malformed input (bad magic, unsupported version, truncation,
+ * corrupt record).
+ */
+TraceFile decodeTrace(const std::uint8_t *data, std::size_t size,
+                      const std::string &context);
+
+/** Write @p trace to @p path; fatal() on I/O failure. */
+void writeTraceFile(const std::string &path, const TraceFile &trace);
+
+/** Read and decode @p path; fatal() on I/O failure or malformed input. */
+TraceFile readTraceFile(const std::string &path);
+
+} // namespace sw
+
+#endif // SW_TRACE_TRACE_FORMAT_HH

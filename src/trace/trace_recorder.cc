@@ -1,0 +1,70 @@
+#include "trace/trace_recorder.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace sw {
+
+TraceRecorder::TraceRecorder(std::unique_ptr<Workload> inner)
+    : inner_(std::move(inner))
+{
+    SW_ASSERT(inner_ != nullptr, "recorder needs a workload to wrap");
+}
+
+WarpInstr
+TraceRecorder::next(SmId sm, WarpId warp, Rng &rng)
+{
+    WarpInstr instr = inner_->next(sm, warp, rng);
+    streams[(std::uint64_t(sm) << 32) | warp].push_back(instr);
+    ++recorded;
+    return instr;
+}
+
+std::uint64_t
+TraceRecorder::footprintBytes() const
+{
+    return inner_->footprintBytes();
+}
+
+std::string
+TraceRecorder::name() const
+{
+    return inner_->name();
+}
+
+bool
+TraceRecorder::irregular() const
+{
+    return inner_->irregular();
+}
+
+TraceFile
+TraceRecorder::snapshot(const GpuConfig &cfg,
+                        const TraceLimits &limits) const
+{
+    TraceFile trace;
+    trace.header.configDigest = configDigest(cfg);
+    trace.header.name = inner_->name();
+    trace.header.footprintBytes = inner_->footprintBytes();
+    trace.header.irregular = inner_->irregular();
+    trace.header.limits = limits;
+    trace.streams.reserve(streams.size());
+    for (const auto &[key, instrs] : streams) {
+        TraceStream stream;
+        stream.sm = SmId(key >> 32);
+        stream.warp = WarpId(key & 0xFFFFFFFFu);
+        stream.instrs = instrs;
+        trace.streams.push_back(std::move(stream));
+    }
+    return trace;
+}
+
+void
+TraceRecorder::writeFile(const std::string &path, const GpuConfig &cfg,
+                         const TraceLimits &limits) const
+{
+    writeTraceFile(path, snapshot(cfg, limits));
+}
+
+} // namespace sw

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * TraceRecorder: a transparent Workload wrapper that captures the
+ * per-(sm, warp) instruction stream it forwards.
+ *
+ * The recorder sits between the GPU and any workload — synthetic
+ * generator, replayed trace, user-defined — and buffers every WarpInstr
+ * it hands out.  After the run, writeFile() serialises the buffered
+ * streams together with the configuration digest and the limits the run
+ * used, producing a `.swtrace` whose replay reproduces the run
+ * field-identically (see docs/TRACES.md, determinism contract).
+ */
+
+#ifndef SW_TRACE_TRACE_RECORDER_HH
+#define SW_TRACE_TRACE_RECORDER_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "trace/trace_format.hh"
+#include "workload/workload.hh"
+
+namespace sw {
+
+/** Records the stream of a wrapped workload; behaviour is unchanged. */
+class TraceRecorder : public Workload
+{
+  public:
+    explicit TraceRecorder(std::unique_ptr<Workload> inner);
+
+    WarpInstr next(SmId sm, WarpId warp, Rng &rng) override;
+    std::uint64_t footprintBytes() const override;
+    std::string name() const override;
+    bool irregular() const override;
+
+    /** Instructions captured so far, across all streams. */
+    std::uint64_t recordedInstrs() const { return recorded; }
+
+    /** Distinct (sm, warp) streams captured so far. */
+    std::size_t numStreams() const { return streams.size(); }
+
+    /** Snapshot the capture as an in-memory TraceFile. */
+    TraceFile snapshot(const GpuConfig &cfg,
+                       const TraceLimits &limits) const;
+
+    /**
+     * Serialise the capture to @p path.  @p cfg stamps the config digest
+     * the replayer verifies; @p limits records the stopping conditions so
+     * a bare replay reruns exactly the captured region.
+     */
+    void writeFile(const std::string &path, const GpuConfig &cfg,
+                   const TraceLimits &limits) const;
+
+    Workload &inner() { return *inner_; }
+
+  private:
+    std::unique_ptr<Workload> inner_;
+    /** Keyed by (sm << 32 | warp): deterministic file order for free. */
+    std::map<std::uint64_t, std::vector<WarpInstr>> streams;
+    std::uint64_t recorded = 0;
+};
+
+} // namespace sw
+
+#endif // SW_TRACE_TRACE_RECORDER_HH

@@ -1,0 +1,143 @@
+#include "trace/trace_workload.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+#include "workload/benchmarks.hh"
+
+namespace sw {
+
+const char *
+toString(TraceEndPolicy policy)
+{
+    switch (policy) {
+      case TraceEndPolicy::Drain:
+        return "drain";
+      case TraceEndPolicy::Loop:
+        return "loop";
+    }
+    return "?";
+}
+
+TraceWorkload::TraceWorkload(const std::string &path,
+                             TraceEndPolicy end_policy)
+    : TraceWorkload(readTraceFile(path), path, end_policy)
+{
+}
+
+TraceWorkload::TraceWorkload(TraceFile trace, std::string origin_label,
+                             TraceEndPolicy end_policy)
+    : trace_(std::move(trace)), origin(std::move(origin_label)),
+      endPolicy_(end_policy)
+{
+    cursors.reserve(trace_.streams.size());
+    for (const TraceStream &stream : trace_.streams) {
+        std::uint64_t key = (std::uint64_t(stream.sm) << 32) | stream.warp;
+        auto [it, inserted] = cursors.emplace(key, Cursor{});
+        if (!inserted)
+            fatal("corrupt trace '%s': duplicate stream (%u, %u)",
+                  origin.c_str(), stream.sm, stream.warp);
+        it->second.instrs = &stream.instrs;
+    }
+}
+
+TraceWorkload::Cursor &
+TraceWorkload::cursorFor(SmId sm, WarpId warp)
+{
+    // A (sm, warp) the trace never saw — possible only for digest-less
+    // converted traces, since the config digest pins the machine shape —
+    // behaves as an exhausted stream.
+    return cursors[(std::uint64_t(sm) << 32) | warp];
+}
+
+WarpInstr
+TraceWorkload::next(SmId sm, WarpId warp, Rng &rng)
+{
+    (void)rng;   // the recorded stream is the randomness
+    Cursor &cursor = cursorFor(sm, warp);
+    ++replayed;
+    if (!cursor.instrs || cursor.pos >= cursor.instrs->size()) {
+        if (endPolicy_ == TraceEndPolicy::Loop && cursor.instrs &&
+            !cursor.instrs->empty()) {
+            cursor.pos = 0;
+        } else {
+            if (!cursor.wrapped) {
+                cursor.wrapped = true;
+                ++exhausted;
+            }
+            // Idle instruction: no lanes, no traffic; the warp spins on
+            // the issue port until quota or cycle cap ends the run.
+            WarpInstr idle;
+            idle.activeLanes = 0;
+            return idle;
+        }
+        if (!cursor.wrapped) {
+            cursor.wrapped = true;
+            ++exhausted;
+        }
+    }
+    return (*cursor.instrs)[cursor.pos++];
+}
+
+std::uint64_t
+TraceWorkload::footprintBytes() const
+{
+    return trace_.header.footprintBytes;
+}
+
+std::string
+TraceWorkload::name() const
+{
+    return trace_.header.name;
+}
+
+bool
+TraceWorkload::irregular() const
+{
+    return trace_.header.irregular;
+}
+
+void
+TraceWorkload::checkConfig(const GpuConfig &cfg) const
+{
+    std::uint64_t recorded = trace_.header.configDigest;
+    if (recorded == kUnknownConfigDigest) {
+        warn("trace '%s' carries no config digest (external origin): "
+             "cannot verify it was recorded on this configuration",
+             origin.c_str());
+        return;
+    }
+    std::uint64_t ours = configDigest(cfg);
+    if (ours != recorded)
+        fatal("config digest mismatch replaying trace '%s': trace was "
+              "recorded on %016llx, this run is configured as %016llx "
+              "(replay requires the recording configuration)",
+              origin.c_str(), (unsigned long long)recorded,
+              (unsigned long long)ours);
+}
+
+namespace {
+
+/**
+ * Registers the "trace:" scheme: makeWorkload("trace:run.swtrace")
+ * replays a file with the default (drain) end policy.  Lives in this
+ * translation unit so any binary that can construct a TraceWorkload also
+ * has the scheme registered.
+ */
+[[maybe_unused]] const bool traceSchemeRegistered = [] {
+    registerWorkloadScheme(
+        "trace",
+        [](const std::string &path, double scale)
+            -> std::unique_ptr<Workload> {
+            if (scale != 1.0)
+                warn("footprint scale %.3g ignored for trace replay "
+                     "'%s': the stream is fixed at record time", scale,
+                     path.c_str());
+            return std::make_unique<TraceWorkload>(path);
+        });
+    return true;
+}();
+
+} // namespace
+
+} // namespace sw

@@ -26,7 +26,11 @@ struct WarpInstr
 {
     /** Compute cycles the warp spends before issuing this instruction. */
     std::uint32_t computeGap = 0;
-    /** Number of active lanes (1..32). */
+    /**
+     * Number of active lanes (0..32).  Generators emit 1..32; 0 is the
+     * idle instruction a drained trace replay produces — no memory
+     * access, the warp just burns the issue slot (see trace/).
+     */
     std::uint32_t activeLanes = 32;
     /** Per-lane virtual byte addresses (only [0, activeLanes) are used). */
     std::array<VirtAddr, 32> addrs{};

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the unified RunSpec entry point: source selection, limits
+ * resolution, equivalence with the deprecated shims, and the
+ * exactly-one-source contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "test_util.hh"
+#include "workload/benchmarks.hh"
+#include "workload/generators.hh"
+
+using namespace sw;
+
+namespace {
+
+Gpu::RunLimits
+tinyLimits()
+{
+    Gpu::RunLimits limits;
+    limits.warpInstrQuota = 300;
+    limits.maxCycles = 2000000;
+    return limits;
+}
+
+std::unique_ptr<Workload>
+tinyWorkload()
+{
+    GraphWorkload::Params params;
+    params.pagesPerInstr = 0.5;
+    return std::make_unique<GraphWorkload>("tiny", 128ull << 20, true, 10,
+                                           params);
+}
+
+TEST(RunSpec, BenchmarkSourceMatchesDeprecatedShim)
+{
+    GpuConfig cfg = test::smallConfig();
+
+    RunSpec spec;
+    spec.cfg = cfg;
+    spec.benchmark = &findBenchmark("gemm");
+    spec.limits = tinyLimits();
+    RunResult via_spec = run(std::move(spec));
+
+    RunResult via_shim =
+        runBenchmark(cfg, findBenchmark("gemm"), tinyLimits(), 1.0);
+    EXPECT_EQ(fingerprint(via_spec), fingerprint(via_shim))
+        << "shim and RunSpec diverged for the same job";
+}
+
+TEST(RunSpec, WorkloadInstanceSourceMatchesDeprecatedShim)
+{
+    GpuConfig cfg = test::smallSoftWalkerConfig();
+
+    RunSpec spec;
+    spec.cfg = cfg;
+    spec.workload = tinyWorkload();
+    spec.limits = tinyLimits();
+    RunResult via_spec = run(std::move(spec));
+
+    RunResult via_shim = runWorkload(cfg, tinyWorkload(), tinyLimits());
+    EXPECT_EQ(fingerprint(via_spec), fingerprint(via_shim));
+}
+
+TEST(RunSpec, WorkloadNameSourceUsesTheRegistry)
+{
+    RunSpec spec;
+    spec.cfg = test::smallConfig();
+    spec.workloadName = "gups";
+    spec.limits = tinyLimits();
+    RunResult result = run(std::move(spec));
+    EXPECT_EQ(result.benchmark, "gups");
+    EXPECT_EQ(result.warpInstrs, 300u);
+}
+
+TEST(RunSpec, NamedBenchmarkGetsBenchmarkLimits)
+{
+    // With no explicit limits, a workloadName that matches a Table 4 entry
+    // resolves limitsFor(info) — observable through the larger regular
+    // quota (vs. the irregular default).
+    setenv("SW_QUOTA", "100", 1);
+    setenv("SW_QUOTA_REG", "150", 1);
+    setenv("SW_WARMUP", "0", 1);
+    setenv("SW_WARMUP_REG", "0", 1);
+
+    RunSpec spec;
+    spec.cfg = test::smallConfig();
+    spec.workloadName = "gemm";   // regular benchmark
+    RunResult result = run(std::move(spec));
+    EXPECT_EQ(result.warpInstrs, 150u)
+        << "named benchmark must pick up limitsFor(), not defaultLimits()";
+
+    unsetenv("SW_QUOTA");
+    unsetenv("SW_QUOTA_REG");
+    unsetenv("SW_WARMUP");
+    unsetenv("SW_WARMUP_REG");
+}
+
+TEST(RunSpec, ExplicitLimitsBeatBenchmarkDefaults)
+{
+    RunSpec spec;
+    spec.cfg = test::smallConfig();
+    spec.benchmark = &findBenchmark("gemm");   // regular: big defaults
+    spec.limits = tinyLimits();
+    RunResult result = run(std::move(spec));
+    EXPECT_EQ(result.warpInstrs, 300u);
+}
+
+TEST(RunSpecDeath, NoSourceIsFatal)
+{
+    RunSpec spec;
+    spec.cfg = test::smallConfig();
+    EXPECT_DEATH(run(std::move(spec)), "exactly one workload source");
+}
+
+TEST(RunSpecDeath, TwoSourcesAreFatal)
+{
+    RunSpec spec;
+    spec.cfg = test::smallConfig();
+    spec.benchmark = &findBenchmark("gups");
+    spec.workloadName = "bfs";
+    EXPECT_DEATH(run(std::move(spec)), "exactly one workload source");
+}
+
+TEST(RunSpecDeath, WorkloadPlusReplayIsFatal)
+{
+    RunSpec spec;
+    spec.cfg = test::smallConfig();
+    spec.workload = tinyWorkload();
+    spec.replayPath = "whatever.swtrace";
+    EXPECT_DEATH(run(std::move(spec)), "exactly one workload source");
+}
+
+} // namespace

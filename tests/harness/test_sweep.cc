@@ -26,42 +26,9 @@ using namespace sw;
 
 namespace {
 
-/** Flattens every RunResult field into one exact string (%a for doubles). */
-class FieldPrinter : public RunResultFieldVisitor
-{
-  public:
-    std::string text;
-
-    void
-    str(const char *name, const std::string &value) override
-    {
-        text += name;
-        text += '=';
-        text += value;
-        text += '\n';
-    }
-
-    void
-    u64(const char *name, std::uint64_t value) override
-    {
-        text += strprintf("%s=%llu\n", name, (unsigned long long)value);
-    }
-
-    void
-    f64(const char *name, double value) override
-    {
-        // %a is exact: any bit difference in a double shows up.
-        text += strprintf("%s=%a\n", name, value);
-    }
-};
-
-std::string
-fingerprint(const RunResult &result)
-{
-    FieldPrinter printer;
-    visitFields(result, printer);
-    return printer.text;
-}
+// Field-identity comparisons use the library's %a fingerprint helper
+// (harness/report.hh), shared with the trace round-trip suite and the CI
+// record/replay gate.
 
 /** A tiny real simulation job: cheapest benchmark, tight limits. */
 SweepJob

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Malformed-trace error paths.  The contract: every broken input —
+ * truncated header, bad magic, unsupported version, corrupt body, config
+ * mismatch, malformed text — dies through fatal() with a diagnostic
+ * naming the input, never a crash or a silent misreplay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/trace_convert.hh"
+#include "trace/trace_format.hh"
+#include "trace/trace_workload.hh"
+
+#include "../test_util.hh"
+
+using namespace sw;
+
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return ::testing::TempDir() + name;
+}
+
+void
+writeBytes(const std::string &path, const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.is_open());
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              std::streamsize(bytes.size()));
+}
+
+/** A minimal valid encoded trace to corrupt. */
+std::vector<std::uint8_t>
+validBytes()
+{
+    TraceFile trace;
+    trace.header.configDigest = configDigest(test::smallConfig());
+    trace.header.name = "victim";
+    TraceStream stream;
+    stream.sm = 0;
+    stream.warp = 0;
+    for (int i = 0; i < 4; ++i) {
+        WarpInstr instr;
+        instr.activeLanes = 2;
+        instr.addrs[0] = VirtAddr(0x1000 * (i + 1));
+        instr.addrs[1] = VirtAddr(0x1000 * (i + 1) + 64);
+        stream.instrs.push_back(instr);
+    }
+    trace.streams.push_back(stream);
+    return encodeTrace(trace);
+}
+
+TEST(TraceErrorsDeath, TruncatedHeaderIsFatal)
+{
+    std::string path = tempPath("truncated_header.swtrace");
+    writeBytes(path, {'S', 'W', 'T', 'R'});
+    EXPECT_DEATH(readTraceFile(path), "truncated trace");
+}
+
+TEST(TraceErrorsDeath, EmptyFileIsFatal)
+{
+    std::string path = tempPath("empty.swtrace");
+    writeBytes(path, {});
+    EXPECT_DEATH(readTraceFile(path), "truncated trace");
+}
+
+TEST(TraceErrorsDeath, BadMagicIsFatal)
+{
+    std::vector<std::uint8_t> bytes = validBytes();
+    bytes[0] = 'X';
+    std::string path = tempPath("bad_magic.swtrace");
+    writeBytes(path, bytes);
+    EXPECT_DEATH(readTraceFile(path), "bad magic");
+}
+
+TEST(TraceErrorsDeath, UnsupportedVersionIsFatal)
+{
+    std::vector<std::uint8_t> bytes = validBytes();
+    bytes[8] = 99;   // version u32le lives at bytes 8..11
+    std::string path = tempPath("bad_version.swtrace");
+    writeBytes(path, bytes);
+    EXPECT_DEATH(readTraceFile(path), "unsupported format version");
+}
+
+TEST(TraceErrorsDeath, TruncatedBodyIsFatal)
+{
+    std::vector<std::uint8_t> bytes = validBytes();
+    bytes.resize(bytes.size() - bytes.size() / 3);
+    std::string path = tempPath("truncated_body.swtrace");
+    writeBytes(path, bytes);
+    EXPECT_DEATH(readTraceFile(path), "truncated trace");
+}
+
+TEST(TraceErrorsDeath, TrailingGarbageIsFatal)
+{
+    std::vector<std::uint8_t> bytes = validBytes();
+    bytes.push_back(0x42);
+    std::string path = tempPath("trailing.swtrace");
+    writeBytes(path, bytes);
+    EXPECT_DEATH(readTraceFile(path), "corrupt trace");
+}
+
+TEST(TraceErrorsDeath, MissingFileIsFatal)
+{
+    EXPECT_DEATH(readTraceFile("/nonexistent/trace.swtrace"),
+                 "cannot open trace");
+}
+
+TEST(TraceErrorsDeath, ConfigDigestMismatchIsFatal)
+{
+    std::string path = tempPath("digest_mismatch.swtrace");
+    writeBytes(path, validBytes());
+    TraceWorkload workload(path);
+
+    GpuConfig same = test::smallConfig();
+    workload.checkConfig(same);   // must pass silently
+
+    GpuConfig other = test::smallConfig();
+    other.numSms += 1;
+    EXPECT_DEATH(workload.checkConfig(other), "config digest mismatch");
+}
+
+TEST(TraceErrors, UnknownDigestSkipsTheCheck)
+{
+    TraceFile trace;
+    trace.header.name = "external";
+    trace.header.configDigest = kUnknownConfigDigest;
+    TraceWorkload workload(trace, "external");
+    workload.checkConfig(test::smallConfig());   // warns, must not die
+}
+
+TEST(TraceErrorsDeath, TextMissingSignatureIsFatal)
+{
+    std::istringstream text("name toy\n");
+    EXPECT_DEATH(parseTextTrace(text, "in"), "signature");
+}
+
+TEST(TraceErrorsDeath, TextEmptyInputIsFatal)
+{
+    std::istringstream text("");
+    EXPECT_DEATH(parseTextTrace(text, "in"), "signature");
+}
+
+TEST(TraceErrorsDeath, TextMissingNameIsFatal)
+{
+    std::istringstream text("swtrace-text 1\n");
+    EXPECT_DEATH(parseTextTrace(text, "in"), "missing 'name'");
+}
+
+TEST(TraceErrorsDeath, TextUnknownKeywordIsFatalWithLineNumber)
+{
+    std::istringstream text("swtrace-text 1\nname toy\nfrobnicate 3\n");
+    EXPECT_DEATH(parseTextTrace(text, "in"), "in:3: unknown keyword");
+}
+
+TEST(TraceErrorsDeath, TextInstrBeforeStreamIsFatal)
+{
+    std::istringstream text("swtrace-text 1\nname toy\ninstr 0 r 4096\n");
+    EXPECT_DEATH(parseTextTrace(text, "in"), "before any 'stream'");
+}
+
+TEST(TraceErrorsDeath, TextBadAccessKindIsFatal)
+{
+    std::istringstream text(
+        "swtrace-text 1\nname toy\nstream 0 0\ninstr 0 x 4096\n");
+    EXPECT_DEATH(parseTextTrace(text, "in"), "must be 'r' or 'w'");
+}
+
+TEST(TraceErrorsDeath, TextBadNumberIsFatal)
+{
+    std::istringstream text(
+        "swtrace-text 1\nname toy\nstream 0 0\ninstr 0 r banana\n");
+    EXPECT_DEATH(parseTextTrace(text, "in"), "not a number");
+}
+
+TEST(TraceErrorsDeath, TextDuplicateStreamIsFatal)
+{
+    std::istringstream text(
+        "swtrace-text 1\nname toy\nstream 0 0\nstream 0 0\n");
+    EXPECT_DEATH(parseTextTrace(text, "in"), "duplicate stream");
+}
+
+TEST(TraceErrorsDeath, TextTooManyLanesIsFatal)
+{
+    std::ostringstream line;
+    line << "swtrace-text 1\nname toy\nstream 0 0\ninstr 0 r";
+    for (int i = 0; i < 33; ++i)
+        line << " " << 4096 * (i + 1);
+    line << "\n";
+    std::istringstream text(line.str());
+    EXPECT_DEATH(parseTextTrace(text, "in"), "max 32");
+}
+
+TEST(TraceErrorsDeath, ConverterMissingInputIsFatal)
+{
+    EXPECT_DEATH(convertTextTrace("/nonexistent/in.txt",
+                                  tempPath("never.swtrace")),
+                 "cannot open text trace");
+}
+
+TEST(TraceErrorsDeath, DuplicateBinaryStreamIsFatal)
+{
+    // decodeTrace tolerates what encodeTrace would never emit only up to
+    // the replayer, which must reject two streams for one (sm, warp).
+    TraceFile trace;
+    trace.header.name = "dup";
+    TraceStream stream;
+    stream.sm = 0;
+    stream.warp = 0;
+    trace.streams.push_back(stream);
+    trace.streams.push_back(stream);
+    EXPECT_DEATH(TraceWorkload(trace, "dup"), "duplicate stream");
+}
+
+} // namespace

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Unit tests for the `.swtrace` binary format: varint/zigzag primitives,
+ * the configuration digest, and encode/decode round trips (in memory and
+ * through a file).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace_format.hh"
+
+#include "../test_util.hh"
+
+using namespace sw;
+
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return ::testing::TempDir() + name;
+}
+
+TEST(TraceVarint, RoundTripsRepresentativeValues)
+{
+    const std::uint64_t values[] = {
+        0, 1, 127, 128, 129, 300, 16383, 16384,
+        0xDEADBEEFull, 0xFFFFFFFFull, 0x123456789ABCDEFull,
+        ~std::uint64_t(0),
+    };
+    std::vector<std::uint8_t> buf;
+    for (std::uint64_t v : values)
+        putVarint(buf, v);
+    TraceReader reader(buf.data(), buf.size(), "test");
+    for (std::uint64_t v : values)
+        EXPECT_EQ(reader.varint(), v);
+    EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(TraceVarint, SmallValuesAreOneByte)
+{
+    std::vector<std::uint8_t> buf;
+    putVarint(buf, 127);
+    EXPECT_EQ(buf.size(), 1u);
+    putVarint(buf, 128);
+    EXPECT_EQ(buf.size(), 3u) << "128 needs two bytes";
+}
+
+TEST(TraceVarint, ZigzagRoundTripsSignedDeltas)
+{
+    const std::int64_t values[] = {
+        0, 1, -1, 2, -2, 63, -63, 64, -64, 4096, -4096,
+        std::int64_t(0x7FFFFFFFFFFFFFFF),
+        std::int64_t(-0x7FFFFFFFFFFFFFFF) - 1,
+    };
+    std::vector<std::uint8_t> buf;
+    for (std::int64_t v : values)
+        putSvarint(buf, v);
+    TraceReader reader(buf.data(), buf.size(), "test");
+    for (std::int64_t v : values)
+        EXPECT_EQ(reader.svarint(), v);
+    EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(TraceVarint, ZigzagKeepsSmallMagnitudesShort)
+{
+    // The whole point of zigzag: -1 must not cost ten bytes.
+    std::vector<std::uint8_t> buf;
+    putSvarint(buf, -1);
+    EXPECT_EQ(buf.size(), 1u);
+    putSvarint(buf, -64);
+    EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(TraceDigest, StableForEqualConfigs)
+{
+    EXPECT_EQ(configDigest(test::smallConfig()),
+              configDigest(test::smallConfig()));
+    EXPECT_EQ(configDigest(makeSoftWalkerConfig()),
+              configDigest(makeSoftWalkerConfig()));
+}
+
+TEST(TraceDigest, SensitiveToSimulationRelevantFields)
+{
+    GpuConfig base = test::smallConfig();
+    std::uint64_t digest = configDigest(base);
+
+    GpuConfig changed = base;
+    changed.mode = TranslationMode::SoftWalker;
+    EXPECT_NE(configDigest(changed), digest);
+
+    changed = base;
+    changed.numSms += 1;
+    EXPECT_NE(configDigest(changed), digest);
+
+    changed = base;
+    changed.pageBytes = 2ull * 1024 * 1024;
+    EXPECT_NE(configDigest(changed), digest);
+
+    changed = base;
+    changed.rngSeed += 1;
+    EXPECT_NE(configDigest(changed), digest);
+}
+
+TEST(TraceDigest, IgnoresTheAuditInterval)
+{
+    // Conservation audits ride the non-perturbing periodic check; a trace
+    // recorded with audits on must replay with them off and vice versa.
+    GpuConfig base = test::smallConfig();
+    GpuConfig audited = base;
+    audited.auditIntervalCycles = 5000;
+    EXPECT_EQ(configDigest(base), configDigest(audited));
+}
+
+TEST(TraceDigest, NeverReturnsTheUnknownSentinel)
+{
+    EXPECT_NE(configDigest(test::smallConfig()), kUnknownConfigDigest);
+}
+
+TEST(TraceEncode, RoundTripsHeaderAndStreams)
+{
+    TraceFile trace;
+    trace.header.configDigest = 0xFEEDFACECAFEBEEFull;
+    trace.header.name = "unit";
+    trace.header.footprintBytes = 123456789;
+    trace.header.irregular = true;
+    trace.header.limits.warpInstrQuota = 300;
+    trace.header.limits.warmupInstrs = 50;
+    trace.header.limits.maxCycles = 1000000;
+    trace.header.limits.maxActiveWarps = 8;
+
+    TraceStream s0;
+    s0.sm = 0;
+    s0.warp = 3;
+    WarpInstr a;
+    a.computeGap = 7;
+    a.activeLanes = 3;
+    a.addrs[0] = 0x10000;
+    a.addrs[1] = 0x0FFC0;       // negative intra-warp delta
+    a.addrs[2] = 0x900000000ull;
+    a.write = false;
+    s0.instrs.push_back(a);
+    WarpInstr b;
+    b.computeGap = 0;
+    b.activeLanes = 1;
+    b.addrs[0] = 0xFF00;        // negative lane-0 chain delta
+    b.write = true;
+    s0.instrs.push_back(b);
+    WarpInstr idle;             // what a drained replay emits
+    idle.computeGap = 2;
+    idle.activeLanes = 0;
+    s0.instrs.push_back(idle);
+    trace.streams.push_back(s0);
+
+    TraceStream s1;
+    s1.sm = 2;
+    s1.warp = 0;
+    WarpInstr c;
+    c.computeGap = 1;
+    c.activeLanes = 32;
+    for (std::uint32_t lane = 0; lane < 32; ++lane)
+        c.addrs[lane] = 0x4000 + 64 * lane;
+    s1.instrs.push_back(c);
+    trace.streams.push_back(s1);
+
+    std::vector<std::uint8_t> bytes = encodeTrace(trace);
+    TraceFile back = decodeTrace(bytes.data(), bytes.size(), "round-trip");
+
+    EXPECT_EQ(back.header.configDigest, trace.header.configDigest);
+    EXPECT_EQ(back.header.name, "unit");
+    EXPECT_EQ(back.header.footprintBytes, 123456789u);
+    EXPECT_TRUE(back.header.irregular);
+    EXPECT_EQ(back.header.limits.warpInstrQuota, 300u);
+    EXPECT_EQ(back.header.limits.warmupInstrs, 50u);
+    EXPECT_EQ(back.header.limits.maxCycles, 1000000u);
+    EXPECT_EQ(back.header.limits.maxActiveWarps, 8u);
+
+    ASSERT_EQ(back.streams.size(), 2u);
+    ASSERT_EQ(back.streams[0].instrs.size(), 3u);
+    EXPECT_EQ(back.streams[0].sm, 0u);
+    EXPECT_EQ(back.streams[0].warp, 3u);
+    const WarpInstr &ra = back.streams[0].instrs[0];
+    EXPECT_EQ(ra.computeGap, 7u);
+    ASSERT_EQ(ra.activeLanes, 3u);
+    EXPECT_EQ(ra.addrs[0], 0x10000u);
+    EXPECT_EQ(ra.addrs[1], 0x0FFC0u);
+    EXPECT_EQ(ra.addrs[2], 0x900000000ull);
+    EXPECT_FALSE(ra.write);
+    const WarpInstr &rb = back.streams[0].instrs[1];
+    EXPECT_EQ(rb.addrs[0], 0xFF00u);
+    EXPECT_TRUE(rb.write);
+    const WarpInstr &ridle = back.streams[0].instrs[2];
+    EXPECT_EQ(ridle.activeLanes, 0u);
+    EXPECT_EQ(ridle.computeGap, 2u);
+
+    ASSERT_EQ(back.streams[1].instrs.size(), 1u);
+    const WarpInstr &rc = back.streams[1].instrs[0];
+    ASSERT_EQ(rc.activeLanes, 32u);
+    for (std::uint32_t lane = 0; lane < 32; ++lane)
+        EXPECT_EQ(rc.addrs[lane], 0x4000u + 64 * lane);
+
+    EXPECT_EQ(back.totalInstrs(), 4u);
+}
+
+TEST(TraceEncode, EmptyTraceRoundTrips)
+{
+    TraceFile trace;
+    trace.header.name = "empty";
+    std::vector<std::uint8_t> bytes = encodeTrace(trace);
+    TraceFile back = decodeTrace(bytes.data(), bytes.size(), "empty");
+    EXPECT_EQ(back.header.name, "empty");
+    EXPECT_TRUE(back.streams.empty());
+    EXPECT_EQ(back.totalInstrs(), 0u);
+}
+
+TEST(TraceEncode, FileRoundTrip)
+{
+    TraceFile trace;
+    trace.header.name = "disk";
+    trace.header.footprintBytes = 4096;
+    TraceStream stream;
+    stream.sm = 1;
+    stream.warp = 2;
+    WarpInstr instr;
+    instr.activeLanes = 2;
+    instr.addrs[0] = 0x1000;
+    instr.addrs[1] = 0x2000;
+    stream.instrs.push_back(instr);
+    trace.streams.push_back(stream);
+
+    std::string path = tempPath("format_file_roundtrip.swtrace");
+    writeTraceFile(path, trace);
+    TraceFile back = readTraceFile(path);
+    EXPECT_EQ(back.header.name, "disk");
+    ASSERT_EQ(back.streams.size(), 1u);
+    EXPECT_EQ(back.streams[0].instrs[0].addrs[1], 0x2000u);
+}
+
+} // namespace
