@@ -106,6 +106,9 @@ main(int argc, char **argv)
 
     SweepRunner parallel(pool);
     submitAll(parallel);
+    // What the pool will actually use once clamped by core count and job
+    // count — on a one-core host this is 1 and the run is inline-serial.
+    unsigned workers = parallel.effectiveWorkers(parallel.submitted());
     std::vector<RunResult> par;
     double jobsn_ms = timedRun(parallel, par);
 
@@ -128,13 +131,13 @@ main(int argc, char **argv)
                  "  \"speedup\": %.2f,\n"
                  "  \"results_identical\": %s\n"
                  "}\n",
-                 ser.size(), pool, std::thread::hardware_concurrency(),
+                 ser.size(), workers, std::thread::hardware_concurrency(),
                  jobs1_ms, jobsn_ms, speedup, identical ? "true" : "false");
     std::fclose(out);
 
-    std::printf("sweep of %zu jobs: jobs=1 %.1f ms, jobs=%u %.1f ms "
+    std::printf("sweep of %zu jobs: jobs=1 %.1f ms, workers=%u %.1f ms "
                 "(%.2fx), results %s -> %s\n",
-                ser.size(), jobs1_ms, pool, jobsn_ms, speedup,
+                ser.size(), jobs1_ms, workers, jobsn_ms, speedup,
                 identical ? "identical" : "DIVERGED", out_path);
     if (!identical) {
         std::fprintf(stderr,

@@ -62,11 +62,24 @@ SweepRunner::submit(std::string progress, JobFn fn)
     return tasks.size() - 1;
 }
 
+unsigned
+SweepRunner::effectiveWorkers(std::size_t pending) const
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    unsigned workers = std::min(jobs_, hw);
+    if (pending < workers)
+        workers = static_cast<unsigned>(pending);
+    return workers;
+}
+
 std::vector<RunResult>
 SweepRunner::run()
 {
+    unsigned workers = effectiveWorkers(tasks.size());
     std::vector<RunResult> results =
-        jobs_ <= 1 || tasks.size() <= 1 ? runSerial() : runParallel();
+        workers <= 1 ? runSerial() : runParallel(workers);
     tasks.clear();
     return results;
 }
@@ -88,7 +101,7 @@ SweepRunner::runSerial()
 }
 
 std::vector<RunResult>
-SweepRunner::runParallel()
+SweepRunner::runParallel(unsigned workers)
 {
     std::vector<RunResult> results(tasks.size());
     std::atomic<std::size_t> next{0};
@@ -124,7 +137,7 @@ SweepRunner::runParallel()
         }
     };
 
-    std::size_t spawn = std::min<std::size_t>(jobs_, tasks.size());
+    std::size_t spawn = workers;
     std::vector<std::thread> pool;
     pool.reserve(spawn);
     for (std::size_t i = 0; i < spawn; ++i)

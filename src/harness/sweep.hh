@@ -10,12 +10,16 @@
  * and returned in submission order, so a harness's printed output is
  * byte-identical no matter how many workers ran underneath it.
  *
- * SW_JOBS=1 short-circuits the pool entirely: jobs run inline on the
- * calling thread, in submission order, with the classic per-job progress
- * line printed *before* each run — exactly the pre-SweepRunner behaviour.
- * With more than one worker, each job instead emits one buffered
- * "... done (k/n)" line on completion, so interleaved stderr stays
- * readable (one atomic fprintf per job, never a torn line).
+ * The pool never oversubscribes: the worker count is jobs() clamped by
+ * hardware_concurrency() and by the number of queued jobs (see
+ * effectiveWorkers()).  Whenever that clamp leaves a single worker —
+ * SW_JOBS=1, a one-core host, or a one-job sweep — jobs run inline on
+ * the calling thread, in submission order, with the classic per-job
+ * progress line printed *before* each run — exactly the pre-SweepRunner
+ * behaviour, with zero pool overhead.  With more than one worker, each
+ * job instead emits one buffered "... done (k/n)" line on completion, so
+ * interleaved stderr stays readable (one atomic fprintf per job, never a
+ * torn line).
  *
  * Determinism: a simulation's outcome depends only on its (config,
  * benchmark, limits, scale) inputs — the worker it lands on, and whatever
@@ -71,6 +75,17 @@ class SweepRunner
     unsigned jobs() const { return jobs_; }
     std::size_t submitted() const { return tasks.size(); }
 
+    /**
+     * Worker threads a run of @p pending jobs would actually use: jobs()
+     * clamped by hardware_concurrency() and by the job count.  Requesting
+     * more workers than cores buys nothing on independent CPU-bound
+     * simulations — it only adds scheduler churn (a measured 0.86x on a
+     * one-core box) — so the pool never oversubscribes.  A result of
+     * <= 1 means run() takes the inline serial path with zero pool
+     * overhead.
+     */
+    unsigned effectiveWorkers(std::size_t pending) const;
+
     /** Queue a standard benchmark job. @return its result index. */
     std::size_t submit(SweepJob job);
 
@@ -98,7 +113,7 @@ class SweepRunner
     };
 
     std::vector<RunResult> runSerial();
-    std::vector<RunResult> runParallel();
+    std::vector<RunResult> runParallel(unsigned workers);
 
     unsigned jobs_;
     std::vector<Task> tasks;

@@ -1,0 +1,54 @@
+#pragma once
+
+// Deterministic views over unordered containers.
+//
+// The simulator's fingerprint contracts (field-identical runs across
+// SW_JOBS settings, record/replay, audit builds) forbid letting hash
+// iteration order reach any observable output.  When code genuinely
+// needs to walk an unordered_map/set — reporting, audits, end-of-sim
+// sweeps — it must walk a sorted snapshot instead.  sortedKeys() is the
+// sanctioned primitive for that: the only place in the tree allowed to
+// iterate the container directly, because the order it observes never
+// escapes (the keys are sorted before being returned).
+//
+// Static analysis: softwalker-nondeterministic-iteration flags direct
+// iteration over unordered containers in src/; call sites should use
+// this helper rather than carrying their own NOLINT.
+
+#include <algorithm>
+#include <vector>
+
+namespace sw {
+
+/// Snapshot the keys of an associative container and return them sorted.
+/// O(n log n); intended for audit/report paths, not per-event hot paths.
+template <typename Map>
+auto
+sortedKeys(const Map &map)
+{
+    std::vector<typename Map::key_type> keys;
+    keys.reserve(map.size());
+    // Order does not escape: keys are sorted before being returned.
+    // NOLINTNEXTLINE(softwalker-nondeterministic-iteration)
+    for (const auto &entry : map)
+        keys.push_back(entry.first);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+/// Snapshot the elements of an unordered set and return them sorted.
+template <typename Set>
+auto
+sortedValues(const Set &set)
+{
+    std::vector<typename Set::key_type> values;
+    values.reserve(set.size());
+    // Order does not escape: values are sorted before being returned.
+    // NOLINTNEXTLINE(softwalker-nondeterministic-iteration)
+    for (const auto &value : set)
+        values.push_back(value);
+    std::sort(values.begin(), values.end());
+    return values;
+}
+
+} // namespace sw

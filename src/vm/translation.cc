@@ -4,6 +4,7 @@
 
 #include "check/audit.hh"
 #include "sim/logging.hh"
+#include "sim/ordered.hh"
 
 namespace sw {
 
@@ -406,7 +407,8 @@ TranslationEngine::registerAudits(Auditor &auditor)
         "vm.l2.mshr-conservation", AuditScope::Continuous,
         [this](AuditContext &ctx) {
             std::uint64_t in_tlb = 0;
-            for (const auto &[vpn, track] : outstanding) {
+            for (Vpn vpn : sortedKeys(outstanding)) {
+                const L2Track &track = outstanding.at(vpn);
                 if (!track.inTlbSlot)
                     continue;
                 ++in_tlb;

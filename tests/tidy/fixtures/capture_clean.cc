@@ -1,0 +1,45 @@
+// SWTIDY-AS: src/gpu/fixture_capture_clean.cc
+//
+// Clean cases for softwalker-inline-capture-spill: small index-style
+// captures fit the inline buffer; large objects handed to functions other
+// than the EventQueue scheduling APIs are out of scope.
+
+#include <array>
+#include <cstdint>
+
+namespace sw {
+
+struct FixtureQueue
+{
+    template <typename F> void schedule(std::uint64_t when, F &&fn);
+    template <typename F> void scheduleIn(std::uint64_t delta, F &&fn);
+};
+
+template <typename F> void fixtureRunElsewhere(F &&fn);
+
+struct FixtureSm
+{
+    FixtureQueue eventq;
+
+    void finishWalk(std::uint64_t vpn, std::uint32_t slot);
+    void consume(const std::array<std::uint64_t, 16> &payload);
+
+    // Indices instead of objects: 8 + 8 + 4 bytes, comfortably inline.
+    void
+    goodSmallCapture()
+    {
+        std::uint64_t vpn = 42;
+        std::uint32_t slot = 3;
+        eventq.schedule(100, [this, vpn, slot] { finishWalk(vpn, slot); });
+    }
+
+    // Same oversized payload, but not an EventQueue scheduling site.
+    void
+    goodElsewhere()
+    {
+        std::array<std::uint64_t, 16> payload{};
+        fixtureRunElsewhere([this, payload] { consume(payload); });
+    }
+};
+
+} // namespace sw

@@ -1,0 +1,40 @@
+// SWTIDY-AS: src/gpu/fixture_capture_fire.cc
+//
+// Firing cases for softwalker-inline-capture-spill: closures handed to
+// EventQueue::schedule()/scheduleIn() whose by-value captures exceed the
+// 80-byte InlineFunction inline buffer.
+
+#include <array>
+#include <cstdint>
+
+namespace sw {
+
+struct FixtureQueue
+{
+    template <typename F> void schedule(std::uint64_t when, F &&fn);
+    template <typename F> void scheduleIn(std::uint64_t delta, F &&fn);
+};
+
+struct FixtureSm
+{
+    FixtureQueue eventq;
+
+    void consume(const std::array<std::uint64_t, 16> &payload);
+
+    void
+    badLiteralLambda()
+    {
+        std::array<std::uint64_t, 16> payload{};
+        eventq.schedule(100, [this, payload] { consume(payload); }); // FIRE: softwalker-inline-capture-spill
+    }
+
+    void
+    badNamedLambda()
+    {
+        std::array<std::uint64_t, 16> payload{};
+        auto fire = [this, payload] { consume(payload); }; // FIRE: softwalker-inline-capture-spill
+        eventq.scheduleIn(5, std::move(fire));
+    }
+};
+
+} // namespace sw

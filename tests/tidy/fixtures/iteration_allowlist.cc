@@ -1,0 +1,27 @@
+// SWTIDY-AS: src/obs/fixture_report_sink.cc
+// SWTIDY-OPTION: allow-iteration=fixture_report_sink
+//
+// Allowlist path for softwalker-nondeterministic-iteration: this file is
+// classified as pure-reporting code via the allow-iteration option, so a
+// direct unordered loop is permitted and nothing may fire.
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace sw {
+
+struct FixtureReportSink
+{
+    std::unordered_map<std::uint64_t, int> samples;
+
+    int
+    total() const
+    {
+        int sum = 0;
+        for (const auto &entry : samples)
+            sum += entry.second;
+        return sum;
+    }
+};
+
+} // namespace sw

@@ -1,0 +1,45 @@
+// SWTIDY-AS: src/vm/fixture_iteration_clean.cc
+//
+// Clean cases for softwalker-nondeterministic-iteration: ordered
+// containers, sorted snapshots, and NOLINT-suppressed sanctioned loops.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace sw {
+
+struct FixtureReporter
+{
+    std::unordered_map<std::uint64_t, int> counts;
+    std::map<std::uint64_t, int> ordered;
+
+    // Ordered container: deterministic, no finding.
+    int
+    sumOrdered() const
+    {
+        int total = 0;
+        for (const auto &entry : ordered)
+            total += entry.second;
+        return total;
+    }
+
+    // The sanctioned snapshot pattern: order never escapes the helper.
+    std::vector<std::uint64_t>
+    sortedKeysLocal() const
+    {
+        std::vector<std::uint64_t> keys;
+        keys.reserve(counts.size());
+        // Keys are sorted before being returned, so hash order does not
+        // escape this helper.
+        // NOLINTNEXTLINE(softwalker-nondeterministic-iteration)
+        for (const auto &entry : counts)
+            keys.push_back(entry.first);
+        std::sort(keys.begin(), keys.end());
+        return keys;
+    }
+};
+
+} // namespace sw

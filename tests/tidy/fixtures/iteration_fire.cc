@@ -1,0 +1,36 @@
+// SWTIDY-AS: src/vm/fixture_iteration_fire.cc
+//
+// Firing cases for softwalker-nondeterministic-iteration: direct
+// iteration over unordered containers inside src/ observable code.
+// Trailing FIRE comments mark lines the analyzer must diagnose.
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sw {
+
+struct FixtureEngine
+{
+    std::unordered_map<std::uint64_t, int> outstanding;
+    std::unordered_set<std::uint64_t> dirty;
+
+    int
+    sumTracks() const
+    {
+        int total = 0;
+        for (const auto &entry : outstanding) // FIRE: softwalker-nondeterministic-iteration
+            total += entry.second;
+        return total;
+    }
+
+    std::uint64_t
+    firstDirty() const
+    {
+        for (auto it = dirty.begin(); it != dirty.end(); ++it) // FIRE: softwalker-nondeterministic-iteration
+            return *it;
+        return 0;
+    }
+};
+
+} // namespace sw

@@ -1,0 +1,45 @@
+// SWTIDY-AS: src/mem/fixture_stats_clean.cc
+//
+// Clean case for softwalker-stat-registration: every counter field is
+// wired up in registerStats()/registerGauges(), and non-counter fields
+// (names, nested state) are not counters and never audited.
+
+#include <cstdint>
+#include <string>
+
+namespace sw {
+
+class StatGroup;
+
+class FixtureDram
+{
+  public:
+    struct FixtureDramStats
+    {
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+        double utilization = 0.0;
+        std::string label;
+    };
+
+    void
+    registerStats(StatGroup &group)
+    {
+        registerCounter(group, &stats_.reads);
+        registerCounter(group, &stats_.writes);
+    }
+
+    void
+    registerGauges(StatGroup &group)
+    {
+        registerGauge(group, [this] { return stats_.utilization; });
+    }
+
+  private:
+    void registerCounter(StatGroup &group, std::uint64_t *counter);
+    template <typename F> void registerGauge(StatGroup &group, F &&fn);
+
+    FixtureDramStats stats_;
+};
+
+} // namespace sw

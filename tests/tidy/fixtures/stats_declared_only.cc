@@ -1,0 +1,28 @@
+// SWTIDY-AS: src/mem/fixture_stats_declared_only.hh
+//
+// Skip path for softwalker-stat-registration: this header only declares
+// registerStats(); the body lives in another translation unit the
+// analyzer cannot see, so no field may be flagged here.
+
+#include <cstdint>
+
+namespace sw {
+
+class StatGroup;
+
+class FixtureHbm
+{
+  public:
+    struct FixtureHbmStats
+    {
+        std::uint64_t activates = 0;
+        std::uint64_t precharges = 0;
+    };
+
+    void registerStats(StatGroup &group);
+
+  private:
+    FixtureHbmStats stats_;
+};
+
+} // namespace sw

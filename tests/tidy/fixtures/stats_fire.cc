@@ -1,0 +1,36 @@
+// SWTIDY-AS: src/mem/fixture_stats_fire.cc
+//
+// Firing case for softwalker-stat-registration: a counter field of a
+// *Stats struct that the component's registerStats() body never touches.
+
+#include <cstdint>
+
+namespace sw {
+
+class StatGroup;
+
+class FixtureCache
+{
+  public:
+    struct FixtureCacheStats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0; // FIRE: softwalker-stat-registration
+    };
+
+    void
+    registerStats(StatGroup &group)
+    {
+        registerCounter(group, &stats_.hits);
+        registerCounter(group, &stats_.misses);
+        // stats_.evictions is forgotten: invisible in every metrics dump.
+    }
+
+  private:
+    void registerCounter(StatGroup &group, std::uint64_t *counter);
+
+    FixtureCacheStats stats_;
+};
+
+} // namespace sw

@@ -1,0 +1,34 @@
+// SWTIDY-AS: src/harness/fixture_wallclock_clean.cc
+//
+// Clean cases for softwalker-wallclock-in-sim: src/harness is exempt
+// (measuring real elapsed time is its job), and simulated-time reads via
+// EventQueue::now() never match the wall-clock patterns anywhere.
+
+#include <chrono>
+#include <cstdint>
+
+namespace sw {
+
+struct FixtureEventQueue
+{
+    std::uint64_t cycle = 0;
+    std::uint64_t now() const { return cycle; }
+};
+
+// Harness timing: exempt directory, no finding.
+inline double
+fixtureWallMillis()
+{
+    auto start = std::chrono::steady_clock::now();
+    auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+// Simulated time: fine in any directory.
+inline std::uint64_t
+fixtureSimNow(const FixtureEventQueue &eventq)
+{
+    return eventq.now();
+}
+
+} // namespace sw

@@ -1,0 +1,33 @@
+// SWTIDY-AS: src/sim/fixture_wallclock_fire.cc
+//
+// Firing cases for softwalker-wallclock-in-sim: wall-clock reads and
+// unseeded entropy inside the simulation directories.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+
+namespace sw {
+
+inline std::uint64_t
+fixtureBadTimestamp()
+{
+    auto t = std::chrono::steady_clock::now(); // FIRE: softwalker-wallclock-in-sim
+    return static_cast<std::uint64_t>(t.time_since_epoch().count());
+}
+
+inline int
+fixtureBadJitter()
+{
+    return rand() % 7; // FIRE: softwalker-wallclock-in-sim
+}
+
+inline std::uint32_t
+fixtureBadSeed()
+{
+    std::random_device entropy; // FIRE: softwalker-wallclock-in-sim
+    return entropy();
+}
+
+} // namespace sw

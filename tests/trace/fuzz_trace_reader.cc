@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Fuzz harness for the .swtrace decoder (TraceReader / decodeTrace).
+ *
+ * decodeTrace() is the one place the simulator parses attacker-shaped
+ * bytes: every malformed input must end in a clean fatal() diagnostic,
+ * never an out-of-bounds read, unbounded allocation, or panic (a panic is
+ * an internal invariant failure and means the decoder itself is broken).
+ * The harness drives the decoder through the failure hook: "fatal" is
+ * trapped and counts as a graceful rejection, "panic" is left alone so
+ * the process aborts and the bug is caught.
+ *
+ * Two build modes share this file:
+ *
+ *  - SOFTWALKER_FUZZ=ON (clang only): compiled with -fsanitize=fuzzer as
+ *    a libFuzzer entry point (LLVMFuzzerTestOneInput).  CI runs a
+ *    60-second smoke with the seed corpus; locally, point it at
+ *    tests/trace/corpus/ and let it run.
+ *
+ *  - default: a standalone regression binary.  With no arguments it
+ *    self-generates the seed corpus (a valid trace plus systematic
+ *    corruptions: truncations, bit flips, oversized counts) and runs
+ *    every input through the decoder; `--write-corpus DIR` additionally
+ *    writes the seeds as files for the libFuzzer mode; any other
+ *    arguments are treated as corpus files to replay.  ctest runs the
+ *    no-argument mode on every build.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "trace/trace_format.hh"
+
+namespace {
+
+/** Thrown by the failure hook to unwind out of fatal() back to the driver. */
+struct FatalTrap : std::runtime_error
+{
+    explicit FatalTrap(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+void
+installTrap()
+{
+    static bool installed = false;
+    if (installed)
+        return;
+    installed = true;
+    sw::setFailureHook([](const char *kind, const std::string &msg) {
+        // Trap fatal (malformed input — expected); let panic abort (a
+        // decoder invariant failed — that is the bug being hunted).
+        if (std::strcmp(kind, "fatal") == 0)
+            throw FatalTrap(msg);
+    });
+}
+
+/**
+ * One fuzz iteration: decode; on success the decoder must also be able to
+ * round-trip its own output (encode(decode(x)) re-decodes losslessly).
+ */
+void
+oneInput(const std::uint8_t *data, std::size_t size)
+{
+    sw::TraceFile decoded;
+    try {
+        decoded = sw::decodeTrace(data, size, "fuzz-input");
+    } catch (const FatalTrap &) {
+        return; // graceful rejection
+    }
+    std::vector<std::uint8_t> bytes = sw::encodeTrace(decoded);
+    sw::TraceFile again;
+    try {
+        again = sw::decodeTrace(bytes.data(), bytes.size(), "fuzz-reencode");
+    } catch (const FatalTrap &trap) {
+        sw::panic("re-encoded trace failed to decode: %s", trap.what());
+    }
+    if (again.totalInstrs() != decoded.totalInstrs() ||
+        again.streams.size() != decoded.streams.size()) {
+        sw::panic("trace round-trip changed shape: %llu/%zu -> %llu/%zu",
+                  (unsigned long long)decoded.totalInstrs(),
+                  decoded.streams.size(),
+                  (unsigned long long)again.totalInstrs(),
+                  again.streams.size());
+    }
+}
+
+} // namespace
+
+#if defined(SOFTWALKER_FUZZ)
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    installTrap();
+    oneInput(data, size);
+    return 0;
+}
+
+#else // standalone regression binary
+
+namespace {
+
+sw::TraceFile
+makeSeedTrace()
+{
+    sw::TraceFile trace;
+    trace.header.configDigest = 0x1234'5678'9abc'def0ull;
+    trace.header.name = "fuzz-seed";
+    trace.header.footprintBytes = 1 << 20;
+    trace.header.irregular = true;
+    trace.header.limits.warpInstrQuota = 64;
+    for (sw::SmId sm = 0; sm < 2; ++sm) {
+        for (sw::WarpId warp = 0; warp < 2; ++warp) {
+            sw::TraceStream stream;
+            stream.sm = sm;
+            stream.warp = warp;
+            for (unsigned i = 0; i < 8; ++i) {
+                sw::WarpInstr instr;
+                instr.computeGap = i * 3;
+                instr.activeLanes = 1 + (i % 32);
+                for (unsigned lane = 0; lane < instr.activeLanes; ++lane)
+                    instr.addrs[lane] =
+                        0x1000'0000ull + (sm * 4 + warp) * 0x10000ull +
+                        i * 64ull + lane * 4ull;
+                instr.write = (i % 3) == 0;
+                stream.instrs.push_back(instr);
+            }
+            trace.streams.push_back(std::move(stream));
+        }
+    }
+    return trace;
+}
+
+/** Seed corpus: one valid trace plus systematic corruptions of it. */
+std::vector<std::vector<std::uint8_t>>
+makeSeeds()
+{
+    std::vector<std::vector<std::uint8_t>> seeds;
+    const std::vector<std::uint8_t> valid = sw::encodeTrace(makeSeedTrace());
+    seeds.push_back(valid);
+
+    // Truncations at every interesting boundary and a byte into the tail.
+    for (std::size_t cut : {std::size_t{0}, std::size_t{4}, std::size_t{7},
+                            std::size_t{8}, std::size_t{12},
+                            valid.size() / 2, valid.size() - 1})
+        seeds.emplace_back(valid.begin(),
+                           valid.begin() +
+                               static_cast<std::ptrdiff_t>(
+                                   std::min(cut, valid.size())));
+
+    // Single-byte corruptions spread over the whole file: header magic,
+    // version, varint length prefixes, record payload.
+    for (std::size_t at = 0; at < valid.size();
+         at += 1 + valid.size() / 64) {
+        std::vector<std::uint8_t> flipped = valid;
+        flipped[at] ^= 0xff;
+        seeds.push_back(std::move(flipped));
+    }
+
+    // An absurd stream-count varint right after the fixed header, to
+    // probe for pre-allocation from untrusted counts.
+    std::vector<std::uint8_t> huge(valid.begin(), valid.begin() + 12);
+    for (int i = 0; i < 9; ++i)
+        huge.push_back(0xff);
+    huge.push_back(0x7f);
+    seeds.push_back(std::move(huge));
+
+    // Continuation bit set forever (malformed varint).
+    std::vector<std::uint8_t> runaway(valid.begin(), valid.begin() + 12);
+    runaway.insert(runaway.end(), 64, 0x80);
+    seeds.push_back(std::move(runaway));
+
+    return seeds;
+}
+
+std::vector<std::uint8_t>
+readAll(const char *path)
+{
+    std::FILE *in = std::fopen(path, "rb");
+    if (!in) {
+        // Not fatal(): the failure hook is already armed to throw.
+        std::fprintf(stderr, "cannot open corpus file %s\n", path);
+        std::exit(2);
+    }
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, in)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    std::fclose(in);
+    return bytes;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    installTrap();
+
+    const char *corpusDir = nullptr;
+    std::vector<const char *> files;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--write-corpus") == 0 && i + 1 < argc)
+            corpusDir = argv[++i];
+        else
+            files.push_back(argv[i]);
+    }
+
+    std::size_t ran = 0;
+    if (files.empty()) {
+        std::vector<std::vector<std::uint8_t>> seeds = makeSeeds();
+        for (std::size_t i = 0; i < seeds.size(); ++i) {
+            oneInput(seeds[i].data(), seeds[i].size());
+            ++ran;
+            if (corpusDir) {
+                std::string path =
+                    std::string(corpusDir) + "/seed-" + std::to_string(i) +
+                    ".swtrace.bin";
+                std::FILE *out = std::fopen(path.c_str(), "wb");
+                if (!out) {
+                    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+                    return 2;
+                }
+                std::fwrite(seeds[i].data(), 1, seeds[i].size(), out);
+                std::fclose(out);
+            }
+        }
+    } else {
+        for (const char *path : files) {
+            std::vector<std::uint8_t> bytes = readAll(path);
+            oneInput(bytes.data(), bytes.size());
+            ++ran;
+        }
+    }
+
+    std::printf("fuzz_trace_reader: %zu input(s), no decoder invariant "
+                "violations\n", ran);
+    return 0;
+}
+
+#endif // SOFTWALKER_FUZZ

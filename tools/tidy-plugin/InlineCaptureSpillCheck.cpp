@@ -1,0 +1,99 @@
+//===--- InlineCaptureSpillCheck.cpp - softwalker- checks -----------------===//
+
+#include "InlineCaptureSpillCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/RecordLayout.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace softwalker {
+
+InlineCaptureSpillCheck::InlineCaptureSpillCheck(StringRef Name,
+                                                ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      InlineBytes(Options.get("InlineBytes", 80U)),
+      MaxAlign(Options.get("MaxAlign", 16U)) {}
+
+void InlineCaptureSpillCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "InlineBytes", InlineBytes);
+  Options.store(Opts, "MaxAlign", MaxAlign);
+}
+
+void InlineCaptureSpillCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(hasAnyName("schedule", "scheduleIn"),
+                               ofClass(hasName("::sw::EventQueue")))))
+          .bind("schedule-call"),
+      this);
+}
+
+// Walks an argument expression gathering lambdas that end up stored in the
+// scheduled EventFn: literal lambdas, lambdas behind std::move(), and
+// lambdas bound to a local `auto fire = [...]` first.  Does not descend
+// into lambda bodies — a nested lambda is someone else's schedule call.
+void InlineCaptureSpillCheck::collectLambdas(
+    const Stmt *S, llvm::SmallVectorImpl<const LambdaExpr *> &Out,
+    llvm::SmallPtrSetImpl<const Stmt *> &Visited, int Depth) const {
+  if (!S || Depth > 16 || !Visited.insert(S).second)
+    return;
+  if (const auto *Lambda = dyn_cast<LambdaExpr>(S)) {
+    Out.push_back(Lambda);
+    return; // do not descend into the body
+  }
+  if (const auto *Ref = dyn_cast<DeclRefExpr>(S)) {
+    if (const auto *Var = dyn_cast<VarDecl>(Ref->getDecl()))
+      if (const Expr *Init = Var->getInit())
+        collectLambdas(Init, Out, Visited, Depth + 1);
+    return;
+  }
+  for (const Stmt *Child : S->children())
+    collectLambdas(Child, Out, Visited, Depth + 1);
+}
+
+void InlineCaptureSpillCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Call =
+      Result.Nodes.getNodeAs<CXXMemberCallExpr>("schedule-call");
+  if (!Call)
+    return;
+  ASTContext &Ctx = *Result.Context;
+  for (const Expr *Arg : Call->arguments()) {
+    llvm::SmallVector<const LambdaExpr *, 4> Lambdas;
+    llvm::SmallPtrSet<const Stmt *, 32> Visited;
+    collectLambdas(Arg->IgnoreImplicit(), Lambdas, Visited, 0);
+    for (const LambdaExpr *Lambda : Lambdas) {
+      const CXXRecordDecl *Closure = Lambda->getLambdaClass();
+      if (!Closure || !Closure->isCompleteDefinition() ||
+          Closure->isDependentType())
+        continue;
+      const ASTRecordLayout &Layout = Ctx.getASTRecordLayout(Closure);
+      const uint64_t Bytes =
+          static_cast<uint64_t>(Layout.getSize().getQuantity());
+      const uint64_t Align =
+          static_cast<uint64_t>(Layout.getAlignment().getQuantity());
+      if (Bytes > InlineBytes) {
+        diag(Lambda->getBeginLoc(),
+             "lambda scheduled on the EventQueue captures %0 bytes, over "
+             "the %1-byte InlineFunction inline buffer; the closure spills "
+             "to the slab pool on every schedule — shrink the capture "
+             "(indices instead of objects)")
+            << static_cast<unsigned>(Bytes) << InlineBytes;
+      } else if (Align > MaxAlign) {
+        diag(Lambda->getBeginLoc(),
+             "lambda scheduled on the EventQueue requires %0-byte alignment, "
+             "over the %1-byte max_align_t buffer alignment; the closure "
+             "cannot be stored inline")
+            << static_cast<unsigned>(Align) << MaxAlign;
+      }
+    }
+  }
+}
+
+} // namespace softwalker
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,53 @@
+//===--- InlineCaptureSpillCheck.h - softwalker- checks ----------*- C++ -*-===//
+//
+// softwalker-inline-capture-spill
+//
+// Every event handler handed to sw::EventQueue::schedule()/scheduleIn()
+// is stored in an InlineFunction<void(), kEventInlineBytes> slot.  A
+// closure larger than the inline buffer spills to the slab pool on every
+// schedule — correct, but it re-introduces per-event allocator traffic on
+// the hottest path in the simulator, which PR 3 spent a redesign
+// removing.  Two hot sites guard this with runtime static_asserts; this
+// check extends the guarantee to *every* scheduling site by computing the
+// real closure size from the AST record layout.
+//
+// The InlineBytes option (default 80) must match sw::kEventInlineBytes.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTWALKER_TIDY_INLINE_CAPTURE_SPILL_CHECK_H
+#define SOFTWALKER_TIDY_INLINE_CAPTURE_SPILL_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+#include "llvm/ADT/SmallPtrSet.h"
+#include "llvm/ADT/SmallVector.h"
+
+namespace clang {
+namespace tidy {
+namespace softwalker {
+
+class InlineCaptureSpillCheck : public ClangTidyCheck {
+public:
+  InlineCaptureSpillCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  void collectLambdas(const Stmt *S,
+                      llvm::SmallVectorImpl<const LambdaExpr *> &Out,
+                      llvm::SmallPtrSetImpl<const Stmt *> &Visited,
+                      int Depth) const;
+
+  /// Inline capture budget; must equal sw::kEventInlineBytes.
+  const unsigned InlineBytes;
+  /// Closure alignment limit (InlineFunction stores at max_align_t).
+  const unsigned MaxAlign;
+};
+
+} // namespace softwalker
+} // namespace tidy
+} // namespace clang
+
+#endif // SOFTWALKER_TIDY_INLINE_CAPTURE_SPILL_CHECK_H

@@ -1,0 +1,109 @@
+//===--- NondeterministicIterationCheck.cpp - softwalker- checks ----------===//
+
+#include "NondeterministicIterationCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/ADT/SmallVector.h"
+#include "llvm/ADT/StringRef.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace softwalker {
+
+NondeterministicIterationCheck::NondeterministicIterationCheck(
+    StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      CheckedDirs(Options.get("CheckedDirs", "src/")),
+      AllowedFiles(Options.get("AllowedFiles", "")) {}
+
+void NondeterministicIterationCheck::storeOptions(
+    ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "CheckedDirs", CheckedDirs);
+  Options.store(Opts, "AllowedFiles", AllowedFiles);
+}
+
+void NondeterministicIterationCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(cxxForRangeStmt().bind("range-loop"), this);
+  // for (auto it = m.begin(); ...): the begin()/cbegin() receiver decides.
+  Finder->addMatcher(
+      forStmt(hasLoopInit(declStmt(hasDescendant(
+                  cxxMemberCallExpr(
+                      callee(cxxMethodDecl(hasAnyName("begin", "cbegin"))),
+                      on(expr().bind("container")))
+                      .bind("begin-call")))))
+          .bind("iter-loop"),
+      this);
+}
+
+bool NondeterministicIterationCheck::isUnorderedContainer(
+    QualType Type) const {
+  if (Type.isNull())
+    return false;
+  QualType Desugared =
+      Type.getNonReferenceType().getUnqualifiedType().getCanonicalType();
+  const CXXRecordDecl *Record = Desugared->getAsCXXRecordDecl();
+  if (!Record)
+    return false;
+  const std::string Name = Record->getQualifiedNameAsString();
+  return Name == "std::unordered_map" || Name == "std::unordered_set" ||
+         Name == "std::unordered_multimap" ||
+         Name == "std::unordered_multiset";
+}
+
+bool NondeterministicIterationCheck::inCheckedFile(
+    SourceLocation Loc, const SourceManager &SM) const {
+  const StringRef File = SM.getFilename(SM.getSpellingLoc(Loc));
+  if (File.empty())
+    return false;
+  llvm::SmallVector<StringRef, 8> Dirs;
+  StringRef(CheckedDirs).split(Dirs, ';', /*MaxSplit=*/-1,
+                               /*KeepEmpty=*/false);
+  bool Checked = false;
+  for (StringRef Dir : Dirs)
+    Checked = Checked || File.contains(Dir);
+  if (!Checked)
+    return false;
+  llvm::SmallVector<StringRef, 8> Allowed;
+  StringRef(AllowedFiles).split(Allowed, ';', /*MaxSplit=*/-1,
+                                /*KeepEmpty=*/false);
+  for (StringRef Allow : Allowed)
+    if (File.contains(Allow))
+      return false;
+  return true;
+}
+
+void NondeterministicIterationCheck::check(
+    const MatchFinder::MatchResult &Result) {
+  if (const auto *Loop =
+          Result.Nodes.getNodeAs<CXXForRangeStmt>("range-loop")) {
+    const Expr *Range = Loop->getRangeInit();
+    if (!Range || !isUnorderedContainer(Range->getType()))
+      return;
+    if (!inCheckedFile(Loop->getForLoc(), *Result.SourceManager))
+      return;
+    diag(Loop->getForLoc(),
+         "range-for over unordered container; hash iteration order is "
+         "nondeterministic and breaks the field-identical fingerprint "
+         "contracts — iterate a sorted snapshot (sw::sortedKeys) or switch "
+         "containers");
+    return;
+  }
+  const auto *Begin =
+      Result.Nodes.getNodeAs<CXXMemberCallExpr>("begin-call");
+  const auto *Container = Result.Nodes.getNodeAs<Expr>("container");
+  if (!Begin || !Container || !isUnorderedContainer(Container->getType()))
+    return;
+  if (!inCheckedFile(Begin->getBeginLoc(), *Result.SourceManager))
+    return;
+  diag(Begin->getBeginLoc(),
+       "iterator loop over unordered container; hash iteration order is "
+       "nondeterministic — iterate a sorted snapshot (sw::sortedKeys) or "
+       "switch containers");
+}
+
+} // namespace softwalker
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,48 @@
+//===--- NondeterministicIterationCheck.h - softwalker- checks ---*- C++ -*-===//
+//
+// softwalker-nondeterministic-iteration
+//
+// Flags range-for statements and iterator loops over std::unordered_map /
+// std::unordered_set (and their multi variants) in simulator code.  Hash
+// iteration order is unspecified and varies across libstdc++ versions,
+// ASLR seeds and insertion histories, so any simulated state or printed
+// output derived from it breaks the jobs=1-vs-8 sweep determinism suite
+// and the record/replay fingerprint contract.  Pure-reporting code can be
+// exempted via the AllowedFiles option or NOLINT with a justification.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTWALKER_TIDY_NONDETERMINISTIC_ITERATION_CHECK_H
+#define SOFTWALKER_TIDY_NONDETERMINISTIC_ITERATION_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+#include <string>
+
+namespace clang {
+namespace tidy {
+namespace softwalker {
+
+class NondeterministicIterationCheck : public ClangTidyCheck {
+public:
+  NondeterministicIterationCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  bool isUnorderedContainer(QualType Type) const;
+  bool inCheckedFile(SourceLocation Loc, const SourceManager &SM) const;
+
+  /// Semicolon-separated path substrings the check applies to.
+  /// (std::string, not StringRef: Options.get returns a temporary.)
+  const std::string CheckedDirs;
+  /// Semicolon-separated path substrings exempt from the check.
+  const std::string AllowedFiles;
+};
+
+} // namespace softwalker
+} // namespace tidy
+} // namespace clang
+
+#endif // SOFTWALKER_TIDY_NONDETERMINISTIC_ITERATION_CHECK_H

@@ -1,0 +1,92 @@
+//===--- StatRegistrationCheck.cpp - softwalker- checks -------------------===//
+
+#include "StatRegistrationCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace softwalker {
+
+StatRegistrationCheck::StatRegistrationCheck(StringRef Name,
+                                             ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context) {}
+
+void StatRegistrationCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      cxxRecordDecl(isDefinition(), matchesName("Stats$"),
+                    hasDeclContext(cxxRecordDecl().bind("component")))
+          .bind("stats"),
+      this);
+}
+
+void StatRegistrationCheck::collectFieldRefs(
+    const Stmt *S, llvm::SmallPtrSetImpl<const FieldDecl *> &Out, int Depth) {
+  if (!S || Depth > 64)
+    return;
+  if (const auto *Member = dyn_cast<MemberExpr>(S))
+    if (const auto *Field = dyn_cast<FieldDecl>(Member->getMemberDecl()))
+      Out.insert(Field->getCanonicalDecl());
+  // UnaryOperator &stats_.field, gauge lambdas, nested calls: a plain
+  // child walk reaches them all (LambdaExpr exposes its body as a child).
+  for (const Stmt *Child : S->children())
+    collectFieldRefs(Child, Out, Depth + 1);
+}
+
+bool StatRegistrationCheck::isCounterType(QualType Type) {
+  if (Type.isNull())
+    return false;
+  QualType Canonical = Type.getCanonicalType();
+  if (Canonical->isArithmeticType() && !Canonical->isEnumeralType())
+    return true;
+  if (const CXXRecordDecl *Record = Canonical->getAsCXXRecordDecl())
+    return Record->getName() == "Histogram";
+  return false;
+}
+
+void StatRegistrationCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Stats = Result.Nodes.getNodeAs<CXXRecordDecl>("stats");
+  const auto *Component = Result.Nodes.getNodeAs<CXXRecordDecl>("component");
+  if (!Stats || !Component || Stats->isDependentType())
+    return;
+
+  // Gather registration bodies visible in this TU.  Skip the audit when a
+  // registration method is declared but defined elsewhere.
+  llvm::SmallPtrSet<const FieldDecl *, 32> Referenced;
+  bool SawBody = false;
+  bool SawDeclarationWithoutBody = false;
+  for (const CXXMethodDecl *Method : Component->methods()) {
+    const StringRef Name = Method->getName();
+    if (Name != "registerStats" && Name != "registerGauges")
+      continue;
+    const FunctionDecl *Definition = nullptr;
+    if (Method->hasBody(Definition) && Definition) {
+      SawBody = true;
+      collectFieldRefs(Definition->getBody(), Referenced, 0);
+    } else {
+      SawDeclarationWithoutBody = true;
+    }
+  }
+  if (!SawBody || SawDeclarationWithoutBody)
+    return;
+
+  for (const FieldDecl *Field : Stats->fields()) {
+    if (!isCounterType(Field->getType()))
+      continue;
+    if (Referenced.count(Field->getCanonicalDecl()))
+      continue;
+    diag(Field->getLocation(),
+         "counter %0 of %1 is never registered in registerStats()/"
+         "registerGauges(); it will be invisible to the StatRegistry and "
+         "every metrics dump")
+        << Field << Stats;
+  }
+}
+
+} // namespace softwalker
+} // namespace tidy
+} // namespace clang

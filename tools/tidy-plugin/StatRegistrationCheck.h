@@ -1,0 +1,48 @@
+//===--- StatRegistrationCheck.h - softwalker- checks ------------*- C++ -*-===//
+//
+// softwalker-stat-registration
+//
+// Every component keeps its counters in a nested `struct Stats` (or
+// *Stats) and wires each field into the ~2100-entry StatRegistry from the
+// enclosing class's registerStats()/registerGauges().  A field that is
+// added but never registered silently disappears from every metrics dump,
+// time-series sample and figure harness — exactly the rot mode that
+// multiplies as design-space components (prefetchers, dead-entry
+// predictors, new baselines) are added.  This check flags counter fields
+// of *Stats structs that no registerStats()/registerGauges() body in the
+// translation unit references.
+//
+// TUs that declare but do not define the registration methods are skipped:
+// the TU that holds the definition performs the audit.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTWALKER_TIDY_STAT_REGISTRATION_CHECK_H
+#define SOFTWALKER_TIDY_STAT_REGISTRATION_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+#include "llvm/ADT/SmallPtrSet.h"
+
+namespace clang {
+namespace tidy {
+namespace softwalker {
+
+class StatRegistrationCheck : public ClangTidyCheck {
+public:
+  StatRegistrationCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+
+private:
+  static void collectFieldRefs(const Stmt *S,
+                               llvm::SmallPtrSetImpl<const FieldDecl *> &Out,
+                               int Depth);
+  static bool isCounterType(QualType Type);
+};
+
+} // namespace softwalker
+} // namespace tidy
+} // namespace clang
+
+#endif // SOFTWALKER_TIDY_STAT_REGISTRATION_CHECK_H

@@ -1,0 +1,103 @@
+//===--- WallclockInSimCheck.cpp - softwalker- checks ---------------------===//
+
+#include "WallclockInSimCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/ADT/SmallVector.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace softwalker {
+
+WallclockInSimCheck::WallclockInSimCheck(StringRef Name,
+                                         ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      SimDirs(Options.get(
+          "SimDirs", "src/sim;src/gpu;src/vm;src/mem;src/core;src/check")) {}
+
+void WallclockInSimCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "SimDirs", SimDirs);
+}
+
+void WallclockInSimCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::rand", "::srand",
+                                              "::std::rand", "::std::srand"))))
+          .bind("rand-call"),
+      this);
+  Finder->addMatcher(
+      callExpr(callee(cxxMethodDecl(hasName("now")))).bind("now-call"), this);
+  const auto RandomDevice = hasUnqualifiedDesugaredType(recordType(
+      hasDeclaration(cxxRecordDecl(hasName("::std::random_device")))));
+  Finder->addMatcher(varDecl(hasType(RandomDevice)).bind("random-device"),
+                     this);
+  Finder->addMatcher(
+      cxxTemporaryObjectExpr(hasType(RandomDevice)).bind("random-device"),
+      this);
+}
+
+bool WallclockInSimCheck::inSimDir(SourceLocation Loc,
+                                   const SourceManager &SM) const {
+  const StringRef File = SM.getFilename(SM.getSpellingLoc(Loc));
+  if (File.empty())
+    return false;
+  llvm::SmallVector<StringRef, 8> Dirs;
+  StringRef(SimDirs).split(Dirs, ';', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
+  for (StringRef Dir : Dirs) {
+    const std::string Prefixed = Dir.str() + "/";
+    if (File.contains(Prefixed))
+      return true;
+  }
+  return false;
+}
+
+void WallclockInSimCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+  if (const auto *Call = Result.Nodes.getNodeAs<CallExpr>("rand-call")) {
+    if (inSimDir(Call->getBeginLoc(), SM)) {
+      diag(Call->getBeginLoc(),
+           "rand()/srand() in simulation code; draw from the run's seeded "
+           "sw::Rng so results are reproducible");
+    }
+    return;
+  }
+  if (const auto *Call = Result.Nodes.getNodeAs<CallExpr>("now-call")) {
+    const auto *Method = dyn_cast_or_null<CXXMethodDecl>(Call->getCalleeDecl());
+    if (!Method)
+      return;
+    const CXXRecordDecl *Class = Method->getParent();
+    if (!Class)
+      return;
+    const std::string Name = Class->getQualifiedNameAsString();
+    // rfind(x, 0) == 0 is prefix-test without StringRef::startswith,
+    // which LLVM 18 removed.
+    const bool IsClock =
+        Name.rfind("std::chrono::", 0) == 0 ||
+        (Name.size() >= 6 &&
+         Name.compare(Name.size() - 6, 6, "_clock") == 0);
+    if (IsClock && inSimDir(Call->getBeginLoc(), SM)) {
+      diag(Call->getBeginLoc(),
+           "wall-clock time in simulation code; simulated time comes from "
+           "EventQueue::now() and harness timing belongs in src/harness or "
+           "bench/");
+    }
+    return;
+  }
+  SourceLocation Loc;
+  if (const auto *Var = Result.Nodes.getNodeAs<VarDecl>("random-device"))
+    Loc = Var->getLocation();
+  else if (const auto *Tmp =
+               Result.Nodes.getNodeAs<CXXTemporaryObjectExpr>("random-device"))
+    Loc = Tmp->getBeginLoc();
+  if (Loc.isValid() && inSimDir(Loc, SM)) {
+    diag(Loc, "std::random_device in simulation code; entropy breaks "
+              "record/replay — seed a sw::Rng from the config instead");
+  }
+}
+
+} // namespace softwalker
+} // namespace tidy
+} // namespace clang

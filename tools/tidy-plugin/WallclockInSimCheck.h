@@ -1,0 +1,46 @@
+//===--- WallclockInSimCheck.h - softwalker- checks --------------*- C++ -*-===//
+//
+// softwalker-wallclock-in-sim
+//
+// Bans wall-clock and ambient-entropy sources — std::chrono::*_clock::now(),
+// rand()/srand(), std::random_device — inside the simulation core
+// (src/sim, src/gpu, src/vm, src/mem, src/core, src/check by default).
+// Simulated time comes from EventQueue::now() and randomness from the
+// run's seeded sw::Rng; anything else makes two runs of the same RunSpec
+// diverge, which the record/replay and sweep determinism suites treat as
+// corruption.  Harness and bench code (outside the listed directories)
+// may measure wall-clock time freely.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTWALKER_TIDY_WALLCLOCK_IN_SIM_CHECK_H
+#define SOFTWALKER_TIDY_WALLCLOCK_IN_SIM_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+#include <string>
+
+namespace clang {
+namespace tidy {
+namespace softwalker {
+
+class WallclockInSimCheck : public ClangTidyCheck {
+public:
+  WallclockInSimCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  bool inSimDir(SourceLocation Loc, const SourceManager &SM) const;
+
+  /// Semicolon-separated path substrings the ban applies to.
+  /// (std::string, not StringRef: Options.get returns a temporary.)
+  const std::string SimDirs;
+};
+
+} // namespace softwalker
+} // namespace tidy
+} // namespace clang
+
+#endif // SOFTWALKER_TIDY_WALLCLOCK_IN_SIM_CHECK_H

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Portable implementation of the five `softwalker-` static-analysis
+ * checks (see docs/STATIC_ANALYSIS.md for the catalog and rationale).
+ *
+ * The authoritative implementation is the out-of-tree clang-tidy plugin
+ * in tools/tidy-plugin/ — it sees the real AST and computes exact closure
+ * sizes.  This engine is the *portable* twin: a lexer-level analyzer with
+ * no LLVM dependency, so the fixture suite and the src/-tree cleanliness
+ * gate run under plain ctest on any toolchain.  Both implementations
+ * enforce the same contracts with the same check names and the same
+ * `// NOLINT(softwalker-...)` suppression mechanism; where the lexical
+ * engine cannot prove a property (default captures, macro-generated
+ * code) it stays silent rather than guessing, so it under-approximates
+ * the plugin and never blocks the build on a false positive.
+ *
+ * Checks:
+ *  - softwalker-nondeterministic-iteration: range-for / .begin() loops
+ *    over std::unordered_{map,set,multimap,multiset} in src/ (hash order
+ *    breaks the jobs=1-vs-8 and record/replay fingerprint contracts).
+ *  - softwalker-wallclock-in-sim: *_clock::now(), rand(), srand(),
+ *    std::random_device inside src/{sim,gpu,vm,mem,core,check}.
+ *  - softwalker-inline-capture-spill: lambdas handed to EventQueue
+ *    schedule()/scheduleIn() whose estimated capture size exceeds the
+ *    InlineFunction inline buffer (kEventInlineBytes).
+ *  - softwalker-stat-registration: counter fields of *Stats structs never
+ *    referenced by the component's registerStats()/registerGauges().
+ *  - softwalker-audit-side-effect: SW_AUDIT/SW_TRACE arguments with side
+ *    effects (assignment, ++/--, mutating member calls) — they vanish in
+ *    builds that compile the macro out.
+ *
+ * Fixture files may carry directives (anywhere in a comment):
+ *  - `SWTIDY-AS: <path>`   classify the file as if it lived at <path>
+ *  - `SWTIDY-OPTION: allow-iteration=<substr>`   extend the iteration
+ *    allowlist for this run
+ */
+
+#ifndef SW_TOOLS_TIDY_PORTABLE_ANALYZER_HH
+#define SW_TOOLS_TIDY_PORTABLE_ANALYZER_HH
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace swtidy {
+
+/** Check name constants (shared with the clang-tidy plugin). */
+inline constexpr const char *kNondeterministicIteration =
+    "softwalker-nondeterministic-iteration";
+inline constexpr const char *kWallclockInSim = "softwalker-wallclock-in-sim";
+inline constexpr const char *kInlineCaptureSpill =
+    "softwalker-inline-capture-spill";
+inline constexpr const char *kStatRegistration =
+    "softwalker-stat-registration";
+inline constexpr const char *kAuditSideEffect =
+    "softwalker-audit-side-effect";
+
+/** All five check names, in catalog order. */
+const std::vector<std::string> &allChecks();
+
+/** One finding. */
+struct Diagnostic
+{
+    std::string file;     ///< path as handed to the analyzer
+    int line = 0;         ///< 1-based
+    std::string check;    ///< softwalker-... name
+    std::string message;
+
+    bool
+    operator<(const Diagnostic &o) const
+    {
+        if (file != o.file)
+            return file < o.file;
+        if (line != o.line)
+            return line < o.line;
+        return check < o.check;
+    }
+};
+
+/** `file:line: warning: message [check]` */
+std::string renderDiagnostic(const Diagnostic &diag);
+
+struct Options
+{
+    /** Enabled check names; empty means all five. */
+    std::set<std::string> enabled;
+
+    /**
+     * Path substrings exempt from the nondeterministic-iteration check
+     * (pure-reporting code where hash order cannot reach simulated
+     * state or any fingerprinted output).
+     */
+    std::vector<std::string> allowIteration;
+
+    /** Directories the wallclock ban applies to. */
+    std::vector<std::string> simDirs = {"src/sim", "src/gpu",  "src/vm",
+                                        "src/mem", "src/core", "src/check"};
+
+    /** InlineFunction inline capture budget (kEventInlineBytes). */
+    std::size_t inlineBytes = 80;
+
+    /** Extra `type name -> size in bytes` entries for capture estimation. */
+    std::map<std::string, std::size_t> typeSizes;
+};
+
+/**
+ * Analyzes a set of source files as one unit: declarations collected from
+ * every file (container members in headers, registerStats bodies in
+ * sibling .cc files) inform checks in every other file.
+ */
+class Analyzer
+{
+  public:
+    explicit Analyzer(Options opts = {});
+    ~Analyzer();
+
+    Analyzer(const Analyzer &) = delete;
+    Analyzer &operator=(const Analyzer &) = delete;
+
+    /** Load @p path from disk. @return false (with a note) if unreadable. */
+    bool addFile(const std::string &path);
+
+    /** Add in-memory source, e.g. from a test. */
+    void addSource(const std::string &path, std::string text);
+
+    /** Run every enabled check over every added file. Sorted output. */
+    std::vector<Diagnostic> run();
+
+  private:
+    struct Impl;
+    Impl *impl;
+};
+
+} // namespace swtidy
+
+#endif // SW_TOOLS_TIDY_PORTABLE_ANALYZER_HH
