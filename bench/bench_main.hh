@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared main() for the google-benchmark micro benches: identical to
+ * BENCHMARK_MAIN() except that the RunManifest's build/host facts are
+ * registered as custom context first, so every --benchmark_out JSON
+ * carries its provenance ("context" keys; tools/swbench excludes them
+ * from regression comparison by default).
+ */
+
+#ifndef SW_BENCH_BENCH_MAIN_HH
+#define SW_BENCH_BENCH_MAIN_HH
+
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "prof/run_manifest.hh"
+
+#define SW_BENCHMARK_MAIN_WITH_MANIFEST()                                   \
+    int main(int argc, char **argv)                                         \
+    {                                                                       \
+        const ::sw::RunManifest swManifest = ::sw::RunManifest::collect();  \
+        ::benchmark::AddCustomContext("git_describe",                       \
+                                      swManifest.gitDescribe);              \
+        ::benchmark::AddCustomContext("compiler", swManifest.compiler);     \
+        ::benchmark::AddCustomContext("flags", swManifest.flags);           \
+        ::benchmark::AddCustomContext("build_type", swManifest.buildType);  \
+        ::benchmark::AddCustomContext("hostname", swManifest.hostname);     \
+        ::benchmark::AddCustomContext(                                      \
+            "hardware_concurrency",                                         \
+            std::to_string(swManifest.hardwareConcurrency));                \
+        ::benchmark::AddCustomContext("sw_jobs", swManifest.swJobs);        \
+        ::benchmark::AddCustomContext(                                      \
+            "hostprof_compiled",                                            \
+            swManifest.hostprofCompiled ? "true" : "false");                \
+        ::benchmark::AddCustomContext(                                      \
+            "audit_compiled",                                               \
+            swManifest.auditCompiled ? "true" : "false");                   \
+        ::benchmark::Initialize(&argc, argv);                               \
+        if (::benchmark::ReportUnrecognizedArguments(argc, argv))           \
+            return 1;                                                       \
+        ::benchmark::RunSpecifiedBenchmarks();                              \
+        ::benchmark::Shutdown();                                            \
+        return 0;                                                           \
+    }                                                                       \
+    int main(int, char **)
+
+#endif // SW_BENCH_BENCH_MAIN_HH

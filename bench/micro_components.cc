@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.hh"
+
 #include "mem/cache.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
@@ -138,4 +140,4 @@ BM_RngRange(benchmark::State &state)
 }
 BENCHMARK(BM_RngRange);
 
-BENCHMARK_MAIN();
+SW_BENCHMARK_MAIN_WITH_MANIFEST();

@@ -14,6 +14,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.hh"
+
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -212,4 +214,4 @@ BM_ScheduleOversized(benchmark::State &state)
 }
 BENCHMARK(BM_ScheduleOversized);
 
-BENCHMARK_MAIN();
+SW_BENCHMARK_MAIN_WITH_MANIFEST();

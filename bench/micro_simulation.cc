@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.hh"
+
 #include "core/softwalker.hh"
 #include "gpu/gpu.hh"
 #include "sim/config.hh"
@@ -91,4 +93,4 @@ BM_SimulateIdeal(benchmark::State &state)
 }
 BENCHMARK(BM_SimulateIdeal)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+SW_BENCHMARK_MAIN_WITH_MANIFEST();

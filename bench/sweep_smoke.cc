@@ -19,6 +19,7 @@
 
 #include "harness/report.hh"
 #include "harness/sweep.hh"
+#include "prof/run_manifest.hh"
 #include "sim/logging.hh"
 #include "workload/benchmarks.hh"
 
@@ -61,12 +62,13 @@ fingerprint(const std::vector<RunResult> &results)
 }
 
 void
-submitAll(SweepRunner &runner)
+submitAll(SweepRunner &runner, std::vector<std::string> &names)
 {
     // Two configs x the irregular suite with short quotas: enough work to
     // keep several workers busy, small enough for a CI smoke step.
     const std::vector<GpuConfig> cfgs = {makeDefaultConfig(),
                                          makeSoftWalkerConfig()};
+    names.clear();
     for (const GpuConfig &cfg : cfgs) {
         for (const BenchmarkInfo *info : irregularSuite()) {
             SweepJob job;
@@ -75,6 +77,8 @@ submitAll(SweepRunner &runner)
             job.limits = limitsFor(*info);
             job.limits.warpInstrQuota = 1500;
             job.limits.warmupInstrs = 300;
+            names.push_back(strprintf("%s.%s", toString(cfg.mode),
+                                      info->abbr.c_str()));
             runner.submit(std::move(job));
         }
     }
@@ -99,18 +103,21 @@ main(int argc, char **argv)
 
     unsigned pool = SweepRunner::defaultJobs();
 
+    std::vector<std::string> names;
     SweepRunner serial(1);
-    submitAll(serial);
+    submitAll(serial, names);
     std::vector<RunResult> ser;
     double jobs1_ms = timedRun(serial, ser);
+    std::vector<double> ser_job_ms = serial.lastJobMillis();
 
     SweepRunner parallel(pool);
-    submitAll(parallel);
+    submitAll(parallel, names);
     // What the pool will actually use once clamped by core count and job
     // count — on a one-core host this is 1 and the run is inline-serial.
     unsigned workers = parallel.effectiveWorkers(parallel.submitted());
     std::vector<RunResult> par;
     double jobsn_ms = timedRun(parallel, par);
+    std::vector<double> par_job_ms = parallel.lastJobMillis();
 
     bool identical = fingerprint(ser) == fingerprint(par);
     double speedup = jobsn_ms > 0 ? jobs1_ms / jobsn_ms : 0.0;
@@ -120,8 +127,11 @@ main(int argc, char **argv)
         std::fprintf(stderr, "cannot open %s for writing\n", out_path);
         return 2;
     }
+    RunManifest manifest = RunManifest::collect();
     std::fprintf(out,
                  "{\n"
+                 "  \"schema\": \"softwalker.bench_sweep/1\",\n"
+                 "  \"manifest\": %s,\n"
                  "  \"sweep_jobs\": %zu,\n"
                  "  \"workers_jobs1\": 1,\n"
                  "  \"workers_jobsN\": %u,\n"
@@ -129,10 +139,21 @@ main(int argc, char **argv)
                  "  \"jobs1_ms\": %.1f,\n"
                  "  \"jobsN_ms\": %.1f,\n"
                  "  \"speedup\": %.2f,\n"
-                 "  \"results_identical\": %s\n"
-                 "}\n",
-                 ser.size(), workers, std::thread::hardware_concurrency(),
-                 jobs1_ms, jobsn_ms, speedup, identical ? "true" : "false");
+                 "  \"results_identical\": %s,\n"
+                 "  \"per_job\": [\n",
+                 manifest.toJson(2).c_str(), ser.size(), workers,
+                 std::thread::hardware_concurrency(), jobs1_ms, jobsn_ms,
+                 speedup, identical ? "true" : "false");
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        std::fprintf(out,
+                     "    {\"name\": \"%s\", \"jobs1_ms\": %.1f, "
+                     "\"jobsN_ms\": %.1f}%s\n",
+                     names[i].c_str(),
+                     i < ser_job_ms.size() ? ser_job_ms[i] : 0.0,
+                     i < par_job_ms.size() ? par_job_ms[i] : 0.0,
+                     i + 1 < names.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
     std::fclose(out);
 
     std::printf("sweep of %zu jobs: jobs=1 %.1f ms, workers=%u %.1f ms "

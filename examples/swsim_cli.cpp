@@ -25,8 +25,11 @@
 #include "obs/sampler.hh"
 #include "obs/stat_registry.hh"
 #include "obs/trace.hh"
+#include "prof/hostprof.hh"
+#include "prof/run_manifest.hh"
 #include "sim/logging.hh"
 #include "trace/trace_convert.hh"
+#include "trace/trace_format.hh"
 #include "trace/trace_workload.hh"
 
 using namespace sw;
@@ -95,7 +98,7 @@ struct Options
     Gpu::RunLimits limits = defaultLimits();
     bool explicitLimits = false;
     double scale = 1.0;
-    std::string metricsOut, traceOut, samplesOut;
+    std::string metricsOut, traceOut, samplesOut, profileOut;
     Cycle sampleInterval = 0;
     std::string recordPath, replayPath, fingerprintOut;
     TraceEndPolicy replayEnd = TraceEndPolicy::Drain;
@@ -231,6 +234,11 @@ optionTable(Options &opt)
          [&](const std::vector<std::string> &a) {
              opt.sampleInterval = parseUint(a[0], "--sample-interval");
          }},
+        {"--profile-out", "<file>",
+         "enable the host self-profiler, dump its JSON (hostprof builds)",
+         [&](const std::vector<std::string> &a) {
+             opt.profileOut = a[0];
+         }},
     };
 }
 
@@ -351,7 +359,43 @@ main(int argc, char **argv)
                          ? opt.limits : limitsFor(*info)).warpInstrQuota);
     }
 
+    // Arm the self-profiler before setup so the Setup zone is captured;
+    // in non-hostprof builds the zones are compiled out and this only
+    // affects what the profile JSON reports as "enabled".
+    if (!opt.profileOut.empty())
+        prof::HostProfiler::instance().setEnabled(true);
+
     RunResult r = run(std::move(spec));
+
+    // Provenance manifest embedded in every JSON artifact below: the
+    // effective limits mirror run()'s resolution (explicit flags win,
+    // else the benchmark's defaults).
+    RunManifest manifest = RunManifest::collect();
+    manifest.benchmark = r.benchmark;
+    manifest.configDigest = configDigest(opt.cfg);
+    {
+        Gpu::RunLimits effective =
+            opt.explicitLimits ? opt.limits
+            : info             ? limitsFor(*info)
+                               : defaultLimits();
+        manifest.warpInstrQuota = effective.warpInstrQuota;
+        manifest.warmupInstrs = effective.warmupInstrs;
+        manifest.maxCycles = effective.maxCycles;
+    }
+
+    // Profile first: its wall-clock keeps ticking until the snapshot, so
+    // writing the other artifacts first would show up as lost coverage.
+    if (!opt.profileOut.empty()) {
+        prof::HostProfiler &profiler = prof::HostProfiler::instance();
+        std::ofstream out = openOut(opt.profileOut);
+        profiler.writeJson(out, &manifest);
+        prof::ProfileSnapshot snap = profiler.snapshot();
+        std::fprintf(stderr,
+                     "wrote host profile to %s (coverage %.1f%%, "
+                     "%.0f events/s)\n",
+                     opt.profileOut.c_str(), 100.0 * snap.coverage(),
+                     snap.eventsPerSec);
+    }
 
     if (!opt.fingerprintOut.empty()) {
         std::ofstream out = openOut(opt.fingerprintOut);
@@ -361,7 +405,10 @@ main(int argc, char **argv)
     }
     if (!opt.metricsOut.empty()) {
         std::ofstream out = openOut(opt.metricsOut);
-        registry.writeJson(out);
+        out << "{\n  \"schema\": \"softwalker.metrics/1\",\n"
+            << "  \"manifest\": ";
+        manifest.writeJson(out, 2);
+        out << ",\n  \"stats\": " << registry.dumpJson() << "\n}\n";
         std::fprintf(stderr, "wrote %zu stats to %s\n", registry.size(),
                      opt.metricsOut.c_str());
     }

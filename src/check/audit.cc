@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/stat_registry.hh"
+#include "prof/hostprof.hh"
 #include "sim/event_queue.hh"
 
 namespace sw {
@@ -60,6 +61,7 @@ Auditor::runOne(const Registered &audit, Cycle now)
 void
 Auditor::checkNow(Cycle now, bool quiescent)
 {
+    SW_PROF_SCOPE(prof::Zone::StatsAudit);
     ++stats_.sweeps;
     for (const auto &audit : audits) {
         if (audit.scope == AuditScope::Quiescent && !quiescent)

@@ -2,6 +2,7 @@
 
 #include "check/audit.hh"
 #include "obs/trace.hh"
+#include "prof/hostprof.hh"
 #include "sim/logging.hh"
 
 namespace sw {
@@ -41,6 +42,7 @@ PwWarp::notifyWork()
 void
 PwWarp::startBatch()
 {
+    SW_PROF_SCOPE(prof::Zone::PwWarpExec);
     running = true;
     batchStart = eventq.now();
 
@@ -78,6 +80,7 @@ PwWarp::startBatch()
 void
 PwWarp::levelIteration()
 {
+    SW_PROF_SCOPE(prof::Zone::PwWarpExec);
     // Lanes proceed in SIMT lockstep: each iteration handles one radix
     // level for every lane that still has levels to read.
     std::vector<std::uint32_t> active;
@@ -140,6 +143,7 @@ PwWarp::registerStats(StatGroup group)
 void
 PwWarp::finishBatch()
 {
+    SW_PROF_SCOPE(prof::Zone::PwWarpExec);
     // FL2T for every lane (plus FFB for faulted lanes), then the fills
     // travel back to the L2 TLB over the interconnect.
     std::uint32_t fault_lanes = 0;

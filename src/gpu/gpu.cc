@@ -1,5 +1,6 @@
 #include "gpu/gpu.hh"
 
+#include "prof/hostprof.hh"
 #include "sim/logging.hh"
 #include "vm/ptw.hh"
 
@@ -187,6 +188,7 @@ Gpu::run(const RunLimits &limits)
 
     eventq.run(limits.maxCycles);
 
+    SW_PROF_SCOPE(prof::Zone::StatsAudit);
     for (auto &sm : sms)
         sm->finalizeStats();
 
@@ -287,6 +289,7 @@ Gpu::registerSamplerGauges(TimeSeriesSampler &sampler)
 void
 Gpu::resetAllStats()
 {
+    SW_PROF_SCOPE(prof::Zone::StatsAudit);
     measureStart = eventq.now();
     for (auto &sm : sms)
         sm->resetStats();

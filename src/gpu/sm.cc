@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/stat_registry.hh"
+#include "prof/hostprof.hh"
 #include "sim/logging.hh"
 
 namespace sw {
@@ -43,6 +44,7 @@ Sm::reservePwIssue(std::uint32_t slots)
 void
 Sm::fetchAndSchedule(WarpId warp)
 {
+    SW_PROF_SCOPE(prof::Zone::SmExec);
     WarpState &ws = warps[warp];
     SW_ASSERT(ws.live, "fetch on a dead warp");
     if (*quota == 0) {
@@ -76,6 +78,7 @@ Sm::tryIssue(WarpId warp)
 void
 Sm::execMemInstr(WarpId warp)
 {
+    SW_PROF_SCOPE(prof::Zone::SmExec);
     WarpState &ws = warps[warp];
     const WarpInstr &instr = ws.pending;
     ws.issuedAt = eventq.now();
@@ -149,6 +152,7 @@ Sm::execMemInstr(WarpId warp)
 void
 Sm::accessDone(WarpId warp)
 {
+    SW_PROF_SCOPE(prof::Zone::SmExec);
     WarpState &ws = warps[warp];
     SW_ASSERT(ws.outstanding > 0, "access completion underflow");
     if (--ws.outstanding == 0) {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/softwalker.hh"
+#include "prof/hostprof.hh"
 #include "sim/logging.hh"
 #include "trace/trace_recorder.hh"
 #include "workload/generators.hh"
@@ -155,36 +156,47 @@ RunResult
 run(RunSpec spec)
 {
     Gpu::RunLimits limits;
-    std::unique_ptr<Workload> workload = materialiseWorkload(spec, limits);
-
-    // Large-page runs scatter the synthetic hot windows (see
-    // SyntheticWorkload::setWindowSpread): real irregular working sets are
-    // scattered objects, which is what makes them exceed even 2 MB TLB
-    // coverage (§6.3, Fig 25).  Applied before any recording wrapper so
-    // the recorded stream is the spread one.
-    if (spec.cfg.pageBytes > 64ull * 1024) {
-        if (auto *synthetic = dynamic_cast<SyntheticWorkload *>(
-                workload.get())) {
-            synthetic->setWindowSpread(spec.cfg.pageBytes + 64ull * 1024);
-        }
-    }
-
-    TraceRecorder *recorder = nullptr;
-    if (!spec.recordPath.empty()) {
-        auto recording = std::make_unique<TraceRecorder>(
-            std::move(workload));
-        recorder = recording.get();
-        workload = std::move(recording);
-    }
-
     const Observability *obs = spec.obs;
-    std::string name = workload->name();
-    Gpu gpu(spec.cfg, std::move(workload));
-    installWalkBackend(gpu);
-    if (obs && obs->any())
-        gpu.installObservability(*obs);
-    gpu.run(limits);
-    RunResult result = collectResult(gpu, name);
+    TraceRecorder *recorder = nullptr;
+    std::string name;
+    std::unique_ptr<Gpu> gpu;
+    {
+        // Host-time attribution: everything before the event loop is
+        // "setup" (workload materialisation, page-table build, GPU
+        // construction, backend install).
+        SW_PROF_SCOPE(prof::Zone::Setup);
+        std::unique_ptr<Workload> workload =
+            materialiseWorkload(spec, limits);
+
+        // Large-page runs scatter the synthetic hot windows (see
+        // SyntheticWorkload::setWindowSpread): real irregular working
+        // sets are scattered objects, which is what makes them exceed
+        // even 2 MB TLB coverage (§6.3, Fig 25).  Applied before any
+        // recording wrapper so the recorded stream is the spread one.
+        if (spec.cfg.pageBytes > 64ull * 1024) {
+            if (auto *synthetic = dynamic_cast<SyntheticWorkload *>(
+                    workload.get())) {
+                synthetic->setWindowSpread(spec.cfg.pageBytes +
+                                           64ull * 1024);
+            }
+        }
+
+        if (!spec.recordPath.empty()) {
+            auto recording = std::make_unique<TraceRecorder>(
+                std::move(workload));
+            recorder = recording.get();
+            workload = std::move(recording);
+        }
+
+        name = workload->name();
+        gpu = std::make_unique<Gpu>(spec.cfg, std::move(workload));
+        installWalkBackend(*gpu);
+        if (obs && obs->any())
+            gpu->installObservability(*obs);
+    }
+    gpu->run(limits);
+    SW_PROF_SCOPE(prof::Zone::Report);
+    RunResult result = collectResult(*gpu, name);
     if (recorder) {
         TraceLimits recorded;
         recorded.warpInstrQuota = limits.warpInstrQuota;

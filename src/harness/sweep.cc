@@ -1,6 +1,7 @@
 #include "harness/sweep.hh"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -11,6 +12,36 @@
 #include "sim/logging.hh"
 
 namespace sw {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double
+millisSince(SteadyClock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(SteadyClock::now() -
+                                                     start)
+        .count();
+}
+
+/**
+ * Remaining-work estimate from overall throughput: jobs completed per
+ * wall-clock second so far, applied to the jobs left.  Counting from the
+ * sweep start (rather than averaging per-job times) makes the estimate
+ * worker-aware for free.
+ */
+std::string
+etaSuffix(double elapsed_ms, std::size_t done, std::size_t total)
+{
+    if (done == 0 || done >= total || elapsed_ms <= 0.0)
+        return "";
+    double eta_s =
+        elapsed_ms / 1e3 / double(done) * double(total - done);
+    return strprintf(", ETA %.1f s", eta_s);
+}
+
+} // namespace
 
 unsigned
 SweepRunner::defaultJobs()
@@ -78,8 +109,30 @@ std::vector<RunResult>
 SweepRunner::run()
 {
     unsigned workers = effectiveWorkers(tasks.size());
+    bool verbose = false;
+    for (const Task &task : tasks)
+        verbose = verbose || !task.progress.empty();
+    std::size_t count = tasks.size();
+    jobMillis.assign(count, 0.0);
+
+    SteadyClock::time_point begin = SteadyClock::now();
     std::vector<RunResult> results =
         workers <= 1 ? runSerial() : runParallel(workers);
+    double total_ms = millisSince(begin);
+
+    if (verbose && count > 0) {
+        double min_ms = jobMillis[0], max_ms = jobMillis[0], sum_ms = 0.0;
+        for (double ms : jobMillis) {
+            min_ms = std::min(min_ms, ms);
+            max_ms = std::max(max_ms, ms);
+            sum_ms += ms;
+        }
+        std::fprintf(stderr,
+                     "  sweep: %zu jobs in %.1f s (workers=%u, per-job "
+                     "min/mean/max %.0f/%.0f/%.0f ms)\n",
+                     count, total_ms / 1e3, workers, min_ms,
+                     sum_ms / double(count), max_ms);
+    }
     tasks.clear();
     return results;
 }
@@ -87,15 +140,27 @@ SweepRunner::run()
 std::vector<RunResult>
 SweepRunner::runSerial()
 {
-    // The SW_JOBS=1 contract: identical to the historical serial loop —
-    // same order, same progress lines at the same moments, exceptions
-    // surfacing straight from the failing job.
+    // The SW_JOBS=1 contract: the historical serial loop — same order,
+    // same pre-run progress lines, exceptions surfacing straight from the
+    // failing job — plus a per-job completion line with the wall clock
+    // and the sweep's ETA.
+    SteadyClock::time_point begin = SteadyClock::now();
     std::vector<RunResult> results;
     results.reserve(tasks.size());
-    for (Task &task : tasks) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        Task &task = tasks[i];
         if (!task.progress.empty())
             std::fprintf(stderr, "%s\n", task.progress.c_str());
+        SteadyClock::time_point job_begin = SteadyClock::now();
         results.push_back(task.fn());
+        jobMillis[i] = millisSince(job_begin);
+        if (!task.progress.empty()) {
+            double elapsed = millisSince(begin);
+            std::fprintf(stderr, "%s done (%zu/%zu, %.1f ms%s)\n",
+                         task.progress.c_str(), i + 1, tasks.size(),
+                         jobMillis[i],
+                         etaSuffix(elapsed, i + 1, tasks.size()).c_str());
+        }
     }
     return results;
 }
@@ -110,12 +175,14 @@ SweepRunner::runParallel(unsigned workers)
     std::exception_ptr firstError;
     std::mutex errorMutex;
     std::mutex progressMutex;
+    SteadyClock::time_point begin = SteadyClock::now();
 
     auto worker = [&]() {
         for (;;) {
             std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= tasks.size() || failed.load(std::memory_order_relaxed))
                 return;
+            SteadyClock::time_point job_begin = SteadyClock::now();
             try {
                 results[i] = tasks[i].fn();
             } catch (...) {
@@ -125,14 +192,21 @@ SweepRunner::runParallel(unsigned workers)
                 failed.store(true, std::memory_order_relaxed);
                 return;
             }
+            // Each slot is written by exactly one worker; the joins in
+            // run() publish the values to the caller.
+            jobMillis[i] = millisSince(job_begin);
             std::size_t done =
                 completed.fetch_add(1, std::memory_order_relaxed) + 1;
             if (!tasks[i].progress.empty()) {
                 // One fprintf per line keeps concurrent workers from
                 // tearing each other's output mid-line.
+                double elapsed = millisSince(begin);
                 std::lock_guard<std::mutex> lock(progressMutex);
-                std::fprintf(stderr, "%s done (%zu/%zu)\n",
-                             tasks[i].progress.c_str(), done, tasks.size());
+                std::fprintf(
+                    stderr, "%s done (%zu/%zu, %.1f ms%s)\n",
+                    tasks[i].progress.c_str(), done, tasks.size(),
+                    jobMillis[i],
+                    etaSuffix(elapsed, done, tasks.size()).c_str());
             }
         }
     };

@@ -15,11 +15,14 @@
  * effectiveWorkers()).  Whenever that clamp leaves a single worker —
  * SW_JOBS=1, a one-core host, or a one-job sweep — jobs run inline on
  * the calling thread, in submission order, with the classic per-job
- * progress line printed *before* each run — exactly the pre-SweepRunner
- * behaviour, with zero pool overhead.  With more than one worker, each
- * job instead emits one buffered "... done (k/n)" line on completion, so
- * interleaved stderr stays readable (one atomic fprintf per job, never a
- * torn line).
+ * progress line printed *before* each run, with zero pool overhead.
+ * Every completed job (serial or parallel) then emits one buffered
+ * "... done (k/n, <ms>, ETA <s>)" line, so long sweeps show per-job
+ * wall-clock and a remaining-time estimate as they go, and a one-line
+ * end-of-sweep summary (total time, worker count, min/mean/max job time)
+ * closes any sweep that printed progress.  Parallel output stays readable
+ * because each line is one atomic fprintf (never torn); per-job times are
+ * kept in submission order for lastJobMillis().
  *
  * Determinism: a simulation's outcome depends only on its (config,
  * benchmark, limits, scale) inputs — the worker it lands on, and whatever
@@ -105,6 +108,14 @@ class SweepRunner
      */
     std::vector<RunResult> run();
 
+    /**
+     * Wall-clock milliseconds of each job from the most recent run(), in
+     * submission order (0.0 for jobs abandoned after a failure).  The
+     * sweep benchmarks record these in BENCH_sweep.json so per-job cost
+     * is comparable across hosts alongside the RunManifest.
+     */
+    const std::vector<double> &lastJobMillis() const { return jobMillis; }
+
   private:
     struct Task
     {
@@ -117,6 +128,7 @@ class SweepRunner
 
     unsigned jobs_;
     std::vector<Task> tasks;
+    std::vector<double> jobMillis;
 };
 
 } // namespace sw

@@ -2,6 +2,7 @@
 
 #include "check/audit.hh"
 #include "obs/stat_registry.hh"
+#include "prof/hostprof.hh"
 #include "sim/logging.hh"
 
 namespace sw {
@@ -90,6 +91,7 @@ void
 Cache::lookup(PhysAddr addr, bool write, std::function<void()> on_done,
               bool retry)
 {
+    SW_PROF_SCOPE(prof::Zone::CacheDram);
     std::uint64_t la = lineAddr(addr);
     std::uint64_t set = setIndex(la);
     std::uint64_t tag = tagOf(la);
@@ -148,6 +150,7 @@ Cache::lookup(PhysAddr addr, bool write, std::function<void()> on_done,
 void
 Cache::handleFill(PhysAddr addr)
 {
+    SW_PROF_SCOPE(prof::Zone::CacheDram);
     install(addr);
 
     std::uint64_t sa = sectorAddr(addr);
@@ -202,6 +205,7 @@ Cache::install(PhysAddr addr)
 void
 Cache::retryWaiting()
 {
+    SW_PROF_SCOPE(prof::Zone::CacheDram);
     // Re-issue queued requests now that an MSHR has freed.  Each retry goes
     // through the full lookup path again (it may now hit thanks to the
     // fill).  A retry can park itself again (e.g. its target MSHR is still

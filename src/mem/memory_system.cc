@@ -2,6 +2,7 @@
 
 #include "check/audit.hh"
 #include "obs/stat_registry.hh"
+#include "prof/hostprof.hh"
 #include "sim/logging.hh"
 
 namespace sw {
@@ -51,6 +52,7 @@ MemorySystem::MemorySystem(EventQueue &eq, const GpuConfig &cfg)
 void
 MemorySystem::access(MemAccess acc)
 {
+    SW_PROF_SCOPE(prof::Zone::CacheDram);
     if (acc.pte) {
         // PTE path: L2-only caching.
         l2dCache->access(acc.addr, acc.write, std::move(acc.onDone));

@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "prof/hostprof.hh"
 #include "sim/logging.hh"
 
 namespace sw {
@@ -38,6 +39,7 @@ TimeSeriesSampler::uninstall()
 void
 TimeSeriesSampler::sampleNow(Cycle now)
 {
+    SW_PROF_SCOPE(prof::Zone::ObsSample);
     Row row;
     row.cycle = now;
     row.values.reserve(gauges.size());

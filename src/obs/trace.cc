@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "prof/hostprof.hh"
 #include "sim/logging.hh"
 
 namespace sw {
@@ -196,6 +197,13 @@ TranslationTracer::writeTraceJson(std::ostream &out) const
             static_cast<unsigned long long>(stamp.id),
             static_cast<unsigned long long>(stamp.vpn));
     }
+
+    // Host-side view (hostprof builds with the profiler enabled): zone
+    // spans on a dedicated host pid and event-queue gauge counters on the
+    // simulated timeline.  A no-op in default builds.
+    bool need_comma = !first;
+    prof::HostProfiler::instance().appendTraceEvents(out, need_comma);
+
     out << "]\n";
 }
 

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "check/audit.hh"
+#include "prof/hostprof.hh"
 #include "sim/inline_function.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
@@ -134,7 +135,12 @@ class EventQueue
         // slot straight back to it).
         EventFn fn = std::move(slab[top.slot]);
         freeSlots.push_back(top.slot);
-        fn();
+        {
+            // Host-time attribution only; compiled out by default and a
+            // single relaxed load when compiled in but disabled.
+            SW_PROF_SCOPE(::sw::prof::Zone::EventDispatch);
+            fn();
+        }
         return true;
     }
 
@@ -206,6 +212,7 @@ class EventQueue
     run(Cycle cycle_limit = kCycleMax,
         const std::function<bool()> &predicate = {})
     {
+        SW_PROF_SCOPE(::sw::prof::Zone::SimLoop);
         while (!heap.empty() && heap.front().when <= cycle_limit) {
             if (predicate && predicate())
                 break;
@@ -215,6 +222,13 @@ class EventQueue
                     sweep.last = curCycle;
                     sweep.fn(curCycle);
                 }
+            }
+            // Host gauges every 2^16 events: the cadence is driven by the
+            // (deterministic) event count, so the sampled sim cycles are
+            // identical across runs even though the values are host-side.
+            if ((numExecuted & ((1u << 16) - 1)) == 0) {
+                SW_PROF_GAUGES(curCycle, heap.size(),
+                               slab.size() - freeSlots.size(), slab.size());
             }
             if ((numExecuted & ((1u << 24) - 1)) == 0) {
                 inform("event queue: %llu events, cycle %llu, %zu pending",

@@ -5,6 +5,7 @@
 #include "check/audit.hh"
 #include "obs/sampler.hh"
 #include "obs/trace.hh"
+#include "prof/hostprof.hh"
 #include "sim/logging.hh"
 
 namespace sw {
@@ -76,6 +77,7 @@ HardwarePtwPool::submit(WalkRequest req)
 void
 HardwarePtwPool::dispatch()
 {
+    SW_PROF_SCOPE(prof::Zone::PtwWalk);
     while (!idleSlots.empty() && !(pwb.empty() && overflow.empty())) {
         std::uint32_t slot = idleSlots.back();
         idleSlots.pop_back();
@@ -146,6 +148,7 @@ HardwarePtwPool::dispatch()
 void
 HardwarePtwPool::walkStep(std::uint64_t slot)
 {
+    SW_PROF_SCOPE(prof::Zone::PtwWalk);
     ActiveWalk &walk = active[slot];
     SW_ASSERT(walk.live, "walk step on an idle walker");
     if (walk.cursor.done) {
@@ -178,6 +181,7 @@ HardwarePtwPool::walkStep(std::uint64_t slot)
 void
 HardwarePtwPool::finishWalk(ActiveWalk &walk)
 {
+    SW_PROF_SCOPE(prof::Zone::PtwWalk);
     Cycle now = eventq.now();
     Cycle access = now - walk.started;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/audit.hh"
+#include "prof/hostprof.hh"
 #include "sim/logging.hh"
 #include "sim/ordered.hh"
 
@@ -34,6 +35,7 @@ TranslationEngine::setBackend(std::unique_ptr<WalkBackend> backend)
 void
 TranslationEngine::translate(SmId sm, Vpn vpn, TransDoneFn done)
 {
+    SW_PROF_SCOPE(prof::Zone::TlbLookup);
     SW_ASSERT(sm < cfg.numSms, "translate from unknown SM %u", sm);
     ++stats_.requests;
     Cycle start = eventq.now();
@@ -113,6 +115,7 @@ TranslationEngine::sendToL2(SmId sm, Vpn vpn)
 void
 TranslationEngine::l2Access(SmId sm, Vpn vpn)
 {
+    SW_PROF_SCOPE(prof::Zone::TlbLookup);
     ++stats_.l2Accesses;
     SW_TRACE(tracer_, TracePhase::L2Lookup, eventq.now(), 0, vpn, sm);
     Pfn pfn = 0;
@@ -188,6 +191,7 @@ TranslationEngine::tryHandleL2Miss(SmId sm, Vpn vpn, Cycle arrival)
 void
 TranslationEngine::drainL2WaitQueue()
 {
+    SW_PROF_SCOPE(prof::Zone::TlbLookup);
     while (!l2WaitQueue.empty()) {
         L2WaitEntry entry = l2WaitQueue.front();
         // The blocking walk may have filled this entry's translation.
@@ -238,6 +242,7 @@ TranslationEngine::createWalk(Vpn vpn, Cycle created)
 void
 TranslationEngine::onWalkComplete(const WalkResult &result)
 {
+    SW_PROF_SCOPE(prof::Zone::TlbLookup);
     if (result.fault) {
         ++stats_.faults;
         SW_TRACE(tracer_, TracePhase::Fault, eventq.now(), result.id,

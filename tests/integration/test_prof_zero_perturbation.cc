@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The host self-profiler observes without perturbing: a run with the
+ * profiler enabled must produce a bit-identical RunResult fingerprint
+ * (%a-exact doubles over every field) to a run with it disabled, in both
+ * hardware-PTW and SoftWalker modes.  In the default build this holds
+ * trivially (the macros compile out); in the hostprof build it is the
+ * zero-perturbation proof the profiler's whole design rests on — zones
+ * only read the wall clock, never the simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "prof/hostprof.hh"
+#include "test_util.hh"
+#include "workload/generators.hh"
+
+using namespace sw;
+
+namespace {
+
+std::string
+fingerprintOnce(const GpuConfig &cfg)
+{
+    GraphWorkload::Params params;
+    params.pagesPerInstr = 0.5;
+    Gpu::RunLimits limits;
+    limits.warpInstrQuota = 500;
+    limits.warmupInstrs = 100;
+    RunResult result = runWorkload(
+        cfg,
+        std::make_unique<GraphWorkload>("pzp", 256ull << 20, true, 10,
+                                        params),
+        limits);
+    return fingerprint(result);
+}
+
+class ProfZeroPerturbation
+    : public ::testing::TestWithParam<TranslationMode>
+{
+  protected:
+    GpuConfig
+    config() const
+    {
+        return GetParam() == TranslationMode::SoftWalker
+            ? test::smallSoftWalkerConfig()
+            : test::smallConfig();
+    }
+};
+
+TEST_P(ProfZeroPerturbation, EnabledProfilerIsBitIdenticalToDisabled)
+{
+    prof::HostProfiler &profiler = prof::HostProfiler::instance();
+    profiler.setEnabled(false);
+    profiler.reset();
+    std::string off = fingerprintOnce(config());
+
+    profiler.reset();
+    profiler.setEnabled(true);
+    std::string on = fingerprintOnce(config());
+    prof::ProfileSnapshot snap = profiler.snapshot();
+    profiler.setEnabled(false);
+    profiler.reset();
+
+    EXPECT_EQ(off, on);
+
+    if (prof::kHostProfCompiled) {
+        // Not a vacuous comparison: the enabled run actually attributed
+        // host time to the hot zones.
+        EXPECT_GT(snap.zones[static_cast<std::size_t>(
+                                 prof::Zone::EventDispatch)]
+                      .hits,
+                  0u);
+        EXPECT_GT(snap.attributedNanos, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ProfZeroPerturbation,
+                         ::testing::Values(TranslationMode::HardwarePtw,
+                                           TranslationMode::SoftWalker));
+
+} // namespace

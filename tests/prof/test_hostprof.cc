@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Host self-profiler unit tests.  The zone arithmetic (self vs total
+ * time, nesting, reentrancy, overflow drops) is driven through the
+ * detail enter/exit API with *synthetic* timestamps, so these tests are
+ * exact and build-independent — they run identically whether or not
+ * SOFTWALKER_HOSTPROF compiled the SW_PROF macros in.  The end-to-end
+ * sweep test (merged hit counts deterministic across worker counts) is
+ * the only part gated on the hostprof build, because only there do the
+ * macros record anything.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hh"
+#include "prof/hostprof.hh"
+#include "prof/run_manifest.hh"
+#include "swbench.hh"
+#include "workload/benchmarks.hh"
+
+using namespace sw;
+using prof::HostProfiler;
+using prof::Zone;
+
+namespace {
+
+/** Fresh profiler state; zones and gauges from earlier tests vanish. */
+void
+resetProfiler()
+{
+    HostProfiler::instance().setEnabled(false);
+    HostProfiler::instance().reset();
+}
+
+std::uint64_t
+selfNs(const prof::ProfileSnapshot &snap, Zone zone)
+{
+    return snap.zones[static_cast<std::size_t>(zone)].selfNanos;
+}
+
+std::uint64_t
+totalNs(const prof::ProfileSnapshot &snap, Zone zone)
+{
+    return snap.zones[static_cast<std::size_t>(zone)].totalNanos;
+}
+
+std::uint64_t
+hits(const prof::ProfileSnapshot &snap, Zone zone)
+{
+    return snap.zones[static_cast<std::size_t>(zone)].hits;
+}
+
+TEST(HostProfZones, SelfTimeExcludesNestedZones)
+{
+    resetProfiler();
+    prof::detail::ThreadRecord &rec = prof::detail::threadRecord();
+
+    // SimLoop [100..300] containing EventDispatch [110..250] containing
+    // TlbLookup [120..180]: self times must partition the 200ns span.
+    ASSERT_TRUE(prof::detail::zoneEnter(rec, Zone::SimLoop, 100));
+    ASSERT_TRUE(prof::detail::zoneEnter(rec, Zone::EventDispatch, 110));
+    ASSERT_TRUE(prof::detail::zoneEnter(rec, Zone::TlbLookup, 120));
+    prof::detail::zoneExit(rec, 180);
+    prof::detail::zoneExit(rec, 250);
+    prof::detail::zoneExit(rec, 300);
+
+    prof::ProfileSnapshot snap = HostProfiler::instance().snapshot();
+    EXPECT_EQ(totalNs(snap, Zone::SimLoop), 200u);
+    EXPECT_EQ(selfNs(snap, Zone::SimLoop), 60u);   // 200 - 140 nested
+    EXPECT_EQ(totalNs(snap, Zone::EventDispatch), 140u);
+    EXPECT_EQ(selfNs(snap, Zone::EventDispatch), 80u);  // 140 - 60
+    EXPECT_EQ(totalNs(snap, Zone::TlbLookup), 60u);
+    EXPECT_EQ(selfNs(snap, Zone::TlbLookup), 60u);
+    EXPECT_EQ(snap.attributedNanos, 200u);  // selves partition the span
+    EXPECT_EQ(snap.zoneDrops, 0u);
+}
+
+TEST(HostProfZones, ReentrantSameZoneNesting)
+{
+    resetProfiler();
+    prof::detail::ThreadRecord &rec = prof::detail::threadRecord();
+
+    // EventDispatch [0..100] nesting another EventDispatch [20..60]
+    // (an event handler draining the queue synchronously).  Total
+    // double-counts the overlap by design; self must not.
+    ASSERT_TRUE(prof::detail::zoneEnter(rec, Zone::EventDispatch, 0));
+    ASSERT_TRUE(prof::detail::zoneEnter(rec, Zone::EventDispatch, 20));
+    prof::detail::zoneExit(rec, 60);
+    prof::detail::zoneExit(rec, 100);
+
+    prof::ProfileSnapshot snap = HostProfiler::instance().snapshot();
+    EXPECT_EQ(hits(snap, Zone::EventDispatch), 2u);
+    EXPECT_EQ(totalNs(snap, Zone::EventDispatch), 140u);  // 100 + 40
+    EXPECT_EQ(selfNs(snap, Zone::EventDispatch), 100u);   // 60 + 40
+    EXPECT_EQ(snap.attributedNanos, 100u);
+}
+
+TEST(HostProfZones, StackOverflowDropsNotCorrupts)
+{
+    resetProfiler();
+    prof::detail::ThreadRecord &rec = prof::detail::threadRecord();
+
+    std::uint64_t when = 0;
+    std::vector<bool> entered;
+    for (int i = 0; i < 70; ++i)
+        entered.push_back(
+            prof::detail::zoneEnter(rec, Zone::CacheDram, ++when));
+    // Exactly the frames past the fixed-depth stack are refused.
+    int accepted = 0;
+    for (bool ok : entered)
+        accepted += ok ? 1 : 0;
+    EXPECT_EQ(accepted, 64);
+    EXPECT_FALSE(entered.back());
+    for (int i = 0; i < accepted; ++i)
+        prof::detail::zoneExit(rec, 1000 + std::uint64_t(i));
+
+    prof::ProfileSnapshot snap = HostProfiler::instance().snapshot();
+    EXPECT_EQ(hits(snap, Zone::CacheDram), 64u);
+    EXPECT_EQ(snap.zoneDrops, 6u);
+}
+
+TEST(HostProfGauges, MaximaAndOrdering)
+{
+    resetProfiler();
+    HostProfiler::gaugeSample(1000, 10, 5, 8);
+    HostProfiler::gaugeSample(2000, 30, 7, 9);
+    HostProfiler::gaugeSample(3000, 20, 6, 9);
+
+    prof::ProfileSnapshot snap = HostProfiler::instance().snapshot();
+    EXPECT_EQ(snap.gaugeCount, 3u);
+    EXPECT_EQ(snap.maxQueueDepth, 30u);
+    EXPECT_EQ(snap.maxSlabLive, 7u);
+    EXPECT_EQ(snap.maxSlabCapacity, 9u);
+
+    prof::GaugeSample samples[8];
+    std::size_t n = 0;
+    HostProfiler::instance().gaugeSamples(samples, 8, n);
+    ASSERT_EQ(n, 3u);
+    EXPECT_EQ(samples[0].simCycle, 1000u);
+    EXPECT_EQ(samples[1].simCycle, 2000u);
+    EXPECT_EQ(samples[2].simCycle, 3000u);
+    EXPECT_LE(samples[0].wallNanos, samples[1].wallNanos);
+    EXPECT_LE(samples[1].wallNanos, samples[2].wallNanos);
+}
+
+TEST(HostProfJson, ProfileArtifactIsValidJson)
+{
+    resetProfiler();
+    prof::detail::ThreadRecord &rec = prof::detail::threadRecord();
+    ASSERT_TRUE(prof::detail::zoneEnter(rec, Zone::SimLoop, 100));
+    prof::detail::zoneExit(rec, 400);
+    HostProfiler::gaugeSample(500, 4, 2, 3);
+
+    RunManifest manifest = RunManifest::collect();
+    manifest.benchmark = "unit";
+    manifest.configDigest = 0xdeadbeefu;
+    std::ostringstream out;
+    HostProfiler::instance().writeJson(out, &manifest);
+
+    // The swbench flattener doubles as a strict-enough JSON validator,
+    // and keying the zone array by name is what the regression gate
+    // relies on.
+    sw::bench::MetricMap metrics;
+    std::string err;
+    ASSERT_TRUE(sw::bench::flattenJson(out.str(), metrics, err)) << err;
+    EXPECT_EQ(metrics.at("zones.sim_loop.self_ns"), 300.0);
+    EXPECT_EQ(metrics.at("zones.sim_loop.hits"), 1.0);
+    EXPECT_EQ(metrics.at("gauges.queue_depth_max"), 4.0);
+    EXPECT_EQ(metrics.at("attributed_ns"), 300.0);
+    EXPECT_EQ(metrics.count("manifest.hardware_concurrency"), 1u);
+    EXPECT_EQ(metrics.at("compiled"),
+              prof::kHostProfCompiled ? 1.0 : 0.0);
+}
+
+TEST(HostProfSweep, MergedHitCountsDeterministicAcrossWorkerCounts)
+{
+    if (!prof::kHostProfCompiled)
+        GTEST_SKIP() << "SW_PROF zones compiled out in this build";
+
+    // Zone *times* are host noise; zone *hit counts* derive from the
+    // (deterministic) event stream, so a merged snapshot must agree
+    // between a serial and an SW_JOBS=8 sweep of the same jobs.
+    auto sweepHits = [](unsigned jobs) {
+        resetProfiler();
+        HostProfiler::instance().setEnabled(true);
+        SweepRunner runner(jobs);
+        for (const BenchmarkInfo *info :
+             {&findBenchmark("bfs"), &findBenchmark("sssp")}) {
+            SweepJob job;
+            job.cfg = makeSoftWalkerConfig();
+            job.info = info;
+            job.limits = limitsFor(*info);
+            job.limits.warpInstrQuota = 400;
+            job.limits.warmupInstrs = 100;
+            runner.submit(std::move(job));
+        }
+        runner.run();
+        prof::ProfileSnapshot snap = HostProfiler::instance().snapshot();
+        HostProfiler::instance().setEnabled(false);
+        std::vector<std::uint64_t> out;
+        for (std::size_t z = 0; z < prof::kNumZones; ++z)
+            out.push_back(snap.zones[z].hits);
+        return out;
+    };
+
+    std::vector<std::uint64_t> serial = sweepHits(1);
+    std::vector<std::uint64_t> parallel = sweepHits(8);
+    EXPECT_EQ(serial, parallel);
+    EXPECT_GT(serial[static_cast<std::size_t>(Zone::EventDispatch)], 0u);
+    resetProfiler();
+}
+
+} // namespace

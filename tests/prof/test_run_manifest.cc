@@ -1,0 +1,82 @@
+/**
+ * @file
+ * RunManifest tests: collect() fills the build/host facts, the JSON form
+ * is valid and embeds cleanly, and the optional run facts (digest,
+ * benchmark, limits) appear exactly when set.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "prof/run_manifest.hh"
+#include "swbench.hh"
+
+using namespace sw;
+
+namespace {
+
+TEST(RunManifest, CollectFillsBuildAndHostFacts)
+{
+    RunManifest manifest = RunManifest::collect();
+    // CMake bakes these in for every sw_prof consumer; "unknown" would
+    // mean the SW_BUILD_* definitions fell off the target.
+    EXPECT_NE(manifest.compiler, "unknown");
+    EXPECT_NE(manifest.buildType, "unknown");
+    EXPECT_FALSE(manifest.hostname.empty());
+    EXPECT_GE(manifest.hardwareConcurrency, 1u);
+}
+
+TEST(RunManifest, JsonIsValidAndRunFactsAreConditional)
+{
+    RunManifest manifest = RunManifest::collect();
+    std::string bare = manifest.toJson();
+    EXPECT_EQ(bare.find("\"config_digest\""), std::string::npos);
+    EXPECT_EQ(bare.find("\"benchmark\""), std::string::npos);
+    EXPECT_EQ(bare.find("\"limits\""), std::string::npos);
+
+    manifest.configDigest = 0x1234;
+    manifest.benchmark = "bfs";
+    manifest.warpInstrQuota = 1500;
+    manifest.warmupInstrs = 300;
+    manifest.maxCycles = 4000000;
+    std::string full = manifest.toJson();
+
+    sw::bench::MetricMap metrics;
+    std::string err;
+    ASSERT_TRUE(sw::bench::flattenJson(full, metrics, err)) << err;
+    EXPECT_EQ(metrics.at("limits.quota"), 1500.0);
+    EXPECT_EQ(metrics.at("limits.warmup"), 300.0);
+    EXPECT_EQ(metrics.at("limits.max_cycles"), 4000000.0);
+    EXPECT_NE(full.find("\"config_digest\": \"0x0000000000001234\""),
+              std::string::npos);
+    EXPECT_NE(full.find("\"benchmark\": \"bfs\""), std::string::npos);
+    EXPECT_NE(full.find("\"schema\": \"softwalker.manifest/1\""),
+              std::string::npos);
+}
+
+TEST(RunManifest, EscapesHostileStrings)
+{
+    RunManifest manifest = RunManifest::collect();
+    manifest.benchmark = "quote\"back\\slash\nnewline";
+    sw::bench::MetricMap metrics;
+    std::string err;
+    ASSERT_TRUE(sw::bench::flattenJson(manifest.toJson(), metrics, err))
+        << err;
+}
+
+TEST(RunManifest, IndentedEmbeddingStaysOnItsColumn)
+{
+    RunManifest manifest = RunManifest::collect();
+    std::ostringstream out;
+    out << "{\n  \"manifest\": ";
+    manifest.writeJson(out, 2);
+    out << "\n}";
+    sw::bench::MetricMap metrics;
+    std::string err;
+    ASSERT_TRUE(sw::bench::flattenJson(out.str(), metrics, err)) << err;
+    EXPECT_EQ(metrics.count("manifest.hardware_concurrency"), 1u);
+}
+
+} // namespace

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * swbench comparison-engine tests: the JSON flattener (nesting,
+ * name-keyed arrays, booleans, malformed input), direction inference,
+ * the threshold logic in compare(), and the CLI driver's exit-code
+ * contract (0 clean / 1 regression / 2 usage-or-parse failure) that CI's
+ * bench-smoke job gates on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "swbench.hh"
+
+using namespace sw::bench;
+
+namespace {
+
+MetricMap
+flattenOrDie(const std::string &text)
+{
+    MetricMap out;
+    std::string err;
+    EXPECT_TRUE(flattenJson(text, out, err)) << err;
+    return out;
+}
+
+TEST(SwbenchFlatten, NestedObjectsBecomeDottedPaths)
+{
+    MetricMap m = flattenOrDie(
+        R"({"a": 1, "b": {"c": 2.5, "d": {"e": -3e2}}, "ok": true,)"
+        R"( "label": "skipped", "nothing": null})");
+    EXPECT_EQ(m.size(), 4u);
+    EXPECT_EQ(m.at("a"), 1.0);
+    EXPECT_EQ(m.at("b.c"), 2.5);
+    EXPECT_EQ(m.at("b.d.e"), -300.0);
+    EXPECT_EQ(m.at("ok"), 1.0);
+    EXPECT_EQ(m.count("label"), 0u);
+}
+
+TEST(SwbenchFlatten, NamedArrayElementsKeyByNameNotIndex)
+{
+    // google-benchmark style ("name"), sweep style ("name"), and
+    // hostprof style ("zone") all key by the string; reordering the
+    // array must produce the identical MetricMap.
+    const std::string a =
+        R"({"benchmarks": [{"name": "BM_A", "cpu_time": 10},)"
+        R"( {"name": "BM_B", "cpu_time": 20}],)"
+        R"( "zones": [{"zone": "sim_loop", "self_ns": 5}]})";
+    const std::string b =
+        R"({"benchmarks": [{"name": "BM_B", "cpu_time": 20},)"
+        R"( {"name": "BM_A", "cpu_time": 10}],)"
+        R"( "zones": [{"zone": "sim_loop", "self_ns": 5}]})";
+    MetricMap ma = flattenOrDie(a), mb = flattenOrDie(b);
+    EXPECT_EQ(ma, mb);
+    EXPECT_EQ(ma.at("benchmarks.BM_A.cpu_time"), 10.0);
+    EXPECT_EQ(ma.at("zones.sim_loop.self_ns"), 5.0);
+}
+
+TEST(SwbenchFlatten, AnonymousArraysKeyByIndex)
+{
+    MetricMap m = flattenOrDie(R"({"xs": [4, 5, 6]})");
+    EXPECT_EQ(m.at("xs.0"), 4.0);
+    EXPECT_EQ(m.at("xs.2"), 6.0);
+}
+
+TEST(SwbenchFlatten, MalformedInputFailsWithMessage)
+{
+    MetricMap m;
+    std::string err;
+    EXPECT_FALSE(flattenJson(R"({"a": )", m, err));
+    EXPECT_FALSE(err.empty());
+    err.clear();
+    EXPECT_FALSE(flattenJson(R"({"a": 1} trailing)", m, err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(SwbenchDirection, HeuristicsMatchMetricFamilies)
+{
+    EXPECT_EQ(directionFor("benchmarks.BM_A.cpu_time"),
+              Direction::HigherIsWorse);
+    EXPECT_EQ(directionFor("jobsN_ms"), Direction::HigherIsWorse);
+    EXPECT_EQ(directionFor("benchmarks.BM_A.items_per_second"),
+              Direction::LowerIsWorse);
+    EXPECT_EQ(directionFor("events_per_sec"), Direction::LowerIsWorse);
+    EXPECT_EQ(directionFor("sweep.speedup"), Direction::LowerIsWorse);
+    EXPECT_EQ(directionFor("coverage"), Direction::LowerIsWorse);
+    EXPECT_EQ(directionFor("results_identical"), Direction::ExactMatch);
+    EXPECT_EQ(directionFor("zone_drops"), Direction::ExactMatch);
+    EXPECT_EQ(directionFor("fingerprint_hash"), Direction::ExactMatch);
+}
+
+TEST(SwbenchCompare, IdenticalMapsAreClean)
+{
+    MetricMap m = {{"t_ms", 100.0}, {"events_per_sec", 5e5}};
+    CompareReport report = compare(m, m);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.regressions, 0u);
+    EXPECT_EQ(report.improvements, 0u);
+    EXPECT_TRUE(report.onlyOld.empty());
+    EXPECT_TRUE(report.onlyNew.empty());
+}
+
+TEST(SwbenchCompare, RegressionPastTolFlagsAndWithinTolDoesNot)
+{
+    MetricMap base = {{"t_ms", 100.0}};
+    CompareReport quiet = compare(base, {{"t_ms", 120.0}});  // +20% < 25%
+    EXPECT_TRUE(quiet.ok());
+    CompareReport loud = compare(base, {{"t_ms", 130.0}});   // +30% > 25%
+    EXPECT_FALSE(loud.ok());
+    ASSERT_EQ(loud.deltas.size(), 1u);
+    EXPECT_TRUE(loud.deltas[0].regression);
+    EXPECT_NEAR(loud.deltas[0].relWorse, 0.30, 1e-9);
+}
+
+TEST(SwbenchCompare, LowerIsWorseInvertsTheSign)
+{
+    MetricMap base = {{"events_per_sec", 1000.0}};
+    // Throughput halved: worse, even though the value went *down*.
+    CompareReport worse = compare(base, {{"events_per_sec", 500.0}});
+    EXPECT_FALSE(worse.ok());
+    // Throughput doubled: an improvement, not a regression.
+    CompareReport better = compare(base, {{"events_per_sec", 2000.0}});
+    EXPECT_TRUE(better.ok());
+    EXPECT_EQ(better.improvements, 1u);
+}
+
+TEST(SwbenchCompare, ExactMatchMetricsRejectAnyChange)
+{
+    MetricMap base = {{"results_identical", 1.0}};
+    EXPECT_TRUE(compare(base, {{"results_identical", 1.0}}).ok());
+    EXPECT_FALSE(compare(base, {{"results_identical", 0.0}}).ok());
+}
+
+TEST(SwbenchCompare, IgnorePrefixesAndMissingMetrics)
+{
+    MetricMap base = {{"manifest.hardware_concurrency", 64.0},
+                      {"t_ms", 100.0},
+                      {"gone_ms", 5.0}};
+    MetricMap cand = {{"manifest.hardware_concurrency", 1.0},
+                      {"t_ms", 100.0},
+                      {"new_ms", 7.0}};
+    CompareReport report = compare(base, cand);
+    // Host facts differ wildly but are ignored; added/removed metrics are
+    // reported as coverage gaps, not regressions.
+    EXPECT_TRUE(report.ok());
+    ASSERT_EQ(report.onlyOld.size(), 1u);
+    EXPECT_EQ(report.onlyOld[0], "gone_ms");
+    ASSERT_EQ(report.onlyNew.size(), 1u);
+    EXPECT_EQ(report.onlyNew[0], "new_ms");
+}
+
+TEST(SwbenchCompare, TolOverridesFirstMatchWins)
+{
+    CompareOptions opts;
+    opts.tolOverrides = {{"t_ms", 0.0}, {"ms", 10.0}};
+    MetricMap base = {{"t_ms", 100.0}, {"other_ms", 100.0}};
+    // t_ms matches the zero-tolerance override; other_ms falls through to
+    // the generous "ms" one.
+    CompareReport report =
+        compare(base, {{"t_ms", 100.1}, {"other_ms", 900.0}}, opts);
+    EXPECT_EQ(report.regressions, 1u);
+    ASSERT_FALSE(report.deltas.empty());
+    for (const Delta &d : report.deltas) {
+        if (d.regression) {
+            EXPECT_EQ(d.key, "t_ms");
+        }
+    }
+}
+
+TEST(SwbenchCompare, ZeroBaselineGrowthIsARegression)
+{
+    // A cost appearing from nothing has no finite relative change; it
+    // must read as infinitely worse, not divide-by-zero quiet.
+    MetricMap base = {{"rss_kb", 0.0}};
+    CompareReport report = compare(base, {{"rss_kb", 3.0}});
+    EXPECT_FALSE(report.ok());
+    ASSERT_EQ(report.deltas.size(), 1u);
+    EXPECT_TRUE(std::isinf(report.deltas[0].relWorse));
+}
+
+/** Write @p text to a fresh file under the gtest temp dir. */
+std::string
+writeTemp(const std::string &name, const std::string &text)
+{
+    std::string path = ::testing::TempDir() + name;
+    std::ofstream out(path);
+    out << text;
+    return path;
+}
+
+TEST(SwbenchCli, ExitCodeContract)
+{
+    std::string baseline = writeTemp(
+        "swbench_base.json", R"({"t_ms": 100.0, "events_per_sec": 1000})");
+    std::string same = writeTemp(
+        "swbench_same.json", R"({"t_ms": 100.0, "events_per_sec": 1000})");
+    std::string slower = writeTemp(
+        "swbench_slow.json", R"({"t_ms": 200.0, "events_per_sec": 1000})");
+    std::string broken = writeTemp("swbench_broken.json", R"({"t_ms": )");
+
+    std::ostringstream out, err;
+    EXPECT_EQ(compareMain({baseline, same}, out, err), 0);
+    EXPECT_EQ(compareMain({baseline, slower}, out, err), 1);
+    EXPECT_NE(out.str().find("REGRESSION"), std::string::npos);
+    EXPECT_EQ(compareMain({baseline, broken}, out, err), 2);
+    EXPECT_EQ(compareMain({baseline}, out, err), 2);  // missing operand
+    EXPECT_EQ(compareMain({baseline, same, "--default-tol", "bogus"},
+                          out, err),
+              2);
+}
+
+TEST(SwbenchCli, FlagsReachTheComparison)
+{
+    std::string baseline =
+        writeTemp("swbench_flag_base.json", R"({"t_ms": 100.0})");
+    std::string slower =
+        writeTemp("swbench_flag_slow.json", R"({"t_ms": 130.0})");
+
+    std::ostringstream out, err;
+    // +30% fails at the default 25%, passes once the tolerance is raised
+    // or the metric is ignored outright.
+    EXPECT_EQ(compareMain({baseline, slower}, out, err), 1);
+    EXPECT_EQ(
+        compareMain({baseline, slower, "--default-tol", "0.5"}, out, err),
+        0);
+    EXPECT_EQ(compareMain({baseline, slower, "--tol", "t_ms=0.5"}, out,
+                          err),
+              0);
+    EXPECT_EQ(compareMain({baseline, slower, "--ignore", "t_"}, out, err),
+              0);
+}
+
+} // namespace

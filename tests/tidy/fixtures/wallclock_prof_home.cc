@@ -1,0 +1,36 @@
+// SWTIDY-AS: src/prof/fixture_wallclock_prof_home.cc
+//
+// src/prof is the sanctioned home for steady_clock (the host
+// self-profiler exists to read it), so clock reads are clean here — but
+// only the clock half of the check is waived: the profiler must never
+// add entropy, so rand()/std::random_device still fire.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+
+namespace sw {
+
+inline std::uint64_t
+fixtureProfNowNanos()
+{
+    // Sanctioned: this is exactly what prof::detail::nowNanos() does.
+    auto t = std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(t.time_since_epoch().count());
+}
+
+inline int
+fixtureProfJitter()
+{
+    return rand() % 7; // FIRE: softwalker-wallclock-in-sim
+}
+
+inline std::uint32_t
+fixtureProfSeed()
+{
+    std::random_device entropy; // FIRE: softwalker-wallclock-in-sim
+    return entropy();
+}
+
+} // namespace sw

@@ -127,6 +127,28 @@ TEST(TidyFixtures, WallclockCleanInExemptDir)
     expectFixture("wallclock_clean.cc");
 }
 
+TEST(TidyFixtures, WallclockClockSanctionedInProfHome)
+{
+    // src/prof may read steady_clock (that is the profiler's whole job),
+    // but the entropy half of the check still applies there: exactly the
+    // rand/random_device markers fire, the clock read does not.
+    auto expected = parseExpected(fixtureDir() / "wallclock_prof_home.cc");
+    EXPECT_EQ(expected.size(), 2u)
+        << "fixture should mark rand and random_device only";
+    expectFixture("wallclock_prof_home.cc");
+}
+
+TEST(TidyFixtures, WallclockMacroBodyInSimStillFires)
+{
+    // The allowlist keys on where the clock read is *spelled*: a macro
+    // whose body lives in a sim file keeps firing, so SW_PROF_SCOPE's
+    // immunity (spelled in src/prof/hostprof.hh) cannot be forged by
+    // wrapping a clock read in a local macro.
+    auto expected = parseExpected(fixtureDir() / "wallclock_macro_body.cc");
+    EXPECT_EQ(expected.size(), 1u);
+    expectFixture("wallclock_macro_body.cc");
+}
+
 TEST(TidyFixtures, InlineCaptureSpillFires)
 {
     auto expected = parseExpected(fixtureDir() / "capture_fire.cc");

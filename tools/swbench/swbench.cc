@@ -1,0 +1,506 @@
+#include "swbench.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <initializer_list>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace sw::bench {
+
+namespace {
+
+/**
+ * Minimal recursive-descent JSON reader that only *keeps* numeric leaves.
+ * Strings still have to be scanned correctly (keys, and escapes inside
+ * skipped values), but nothing non-numeric is stored.
+ */
+class Flattener
+{
+  public:
+    Flattener(const std::string &text, MetricMap &out)
+        : text(text), out(out)
+    {
+    }
+
+    bool
+    run(std::string &err)
+    {
+        skipWs();
+        if (!parseValue(""))
+            { err = error; return false; }
+        skipWs();
+        if (pos != text.size()) {
+            err = fail("trailing garbage");
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    std::string
+    fail(const std::string &what)
+    {
+        std::ostringstream msg;
+        msg << what << " at offset " << pos;
+        error = msg.str();
+        return error;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseString(std::string &value)
+    {
+        if (!consume('"')) {
+            fail("expected string");
+            return false;
+        }
+        value.clear();
+        while (pos < text.size()) {
+            char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos >= text.size())
+                    break;
+                char esc = text[pos++];
+                switch (esc) {
+                  case 'n': value += '\n'; break;
+                  case 't': value += '\t'; break;
+                  case 'r': value += '\r'; break;
+                  case 'b': value += '\b'; break;
+                  case 'f': value += '\f'; break;
+                  case 'u':
+                    // Good enough for metric paths: keep the escape
+                    // verbatim rather than decoding UTF-16 pairs.
+                    value += "\\u";
+                    for (int i = 0; i < 4 && pos < text.size(); ++i)
+                        value += text[pos++];
+                    break;
+                  default: value += esc; break;
+                }
+            } else {
+                value += c;
+            }
+        }
+        fail("unterminated string");
+        return false;
+    }
+
+    static std::string
+    joinPath(const std::string &prefix, const std::string &key)
+    {
+        return prefix.empty() ? key : prefix + "." + key;
+    }
+
+    bool
+    parseObject(const std::string &prefix)
+    {
+        ++pos; // '{'
+        skipWs();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            std::string key;
+            if (!parseString(key))
+                return false;
+            if (!consume(':')) {
+                fail("expected ':'");
+                return false;
+            }
+            if (!parseValue(joinPath(prefix, key)))
+                return false;
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return true;
+            fail("expected ',' or '}'");
+            return false;
+        }
+    }
+
+    /**
+     * Peek an array element that is an object for a leading "name" /
+     * "run_name" / "zone" string member, without consuming input.
+     * Keying benchmark and profiler-zone entries by name makes
+     * reordering invisible to the diff.
+     */
+    bool
+    peekElementName(std::string &name)
+    {
+        std::size_t saved = pos;
+        bool found = false;
+        skipWs();
+        if (pos < text.size() && text[pos] == '{') {
+            ++pos;
+            std::string key;
+            if (parseString(key) && consume(':') &&
+                (key == "name" || key == "run_name" || key == "zone")) {
+                skipWs();
+                if (pos < text.size() && text[pos] == '"' &&
+                    parseString(name) && !name.empty())
+                    found = true;
+            }
+        }
+        pos = saved;
+        error.clear();
+        return found;
+    }
+
+    bool
+    parseArray(const std::string &prefix)
+    {
+        ++pos; // '['
+        skipWs();
+        if (consume(']'))
+            return true;
+        std::size_t index = 0;
+        for (;;) {
+            std::string key;
+            if (!peekElementName(key))
+                key = std::to_string(index);
+            if (!parseValue(joinPath(prefix, key)))
+                return false;
+            ++index;
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            fail("expected ',' or ']'");
+            return false;
+        }
+    }
+
+    bool
+    parseValue(const std::string &path)
+    {
+        skipWs();
+        if (pos >= text.size()) {
+            fail("unexpected end of input");
+            return false;
+        }
+        char c = text[pos];
+        if (c == '{')
+            return parseObject(path);
+        if (c == '[')
+            return parseArray(path);
+        if (c == '"') {
+            std::string ignored;
+            return parseString(ignored);
+        }
+        if (text.compare(pos, 4, "true") == 0) {
+            pos += 4;
+            if (!path.empty())
+                out[path] = 1.0;
+            return true;
+        }
+        if (text.compare(pos, 5, "false") == 0) {
+            pos += 5;
+            if (!path.empty())
+                out[path] = 0.0;
+            return true;
+        }
+        if (text.compare(pos, 4, "null") == 0) {
+            pos += 4;
+            return true;
+        }
+        char *end = nullptr;
+        double value = std::strtod(text.c_str() + pos, &end);
+        if (end == text.c_str() + pos) {
+            fail("expected a JSON value");
+            return false;
+        }
+        pos = static_cast<std::size_t>(end - text.c_str());
+        if (!path.empty())
+            out[path] = value;
+        return true;
+    }
+
+    const std::string &text;
+    MetricMap &out;
+    std::size_t pos = 0;
+    std::string error;
+};
+
+bool
+hasPrefix(const std::string &key, const std::string &prefix)
+{
+    return key.size() >= prefix.size() &&
+           key.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+containsAny(const std::string &key,
+            std::initializer_list<const char *> needles)
+{
+    for (const char *needle : needles) {
+        if (key.find(needle) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+flattenJson(const std::string &text, MetricMap &out, std::string &err)
+{
+    out.clear();
+    return Flattener(text, out).run(err);
+}
+
+bool
+flattenJsonFile(const std::string &path, MetricMap &out, std::string &err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        err = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (!flattenJson(text.str(), out, err)) {
+        err = path + ": " + err;
+        return false;
+    }
+    return true;
+}
+
+Direction
+directionFor(const std::string &key)
+{
+    // Determinism contracts: the value is the result, not a measurement.
+    if (containsAny(key, {"results_identical", "fingerprint", "zone_drops",
+                          "errors", "failures"}))
+        return Direction::ExactMatch;
+    // Rates and ratios where bigger means faster or better-covered.
+    if (containsAny(key, {"per_second", "per_sec", "speedup", "coverage",
+                          "hit_rate", "iterations", "events_per_sec"}))
+        return Direction::LowerIsWorse;
+    // Everything else (times, cycles, misses, RSS, queue depths) is a
+    // cost.
+    return Direction::HigherIsWorse;
+}
+
+CompareReport
+compare(const MetricMap &oldM, const MetricMap &newM,
+        const CompareOptions &opts)
+{
+    CompareReport report;
+
+    auto ignored = [&](const std::string &key) {
+        for (const std::string &prefix : opts.ignorePrefixes) {
+            if (hasPrefix(key, prefix))
+                return true;
+        }
+        return false;
+    };
+    auto tolFor = [&](const std::string &key) {
+        for (const auto &[needle, tol] : opts.tolOverrides) {
+            if (key.find(needle) != std::string::npos)
+                return tol;
+        }
+        return opts.defaultTol;
+    };
+
+    for (const auto &[key, oldValue] : oldM) {
+        if (ignored(key))
+            continue;
+        auto it = newM.find(key);
+        if (it == newM.end()) {
+            report.onlyOld.push_back(key);
+            continue;
+        }
+        Delta delta;
+        delta.key = key;
+        delta.oldValue = oldValue;
+        delta.newValue = it->second;
+        delta.direction = directionFor(key);
+        delta.tol = tolFor(key);
+
+        if (delta.direction == Direction::ExactMatch) {
+            delta.regression = delta.newValue != delta.oldValue;
+            delta.relWorse = delta.regression ? 1.0 : 0.0;
+        } else {
+            double diff = delta.newValue - delta.oldValue;
+            if (delta.direction == Direction::LowerIsWorse)
+                diff = -diff;
+            // Worse-direction relative change against the baseline
+            // magnitude; a zero baseline makes any worsening infinite
+            // (a metric appearing from nothing is always signal).
+            double base = std::fabs(delta.oldValue);
+            if (diff == 0.0)
+                delta.relWorse = 0.0;
+            else if (base == 0.0)
+                delta.relWorse = diff > 0.0
+                                     ? std::numeric_limits<double>::infinity()
+                                     : -std::numeric_limits<double>::infinity();
+            else
+                delta.relWorse = diff / base;
+            delta.regression = delta.relWorse > delta.tol;
+            delta.improvement = delta.relWorse < -delta.tol;
+        }
+        report.regressions += delta.regression ? 1 : 0;
+        report.improvements += delta.improvement ? 1 : 0;
+        report.deltas.push_back(std::move(delta));
+    }
+    for (const auto &[key, value] : newM) {
+        (void)value;
+        if (!ignored(key) && !oldM.count(key))
+            report.onlyNew.push_back(key);
+    }
+    return report;
+}
+
+void
+printReport(std::ostream &out, const CompareReport &report, bool verbose)
+{
+    auto line = [&](const Delta &d, const char *tag) {
+        out << "  " << tag << " " << d.key << ": " << d.oldValue << " -> "
+            << d.newValue;
+        if (d.direction != Direction::ExactMatch) {
+            out << " (" << (d.relWorse >= 0 ? "+" : "")
+                << d.relWorse * 100.0 << "% worse-direction, tol "
+                << d.tol * 100.0 << "%)";
+        }
+        out << "\n";
+    };
+
+    for (const Delta &d : report.deltas) {
+        if (d.regression)
+            line(d, "REGRESSION");
+    }
+    for (const Delta &d : report.deltas) {
+        if (d.improvement)
+            line(d, "improved  ");
+    }
+    if (verbose) {
+        for (const Delta &d : report.deltas) {
+            if (!d.regression && !d.improvement)
+                line(d, "ok        ");
+        }
+    }
+    if (!report.onlyOld.empty()) {
+        out << "  metrics only in baseline:";
+        for (const std::string &key : report.onlyOld)
+            out << " " << key;
+        out << "\n";
+    }
+    if (!report.onlyNew.empty()) {
+        out << "  metrics only in candidate:";
+        for (const std::string &key : report.onlyNew)
+            out << " " << key;
+        out << "\n";
+    }
+    out << "swbench: " << report.deltas.size() << " metrics compared, "
+        << report.regressions << " regressions, " << report.improvements
+        << " improvements\n";
+}
+
+int
+compareMain(const std::vector<std::string> &args, std::ostream &out,
+            std::ostream &err)
+{
+    CompareOptions opts;
+    std::vector<std::string> files;
+    bool verbose = false;
+
+    auto parseTol = [&](const std::string &value, double &tol,
+                        std::string *needle) {
+        std::string spec = value;
+        if (needle) {
+            std::size_t eq = spec.find('=');
+            if (eq == std::string::npos)
+                return false;
+            *needle = spec.substr(0, eq);
+            spec = spec.substr(eq + 1);
+        }
+        char *end = nullptr;
+        tol = std::strtod(spec.c_str(), &end);
+        return end != spec.c_str() && *end == '\0' && tol >= 0.0;
+    };
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto needsValue = [&](const char *flag) -> const std::string * {
+            if (arg != flag)
+                return nullptr;
+            if (i + 1 >= args.size()) {
+                err << "swbench-compare: " << flag << " needs a value\n";
+                return nullptr;
+            }
+            return &args[++i];
+        };
+        if (arg == "--verbose" || arg == "-v") {
+            verbose = true;
+        } else if (arg == "--default-tol") {
+            const std::string *value = needsValue("--default-tol");
+            if (!value || !parseTol(*value, opts.defaultTol, nullptr)) {
+                err << "swbench-compare: bad --default-tol\n";
+                return 2;
+            }
+        } else if (arg == "--tol") {
+            const std::string *value = needsValue("--tol");
+            std::string needle;
+            double tol = 0.0;
+            if (!value || !parseTol(*value, tol, &needle)) {
+                err << "swbench-compare: --tol wants SUBSTRING=REL\n";
+                return 2;
+            }
+            opts.tolOverrides.emplace_back(std::move(needle), tol);
+        } else if (arg == "--ignore") {
+            const std::string *value = needsValue("--ignore");
+            if (!value) {
+                err << "swbench-compare: --ignore wants a prefix\n";
+                return 2;
+            }
+            opts.ignorePrefixes.push_back(*value);
+        } else if (!arg.empty() && arg[0] == '-') {
+            err << "swbench-compare: unknown option " << arg << "\n";
+            return 2;
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.size() != 2) {
+        err << "usage: swbench-compare OLD.json NEW.json "
+               "[--default-tol R] [--tol SUBSTRING=R]... "
+               "[--ignore PREFIX]... [--verbose]\n";
+        return 2;
+    }
+
+    MetricMap oldM, newM;
+    std::string parseErr;
+    if (!flattenJsonFile(files[0], oldM, parseErr) ||
+        !flattenJsonFile(files[1], newM, parseErr)) {
+        err << "swbench-compare: " << parseErr << "\n";
+        return 2;
+    }
+
+    CompareReport report = compare(oldM, newM, opts);
+    printReport(out, report, verbose);
+    return report.ok() ? 0 : 1;
+}
+
+} // namespace sw::bench

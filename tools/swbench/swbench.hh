@@ -1,0 +1,124 @@
+/**
+ * @file
+ * swbench: the benchmark regression gate's comparison engine.
+ *
+ * Every benchmark artifact in this repo — BENCH_sweep.json from
+ * bench/sweep_smoke, google-benchmark --benchmark_out JSON from the micro
+ * benches, and hostprof profile JSON from --profile-out — is a tree of
+ * numeric leaves.  swbench flattens such a tree into dotted-path metrics
+ * ("jobsN_ms", "benchmarks.BM_EventQueue_SchedulePop.cpu_time",
+ * "zones.event_dispatch.self_ns"), then compares two flattened files
+ * metric by metric against per-metric noise thresholds.  The CLI wrapper
+ * (swbench-compare) exits nonzero on any regression, which is what lets
+ * CI gate on "did this PR make the simulator slower".
+ *
+ * The parser is deliberately dependency-free (no third-party JSON
+ * library): it understands exactly the JSON subset our writers emit plus
+ * everything google-benchmark produces, and it is ~150 lines we fully
+ * control.  Arrays of objects carrying a "name" (or "run_name") string
+ * are keyed by that name instead of their index, so reordering benchmark
+ * entries never shows up as a regression.
+ */
+
+#ifndef SW_TOOLS_SWBENCH_HH
+#define SW_TOOLS_SWBENCH_HH
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sw::bench {
+
+/** Flattened numeric view of a JSON document: dotted path -> value. */
+using MetricMap = std::map<std::string, double>;
+
+/**
+ * Flatten the numeric leaves of @p text into @p out.  Booleans become
+ * 0/1; strings and nulls are skipped (they carry provenance, not
+ * performance).  On malformed input returns false and sets @p err to a
+ * message with an input offset.
+ */
+bool flattenJson(const std::string &text, MetricMap &out, std::string &err);
+
+/** flattenJson() over a file.  @p err gets open failures too. */
+bool flattenJsonFile(const std::string &path, MetricMap &out,
+                     std::string &err);
+
+/**
+ * How a metric's delta is judged.  Most metrics are costs (time, cycles,
+ * misses): bigger is worse.  Rates (items_per_second, speedup, coverage)
+ * invert.  A few are contracts (results_identical): any change at all is
+ * a failure, whatever the tolerance.
+ */
+enum class Direction { HigherIsWorse, LowerIsWorse, ExactMatch };
+
+/** Infer a metric's direction from its dotted path. */
+Direction directionFor(const std::string &key);
+
+struct CompareOptions
+{
+    /**
+     * Default relative noise threshold.  Shared-runner CI timing noise
+     * is routinely 20% on sub-second benches; 0.25 keeps the gate quiet
+     * on noise while still catching the 2x regressions that matter.
+     * Tighten per metric with tolOverrides for stable counters.
+     */
+    double defaultTol = 0.25;
+    /**
+     * (substring, tolerance) overrides, first match wins.  A tolerance
+     * of 0 demands exact equality for matching metrics.
+     */
+    std::vector<std::pair<std::string, double>> tolOverrides;
+    /**
+     * Metric-path prefixes excluded from comparison.  Manifest and
+     * context blocks describe *where* a run happened (core counts,
+     * timestamps); diffing them across hosts is pure noise.
+     */
+    std::vector<std::string> ignorePrefixes = {"manifest.", "context."};
+};
+
+struct Delta
+{
+    std::string key;
+    double oldValue = 0.0;
+    double newValue = 0.0;
+    /** Signed relative change, worse-direction positive. */
+    double relWorse = 0.0;
+    double tol = 0.0;
+    Direction direction = Direction::HigherIsWorse;
+    bool regression = false;
+    /** Improved past the same threshold (informational). */
+    bool improvement = false;
+};
+
+struct CompareReport
+{
+    std::vector<Delta> deltas;
+    /** Metrics present in only one of the two files. */
+    std::vector<std::string> onlyOld, onlyNew;
+    std::size_t regressions = 0;
+    std::size_t improvements = 0;
+    bool ok() const { return regressions == 0; }
+};
+
+/** Compare @p oldM (baseline) against @p newM (candidate). */
+CompareReport compare(const MetricMap &oldM, const MetricMap &newM,
+                      const CompareOptions &opts = {});
+
+/** Human-readable report: regressions first, then improvements/coverage. */
+void printReport(std::ostream &out, const CompareReport &report,
+                 bool verbose = false);
+
+/**
+ * Full CLI driver shared by swbench-compare's main() and the unit tests:
+ * parses argv (old.json new.json [--default-tol R] [--tol SUBSTR=R]...
+ * [--ignore PREFIX]... [--verbose]), runs the comparison, prints the
+ * report.  @return 0 clean, 1 regression, 2 usage/parse failure.
+ */
+int compareMain(const std::vector<std::string> &args, std::ostream &out,
+                std::ostream &err);
+
+} // namespace sw::bench
+
+#endif // SW_TOOLS_SWBENCH_HH

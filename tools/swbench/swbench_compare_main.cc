@@ -1,0 +1,18 @@
+/**
+ * swbench-compare: exit 0 when NEW.json is within tolerance of OLD.json,
+ * 1 on any regression, 2 on usage or parse errors.  See swbench.hh and
+ * docs/PROFILING.md for the comparison rules.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "swbench.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return sw::bench::compareMain(args, std::cout, std::cerr);
+}

@@ -16,10 +16,13 @@ WallclockInSimCheck::WallclockInSimCheck(StringRef Name,
                                          ClangTidyContext *Context)
     : ClangTidyCheck(Name, Context),
       SimDirs(Options.get(
-          "SimDirs", "src/sim;src/gpu;src/vm;src/mem;src/core;src/check")) {}
+          "SimDirs",
+          "src/sim;src/gpu;src/vm;src/mem;src/core;src/check;src/prof")),
+      AllowClockDirs(Options.get("AllowClockDirs", "src/prof")) {}
 
 void WallclockInSimCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
   Options.store(Opts, "SimDirs", SimDirs);
+  Options.store(Opts, "AllowClockDirs", AllowClockDirs);
 }
 
 void WallclockInSimCheck::registerMatchers(MatchFinder *Finder) {
@@ -39,19 +42,29 @@ void WallclockInSimCheck::registerMatchers(MatchFinder *Finder) {
       this);
 }
 
-bool WallclockInSimCheck::inSimDir(SourceLocation Loc,
-                                   const SourceManager &SM) const {
+static bool fileUnderAnyDir(SourceLocation Loc, const SourceManager &SM,
+                            StringRef DirList) {
   const StringRef File = SM.getFilename(SM.getSpellingLoc(Loc));
   if (File.empty())
     return false;
   llvm::SmallVector<StringRef, 8> Dirs;
-  StringRef(SimDirs).split(Dirs, ';', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
+  DirList.split(Dirs, ';', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
   for (StringRef Dir : Dirs) {
     const std::string Prefixed = Dir.str() + "/";
     if (File.contains(Prefixed))
       return true;
   }
   return false;
+}
+
+bool WallclockInSimCheck::inSimDir(SourceLocation Loc,
+                                   const SourceManager &SM) const {
+  return fileUnderAnyDir(Loc, SM, SimDirs);
+}
+
+bool WallclockInSimCheck::inAllowClockDir(SourceLocation Loc,
+                                          const SourceManager &SM) const {
+  return fileUnderAnyDir(Loc, SM, AllowClockDirs);
 }
 
 void WallclockInSimCheck::check(const MatchFinder::MatchResult &Result) {
@@ -78,11 +91,13 @@ void WallclockInSimCheck::check(const MatchFinder::MatchResult &Result) {
         Name.rfind("std::chrono::", 0) == 0 ||
         (Name.size() >= 6 &&
          Name.compare(Name.size() - 6, 6, "_clock") == 0);
-    if (IsClock && inSimDir(Call->getBeginLoc(), SM)) {
+    if (IsClock && inSimDir(Call->getBeginLoc(), SM) &&
+        !inAllowClockDir(Call->getBeginLoc(), SM)) {
       diag(Call->getBeginLoc(),
            "wall-clock time in simulation code; simulated time comes from "
            "EventQueue::now() and harness timing belongs in src/harness or "
-           "bench/");
+           "bench/ (the host profiler in src/prof is the sanctioned "
+           "exception)");
     }
     return;
   }

@@ -4,12 +4,18 @@
 //
 // Bans wall-clock and ambient-entropy sources — std::chrono::*_clock::now(),
 // rand()/srand(), std::random_device — inside the simulation core
-// (src/sim, src/gpu, src/vm, src/mem, src/core, src/check by default).
-// Simulated time comes from EventQueue::now() and randomness from the
-// run's seeded sw::Rng; anything else makes two runs of the same RunSpec
-// diverge, which the record/replay and sweep determinism suites treat as
-// corruption.  Harness and bench code (outside the listed directories)
-// may measure wall-clock time freely.
+// (src/sim, src/gpu, src/vm, src/mem, src/core, src/check, src/prof by
+// default).  Simulated time comes from EventQueue::now() and randomness
+// from the run's seeded sw::Rng; anything else makes two runs of the same
+// RunSpec diverge, which the record/replay and sweep determinism suites
+// treat as corruption.  Harness and bench code (outside the listed
+// directories) may measure wall-clock time freely.
+//
+// AllowClockDirs (default src/prof) waives only the clock half: the host
+// self-profiler exists to read steady_clock, but entropy stays banned
+// there too.  SW_PROF macro expansions in sim files are immune by
+// construction — diagnostics anchor on the *spelling* location, which for
+// a macro body is src/prof/hostprof.hh.
 //
 //===----------------------------------------------------------------------===//
 
@@ -33,10 +39,14 @@ public:
 
 private:
   bool inSimDir(SourceLocation Loc, const SourceManager &SM) const;
+  bool inAllowClockDir(SourceLocation Loc, const SourceManager &SM) const;
 
   /// Semicolon-separated path substrings the ban applies to.
   /// (std::string, not StringRef: Options.get returns a temporary.)
   const std::string SimDirs;
+  /// Semicolon-separated path substrings where clock reads (only) are
+  /// sanctioned; rand()/random_device remain banned there.
+  const std::string AllowClockDirs;
 };
 
 } // namespace softwalker

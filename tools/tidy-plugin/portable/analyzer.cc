@@ -253,6 +253,14 @@ struct SourceFile
     std::string stem;        ///< effective minus extension
     std::string raw;
     std::string code;        ///< stripped
+    /**
+     * Preprocessor-directive text (macro bodies included), blank
+     * everywhere else.  Offset-aligned with `code` so positions found in
+     * it report on the right line.  The wallclock check scans it: a clock
+     * read hiding in a #define spelled in a sim file is still a clock
+     * read in a sim file.
+     */
+    std::string ppText;
     std::vector<std::size_t> lineStarts;           ///< offsets into code
     std::vector<std::set<std::string>> nolint;     ///< per 1-based line
     std::vector<std::string> allowIteration;       ///< file directives
@@ -353,6 +361,7 @@ struct Analyzer::Impl
     static void
     blankPreprocessorLines(SourceFile &f)
     {
+        f.ppText.assign(f.code.size(), ' ');
         std::size_t lineStart = 0;
         bool continuation = false;
         for (std::size_t i = 0; i <= f.code.size(); ++i) {
@@ -371,8 +380,10 @@ struct Analyzer::Impl
                                f.raw[back - 1])))
                         --back;
                     continuation = back > lineStart && f.raw[back - 1] == '\\';
-                    for (std::size_t k = lineStart; k < i; ++k)
+                    for (std::size_t k = lineStart; k < i; ++k) {
+                        f.ppText[k] = f.code[k];
                         f.code[k] = ' ';
+                    }
                 } else {
                     continuation = false;
                 }
@@ -988,65 +999,88 @@ struct Analyzer::Impl
         return last;
     }
 
+    static bool
+    underAnyDir(const std::string &effective,
+                const std::vector<std::string> &dirs)
+    {
+        for (const std::string &dir : dirs) {
+            if (startsWith(effective, dir + "/") ||
+                effective.find("/" + dir + "/") != std::string::npos) {
+                return true;
+            }
+        }
+        return false;
+    }
+
     void
     checkWallclock(const SourceFile &f)
     {
-        bool inSimDir = false;
-        for (const std::string &dir : opts.simDirs) {
-            if (startsWith(f.effective, dir + "/") ||
-                f.effective.find("/" + dir + "/") != std::string::npos) {
-                inSimDir = true;
-                break;
-            }
-        }
-        if (!inSimDir)
+        if (!underAnyDir(f.effective, opts.simDirs))
             return;
-        const std::string &code = f.code;
-        // *_clock::now()
-        std::size_t pos = 0;
-        while ((pos = code.find("_clock", pos)) != std::string::npos) {
-            std::size_t here = pos;
-            pos += 6;
-            std::size_t end = here + 6;
-            if (end < code.size() && identChar(code[end]))
-                continue; // part of a longer identifier
-            std::size_t p = skipSpaces(code, end);
-            if (p + 1 < code.size() && code[p] == ':' && code[p + 1] == ':') {
-                p = skipSpaces(code, p + 2);
-                if (wordAt(code, p, "now")) {
-                    report(f, here, kWallclockInSim,
-                           "wall-clock time in simulation code; simulated "
-                           "time comes from EventQueue::now() and harness "
-                           "timing belongs in src/harness or bench/");
-                }
-            }
-        }
-        for (const char *fn : {"rand", "srand"}) {
-            pos = 0;
-            while ((pos = code.find(fn, pos)) != std::string::npos) {
+        // The clock half of the check is waived in sanctioned homes
+        // (src/prof); the entropy half below never is.
+        bool clockAllowed = underAnyDir(f.effective, opts.wallclockAllow);
+
+        auto scan = [&](const std::string &code) {
+            // *_clock::now()
+            std::size_t pos = 0;
+            while (!clockAllowed &&
+                   (pos = code.find("_clock", pos)) != std::string::npos) {
                 std::size_t here = pos;
-                pos += strlenConst(fn);
-                if (!wordAt(code, here, fn))
-                    continue;
-                std::size_t p = skipSpaces(code, here + strlenConst(fn));
-                if (p < code.size() && code[p] == '(') {
-                    report(f, here, kWallclockInSim,
-                           std::string(fn) +
-                               "() in simulation code; draw from the run's "
-                               "seeded sw::Rng so results are reproducible");
+                pos += 6;
+                std::size_t end = here + 6;
+                if (end < code.size() && identChar(code[end]))
+                    continue; // part of a longer identifier
+                std::size_t p = skipSpaces(code, end);
+                if (p + 1 < code.size() && code[p] == ':' &&
+                    code[p + 1] == ':') {
+                    p = skipSpaces(code, p + 2);
+                    if (wordAt(code, p, "now")) {
+                        report(f, here, kWallclockInSim,
+                               "wall-clock time in simulation code; simulated "
+                               "time comes from EventQueue::now() and harness "
+                               "timing belongs in src/harness or bench/ (the "
+                               "host profiler in src/prof is the sanctioned "
+                               "exception)");
+                    }
                 }
             }
-        }
-        pos = 0;
-        while ((pos = code.find("random_device", pos)) != std::string::npos) {
-            std::size_t here = pos;
-            pos += strlenConst("random_device");
-            if (!wordAt(code, here, "random_device"))
-                continue;
-            report(f, here, kWallclockInSim,
-                   "std::random_device in simulation code; entropy breaks "
-                   "record/replay — seed a sw::Rng from the config instead");
-        }
+            for (const char *fn : {"rand", "srand"}) {
+                pos = 0;
+                while ((pos = code.find(fn, pos)) != std::string::npos) {
+                    std::size_t here = pos;
+                    pos += strlenConst(fn);
+                    if (!wordAt(code, here, fn))
+                        continue;
+                    std::size_t p = skipSpaces(code, here + strlenConst(fn));
+                    if (p < code.size() && code[p] == '(') {
+                        report(f, here, kWallclockInSim,
+                               std::string(fn) +
+                                   "() in simulation code; draw from the "
+                                   "run's seeded sw::Rng so results are "
+                                   "reproducible");
+                    }
+                }
+            }
+            pos = 0;
+            while ((pos = code.find("random_device", pos)) !=
+                   std::string::npos) {
+                std::size_t here = pos;
+                pos += strlenConst("random_device");
+                if (!wordAt(code, here, "random_device"))
+                    continue;
+                report(f, here, kWallclockInSim,
+                       "std::random_device in simulation code; entropy "
+                       "breaks record/replay — seed a sw::Rng from the "
+                       "config instead");
+            }
+        };
+        // Both the regular code and macro bodies: a #define spelled in a
+        // sim file expands wherever it is used, so its clock reads count
+        // here (the clang plugin reaches the same verdict via spelling
+        // locations).
+        scan(f.code);
+        scan(f.ppText);
     }
 
     void

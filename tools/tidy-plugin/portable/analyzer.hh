@@ -96,7 +96,17 @@ struct Options
 
     /** Directories the wallclock ban applies to. */
     std::vector<std::string> simDirs = {"src/sim", "src/gpu",  "src/vm",
-                                        "src/mem", "src/core", "src/check"};
+                                        "src/mem", "src/core", "src/check",
+                                        "src/prof"};
+
+    /**
+     * Directories where *_clock::now() is sanctioned: src/prof is the
+     * host self-profiler's home and exists precisely to read the steady
+     * clock.  Only the clock half of the wallclock check is waived —
+     * rand()/srand()/random_device stay banned there (the profiler must
+     * never add entropy), which is why src/prof sits in simDirs too.
+     */
+    std::vector<std::string> wallclockAllow = {"src/prof"};
 
     /** InlineFunction inline capture budget (kEventInlineBytes). */
     std::size_t inlineBytes = 80;
