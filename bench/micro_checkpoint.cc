@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Checkpoint subsystem micro-benchmarks (google-benchmark): encode and
+ * decode throughput over a quiesced small machine, the full file
+ * save/restore round trip, and functional fast-forward instruction rate.
+ * The numbers bound how much a checkpointed or phase-sampled campaign
+ * pays per barrier — the overhead the docs/CHECKPOINTS.md methodology
+ * claims is negligible next to detailed simulation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_main.hh"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hh"
+#include "ckpt/ffwd.hh"
+#include "core/softwalker.hh"
+#include "gpu/gpu.hh"
+#include "sim/logging.hh"
+#include "workload/benchmarks.hh"
+
+using namespace sw;
+
+namespace {
+
+GpuConfig
+benchConfig()
+{
+    GpuConfig cfg = makeSoftWalkerConfig();
+    cfg.numSms = 8;
+    cfg.maxWarpsPerSm = 16;
+    return cfg;
+}
+
+Gpu::RunLimits
+benchLimits()
+{
+    Gpu::RunLimits limits;
+    limits.warpInstrQuota = 20000;
+    limits.warmupInstrs = 0;
+    limits.maxCycles = 100000000;
+    return limits;
+}
+
+/** A machine run to a quiesced barrier, the state every bench serialises. */
+std::unique_ptr<Gpu>
+quiescedGpu()
+{
+    auto gpu = std::make_unique<Gpu>(benchConfig(),
+                                     makeWorkload(findBenchmark("bfs")));
+    installWalkBackend(*gpu);
+    gpu->runSegment(benchLimits().warpInstrQuota, 0, benchLimits());
+    return gpu;
+}
+
+} // namespace
+
+static void
+BM_EncodeCheckpoint(benchmark::State &state)
+{
+    setVerbose(false);
+    std::unique_ptr<Gpu> gpu = quiescedGpu();
+    std::size_t bytes = 0;
+    for (auto _ : state) {
+        std::vector<std::uint8_t> image =
+            encodeCheckpoint(*gpu, benchLimits().warpInstrQuota);
+        bytes = image.size();
+        benchmark::DoNotOptimize(image.data());
+    }
+    state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(bytes));
+    state.counters["image_bytes"] = double(bytes);
+}
+BENCHMARK(BM_EncodeCheckpoint);
+
+static void
+BM_DecodeCheckpoint(benchmark::State &state)
+{
+    setVerbose(false);
+    std::unique_ptr<Gpu> source = quiescedGpu();
+    std::vector<std::uint8_t> image =
+        encodeCheckpoint(*source, benchLimits().warpInstrQuota);
+    Gpu target(benchConfig(), makeWorkload(findBenchmark("bfs")));
+    installWalkBackend(target);
+    for (auto _ : state) {
+        CheckpointMeta meta =
+            decodeCheckpoint(target, image.data(), image.size(), "bench");
+        benchmark::DoNotOptimize(meta.instrsFetched);
+    }
+    state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(image.size()));
+}
+BENCHMARK(BM_DecodeCheckpoint);
+
+static void
+BM_SaveRestoreFile(benchmark::State &state)
+{
+    setVerbose(false);
+    std::unique_ptr<Gpu> source = quiescedGpu();
+    Gpu target(benchConfig(), makeWorkload(findBenchmark("bfs")));
+    installWalkBackend(target);
+    std::string path = "/tmp/micro_checkpoint.swckpt";
+    std::uint64_t bytes = 0;
+    for (auto _ : state) {
+        CheckpointMeta meta =
+            saveCheckpoint(*source, benchLimits().warpInstrQuota, path);
+        bytes = meta.fileBytes;
+        restoreCheckpoint(target, path);
+    }
+    std::remove(path.c_str());
+    state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(2 * bytes));
+}
+BENCHMARK(BM_SaveRestoreFile);
+
+static void
+BM_FastForward(benchmark::State &state)
+{
+    setVerbose(false);
+    constexpr std::uint64_t kInstrs = 10000;
+    for (auto _ : state) {
+        // Fresh machine per iteration: ffwd cost is dominated by cold
+        // page-table fills, which is exactly the warmup it replaces.
+        Gpu gpu(benchConfig(), makeWorkload(findBenchmark("bfs")));
+        installWalkBackend(gpu);
+        FfwdStats stats = fastForward(gpu, kInstrs, benchLimits());
+        benchmark::DoNotOptimize(stats.pagesTouched);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(kInstrs));
+}
+BENCHMARK(BM_FastForward);
+
+SW_BENCHMARK_MAIN_WITH_MANIFEST();

@@ -22,6 +22,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/sampled.hh"
 #include "obs/sampler.hh"
 #include "obs/stat_registry.hh"
 #include "obs/trace.hh"
@@ -103,6 +104,11 @@ struct Options
     std::string recordPath, replayPath, fingerprintOut;
     TraceEndPolicy replayEnd = TraceEndPolicy::Drain;
     std::string convertIn, convertOut;
+    std::uint64_t ffwdInstrs = 0;
+    std::uint64_t checkpointAt = 0;
+    std::string checkpointOut, checkpointIn;
+    std::string phaseSampleOut;
+    SamplingOptions sampling;
     bool help = false;
 };
 
@@ -202,6 +208,64 @@ optionTable(Options &opt)
              else
                  cliError("--replay-end expects drain|loop, got '" + a[0] +
                           "'");
+         }},
+        {"--ffwd", "<n>",
+         "functionally fast-forward n warp instructions before the run",
+         [&](const std::vector<std::string> &a) {
+             opt.ffwdInstrs = parseUint(a[0], "--ffwd");
+         }},
+        {"--checkpoint-at", "<n>",
+         "save a checkpoint at n fetched instructions, then continue",
+         [&](const std::vector<std::string> &a) {
+             opt.checkpointAt = parseUint(a[0], "--checkpoint-at");
+         }},
+        {"--checkpoint-out", "<file>",
+         "checkpoint path written by --checkpoint-at",
+         [&](const std::vector<std::string> &a) {
+             opt.checkpointOut = a[0];
+         }},
+        {"--checkpoint-in", "<file>",
+         "resume from a checkpoint (same config and workload source)",
+         [&](const std::vector<std::string> &a) {
+             opt.checkpointIn = a[0];
+         }},
+        {"--phase-sample", "<file>",
+         "phase-sample a --replay run; write the sampled JSON here",
+         [&](const std::vector<std::string> &a) {
+             opt.phaseSampleOut = a[0];
+         }},
+        {"--phase-window", "<n>",
+         "phase-sampling window in warp instructions (default 2000)",
+         [&](const std::vector<std::string> &a) {
+             opt.sampling.windowInstrs = parseUint(a[0], "--phase-window");
+         }},
+        {"--phase-clusters", "<k>",
+         "phase clusters / representative windows (default 4)",
+         [&](const std::vector<std::string> &a) {
+             opt.sampling.numClusters =
+                 std::uint32_t(parseUint(a[0], "--phase-clusters"));
+         }},
+        {"--phase-warmup", "<n>",
+         "timed-but-unmeasured instructions before each window (default 1000)",
+         [&](const std::vector<std::string> &a) {
+             opt.sampling.windowWarmupInstrs =
+                 parseUint(a[0], "--phase-warmup");
+         }},
+        {"--phase-skip", "<n>",
+         "leading instructions excluded from sampling (cold-start region)",
+         [&](const std::vector<std::string> &a) {
+             opt.sampling.skipInstrs = parseUint(a[0], "--phase-skip");
+         }},
+        {"--phase-time-weight", "<w>",
+         "temporal feature weight; high values stratify in time (default 0.5)",
+         [&](const std::vector<std::string> &a) {
+             char *end = nullptr;
+             opt.sampling.timeFeatureWeight = std::strtod(a[0].c_str(), &end);
+             if (end == a[0].c_str() || *end != '\0' ||
+                 opt.sampling.timeFeatureWeight < 0.0) {
+                 cliError("--phase-time-weight expects a non-negative "
+                          "number, got '" + a[0] + "'");
+             }
          }},
         {"--trace-convert", "<in.txt> <out.swtrace>",
          "convert a text trace to binary and exit",
@@ -339,6 +403,42 @@ main(int argc, char **argv)
     if (opt.explicitLimits)
         spec.limits = opt.limits;
     spec.recordPath = opt.recordPath;
+    spec.ffwdInstrs = opt.ffwdInstrs;
+    spec.checkpointAtInstrs = opt.checkpointAt;
+    spec.checkpointOut = opt.checkpointOut;
+    spec.checkpointIn = opt.checkpointIn;
+
+    if (!opt.phaseSampleOut.empty()) {
+        if (opt.replayPath.empty())
+            cliError("--phase-sample needs a --replay trace to plan over");
+        spec.replayPath = opt.replayPath;
+        SampledRunResult sampled =
+            runSampled(std::move(spec), opt.sampling);
+        {
+            std::ofstream out = openOut(opt.phaseSampleOut);
+            writeSampledJson(out, sampled);
+        }
+        const MetricEstimate &perf = sampled.metrics.at("perf");
+        const MetricEstimate &mpki = sampled.metrics.at("l2_tlb_mpki");
+        std::printf("phase-sampled        %s (mode=%s)\n",
+                    sampled.combined.benchmark.c_str(),
+                    toString(sampled.combined.mode));
+        std::printf("windows              %llu of %llu (%u clusters)\n",
+                    (unsigned long long)sampled.plan.windows.size(),
+                    (unsigned long long)sampled.plan.totalWindows,
+                    sampled.plan.clusters);
+        std::printf("detailed instrs      %llu of %llu (ratio %.4f)\n",
+                    (unsigned long long)sampled.plan.detailedInstrs(),
+                    (unsigned long long)sampled.plan.totalInstrs,
+                    sampled.detailRatio());
+        std::printf("performance          %.5f ± %.5f warp-instr/cycle\n",
+                    perf.mean, perf.spread);
+        std::printf("L2 TLB MPKI          %.2f ± %.2f\n", mpki.mean,
+                    mpki.spread);
+        std::fprintf(stderr, "wrote sampled result to %s\n",
+                     opt.phaseSampleOut.c_str());
+        return 0;
+    }
 
     const BenchmarkInfo *info = nullptr;
     if (!opt.replayPath.empty()) {

@@ -1,0 +1,129 @@
+#include "ckpt/checkpoint.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "ckpt/ckpt_io.hh"
+#include "gpu/gpu.hh"
+#include "prof/hostprof.hh"
+#include "sim/logging.hh"
+#include "trace/trace_format.hh"
+
+namespace sw {
+
+std::vector<std::uint8_t>
+encodeCheckpoint(const Gpu &gpu, std::uint64_t instrs_fetched)
+{
+    SW_PROF_SCOPE(prof::Zone::CkptSave);
+    CkptWriter w;
+    for (char c : kCkptMagic)
+        w.u8(std::uint8_t(c));
+    w.u32(kCkptVersion);
+    w.u64(configDigest(gpu.config()));
+    w.str(gpu.workload().name());
+    w.u64(instrs_fetched);
+    gpu.saveState(w);
+    w.section("end");
+    prof::addCheckpointBytes(w.size());
+    return w.bytes();
+}
+
+CheckpointMeta
+decodeCheckpoint(Gpu &gpu, const std::uint8_t *data, std::size_t size,
+                 const std::string &context)
+{
+    SW_PROF_SCOPE(prof::Zone::CkptRestore);
+    CkptReader r(data, size);
+    char magic[sizeof(kCkptMagic)];
+    for (char &c : magic)
+        c = char(r.u8());
+    if (std::memcmp(magic, kCkptMagic, sizeof(kCkptMagic)) != 0)
+        fatal("%s: not a SoftWalker checkpoint (bad magic)",
+              context.c_str());
+    std::uint32_t version = r.u32();
+    if (version != kCkptVersion) {
+        fatal("%s: checkpoint format version %u (this build reads %u)",
+              context.c_str(), version, kCkptVersion);
+    }
+
+    CheckpointMeta meta;
+    meta.configDigest = r.u64();
+    // Hard check, no unknown-origin escape hatch: a checkpoint restored
+    // into a differently-configured machine mis-sizes TLB arrays, cache
+    // geometry, and SM counts silently.  Contrast TraceWorkload::
+    // checkConfig, which downgrades to a warning for converted traces.
+    std::uint64_t expected = configDigest(gpu.config());
+    if (meta.configDigest != expected) {
+        fatal("%s: checkpoint config digest %016llx does not match this "
+              "machine's %016llx; restore requires the exact recording "
+              "configuration",
+              context.c_str(),
+              static_cast<unsigned long long>(meta.configDigest),
+              static_cast<unsigned long long>(expected));
+    }
+    meta.workloadName = r.str();
+    if (meta.workloadName != gpu.workload().name()) {
+        fatal("%s: checkpoint of workload \"%s\" restored against \"%s\"",
+              context.c_str(), meta.workloadName.c_str(),
+              gpu.workload().name().c_str());
+    }
+    meta.instrsFetched = r.u64();
+    gpu.restoreState(r);
+    r.expectSection("end");
+    if (!r.atEnd()) {
+        fatal("%s: %zu trailing byte(s) after the end marker",
+              context.c_str(), r.remaining());
+    }
+    meta.fileBytes = size;
+    prof::addCheckpointBytes(size);
+    return meta;
+}
+
+CheckpointMeta
+saveCheckpoint(const Gpu &gpu, std::uint64_t instrs_fetched,
+               const std::string &path)
+{
+    std::vector<std::uint8_t> bytes = encodeCheckpoint(gpu, instrs_fetched);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open checkpoint file %s for writing", path.c_str());
+    std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    if (std::fclose(f) != 0 || written != bytes.size())
+        fatal("short write to checkpoint file %s", path.c_str());
+
+    CheckpointMeta meta;
+    meta.configDigest = configDigest(gpu.config());
+    meta.workloadName = gpu.workload().name();
+    meta.instrsFetched = instrs_fetched;
+    meta.fileBytes = bytes.size();
+    return meta;
+}
+
+CheckpointMeta
+restoreCheckpoint(Gpu &gpu, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot open checkpoint file %s", path.c_str());
+    std::fseek(f, 0, SEEK_END);
+    long len = std::ftell(f);
+    if (len < 0) {
+        std::fclose(f);
+        fatal("cannot size checkpoint file %s", path.c_str());
+    }
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(len));
+    std::size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (got != bytes.size())
+        fatal("short read from checkpoint file %s", path.c_str());
+    return decodeCheckpoint(gpu, bytes.data(), bytes.size(), path);
+}
+
+std::uint64_t
+checkpointBytesWritten()
+{
+    return prof::checkpointBytes();
+}
+
+} // namespace sw

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Whole-machine checkpoints (`softwalker.ckpt/1`).
+ *
+ * A checkpoint serialises a quiesced Gpu — event clock, TLBs, PWC, page
+ * table and frame allocator, caches, DRAM channel state, fault buffer,
+ * walk backend, every statistic, and the workload cursors — so a run can
+ * be split at an instruction barrier and resumed later (or in another
+ * process) with a bit-identical remainder.  The determinism contract and
+ * the file layout are specified normatively in docs/CHECKPOINTS.md.
+ *
+ * Save is only legal at a quiesced tick: immediately after a
+ * Gpu::runSegment() whose fetch quota drained (every warp retired, event
+ * queue empty).  Restore is only legal into a *fresh* Gpu constructed
+ * from the same GpuConfig and workload source; the config digest and the
+ * workload name are verified, and a digest mismatch is a hard fatal —
+ * unlike trace replay there is no unknown-origin escape hatch, because
+ * restoring state into a differently-shaped machine corrupts it silently.
+ */
+
+#ifndef SW_CKPT_CHECKPOINT_HH
+#define SW_CKPT_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sw {
+
+class Gpu;
+
+/** First eight bytes of every .swckpt file. */
+inline constexpr char kCkptMagic[8] =
+    {'S', 'W', 'C', 'K', 'P', 'T', '\0', '\0'};
+
+/** Current checkpoint format version; readers reject anything else. */
+inline constexpr std::uint32_t kCkptVersion = 1;
+
+/** Header fields of a checkpoint (returned by save and restore). */
+struct CheckpointMeta
+{
+    std::uint64_t configDigest = 0;   ///< configDigest(cfg) at save time
+    std::string workloadName;         ///< Workload::name() at save time
+    /** Warp instructions fetched before the barrier (segment-1 quota). */
+    std::uint64_t instrsFetched = 0;
+    std::uint64_t fileBytes = 0;      ///< encoded size (host gauge)
+};
+
+/**
+ * Serialise @p gpu into an in-memory checkpoint image.  @p instrs_fetched
+ * records where the barrier sits so the restoring side can size its
+ * remaining quota.  Asserts the quiesce contract (see Gpu::saveState).
+ */
+std::vector<std::uint8_t> encodeCheckpoint(const Gpu &gpu,
+                                           std::uint64_t instrs_fetched);
+
+/**
+ * Restore a checkpoint image into a fresh @p gpu (same config, same
+ * workload source, backend installed).  fatal() on bad magic, version,
+ * config-digest or workload-name mismatch, truncation, or trailing bytes.
+ */
+CheckpointMeta decodeCheckpoint(Gpu &gpu, const std::uint8_t *data,
+                                std::size_t size,
+                                const std::string &context);
+
+/** Encode and write to @p path; fatal() on I/O failure. */
+CheckpointMeta saveCheckpoint(const Gpu &gpu, std::uint64_t instrs_fetched,
+                              const std::string &path);
+
+/** Read @p path and restore into @p gpu; fatal() on any failure. */
+CheckpointMeta restoreCheckpoint(Gpu &gpu, const std::string &path);
+
+/**
+ * Total bytes of checkpoint data written by this process (host gauge;
+ * reported through the hostprof JSON artifact's gauge table).
+ */
+std::uint64_t checkpointBytesWritten();
+
+} // namespace sw
+
+#endif // SW_CKPT_CHECKPOINT_HH

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Checkpoint serialisation primitives (`softwalker.ckpt/1`).
+ *
+ * Header-only by design: every component that gains saveState()/
+ * restoreState() includes this file without creating a link dependency on
+ * the ckpt library (which sits above gpu/core in the dependency order).
+ *
+ * Layout conventions mirror the `.swtrace` reader (src/trace): fixed-width
+ * little-endian integers, length-prefixed strings, and a bounds-checked
+ * reader whose every malformed-input path funnels through fatal() with the
+ * byte offset — so the failure hook can trap corrupt checkpoints in tests
+ * and fuzzing, exactly like the trace decoder.  Unlike the varint-packed
+ * trace format, checkpoints favour fixed-width fields: they are written
+ * once per run, not once per instruction.
+ *
+ * Named section markers frame each component's state.  The reader verifies
+ * them in order (expectSection), turning any save/restore ordering skew —
+ * the classic serialisation bug — into an immediate, located fatal instead
+ * of silently mis-assigned state.
+ */
+
+#ifndef SW_CKPT_CKPT_IO_HH
+#define SW_CKPT_CKPT_IO_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace sw {
+
+/** Serialises checkpoint state into a growable byte buffer. */
+class CkptWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buffer_.push_back(v);
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buffer_.push_back(std::uint8_t(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buffer_.push_back(std::uint8_t(v >> (8 * i)));
+    }
+
+    /** Doubles travel as their exact bit pattern (determinism contract). */
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u32(std::uint32_t(s.size()));
+        buffer_.insert(buffer_.end(), s.begin(), s.end());
+    }
+
+    /** Open a named section; the reader checks the name and order. */
+    void
+    section(const char *name)
+    {
+        str(name);
+    }
+
+    void
+    latency(const LatencyStat &s)
+    {
+        u64(s.count);
+        u64(s.sum);
+        u64(s.minv);
+        u64(s.maxv);
+    }
+
+    const std::vector<std::uint8_t> &bytes() const { return buffer_; }
+    std::size_t size() const { return buffer_.size(); }
+
+  private:
+    std::vector<std::uint8_t> buffer_;
+};
+
+/**
+ * Bounds-checked reader over a checkpoint byte buffer.  Truncation, section
+ * skew, and out-of-range counts all funnel through fatal() with the current
+ * offset; setFailureHook() can trap these (fuzzing, death tests).
+ */
+class CkptReader
+{
+  public:
+    CkptReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        need(1, "u8");
+        return data_[offset_++];
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4, "u32");
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= std::uint32_t(data_[offset_ + i]) << (8 * i);
+        offset_ += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8, "u64");
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= std::uint64_t(data_[offset_ + i]) << (8 * i);
+        offset_ += 8;
+        return v;
+    }
+
+    double
+    f64()
+    {
+        std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        std::uint32_t len = u32();
+        need(len, "string body");
+        std::string s(reinterpret_cast<const char *>(data_ + offset_), len);
+        offset_ += len;
+        return s;
+    }
+
+    /** Consume a section marker; fatal if it is not the expected one. */
+    void
+    expectSection(const char *name)
+    {
+        std::size_t at = offset_;
+        std::string got = str();
+        if (got != name) {
+            fatal("checkpoint section skew at offset %zu: expected "
+                  "\"%s\", found \"%s\"", at, name, got.c_str());
+        }
+    }
+
+    void
+    latency(LatencyStat &s)
+    {
+        s.count = u64();
+        s.sum = u64();
+        s.minv = u64();
+        s.maxv = u64();
+    }
+
+    /**
+     * Validate an element count against the bytes actually left, so a
+     * corrupt count fatals instead of driving a huge allocation.
+     * @param min_elem_bytes smallest possible encoding of one element.
+     */
+    std::uint64_t
+    count(std::uint64_t min_elem_bytes, const char *what)
+    {
+        std::uint64_t n = u64();
+        if (min_elem_bytes > 0 && n > remaining() / min_elem_bytes) {
+            fatal("checkpoint %s count %llu at offset %zu exceeds the "
+                  "%zu bytes remaining",
+                  what, static_cast<unsigned long long>(n), offset_,
+                  remaining());
+        }
+        return n;
+    }
+
+    std::size_t offset() const { return offset_; }
+    std::size_t remaining() const { return size_ - offset_; }
+    bool atEnd() const { return offset_ == size_; }
+
+  private:
+    void
+    need(std::size_t n, const char *what)
+    {
+        if (remaining() < n) {
+            fatal("checkpoint truncated at offset %zu: need %zu byte(s) "
+                  "for %s, have %zu", offset_, n, what, remaining());
+        }
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t offset_ = 0;
+};
+
+} // namespace sw
+
+#endif // SW_CKPT_CKPT_IO_HH

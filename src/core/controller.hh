@@ -73,6 +73,31 @@ class SoftWalkerController
         warp->registerStats(group.group("pwwarp"));
     }
 
+    /** Serialise controller + SoftPWB + PW Warp counters (quiesced). */
+    void
+    saveState(CkptWriter &w) const
+    {
+        w.section("sw_controller");
+        w.u32(smId);
+        w.u64(stats_.accepted);
+        pwb.saveState(w);
+        warp->saveState(w);
+    }
+
+    /** Restore state saved by saveState(). */
+    void
+    restoreState(CkptReader &r)
+    {
+        r.expectSection("sw_controller");
+        std::uint32_t sm = r.u32();
+        if (sm != smId)
+            fatal("checkpoint controller for SM %u restored into SM %u",
+                  sm, smId);
+        stats_.accepted = r.u64();
+        pwb.restoreState(r);
+        warp->restoreState(r);
+    }
+
   private:
     friend struct AuditTester;   ///< negative-path audit tests only
 

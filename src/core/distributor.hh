@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "check/audit.hh"
+#include "ckpt/ckpt_io.hh"
 #include "obs/stat_registry.hh"
 #include "sim/config.hh"
 #include "sim/logging.hh"
@@ -111,6 +112,48 @@ class RequestDistributor
         for (auto count : counters)
             total += count;
         return total;
+    }
+
+    /**
+     * Serialise selection state + counters; every credit must have been
+     * released (quiesced tick).  The RNG and round-robin cursor shape the
+     * resumed dispatch order, so both are part of the checkpoint.
+     */
+    void
+    saveState(CkptWriter &w) const
+    {
+        SW_ASSERT(totalCredits() == 0,
+                  "distributor checkpointed with outstanding credits");
+        w.section("distributor");
+        w.u32(std::uint32_t(counters.size()));
+        std::uint64_t rng_state[4];
+        rng.snapshot(rng_state);
+        for (std::uint64_t word : rng_state)
+            w.u64(word);
+        w.u32(rrNext);
+        w.u64(stats_.dispatched);
+        w.u64(stats_.capacityStalls);
+    }
+
+    /** Restore state saved by saveState(); SM count must match. */
+    void
+    restoreState(CkptReader &r)
+    {
+        r.expectSection("distributor");
+        std::uint32_t sms = r.u32();
+        if (sms != counters.size()) {
+            fatal("checkpoint distributor has %u SMs, this config has %zu",
+                  sms, counters.size());
+        }
+        std::uint64_t rng_state[4];
+        for (auto &word : rng_state)
+            word = r.u64();
+        rng.restore(rng_state);
+        rrNext = r.u32();
+        if (rrNext >= counters.size())
+            fatal("checkpoint distributor cursor %u out of range", rrNext);
+        stats_.dispatched = r.u64();
+        stats_.capacityStalls = r.u64();
     }
 
   private:

@@ -194,4 +194,36 @@ PwWarp::finishBatch()
     notifyWork();
 }
 
+void
+PwWarp::saveState(CkptWriter &w) const
+{
+    SW_ASSERT(!running && pendingLoads == 0 && fillsInTransit_ == 0,
+              "PW Warp checkpointed mid-batch");
+    w.section("pw_warp");
+    w.u64(stats_.batches);
+    w.u64(stats_.walksCompleted);
+    w.u64(stats_.instructionsIssued);
+    w.u64(stats_.ldptIssued);
+    w.u64(stats_.fl2tIssued);
+    w.u64(stats_.fpwcIssued);
+    w.u64(stats_.ffbIssued);
+    w.latency(stats_.batchSize);
+    w.latency(stats_.batchLatency);
+}
+
+void
+PwWarp::restoreState(CkptReader &r)
+{
+    r.expectSection("pw_warp");
+    stats_.batches = r.u64();
+    stats_.walksCompleted = r.u64();
+    stats_.instructionsIssued = r.u64();
+    stats_.ldptIssued = r.u64();
+    stats_.fl2tIssued = r.u64();
+    stats_.fpwcIssued = r.u64();
+    stats_.ffbIssued = r.u64();
+    r.latency(stats_.batchSize);
+    r.latency(stats_.batchLatency);
+}
+
 } // namespace sw

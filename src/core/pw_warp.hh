@@ -97,6 +97,12 @@ class PwWarp
 
     const Stats &stats() const { return stats_; }
 
+    /** Serialise counters (the warp must be idle: quiesced tick). */
+    void saveState(CkptWriter &w) const;
+
+    /** Restore state saved by saveState(). */
+    void restoreState(CkptReader &r);
+
   private:
     friend struct AuditTester;   ///< negative-path audit tests only
 

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/ckpt_io.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 #include "vm/walk.hh"
@@ -140,6 +141,32 @@ class SoftPwb
     }
 
     const Stats &stats() const { return stats_; }
+
+    /** Serialise counters (slots must all be invalid: quiesced tick). */
+    void
+    saveState(CkptWriter &w) const
+    {
+        SW_ASSERT(occupiedCount() == 0,
+                  "SoftPWB checkpointed with live requests");
+        w.section("soft_pwb");
+        w.u32(std::uint32_t(slots.size()));
+        w.u64(stats_.inserts);
+        w.u64(stats_.peakOccupancy);
+    }
+
+    /** Restore state saved by saveState(); capacity must match. */
+    void
+    restoreState(CkptReader &r)
+    {
+        r.expectSection("soft_pwb");
+        std::uint32_t entries = r.u32();
+        if (entries != slots.size()) {
+            fatal("checkpoint SoftPWB has %u entries, this config has %zu",
+                  entries, slots.size());
+        }
+        stats_.inserts = r.u64();
+        stats_.peakOccupancy = r.u64();
+    }
 
   private:
     friend struct AuditTester;   ///< negative-path audit tests only

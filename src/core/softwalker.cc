@@ -296,6 +296,47 @@ SoftWalkerBackend::aggregatePwWarpStats() const
 }
 
 void
+SoftWalkerBackend::saveState(CkptWriter &w) const
+{
+    SW_ASSERT(waiting.empty() && inFlightCount == 0 && commInTransit == 0,
+              "SoftWalker backend checkpointed with walks in flight");
+    w.section("softwalker");
+    w.u64(stats_.submitted);
+    w.u64(stats_.toSoftware);
+    w.u64(stats_.toHardware);
+    w.u64(stats_.queuedNoCapacity);
+    w.u64(stats_.peakQueued);
+    distributor_->saveState(w);
+    for (const auto &controller : controllers)
+        controller->saveState(w);
+    w.u8(hwPool ? 1 : 0);
+    if (hwPool)
+        hwPool->saveState(w);
+}
+
+void
+SoftWalkerBackend::restoreState(CkptReader &r)
+{
+    r.expectSection("softwalker");
+    stats_.submitted = r.u64();
+    stats_.toSoftware = r.u64();
+    stats_.toHardware = r.u64();
+    stats_.queuedNoCapacity = r.u64();
+    stats_.peakQueued = r.u64();
+    distributor_->restoreState(r);
+    for (auto &controller : controllers)
+        controller->restoreState(r);
+    bool has_pool = r.u8() != 0;
+    if (has_pool != bool(hwPool)) {
+        fatal("checkpoint %s a hybrid hardware pool, this config %s",
+              has_pool ? "includes" : "lacks",
+              hwPool ? "expects one" : "does not");
+    }
+    if (hwPool)
+        hwPool->restoreState(r);
+}
+
+void
 installWalkBackend(Gpu &gpu)
 {
     const GpuConfig &cfg = gpu.config();

@@ -78,6 +78,15 @@ class SoftWalkerBackend : public WalkBackend
     /** Aggregate PW Warp stats across all SMs. */
     PwWarp::Stats aggregatePwWarpStats() const;
 
+    /**
+     * Serialise distributor + per-SM controllers (+ hybrid hw pool) into a
+     * checkpoint; must be called only at a quiesced tick.
+     */
+    void saveState(CkptWriter &w) const override;
+
+    /** Restore state saved by saveState(). */
+    void restoreState(CkptReader &r) override;
+
   private:
     friend struct AuditTester;   ///< negative-path audit tests only
 

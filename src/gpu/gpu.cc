@@ -1,5 +1,6 @@
 #include "gpu/gpu.hh"
 
+#include "ckpt/ckpt_io.hh"
 #include "prof/hostprof.hh"
 #include "sim/logging.hh"
 #include "vm/ptw.hh"
@@ -151,9 +152,21 @@ Gpu::backendInstalled() const
 void
 Gpu::run(const RunLimits &limits)
 {
+    measureStart = 0;
+    runSegment(limits.warpInstrQuota + limits.warmupInstrs,
+               limits.warmupInstrs, limits);
+}
+
+void
+Gpu::runSegment(std::uint64_t fetch_quota,
+                std::uint64_t warmup_fetch_remaining,
+                const RunLimits &limits)
+{
     SW_ASSERT(backendInstalled(),
               "run() before a walk backend was installed");
-    quotaRemaining = limits.warpInstrQuota + limits.warmupInstrs;
+    SW_ASSERT(warmup_fetch_remaining <= fetch_quota,
+              "warmup extends past this segment's quota");
+    quotaRemaining = fetch_quota;
 
     // Distribute active warps across SMs (round-robin when capped).
     std::vector<std::uint32_t> active(sms.size(), cfg.maxWarpsPerSm);
@@ -173,15 +186,19 @@ Gpu::run(const RunLimits &limits)
             --warpsAlive;
         };
     }
+    // Global warp index k = sm + numSms * warp interleaves SMs, so the
+    // skewed restart spreads load across SMs rather than one SM at a time.
     for (std::size_t i = 0; i < sms.size(); ++i) {
         warpsAlive += active[i];
-        if (active[i] > 0)
-            sms[i]->start(&quotaRemaining, active[i]);
+        if (active[i] > 0) {
+            sms[i]->start(&quotaRemaining, active[i],
+                          limits.restartSkewCycles * i,
+                          limits.restartSkewCycles * sms.size());
+        }
     }
 
-    measureStart = 0;
-    if (limits.warmupInstrs > 0)
-        scheduleWarmupCheck(limits.warpInstrQuota);
+    if (warmup_fetch_remaining > 0)
+        scheduleWarmupCheck(fetch_quota - warmup_fetch_remaining);
 
     if (cfg.auditIntervalCycles > 0)
         auditor_.schedulePeriodic(eventq, cfg.auditIntervalCycles);
@@ -210,6 +227,47 @@ Gpu::scheduleWarmupCheck(std::uint64_t measured_quota)
         if (warpsAlive > 0)
             scheduleWarmupCheck(measured_quota);
     });
+}
+
+void
+Gpu::saveState(CkptWriter &w) const
+{
+    // Quiesce contract: only a drained machine serialises.  Pending events
+    // are closures and cannot be written to disk; the segmented-run design
+    // guarantees a barrier tick where none exist.
+    SW_ASSERT(eventq.empty(), "checkpoint with events still pending");
+    SW_ASSERT(quotaRemaining == 0 && warpsAlive == 0,
+              "checkpoint before the segment's quota drained");
+    w.section("gpu");
+    w.u64(eventq.now());
+    w.u64(eventq.seqCounter());
+    w.u64(eventq.eventsExecuted());
+    w.u64(measureStart);
+    for (const auto &sm : sms)
+        sm->saveState(w);
+    engine_->saveState(w);   // TLBs, PWC, faults, walk backend
+    allocator->saveState(w);
+    pageTable_->saveState(w);
+    mem->saveState(w);
+    workload_->saveState(w);
+}
+
+void
+Gpu::restoreState(CkptReader &r)
+{
+    r.expectSection("gpu");
+    Cycle cycle = r.u64();
+    std::uint64_t seq = r.u64();
+    std::uint64_t executed = r.u64();
+    eventq.restoreClock(cycle, seq, executed);
+    measureStart = r.u64();
+    for (auto &sm : sms)
+        sm->restoreState(r);
+    engine_->restoreState(r);
+    allocator->restoreState(r);
+    pageTable_->restoreState(r);
+    mem->restoreState(r);
+    workload_->restoreState(r);
 }
 
 void

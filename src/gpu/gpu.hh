@@ -46,6 +46,17 @@ class Gpu
         Cycle maxCycles = 3000000;
         /** Cap on concurrently active warps (0 = all); Fig 4 uses this. */
         std::uint64_t maxActiveWarps = 0;
+        /**
+         * Stagger warp (re)starts: globally, warp k begins fetching k *
+         * restartSkewCycles after the segment starts (0 = all at once).
+         * A lock-step restart of a *warm* machine keeps warps phase-
+         * aligned; the resulting miss bursts can park the shared L2 TLB
+         * MSHRs in a persistently saturated state that a continuous run
+         * never reaches.  Sampled/segmented runs set a small skew so each
+         * detailed window re-enters the same steady state the full run
+         * occupies (docs/CHECKPOINTS.md §Phase sampling).
+         */
+        Cycle restartSkewCycles = 0;
     };
 
     Gpu(GpuConfig cfg, std::unique_ptr<Workload> workload);
@@ -60,6 +71,29 @@ class Gpu
 
     /** Run until the quota completes, the queue drains, or the cap hits. */
     void run(const RunLimits &limits);
+
+    /**
+     * Run one segment of a (possibly checkpointed) simulation: issue up to
+     * @p fetch_quota further warp instructions, of which the first
+     * @p warmup_fetch_remaining still belong to the warmup region (stats
+     * are zeroed once they have been fetched; pass 0 when warmup already
+     * ended in an earlier segment).  run() is exactly one whole-run
+     * segment; checkpoint save/restore splits a run into two.
+     * limits.maxCycles stays an absolute cycle cap.
+     */
+    void runSegment(std::uint64_t fetch_quota,
+                    std::uint64_t warmup_fetch_remaining,
+                    const RunLimits &limits);
+
+    /**
+     * Serialise the entire machine state into @p w.  Only legal at a
+     * quiesced tick: the event queue drained and every warp retired
+     * (i.e. immediately after a runSegment() that ran out of quota).
+     */
+    void saveState(CkptWriter &w) const;
+
+    /** Restore machine state saved by saveState() into this (fresh) GPU. */
+    void restoreState(CkptReader &r);
 
     /** Simulated cycles elapsed (including warmup). */
     Cycle cycles() const { return eventq.now(); }
@@ -92,6 +126,7 @@ class Gpu
     EventQueue &eventQueue() { return eventq; }
     PageTableBase &pageTable() { return *pageTable_; }
     Workload &workload() { return *workload_; }
+    const Workload &workload() const { return *workload_; }
     Sm &sm(SmId id) { return *sms.at(id); }
     const Sm &sm(SmId id) const { return *sms.at(id); }
     std::uint32_t numSms() const { return std::uint32_t(sms.size()); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/ckpt_io.hh"
 #include "obs/stat_registry.hh"
 #include "prof/hostprof.hh"
 #include "sim/logging.hh"
@@ -20,7 +21,8 @@ Sm::Sm(EventQueue &eq, Params params, Workload &wl,
 }
 
 void
-Sm::start(std::uint64_t *instr_quota, std::uint32_t active_warps)
+Sm::start(std::uint64_t *instr_quota, std::uint32_t active_warps,
+          Cycle skew_base, Cycle skew_stride)
 {
     quota = instr_quota;
     std::uint32_t count = std::min(active_warps, params_.numWarps);
@@ -28,8 +30,14 @@ Sm::start(std::uint64_t *instr_quota, std::uint32_t active_warps)
         warps[w].live = true;
         ++liveWarps;
     }
-    for (WarpId w = 0; w < count; ++w)
-        fetchAndSchedule(w);
+    for (WarpId w = 0; w < count; ++w) {
+        Cycle delay = skew_base + skew_stride * w;
+        if (delay == 0) {
+            fetchAndSchedule(w);
+        } else {
+            eventq.scheduleIn(delay, [this, w]() { fetchAndSchedule(w); });
+        }
+    }
 }
 
 Cycle
@@ -207,6 +215,54 @@ Sm::updateStallWindow()
         fullyStalled = false;
         stats_.memStallCycles += now - stallStart;
     }
+}
+
+void
+Sm::saveState(CkptWriter &w) const
+{
+    // At a drained barrier every warp has retired (start() re-activates
+    // them when the next segment begins), so warp state needs no bytes.
+    SW_ASSERT(liveWarps == 0 && blockedWarps == 0 && !fullyStalled,
+              "SM %u checkpointed with live warps", params_.id);
+    w.section("sm");
+    w.u32(params_.id);
+    std::uint64_t rng_state[4];
+    rng.snapshot(rng_state);
+    for (std::uint64_t word : rng_state)
+        w.u64(word);
+    w.u64(nextIssueFree);
+    w.u64(stats_.warpInstrs);
+    w.u64(stats_.issueSlotCycles);
+    w.u64(stats_.pwIssueCycles);
+    w.u64(stats_.computeCycles);
+    w.u64(stats_.memStallCycles);
+    w.u64(stats_.translationsRequested);
+    w.u64(stats_.dataAccesses);
+    w.latency(stats_.warpMemLatency);
+    w.latency(stats_.accessLatency);
+}
+
+void
+Sm::restoreState(CkptReader &r)
+{
+    r.expectSection("sm");
+    std::uint32_t id = r.u32();
+    if (id != params_.id)
+        fatal("checkpoint SM %u restored into SM %u", id, params_.id);
+    std::uint64_t rng_state[4];
+    for (auto &word : rng_state)
+        word = r.u64();
+    rng.restore(rng_state);
+    nextIssueFree = r.u64();
+    stats_.warpInstrs = r.u64();
+    stats_.issueSlotCycles = r.u64();
+    stats_.pwIssueCycles = r.u64();
+    stats_.computeCycles = r.u64();
+    stats_.memStallCycles = r.u64();
+    stats_.translationsRequested = r.u64();
+    stats_.dataAccesses = r.u64();
+    r.latency(stats_.warpMemLatency);
+    r.latency(stats_.accessLatency);
 }
 
 void

@@ -31,6 +31,8 @@
 namespace sw {
 
 class StatGroup;
+class CkptWriter;
+class CkptReader;
 
 /** Translation issued on behalf of this SM: (vpn, completion). */
 using SmTranslateFn =
@@ -81,8 +83,17 @@ class Sm
      * Activate warps and begin issuing.
      * @param quota shared pool of warp instructions left to issue
      * @param active_warps number of warps to enable on this SM
+     * @param skew_base delay (cycles) before this SM's first warp starts
+     * @param skew_stride additional delay between successive warps
+     *
+     * A zero skew starts every warp at the current cycle, which is the
+     * cold-start behaviour.  Segmented runs restarting a *warm* machine
+     * pass a non-zero skew: a lock-step restart keeps warps phase-aligned
+     * and can drive the shared L2 TLB MSHRs into a persistent saturated
+     * regime that a continuously-run machine never enters.
      */
-    void start(std::uint64_t *quota, std::uint32_t active_warps);
+    void start(std::uint64_t *quota, std::uint32_t active_warps,
+               Cycle skew_base = 0, Cycle skew_stride = 0);
 
     /**
      * Reserve @p slots consecutive issue-port cycles for the PW Warp
@@ -124,6 +135,19 @@ class Sm
             stallStart = eventq.now();
         }
     }
+
+    /**
+     * The RNG this SM feeds to Workload::next().  Fast-forward pulls the
+     * workload stream functionally through the same generator so detailed
+     * simulation resumes exactly where warmup left the stream.
+     */
+    Rng &workloadRng() { return rng; }
+
+    /** Serialise RNG + issue-port + counters (all warps must be retired). */
+    void saveState(CkptWriter &w) const;
+
+    /** Restore state saved by saveState(). */
+    void restoreState(CkptReader &r);
 
     /** Set by the GPU when tracing is requested. */
     TraceHookFn traceHook;

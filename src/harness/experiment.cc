@@ -1,8 +1,11 @@
 #include "harness/experiment.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <utility>
 
+#include "ckpt/checkpoint.hh"
+#include "ckpt/ffwd.hh"
 #include "core/softwalker.hh"
 #include "prof/hostprof.hh"
 #include "sim/logging.hh"
@@ -194,7 +197,63 @@ run(RunSpec spec)
         if (obs && obs->any())
             gpu->installObservability(*obs);
     }
-    gpu->run(limits);
+    // Recording captures the workload stream as the *detailed* engine
+    // consumes it; fast-forward and checkpoint segmentation consume the
+    // stream outside (or before) a recorded region, so the combinations
+    // would silently write a partial trace.
+    if (!spec.recordPath.empty() &&
+        (spec.ffwdInstrs > 0 || spec.checkpointAtInstrs > 0 ||
+         !spec.checkpointIn.empty())) {
+        fatal("trace recording cannot be combined with fast-forward or "
+              "checkpointing");
+    }
+
+    std::uint64_t total_fetch = limits.warpInstrQuota + limits.warmupInstrs;
+    if (!spec.checkpointIn.empty()) {
+        if (spec.ffwdInstrs > 0 || spec.checkpointAtInstrs > 0) {
+            fatal("checkpointIn resumes a finished warmup; it cannot be "
+                  "combined with ffwdInstrs or checkpointAtInstrs");
+        }
+        CheckpointMeta meta = restoreCheckpoint(*gpu, spec.checkpointIn);
+        if (meta.instrsFetched > total_fetch) {
+            fatal("checkpoint %s was taken at %llu fetched instructions, "
+                  "past this run's quota of %llu",
+                  spec.checkpointIn.c_str(),
+                  static_cast<unsigned long long>(meta.instrsFetched),
+                  static_cast<unsigned long long>(total_fetch));
+        }
+        std::uint64_t warmup_left =
+            limits.warmupInstrs > meta.instrsFetched
+                ? limits.warmupInstrs - meta.instrsFetched : 0;
+        gpu->runSegment(total_fetch - meta.instrsFetched, warmup_left,
+                        limits);
+    } else if (spec.checkpointAtInstrs > 0) {
+        if (spec.checkpointOut.empty())
+            fatal("checkpointAtInstrs set without a checkpointOut path");
+        if (spec.checkpointAtInstrs > total_fetch) {
+            fatal("checkpoint barrier %llu lies past the run's quota %llu",
+                  static_cast<unsigned long long>(spec.checkpointAtInstrs),
+                  static_cast<unsigned long long>(total_fetch));
+        }
+        if (spec.ffwdInstrs > 0) {
+            fastForward(*gpu, spec.ffwdInstrs, limits);
+            gpu->resetAllStats();
+        }
+        std::uint64_t barrier = spec.checkpointAtInstrs;
+        gpu->runSegment(barrier, std::min(limits.warmupInstrs, barrier),
+                        limits);
+        saveCheckpoint(*gpu, barrier, spec.checkpointOut);
+        gpu->runSegment(total_fetch - barrier,
+                        limits.warmupInstrs > barrier
+                            ? limits.warmupInstrs - barrier : 0,
+                        limits);
+    } else if (spec.ffwdInstrs > 0) {
+        fastForward(*gpu, spec.ffwdInstrs, limits);
+        gpu->resetAllStats();
+        gpu->run(limits);
+    } else {
+        gpu->run(limits);
+    }
     SW_PROF_SCOPE(prof::Zone::Report);
     RunResult result = collectResult(*gpu, name);
     if (recorder) {

@@ -134,6 +134,31 @@ struct RunSpec
     // ---- Trace recording ---------------------------------------------
     /** When non-empty, record this run's stream to a `.swtrace` here. */
     std::string recordPath;
+
+    // ---- Checkpoint / fast-forward (docs/CHECKPOINTS.md) -------------
+    /**
+     * Functionally warm this many warp instructions (page table, TLBs,
+     * PWC, workload cursors — no timing) before the detailed run starts.
+     * Statistics are zeroed afterwards.  Incompatible with recording and
+     * with checkpointIn (the checkpoint already contains its warmup).
+     */
+    std::uint64_t ffwdInstrs = 0;
+    /**
+     * Split the detailed run at this fetch count: run to the barrier,
+     * save a checkpoint to checkpointOut, then continue to the end.  The
+     * result covers the whole quota, so its fingerprint must equal the
+     * fingerprint of a checkpointIn run restored from the saved file —
+     * the determinism contract the CI gate compares.  Must not exceed
+     * quota + warmup.
+     */
+    std::uint64_t checkpointAtInstrs = 0;
+    std::string checkpointOut;   ///< path for the checkpointAtInstrs save
+    /**
+     * Resume from this checkpoint instead of starting cold: the spec
+     * must rebuild the same machine (config digest is hard-checked) and
+     * the same workload source; the run covers the remaining quota.
+     */
+    std::string checkpointIn;
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "mem/cache.hh"
 
 #include "check/audit.hh"
+#include "ckpt/ckpt_io.hh"
 #include "obs/stat_registry.hh"
 #include "prof/hostprof.hh"
 #include "sim/logging.hh"
@@ -219,6 +220,83 @@ Cache::retryWaiting()
         if (waitingForMshr.size() >= before)
             break;
     }
+}
+
+void
+Cache::saveState(CkptWriter &w) const
+{
+    SW_ASSERT(mshrs.empty() && waitingForMshr.empty(),
+              "cache '%s' checkpointed with misses in flight",
+              params_.name.c_str());
+    w.section("cache");
+    w.str(params_.name);
+    // Tag stores are mostly invalid early in a run: write valid lines
+    // sparsely, keyed by their index in the flat line array.
+    std::uint32_t valid = 0;
+    for (const Line &line : lines)
+        valid += line.valid ? 1 : 0;
+    w.u32(std::uint32_t(lines.size()));
+    w.u32(valid);
+    for (std::uint32_t i = 0; i < lines.size(); ++i) {
+        const Line &line = lines[i];
+        if (!line.valid)
+            continue;
+        w.u32(i);
+        w.u64(line.tag);
+        w.u32(line.sectorMask);
+        w.u64(line.lruTick);
+    }
+    w.u64(lruCounter);
+    w.u64(stats_.accesses);
+    w.u64(stats_.hits);
+    w.u64(stats_.misses);
+    w.u64(stats_.sectorMisses);
+    w.u64(stats_.mshrMerges);
+    w.u64(stats_.mshrFailures);
+    w.u64(stats_.evictions);
+}
+
+void
+Cache::restoreState(CkptReader &r)
+{
+    r.expectSection("cache");
+    std::string name = r.str();
+    if (name != params_.name) {
+        fatal("checkpoint cache '%s' restored into '%s'", name.c_str(),
+              params_.name.c_str());
+    }
+    std::uint32_t total = r.u32();
+    if (total != lines.size()) {
+        fatal("checkpoint cache '%s' has %u lines, this config has %zu",
+              name.c_str(), total, lines.size());
+    }
+    std::uint32_t valid = r.u32();
+    if (valid > total) {
+        fatal("checkpoint cache '%s' has %u valid of %u lines",
+              name.c_str(), valid, total);
+    }
+    for (Line &line : lines)
+        line = Line{};
+    for (std::uint32_t n = 0; n < valid; ++n) {
+        std::uint32_t idx = r.u32();
+        if (idx >= lines.size())
+            fatal("checkpoint cache line index %u out of range", idx);
+        Line &line = lines[idx];
+        if (line.valid)
+            fatal("checkpoint cache line index %u duplicated", idx);
+        line.valid = true;
+        line.tag = r.u64();
+        line.sectorMask = r.u32();
+        line.lruTick = r.u64();
+    }
+    lruCounter = r.u64();
+    stats_.accesses = r.u64();
+    stats_.hits = r.u64();
+    stats_.misses = r.u64();
+    stats_.sectorMisses = r.u64();
+    stats_.mshrMerges = r.u64();
+    stats_.mshrFailures = r.u64();
+    stats_.evictions = r.u64();
 }
 
 void

@@ -24,6 +24,8 @@
 namespace sw {
 
 class StatGroup;
+class CkptWriter;
+class CkptReader;
 
 /**
  * Forwarding hook to the next level: called with the sector address of a
@@ -94,6 +96,15 @@ class Cache
     const Params &params() const { return params_; }
     std::size_t outstandingMshrs() const { return mshrs.size(); }
     std::size_t waitingForMshrCount() const { return waitingForMshr.size(); }
+
+    /**
+     * Serialise tag store + LRU clock + counters into a checkpoint.  Must
+     * only be called at a quiesced tick (no outstanding misses).
+     */
+    void saveState(CkptWriter &w) const;
+
+    /** Restore state saved by saveState(); geometry must match. */
+    void restoreState(CkptReader &r);
 
   private:
     friend struct AuditTester;   ///< negative-path audit tests only

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/ckpt_io.hh"
 #include "obs/stat_registry.hh"
 #include "sim/logging.hh"
 
@@ -54,6 +55,42 @@ Dram::utilisation() const
     for (auto busy : channelBusyCycles)
         busiest = std::max(busiest, busy);
     return double(busiest) / double(now - statsSince);
+}
+
+void
+Dram::saveState(CkptWriter &w) const
+{
+    w.section("dram");
+    w.u32(std::uint32_t(channelFree.size()));
+    // channelFree holds absolute cycles: a channel busy into the future
+    // stays busy across the restore, preserving bandwidth contention.
+    for (Cycle free_at : channelFree)
+        w.u64(free_at);
+    for (std::uint64_t busy : channelBusyCycles)
+        w.u64(busy);
+    w.u64(statsSince);
+    w.u64(stats_.accesses);
+    w.latency(stats_.queueDelay);
+    w.latency(stats_.totalLatency);
+}
+
+void
+Dram::restoreState(CkptReader &r)
+{
+    r.expectSection("dram");
+    std::uint32_t channels = r.u32();
+    if (channels != channelFree.size()) {
+        fatal("checkpoint DRAM has %u channels, this config has %zu",
+              channels, channelFree.size());
+    }
+    for (auto &free_at : channelFree)
+        free_at = r.u64();
+    for (auto &busy : channelBusyCycles)
+        busy = r.u64();
+    statsSince = r.u64();
+    stats_.accesses = r.u64();
+    r.latency(stats_.queueDelay);
+    r.latency(stats_.totalLatency);
 }
 
 void

@@ -22,6 +22,8 @@
 namespace sw {
 
 class StatGroup;
+class CkptWriter;
+class CkptReader;
 
 /** Multi-channel DRAM with queueing delay and fixed device latency. */
 class Dram
@@ -61,6 +63,12 @@ class Dram
 
     /** Fraction of elapsed cycles the busiest channel was transferring. */
     double utilisation() const;
+
+    /** Serialise channel timing + counters into a checkpoint. */
+    void saveState(CkptWriter &w) const;
+
+    /** Restore state saved by saveState(); channel count must match. */
+    void restoreState(CkptReader &r);
 
   private:
     EventQueue &eventq;

@@ -1,6 +1,7 @@
 #include "mem/memory_system.hh"
 
 #include "check/audit.hh"
+#include "ckpt/ckpt_io.hh"
 #include "obs/stat_registry.hh"
 #include "prof/hostprof.hh"
 #include "sim/logging.hh"
@@ -127,6 +128,26 @@ MemorySystem::registerStats(StatGroup group)
     }
     l2dCache->registerStats(group.group("l2d"));
     dramModel->registerStats(group.group("dram"));
+}
+
+void
+MemorySystem::saveState(CkptWriter &w) const
+{
+    w.section("mem");
+    for (const auto &cache : l1dCaches)
+        cache->saveState(w);
+    l2dCache->saveState(w);
+    dramModel->saveState(w);
+}
+
+void
+MemorySystem::restoreState(CkptReader &r)
+{
+    r.expectSection("mem");
+    for (auto &cache : l1dCaches)
+        cache->restoreState(r);
+    l2dCache->restoreState(r);
+    dramModel->restoreState(r);
 }
 
 Cache::Stats

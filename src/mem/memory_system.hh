@@ -23,6 +23,8 @@ namespace sw {
 
 class Auditor;
 class StatGroup;
+class CkptWriter;
+class CkptReader;
 
 /** Wires L1D -> L2D -> DRAM and routes accesses. */
 class MemorySystem
@@ -54,6 +56,12 @@ class MemorySystem
      * "l1d<N>.*", "l2d.*", "dram.*" under @p group's prefix.
      */
     void registerStats(StatGroup group);
+
+    /** Serialise every cache level + DRAM into a checkpoint (quiesced). */
+    void saveState(CkptWriter &w) const;
+
+    /** Restore state saved by saveState(). */
+    void restoreState(CkptReader &r);
 
   private:
     friend struct AuditTester;   ///< negative-path audit tests only

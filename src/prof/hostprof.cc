@@ -32,6 +32,9 @@ toString(Zone zone)
       case Zone::StatsAudit: return "stats_audit";
       case Zone::ObsSample: return "obs_sample";
       case Zone::Report: return "report";
+      case Zone::CkptSave: return "ckpt_save";
+      case Zone::CkptRestore: return "ckpt_restore";
+      case Zone::FfwdWarmup: return "ffwd_warmup";
     }
     return "unknown";
 }
@@ -153,6 +156,22 @@ zoneExit(ThreadRecord &rec, std::uint64_t end_nanos)
 }
 
 } // namespace detail
+
+namespace {
+std::atomic<std::uint64_t> ckptBytesCounter{0};
+} // namespace
+
+void
+addCheckpointBytes(std::uint64_t bytes)
+{
+    ckptBytesCounter.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+std::uint64_t
+checkpointBytes()
+{
+    return ckptBytesCounter.load(std::memory_order_relaxed);
+}
 
 HostProfiler &
 HostProfiler::instance()
@@ -323,10 +342,12 @@ HostProfiler::writeJson(std::ostream &out,
                   "    \"queue_depth_max\": %llu,\n"
                   "    \"slab_live_max\": %llu,\n"
                   "    \"slab_capacity_max\": %llu,\n"
+                  "    \"checkpoint_bytes\": %llu,\n"
                   "    \"samples_recorded\": %llu,\n",
                   static_cast<unsigned long long>(snap.maxQueueDepth),
                   static_cast<unsigned long long>(snap.maxSlabLive),
                   static_cast<unsigned long long>(snap.maxSlabCapacity),
+                  static_cast<unsigned long long>(checkpointBytes()),
                   static_cast<unsigned long long>(snap.gaugeCount));
     out << buf;
     out << "    \"samples\": [";

@@ -74,10 +74,13 @@ enum class Zone : std::uint8_t
     StatsAudit,     ///< auditor sweeps, stat finalisation/reset
     ObsSample,      ///< time-series sampler gauge sweeps
     Report,         ///< result collection + registry capture
+    CkptSave,       ///< checkpoint serialisation + write
+    CkptRestore,    ///< checkpoint read + state restore
+    FfwdWarmup,     ///< functional fast-forward warmup
 };
 
 inline constexpr std::size_t kNumZones =
-    static_cast<std::size_t>(Zone::Report) + 1;
+    static_cast<std::size_t>(Zone::FfwdWarmup) + 1;
 
 /** Stable lower-case zone name (JSON keys, trace track names). */
 const char *toString(Zone zone);
@@ -99,6 +102,16 @@ struct GaugeSample
     std::uint64_t slabLive = 0;      ///< event-slab slots holding handlers
     std::uint64_t slabCapacity = 0;  ///< event-slab high-water mark
 };
+
+/**
+ * Process-wide checkpoint-I/O byte counter (host gauge): the ckpt library
+ * bumps it on every checkpoint encode/decode and the JSON artifact
+ * reports it in the gauge table.  Always compiled — it is a relaxed
+ * atomic add, never a clock read, so checkpoint accounting works in
+ * non-hostprof builds and cannot perturb the simulation.
+ */
+void addCheckpointBytes(std::uint64_t bytes);
+std::uint64_t checkpointBytes();
 
 /** Everything snapshot() merges out of the per-thread records. */
 struct ProfileSnapshot

@@ -203,6 +203,29 @@ class EventQueue
     /** Number of live periodic-check subscriptions. */
     std::size_t numPeriodicChecks() const { return sweeps.size(); }
 
+    /** Insertion-sequence counter (checkpointing; pairs with now()). */
+    std::uint64_t seqCounter() const { return nextSeq; }
+
+    /**
+     * Restore the clock of a drained queue to a checkpointed position.
+     * Only the scalar counters move: pending events cannot be serialised
+     * (they are closures), which is why checkpoints are taken at a
+     * quiesced tick in the first place.  The sequence counter must be
+     * restored too — it breaks same-cycle scheduling ties, so resuming
+     * with a different value would reorder the resumed timeline.
+     */
+    void
+    restoreClock(Cycle cycle, std::uint64_t seq, std::uint64_t executed)
+    {
+        SW_ASSERT(heap.empty(),
+                  "clock restore with %zu event(s) pending", heap.size());
+        SW_ASSERT(cycle >= curCycle && seq >= nextSeq,
+                  "clock restore would rewind time");
+        curCycle = cycle;
+        nextSeq = seq;
+        numExecuted = executed;
+    }
+
     /**
      * Run events until the queue is empty, @p predicate returns true, or
      * @p cycle_limit is reached.

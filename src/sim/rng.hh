@@ -60,6 +60,22 @@ class Rng
         return static_cast<double>(next() >> 11) * 0x1.0p-53;
     }
 
+    /** Snapshot the raw generator state (checkpointing). */
+    void
+    snapshot(std::uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = state[i];
+    }
+
+    /** Restore a state captured by snapshot(). */
+    void
+    restore(const std::uint64_t in[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            state[i] = in[i];
+    }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

@@ -234,6 +234,15 @@ encodeTrace(const TraceFile &trace)
             }
         }
     }
+
+    SW_ASSERT(trace.fetchOrder.empty() ||
+              trace.fetchOrder.size() == trace.totalInstrs(),
+              "fetch order covers %zu of %llu recorded instructions",
+              trace.fetchOrder.size(),
+              (unsigned long long)trace.totalInstrs());
+    putVarint(out, trace.fetchOrder.size());
+    for (std::uint32_t stream_index : trace.fetchOrder)
+        putVarint(out, stream_index);
     return out;
 }
 
@@ -306,6 +315,40 @@ decodeTrace(const std::uint8_t *data, std::size_t size,
         }
         trace.streams.push_back(std::move(stream));
     }
+
+    if (version >= 2) {
+        std::uint64_t order_count = reader.varint();
+        // Each entry is at least one byte on disk.
+        if (order_count > reader.remaining())
+            fatal("corrupt trace '%s': fetch order claims %llu entries "
+                  "but only %zu bytes remain", context.c_str(),
+                  (unsigned long long)order_count, reader.remaining());
+        if (order_count != 0 && order_count != trace.totalInstrs())
+            fatal("corrupt trace '%s': fetch order has %llu entries for "
+                  "%llu recorded instructions", context.c_str(),
+                  (unsigned long long)order_count,
+                  (unsigned long long)trace.totalInstrs());
+        std::vector<std::uint64_t> occupancy(trace.streams.size(), 0);
+        trace.fetchOrder.reserve(order_count);
+        for (std::uint64_t i = 0; i < order_count; ++i) {
+            std::uint64_t stream_index = reader.varint();
+            if (stream_index >= trace.streams.size())
+                fatal("corrupt trace '%s': fetch-order entry %llu names "
+                      "stream %llu of %zu (offset %zu)", context.c_str(),
+                      (unsigned long long)i,
+                      (unsigned long long)stream_index,
+                      trace.streams.size(), reader.offset());
+            std::size_t idx = std::size_t(stream_index);
+            if (++occupancy[idx] > trace.streams[idx].instrs.size())
+                fatal("corrupt trace '%s': fetch order visits stream "
+                      "(%u, %u) more often than its %zu records "
+                      "(offset %zu)", context.c_str(),
+                      trace.streams[idx].sm, trace.streams[idx].warp,
+                      trace.streams[idx].instrs.size(), reader.offset());
+            trace.fetchOrder.push_back(std::uint32_t(stream_index));
+        }
+    }
+
     if (reader.remaining() != 0)
         fatal("corrupt trace '%s': %zu trailing bytes after the last "
               "stream", context.c_str(), reader.remaining());

@@ -21,6 +21,14 @@
  *     stream count (varint)
  *     per stream: sm (varint), warp (varint), instruction count (varint),
  *                 then that many records
+ *   version >= 2 only:
+ *     fetch-order length (varint; 0 = not recorded), then that many
+ *     varint stream indexes — the global order in which the recorded run
+ *     fetched one instruction from each stream.  Functional fast-forward
+ *     replays this order so per-warp positions stay time-coherent: the
+ *     cross-warp page sharing that gives a warm machine its TLB hits
+ *     lives at the recorded relative warp offsets, not at equal indexes
+ *     (docs/TRACES.md §Fetch order).
  *
  * Record encoding (one WarpInstr):
  *   varint computeGap
@@ -55,8 +63,11 @@ namespace sw {
 inline constexpr char kTraceMagic[8] =
     {'S', 'W', 'T', 'R', 'A', 'C', 'E', '\0'};
 
-/** Current format version; readers reject anything newer. */
-inline constexpr std::uint32_t kTraceVersion = 1;
+/**
+ * Current format version; readers accept 1..kTraceVersion and reject
+ * anything newer.  Version 2 added the global fetch-order stream.
+ */
+inline constexpr std::uint32_t kTraceVersion = 2;
 
 /**
  * Digest placeholder for traces converted from external sources: replay
@@ -101,6 +112,15 @@ struct TraceFile
 {
     TraceHeader header;
     std::vector<TraceStream> streams;
+    /**
+     * Stream index (into `streams`) of each fetch, in the global order
+     * the recording run performed them.  Either empty (version-1 traces,
+     * converted traces) or exactly totalInstrs() entries covering every
+     * stream's records.  Empty is legal everywhere; fast-forward then
+     * falls back to round-robin stream advance, which loses the recorded
+     * cross-warp phase relationships.
+     */
+    std::vector<std::uint32_t> fetchOrder;
 
     std::uint64_t
     totalInstrs() const

@@ -16,7 +16,9 @@ WarpInstr
 TraceRecorder::next(SmId sm, WarpId warp, Rng &rng)
 {
     WarpInstr instr = inner_->next(sm, warp, rng);
-    streams[(std::uint64_t(sm) << 32) | warp].push_back(instr);
+    std::uint64_t key = (std::uint64_t(sm) << 32) | warp;
+    streams[key].push_back(instr);
+    fetchKeys.push_back(key);
     ++recorded;
     return instr;
 }
@@ -50,13 +52,18 @@ TraceRecorder::snapshot(const GpuConfig &cfg,
     trace.header.irregular = inner_->irregular();
     trace.header.limits = limits;
     trace.streams.reserve(streams.size());
+    std::map<std::uint64_t, std::uint32_t> indexOf;
     for (const auto &[key, instrs] : streams) {
+        indexOf[key] = std::uint32_t(trace.streams.size());
         TraceStream stream;
         stream.sm = SmId(key >> 32);
         stream.warp = WarpId(key & 0xFFFFFFFFu);
         stream.instrs = instrs;
         trace.streams.push_back(std::move(stream));
     }
+    trace.fetchOrder.reserve(fetchKeys.size());
+    for (std::uint64_t key : fetchKeys)
+        trace.fetchOrder.push_back(indexOf.at(key));
     return trace;
 }
 

@@ -58,6 +58,13 @@ class TraceRecorder : public Workload
     std::unique_ptr<Workload> inner_;
     /** Keyed by (sm << 32 | warp): deterministic file order for free. */
     std::map<std::uint64_t, std::vector<WarpInstr>> streams;
+    /**
+     * Stream key of every fetch in global issue order; snapshot() maps
+     * keys to stream indexes to fill TraceFile::fetchOrder (the v2
+     * fetch-order section fast-forward replays for time-coherent warp
+     * positions).
+     */
+    std::vector<std::uint64_t> fetchKeys;
     std::uint64_t recorded = 0;
 };
 

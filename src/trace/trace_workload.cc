@@ -2,7 +2,9 @@
 
 #include <utility>
 
+#include "ckpt/ckpt_io.hh"
 #include "sim/logging.hh"
+#include "sim/ordered.hh"
 #include "workload/benchmarks.hh"
 
 namespace sw {
@@ -95,6 +97,67 @@ bool
 TraceWorkload::irregular() const
 {
     return trace_.header.irregular;
+}
+
+std::uint64_t
+TraceWorkload::streamPos(std::size_t stream_index) const
+{
+    const TraceStream &stream = trace_.streams.at(stream_index);
+    auto it = cursors.find((std::uint64_t(stream.sm) << 32) | stream.warp);
+    return it == cursors.end() ? 0 : it->second.pos;
+}
+
+void
+TraceWorkload::saveState(CkptWriter &w) const
+{
+    w.section("trace_workload");
+    w.u64(replayed);
+    w.u64(exhausted);
+    w.u64(cursors.size());
+    for (std::uint64_t key : sortedKeys(cursors)) {
+        const Cursor &cursor = cursors.at(key);
+        w.u64(key);
+        w.u64(cursor.pos);
+        w.u8(cursor.wrapped ? 1 : 0);
+    }
+}
+
+void
+TraceWorkload::restoreState(CkptReader &r)
+{
+    r.expectSection("trace_workload");
+    replayed = r.u64();
+    exhausted = r.u64();
+    std::uint64_t num_cursors = r.count(17, "trace cursors");
+    cursors.clear();
+    // The instrs pointers are reconstructed from the loaded trace; keys
+    // absent from it (digest-less converted traces only) stay pointerless
+    // and keep behaving as exhausted streams.
+    std::unordered_map<std::uint64_t, const std::vector<WarpInstr> *> byKey;
+    byKey.reserve(trace_.streams.size());
+    for (const TraceStream &stream : trace_.streams) {
+        byKey.emplace((std::uint64_t(stream.sm) << 32) | stream.warp,
+                      &stream.instrs);
+    }
+    for (std::uint64_t n = 0; n < num_cursors; ++n) {
+        std::uint64_t key = r.u64();
+        Cursor cursor;
+        cursor.pos = r.u64();
+        cursor.wrapped = r.u8() != 0;
+        auto stream_it = byKey.find(key);
+        if (stream_it != byKey.end()) {
+            cursor.instrs = stream_it->second;
+            if (cursor.pos > cursor.instrs->size())
+                fatal("checkpoint trace cursor for stream (%llu, %llu) at "
+                      "%zu past its %zu records",
+                      static_cast<unsigned long long>(key >> 32),
+                      static_cast<unsigned long long>(key & 0xFFFFFFFFull),
+                      cursor.pos, cursor.instrs->size());
+        }
+        if (!cursors.emplace(key, cursor).second)
+            fatal("checkpoint trace cursor key %llu duplicated",
+                  static_cast<unsigned long long>(key));
+    }
 }
 
 void

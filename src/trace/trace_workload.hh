@@ -78,6 +78,20 @@ class TraceWorkload : public Workload
     /** Streams that have run past their last record at least once. */
     std::uint64_t exhaustedStreams() const { return exhausted; }
 
+    /** The decoded trace (sampling passes scan the raw streams). */
+    const TraceFile &trace() const { return trace_; }
+
+    /**
+     * Records consumed so far from stream @p stream_index (an index into
+     * trace().streams).  Fast-forward uses this together with
+     * TraceFile::fetchOrder to resume the recorded global fetch
+     * interleave from the replay's current per-warp positions.
+     */
+    std::uint64_t streamPos(std::size_t stream_index) const;
+
+    void saveState(CkptWriter &w) const override;
+    void restoreState(CkptReader &r) override;
+
   private:
     struct Cursor
     {

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "ckpt/ckpt_io.hh"
 #include "obs/stat_registry.hh"
 #include "sim/types.hh"
 
@@ -75,6 +76,49 @@ class FaultBuffer
         group.counter("drained", &stats_.drained);
         group.counter("overflows", &stats_.overflows);
         group.gauge("pending", [this]() { return double(records.size()); });
+    }
+
+    /** Serialise pending records + counters into a checkpoint. */
+    void
+    saveState(CkptWriter &w) const
+    {
+        w.section("fault_buffer");
+        w.u64(capacity_);
+        w.u64(records.size());
+        for (const Record &record : records) {
+            w.u64(record.vpn);
+            w.u32(std::uint32_t(record.level));
+            w.u64(record.when);
+        }
+        w.u64(stats_.recorded);
+        w.u64(stats_.drained);
+        w.u64(stats_.overflows);
+    }
+
+    /** Restore state saved by saveState(); capacity must match. */
+    void
+    restoreState(CkptReader &r)
+    {
+        r.expectSection("fault_buffer");
+        std::uint64_t cap = r.u64();
+        if (cap != capacity_) {
+            fatal("checkpoint fault buffer capacity %llu != configured %zu",
+                  static_cast<unsigned long long>(cap), capacity_);
+        }
+        std::uint64_t n = r.count(20, "fault records");
+        if (n > capacity_)
+            fatal("checkpoint fault buffer holds more records than fit");
+        records.clear();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Record record;
+            record.vpn = r.u64();
+            record.level = int(r.u32());
+            record.when = r.u64();
+            records.push_back(record);
+        }
+        stats_.recorded = r.u64();
+        stats_.drained = r.u64();
+        stats_.overflows = r.u64();
     }
 
   private:

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "ckpt/ckpt_io.hh"
 #include "sim/logging.hh"
 
 namespace sw {
@@ -142,6 +143,57 @@ double
 HashedPageTable::loadFactor() const
 {
     return double(usedSlots) / double(numSlots);
+}
+
+void
+HashedPageTable::saveState(CkptWriter &w) const
+{
+    w.section("hashed_pt");
+    w.u64(numSlots);
+    w.u64(tableBase);
+    w.u64(usedSlots);
+    w.u64(collisionCount);
+    w.u64(usedSlots);   // element count of the sparse slot list below
+    for (std::uint64_t i = 0; i < numSlots; ++i) {
+        const Slot &slot = slots[i];
+        if (!slot.used)
+            continue;
+        w.u64(i);
+        w.u64(slot.vpn);
+        w.u64(slot.pfn);
+    }
+}
+
+void
+HashedPageTable::restoreState(CkptReader &r)
+{
+    r.expectSection("hashed_pt");
+    std::uint64_t n = r.u64();
+    if (n != numSlots) {
+        fatal("checkpoint hashed page table has %llu slots, this config "
+              "has %llu", static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(numSlots));
+    }
+    tableBase = r.u64();
+    usedSlots = r.u64();
+    collisionCount = r.u64();
+    std::uint64_t used = r.count(24, "hashed page-table slots");
+    if (used != usedSlots)
+        fatal("checkpoint hashed page table slot list disagrees with its "
+              "used counter");
+    for (auto &slot : slots)
+        slot = Slot{};
+    for (std::uint64_t i = 0; i < used; ++i) {
+        std::uint64_t idx = r.u64();
+        if (idx >= numSlots)
+            fatal("checkpoint hashed page-table slot index out of range");
+        Slot &slot = slots[idx];
+        if (slot.used)
+            fatal("checkpoint hashed page-table slot duplicated");
+        slot.used = true;
+        slot.vpn = r.u64();
+        slot.pfn = r.u64();
+    }
 }
 
 } // namespace sw

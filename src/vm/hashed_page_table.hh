@@ -49,6 +49,9 @@ class HashedPageTable : public PageTableBase
     double loadFactor() const;
     std::uint64_t collisions() const { return collisionCount; }
 
+    void saveState(CkptWriter &w) const override;
+    void restoreState(CkptReader &r) override;
+
   private:
     /** Slot in the simulated hash table (16 B each: tag + PTE). */
     struct Slot

@@ -1,6 +1,8 @@
 #include "vm/page_table.hh"
 
+#include "ckpt/ckpt_io.hh"
 #include "sim/logging.hh"
+#include "sim/ordered.hh"
 
 namespace sw {
 
@@ -228,6 +230,103 @@ RadixPageTable::advance(WalkCursor &cur) const
     }
     cur.tableBase = entry.next;
     --cur.level;
+}
+
+void
+FrameAllocator::saveState(CkptWriter &w) const
+{
+    w.section("frame_allocator");
+    w.u64(pageBytes);
+    w.u64(dataFrames);
+    w.u64(dataCursor);
+    w.u64(tableCursor);
+    w.u64(tableBytes);
+}
+
+void
+FrameAllocator::restoreState(CkptReader &r)
+{
+    r.expectSection("frame_allocator");
+    std::uint64_t page_bytes = r.u64();
+    if (page_bytes != pageBytes) {
+        fatal("checkpoint frame allocator page size %llu != configured %llu",
+              static_cast<unsigned long long>(page_bytes),
+              static_cast<unsigned long long>(pageBytes));
+    }
+    dataFrames = r.u64();
+    dataCursor = r.u64();
+    tableCursor = r.u64();
+    tableBytes = r.u64();
+}
+
+void
+RadixPageTable::saveState(CkptWriter &w) const
+{
+    w.section("radix_pt");
+    w.u64(root);
+    w.u64(nodes.size());
+    // Nodes sit in an unordered map; serialise in sorted-base order so the
+    // byte stream is deterministic (fingerprint/round-trip contracts).
+    for (PhysAddr base : sortedKeys(nodes)) {
+        const Node &node = *nodes.at(base);
+        w.u64(node.base);
+        w.u32(std::uint32_t(node.entries.size()));
+        std::uint32_t valid = 0;
+        for (const Entry &entry : node.entries)
+            valid += entry.valid ? 1 : 0;
+        w.u32(valid);
+        for (std::uint32_t i = 0; i < node.entries.size(); ++i) {
+            const Entry &entry = node.entries[i];
+            if (!entry.valid)
+                continue;
+            w.u32(i);
+            w.u8(entry.leaf ? 1 : 0);
+            w.u64(entry.next);
+        }
+    }
+}
+
+void
+RadixPageTable::restoreState(CkptReader &r)
+{
+    r.expectSection("radix_pt");
+    root = r.u64();
+    std::uint64_t num_nodes = r.count(16, "page-table nodes");
+    nodes.clear();
+    for (std::uint64_t n = 0; n < num_nodes; ++n) {
+        auto node = std::make_unique<Node>();
+        node->base = r.u64();
+        std::uint32_t entries = r.u32();
+        // Node sizes are bounded by the largest level's radix.
+        std::uint32_t max_entries = 0;
+        for (unsigned bits : levelBits)
+            max_entries = std::max(max_entries, std::uint32_t(1u << bits));
+        if (entries == 0 || entries > max_entries) {
+            fatal("checkpoint page-table node with %u entries (max %u)",
+                  entries, max_entries);
+        }
+        node->entries.resize(entries);
+        std::uint32_t valid = r.u32();
+        if (valid > entries)
+            fatal("checkpoint page-table node has %u valid of %u entries",
+                  valid, entries);
+        for (std::uint32_t i = 0; i < valid; ++i) {
+            std::uint32_t idx = r.u32();
+            if (idx >= entries)
+                fatal("checkpoint page-table entry index %u out of range",
+                      idx);
+            Entry &entry = node->entries[idx];
+            entry.valid = true;
+            entry.leaf = r.u8() != 0;
+            entry.next = r.u64();
+        }
+        PhysAddr base = node->base;
+        if (!nodes.emplace(base, std::move(node)).second)
+            fatal("checkpoint page-table node base %llx duplicated",
+                  static_cast<unsigned long long>(base));
+    }
+    if (nodes.find(root) == nodes.end())
+        fatal("checkpoint page-table root node missing");
 }
 
 } // namespace sw

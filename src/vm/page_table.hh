@@ -23,6 +23,9 @@
 
 namespace sw {
 
+class CkptWriter;
+class CkptReader;
+
 /** Size of one page-table entry in simulated memory. */
 inline constexpr std::uint64_t kPteBytes = 8;
 
@@ -45,6 +48,12 @@ class FrameAllocator
 
     std::uint64_t dataFramesAllocated() const { return dataFrames; }
     std::uint64_t tableBytesAllocated() const { return tableBytes; }
+
+    /** Serialise the allocation cursors into a checkpoint. */
+    void saveState(CkptWriter &w) const;
+
+    /** Restore state saved by saveState(); page size must match. */
+    void restoreState(CkptReader &r);
 
   private:
     std::uint64_t pageBytes;
@@ -115,6 +124,13 @@ class PageTableBase
 
     /** Total simulated memory reads a full (uncached) walk performs. */
     virtual int walkReads(Vpn vpn) const = 0;
+
+    // ---- Checkpointing ---------------------------------------------------
+    /** Serialise all mappings into a checkpoint. */
+    virtual void saveState(CkptWriter &w) const = 0;
+
+    /** Restore mappings saved by saveState(); geometry must match. */
+    virtual void restoreState(CkptReader &r) = 0;
 };
 
 /**
@@ -149,6 +165,9 @@ class RadixPageTable : public PageTableBase
     unsigned bitsBelow(int level) const;
 
     std::uint64_t nodesAllocated() const { return nodes.size(); }
+
+    void saveState(CkptWriter &w) const override;
+    void restoreState(CkptReader &r) override;
 
   private:
     struct Entry

@@ -1,5 +1,6 @@
 #include "vm/page_walk_cache.hh"
 
+#include "ckpt/ckpt_io.hh"
 #include "obs/stat_registry.hh"
 #include "sim/logging.hh"
 #include "vm/page_table.hh"
@@ -90,6 +91,46 @@ PageWalkCache::registerStats(StatGroup group)
     group.counter("hits", &stats_.hits);
     group.counter("fills", &stats_.fills);
     group.gauge("hit_rate", [this]() { return stats_.hitRate(); });
+}
+
+void
+PageWalkCache::saveState(CkptWriter &w) const
+{
+    w.section("pwc");
+    w.u32(std::uint32_t(entries.size()));
+    for (const Entry &entry : entries) {
+        w.u8(entry.valid ? 1 : 0);
+        w.u32(std::uint32_t(entry.level));
+        w.u64(entry.prefix);
+        w.u64(entry.base);
+        w.u64(entry.lruTick);
+    }
+    w.u64(lruCounter);
+    w.u64(stats_.lookups);
+    w.u64(stats_.hits);
+    w.u64(stats_.fills);
+}
+
+void
+PageWalkCache::restoreState(CkptReader &r)
+{
+    r.expectSection("pwc");
+    std::uint32_t n = r.u32();
+    if (n != entries.size()) {
+        fatal("checkpoint PWC has %u entries, this config has %zu",
+              n, entries.size());
+    }
+    for (Entry &entry : entries) {
+        entry.valid = r.u8() != 0;
+        entry.level = int(r.u32());
+        entry.prefix = r.u64();
+        entry.base = r.u64();
+        entry.lruTick = r.u64();
+    }
+    lruCounter = r.u64();
+    stats_.lookups = r.u64();
+    stats_.hits = r.u64();
+    stats_.fills = r.u64();
 }
 
 } // namespace sw

@@ -21,6 +21,8 @@ namespace sw {
 
 class PageTableBase;
 class StatGroup;
+class CkptWriter;
+class CkptReader;
 
 /** Fully associative LRU cache of (level, prefix) -> table base. */
 class PageWalkCache
@@ -64,6 +66,12 @@ class PageWalkCache
 
     const Stats &stats() const { return stats_; }
     std::uint32_t size() const { return std::uint32_t(entries.size()); }
+
+    /** Serialise entries + LRU clock + counters into a checkpoint. */
+    void saveState(CkptWriter &w) const;
+
+    /** Restore state saved by saveState(); capacity must match. */
+    void restoreState(CkptReader &r);
 
   private:
     struct Entry

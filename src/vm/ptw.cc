@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/audit.hh"
+#include "ckpt/ckpt_io.hh"
 #include "obs/sampler.hh"
 #include "obs/trace.hh"
 #include "prof/hostprof.hh"
@@ -214,6 +215,68 @@ HardwarePtwPool::finishWalk(ActiveWalk &walk)
     SW_ASSERT(activeWalkers > 0, "active walker underflow");
     --activeWalkers;
     dispatch();
+}
+
+void
+HardwarePtwPool::saveState(CkptWriter &w) const
+{
+    // Checkpoints are taken at a quiesced tick: the transient walk state
+    // (queues, active slots, in-transit counters) must all be empty —
+    // anything else means the caller checkpointed mid-flight.
+    SW_ASSERT(pwb.empty() && overflow.empty() && activeWalkers == 0 &&
+              inFlightCount == 0 && enqInTransit == 0,
+              "hardware PTW pool checkpointed while walks are in flight");
+    w.section("hw_ptw");
+    w.u64(stats_.submitted);
+    w.u64(stats_.completed);
+    w.u64(stats_.nhaMerged);
+    w.u64(stats_.pwbOverflows);
+    w.u64(stats_.memReads);
+    w.latency(stats_.queueDelay);
+    w.latency(stats_.accessLatency);
+    w.u64(stats_.peakInFlight);
+    // Port next-free cycles are absolute times and shape the resumed
+    // timeline; idle-slot order decides which walker slot the next walk
+    // lands in (observable through the tracer).
+    w.u32(std::uint32_t(portFree.size()));
+    for (Cycle free_at : portFree)
+        w.u64(free_at);
+    w.u32(std::uint32_t(idleSlots.size()));
+    for (std::uint32_t slot : idleSlots)
+        w.u32(slot);
+}
+
+void
+HardwarePtwPool::restoreState(CkptReader &r)
+{
+    r.expectSection("hw_ptw");
+    stats_.submitted = r.u64();
+    stats_.completed = r.u64();
+    stats_.nhaMerged = r.u64();
+    stats_.pwbOverflows = r.u64();
+    stats_.memReads = r.u64();
+    r.latency(stats_.queueDelay);
+    r.latency(stats_.accessLatency);
+    stats_.peakInFlight = r.u64();
+    std::uint32_t ports = r.u32();
+    if (ports != portFree.size()) {
+        fatal("checkpoint PTW pool has %u ports, this config has %zu",
+              ports, portFree.size());
+    }
+    for (auto &free_at : portFree)
+        free_at = r.u64();
+    std::uint32_t idle = r.u32();
+    if (idle != params_.numWalkers) {
+        fatal("checkpoint PTW pool has %u idle walkers of %u (not "
+              "quiesced?)", idle, params_.numWalkers);
+    }
+    idleSlots.clear();
+    for (std::uint32_t i = 0; i < idle; ++i) {
+        std::uint32_t slot = r.u32();
+        if (slot >= params_.numWalkers)
+            fatal("checkpoint PTW idle slot %u out of range", slot);
+        idleSlots.push_back(slot);
+    }
 }
 
 void

@@ -79,6 +79,9 @@ class HardwarePtwPool : public WalkBackend
     }
     std::uint32_t busyWalkers() const { return activeWalkers; }
 
+    void saveState(CkptWriter &w) const override;
+    void restoreState(CkptReader &r) override;
+
   private:
     friend struct AuditTester;   ///< negative-path audit tests only
 

@@ -1,6 +1,7 @@
 #include "vm/tlb.hh"
 
 #include "check/audit.hh"
+#include "ckpt/ckpt_io.hh"
 #include "obs/stat_registry.hh"
 #include "sim/logging.hh"
 
@@ -211,6 +212,68 @@ TlbArray::registerStats(StatGroup group)
                 [this]() { return double(stats_.lookups - stats_.hits); });
     group.gauge("hit_rate", [this]() { return stats_.hitRate(); });
     group.gauge("pending", [this]() { return double(numPending); });
+}
+
+void
+TlbArray::saveState(CkptWriter &w) const
+{
+    w.section("tlb");
+    w.str(name_);
+    w.u32(std::uint32_t(entries.size()));
+    for (const Entry &entry : entries) {
+        w.u8(std::uint8_t(entry.state));
+        w.u64(entry.vpn);
+        w.u64(entry.pfn);
+        w.u64(entry.lruTick);
+    }
+    w.u64(lruCounter);
+    w.u32(numPending);
+    w.u64(stats_.lookups);
+    w.u64(stats_.hits);
+    w.u64(stats_.fills);
+    w.u64(stats_.evictions);
+    w.u64(stats_.fillsSkipped);
+    w.u64(stats_.pendingAllocs);
+    w.u64(stats_.pendingAllocFailures);
+    w.u64(stats_.pendingEvictedValid);
+}
+
+void
+TlbArray::restoreState(CkptReader &r)
+{
+    r.expectSection("tlb");
+    std::string saved_name = r.str();
+    if (saved_name != name_) {
+        fatal("checkpoint TLB \"%s\" restored into \"%s\"",
+              saved_name.c_str(), name_.c_str());
+    }
+    std::uint32_t n = r.u32();
+    if (n != entries.size()) {
+        fatal("checkpoint TLB \"%s\" has %u entries, this config has %zu",
+              name_.c_str(), n, entries.size());
+    }
+    for (Entry &entry : entries) {
+        std::uint8_t state = r.u8();
+        if (state > std::uint8_t(EntryState::Pending))
+            fatal("checkpoint TLB entry state %u out of range", state);
+        entry.state = EntryState(state);
+        entry.vpn = r.u64();
+        entry.pfn = r.u64();
+        entry.lruTick = r.u64();
+    }
+    lruCounter = r.u64();
+    numPending = r.u32();
+    stats_.lookups = r.u64();
+    stats_.hits = r.u64();
+    stats_.fills = r.u64();
+    stats_.evictions = r.u64();
+    stats_.fillsSkipped = r.u64();
+    stats_.pendingAllocs = r.u64();
+    stats_.pendingAllocFailures = r.u64();
+    stats_.pendingEvictedValid = r.u64();
+    if (numPending != countPendingScan())
+        fatal("checkpoint TLB \"%s\" pending counter disagrees with the "
+              "restored array", name_.c_str());
 }
 
 } // namespace sw

@@ -21,6 +21,8 @@
 namespace sw {
 
 class StatGroup;
+class CkptWriter;
+class CkptReader;
 
 /** TLB tag store with LRU replacement and tri-state entries. */
 class TlbArray
@@ -101,6 +103,13 @@ class TlbArray
 
     const Stats &stats() const { return stats_; }
     const std::string &name() const { return name_; }
+
+    /** Serialise the full array (entries incl. In-TLB MSHR ways, LRU
+     *  clock, counters) into a checkpoint. */
+    void saveState(CkptWriter &w) const;
+
+    /** Restore state saved by saveState(); geometry must match. */
+    void restoreState(CkptReader &r);
 
   private:
     friend struct AuditTester;   ///< negative-path audit tests only

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/audit.hh"
+#include "ckpt/ckpt_io.hh"
 #include "prof/hostprof.hh"
 #include "sim/logging.hh"
 #include "sim/ordered.hh"
@@ -305,6 +306,120 @@ TranslationEngine::resolveL1(SmId sm, Vpn vpn, Pfn pfn)
         waiter.done(pfn);
     }
     drainL1WaitQueue(sm);
+}
+
+TouchResult
+TranslationEngine::functionalTouch(SmId sm, Vpn vpn)
+{
+    SW_ASSERT(sm < cfg.numSms, "functional touch from unknown SM %u", sm);
+    Pfn pfn = 0;
+    if (l1Arrays[sm].lookup(vpn, pfn))
+        return TouchResult::L1Hit;
+    if (l2Array.lookup(vpn, pfn)) {
+        l1Arrays[sm].fill(vpn, pfn);
+        return TouchResult::L2Hit;
+    }
+    // Full functional walk.  Map on first touch (warmup never takes the
+    // UVM fault path), consult the PWC, then descend — filling the PWC at
+    // exactly the points a timed walker would (see HardwarePtwPool::
+    // walkStep), so warmed PWC contents match detailed-walk behaviour.
+    pageTable_.ensureMapped(vpn);
+    int level = 0;
+    PhysAddr base = 0;
+    WalkCursor cursor;
+    if (pwcCache.lookup(pageTable_, vpn, level, base))
+        cursor = pageTable_.resumeWalk(vpn, level, base);
+    else
+        cursor = pageTable_.startWalk(vpn);
+    while (!cursor.done) {
+        int level_read = cursor.level;
+        pageTable_.advance(cursor);
+        if (!cursor.done && level_read > 1) {
+            pwcCache.fill(pageTable_, cursor.level, vpn,
+                          cursor.tableBase);
+        }
+    }
+    SW_ASSERT(!cursor.fault, "functional walk faulted on a mapped page");
+    l2Array.fill(vpn, cursor.pfn);
+    l1Arrays[sm].fill(vpn, cursor.pfn);
+    return TouchResult::Walk;
+}
+
+void
+TranslationEngine::saveState(CkptWriter &w) const
+{
+    // The quiesce contract: nothing on the translation path is in flight.
+    for (SmId sm = 0; sm < cfg.numSms; ++sm) {
+        SW_ASSERT(l1Mshrs[sm].empty() && l1WaitQueues[sm].empty(),
+                  "SM %u has L1 translation state in flight at checkpoint",
+                  sm);
+    }
+    SW_ASSERT(outstanding.empty() && l2WaitQueue.empty() &&
+              regularMshrInUse == 0,
+              "L2 TLB has misses in flight at checkpoint");
+    w.section("translation");
+    for (const auto &l1 : l1Arrays)
+        l1.saveState(w);
+    l2Array.saveState(w);
+    pwcCache.saveState(w);
+    faults_.saveState(w);
+    w.u64(nextWalkId);
+    w.u64(stats_.requests);
+    w.u64(stats_.l1Hits);
+    w.u64(stats_.l1Misses);
+    w.u64(stats_.l1MshrMerges);
+    w.u64(stats_.l1MshrFailures);
+    w.u64(stats_.l2Accesses);
+    w.u64(stats_.l2Hits);
+    w.u64(stats_.l2Misses);
+    w.u64(stats_.l2MshrMerges);
+    w.u64(stats_.l2MshrFailures);
+    w.u64(stats_.inTlbMshrAllocs);
+    w.u64(stats_.walksCreated);
+    w.u64(stats_.walksCompleted);
+    w.u64(stats_.faults);
+    w.u64(stats_.regularMshrPeak);
+    w.u64(stats_.inTlbMshrPeak);
+    w.latency(stats_.walkQueueDelay);
+    w.latency(stats_.walkAccessLatency);
+    w.latency(stats_.translationLatency);
+    w.latency(stats_.ptReadLatency);
+    SW_ASSERT(walkBackend != nullptr, "checkpoint before backend install");
+    walkBackend->saveState(w);
+}
+
+void
+TranslationEngine::restoreState(CkptReader &r)
+{
+    r.expectSection("translation");
+    for (auto &l1 : l1Arrays)
+        l1.restoreState(r);
+    l2Array.restoreState(r);
+    pwcCache.restoreState(r);
+    faults_.restoreState(r);
+    nextWalkId = r.u64();
+    stats_.requests = r.u64();
+    stats_.l1Hits = r.u64();
+    stats_.l1Misses = r.u64();
+    stats_.l1MshrMerges = r.u64();
+    stats_.l1MshrFailures = r.u64();
+    stats_.l2Accesses = r.u64();
+    stats_.l2Hits = r.u64();
+    stats_.l2Misses = r.u64();
+    stats_.l2MshrMerges = r.u64();
+    stats_.l2MshrFailures = r.u64();
+    stats_.inTlbMshrAllocs = r.u64();
+    stats_.walksCreated = r.u64();
+    stats_.walksCompleted = r.u64();
+    stats_.faults = r.u64();
+    stats_.regularMshrPeak = r.u64();
+    stats_.inTlbMshrPeak = r.u64();
+    r.latency(stats_.walkQueueDelay);
+    r.latency(stats_.walkAccessLatency);
+    r.latency(stats_.translationLatency);
+    r.latency(stats_.ptReadLatency);
+    SW_ASSERT(walkBackend != nullptr, "restore before backend install");
+    walkBackend->restoreState(r);
 }
 
 void

@@ -37,6 +37,14 @@ class Auditor;
 /** Delivered with the PFN when a translation resolves. */
 using TransDoneFn = std::function<void(Pfn)>;
 
+/** Outcome of a functional (zero-time) translation touch. */
+enum class TouchResult
+{
+    L1Hit,
+    L2Hit,
+    Walk,   ///< missed both TLB levels; a full walk ran functionally
+};
+
 /** Orchestrates L1 TLB -> L2 TLB -> PWC -> walk backend. */
 class TranslationEngine
 {
@@ -78,6 +86,15 @@ class TranslationEngine
 
     /** Translate @p vpn for SM @p sm; @p done fires with the PFN. */
     void translate(SmId sm, Vpn vpn, TransDoneFn done);
+
+    /**
+     * Functional warmup touch (fast-forward, §checkpoints doc): performs
+     * the same TLB/PWC/page-table state transitions as a timed translate
+     * — L1 lookup, L2 lookup + L1 fill, or a complete walk with PWC fills
+     * and TLB fills — but consumes no simulated time and allocates no
+     * MSHR / queue state.  Pages are mapped on first touch.
+     */
+    TouchResult functionalTouch(SmId sm, Vpn vpn);
 
     /**
      * Page-table memory read used by all walk backends: routes to the
@@ -144,6 +161,17 @@ class TranslationEngine
      */
     void setTracer(TranslationTracer *tracer);
     TranslationTracer *tracer() const { return tracer_; }
+
+    /**
+     * Serialise the full translation path (L1/L2 TLBs, PWC, fault buffer,
+     * walk counters, the installed backend) into a checkpoint.  Must only
+     * be called at a quiesced tick: no MSHRs held, no parked requesters,
+     * no outstanding walks.
+     */
+    void saveState(CkptWriter &w) const;
+
+    /** Restore state saved by saveState(). */
+    void restoreState(CkptReader &r);
 
     /** L2 TLB misses per kilo "instruction" given an instruction count. */
     double

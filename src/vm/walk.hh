@@ -94,6 +94,16 @@ class WalkBackend
     {
         (void)sampler;
     }
+
+    /**
+     * Serialise backend state into a checkpoint.  Called only at a
+     * quiesced tick (no walks in flight); backends with no durable state
+     * beyond statistics may keep the default no-op.
+     */
+    virtual void saveState(CkptWriter &w) const { (void)w; }
+
+    /** Restore state saved by saveState(). */
+    virtual void restoreState(CkptReader &r) { (void)r; }
 };
 
 } // namespace sw

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "ckpt/ckpt_io.hh"
 #include "sim/logging.hh"
+#include "sim/ordered.hh"
 
 namespace sw {
 
@@ -84,6 +86,48 @@ SyntheticWorkload::windowAddr(SmId sm, Rng &rng, std::uint64_t align)
                  % footprint;
     }
     return kHeapBase + (offset / align) * align;
+}
+
+void
+SyntheticWorkload::saveState(CkptWriter &w) const
+{
+    // Cursors and window clocks are lazily populated unordered maps:
+    // serialise in sorted-key order so the byte stream is deterministic.
+    w.section("synthetic_workload");
+    w.u64(cursors.size());
+    for (std::uint64_t key : sortedKeys(cursors)) {
+        w.u64(key);
+        w.u64(cursors.at(key));
+    }
+    w.u64(windowClock.size());
+    for (SmId sm : sortedKeys(windowClock)) {
+        w.u32(sm);
+        w.u64(windowClock.at(sm));
+    }
+}
+
+void
+SyntheticWorkload::restoreState(CkptReader &r)
+{
+    r.expectSection("synthetic_workload");
+    cursors.clear();
+    std::uint64_t num_cursors = r.count(16, "workload cursors");
+    for (std::uint64_t i = 0; i < num_cursors; ++i) {
+        std::uint64_t key = r.u64();
+        std::uint64_t pos = r.u64();
+        if (!cursors.emplace(key, pos).second)
+            fatal("checkpoint workload cursor key %llu duplicated",
+                  static_cast<unsigned long long>(key));
+    }
+    windowClock.clear();
+    std::uint64_t num_clocks = r.count(12, "workload window clocks");
+    for (std::uint64_t i = 0; i < num_clocks; ++i) {
+        SmId sm = r.u32();
+        std::uint64_t ticks = r.u64();
+        if (!windowClock.emplace(sm, ticks).second)
+            fatal("checkpoint workload window clock for SM %u duplicated",
+                  sm);
+    }
 }
 
 // --------------------------------------------------------------------------

@@ -32,6 +32,9 @@ class SyntheticWorkload : public Workload
     std::string name() const override { return name_; }
     bool irregular() const override { return irregular_; }
 
+    void saveState(CkptWriter &w) const override;
+    void restoreState(CkptReader &r) override;
+
   protected:
     /** Base virtual address of the data segment. */
     static constexpr VirtAddr kHeapBase = 1ull << 34;

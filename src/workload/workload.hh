@@ -21,6 +21,9 @@
 
 namespace sw {
 
+class CkptWriter;
+class CkptReader;
+
 /** One warp-level global memory instruction. */
 struct WarpInstr
 {
@@ -53,6 +56,17 @@ class Workload
 
     /** Table 4 classification (required PTWs > 32). */
     virtual bool irregular() const = 0;
+
+    /**
+     * Serialise generator-internal cursor state into a checkpoint.  The
+     * default is a no-op: stateless generators reproduce their stream from
+     * the (checkpointed) per-SM RNGs alone.  Generators with persistent
+     * cursors must override both hooks or the resumed stream diverges.
+     */
+    virtual void saveState(CkptWriter &w) const { (void)w; }
+
+    /** Restore state saved by saveState(). */
+    virtual void restoreState(CkptReader &r) { (void)r; }
 };
 
 } // namespace sw

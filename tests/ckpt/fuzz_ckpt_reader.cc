@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Fuzz harness for the checkpoint decoder (CkptReader / decodeCheckpoint).
+ *
+ * Like the trace decoder, decodeCheckpoint() parses attacker-shaped
+ * bytes: every malformed input must end in a clean fatal() diagnostic,
+ * never an out-of-bounds read, unbounded allocation, or panic.  The
+ * harness traps "fatal" as a graceful rejection and lets "panic" abort —
+ * a panic means the decoder itself is broken.
+ *
+ * The accepted-input property is a canonical fixed point rather than
+ * byte-identity with the original input: a mutated image can decode
+ * successfully yet differ from what the writer would emit (e.g. map keys
+ * arriving in a different but still-sorted order).  So: if input x
+ * decodes into machine A, then y = encode(A) must decode into machine B
+ * with encode(B) == y — the encoder's own output is a fixed point.
+ *
+ * Two build modes share this file, mirroring fuzz_trace_reader.cc:
+ *
+ *  - SOFTWALKER_FUZZ=ON (clang only): libFuzzer entry point; CI runs a
+ *    60-second smoke with the seed corpus.
+ *
+ *  - default: a standalone regression binary.  No arguments: self-seed
+ *    (a valid checkpoint plus truncations, bit flips, oversized counts)
+ *    and replay; `--write-corpus DIR` also writes the seeds as files;
+ *    other arguments are corpus files.  ctest runs the no-argument mode
+ *    on every build.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hh"
+#include "core/softwalker.hh"
+#include "gpu/gpu.hh"
+#include "sim/logging.hh"
+#include "workload/benchmarks.hh"
+
+#include "../test_util.hh"
+
+namespace {
+
+/** Thrown by the failure hook to unwind out of fatal() back to the driver. */
+struct FatalTrap : std::runtime_error
+{
+    explicit FatalTrap(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+void
+installTrap()
+{
+    static bool installed = false;
+    if (installed)
+        return;
+    installed = true;
+    sw::setFailureHook([](const char *kind, const std::string &msg) {
+        // Trap fatal (malformed input — expected); let panic abort (a
+        // decoder invariant failed — that is the bug being hunted).
+        if (std::strcmp(kind, "fatal") == 0)
+            throw FatalTrap(msg);
+    });
+}
+
+/** The machine every image decodes into; must match the seed's config. */
+std::unique_ptr<sw::Gpu>
+freshGpu()
+{
+    auto gpu = std::make_unique<sw::Gpu>(
+        sw::test::smallConfig(),
+        sw::makeWorkload(sw::findBenchmark("bfs")));
+    sw::installWalkBackend(*gpu);
+    return gpu;
+}
+
+/**
+ * One fuzz iteration: decode into a fresh machine; on acceptance the
+ * decoded state must reach the encoder's canonical fixed point.
+ */
+void
+oneInput(const std::uint8_t *data, std::size_t size)
+{
+    std::unique_ptr<sw::Gpu> first = freshGpu();
+    sw::CheckpointMeta meta;
+    try {
+        meta = sw::decodeCheckpoint(*first, data, size, "fuzz-input");
+    } catch (const FatalTrap &) {
+        return; // graceful rejection
+    }
+
+    std::vector<std::uint8_t> canon =
+        sw::encodeCheckpoint(*first, meta.instrsFetched);
+    std::unique_ptr<sw::Gpu> second = freshGpu();
+    try {
+        sw::decodeCheckpoint(*second, canon.data(), canon.size(),
+                             "fuzz-reencode");
+    } catch (const FatalTrap &trap) {
+        sw::panic("re-encoded checkpoint failed to decode: %s", trap.what());
+    }
+    std::vector<std::uint8_t> again =
+        sw::encodeCheckpoint(*second, meta.instrsFetched);
+    if (again != canon) {
+        sw::panic("checkpoint canonical form is not a fixed point: "
+                  "%zu vs %zu byte(s)", canon.size(), again.size());
+    }
+}
+
+} // namespace
+
+#if defined(SOFTWALKER_FUZZ)
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    installTrap();
+    oneInput(data, size);
+    return 0;
+}
+
+#else // standalone regression binary
+
+namespace {
+
+/** A valid image of a small quiesced run, the corpus's one good seed. */
+std::vector<std::uint8_t>
+makeSeedImage()
+{
+    std::unique_ptr<sw::Gpu> gpu = freshGpu();
+    sw::Gpu::RunLimits limits;
+    limits.warpInstrQuota = 64;
+    limits.warmupInstrs = 0;
+    limits.maxCycles = 4000000;
+    gpu->runSegment(limits.warpInstrQuota, 0, limits);
+    return sw::encodeCheckpoint(*gpu, limits.warpInstrQuota);
+}
+
+/** Seed corpus: one valid checkpoint plus systematic corruptions of it. */
+std::vector<std::vector<std::uint8_t>>
+makeSeeds()
+{
+    std::vector<std::vector<std::uint8_t>> seeds;
+    const std::vector<std::uint8_t> valid = makeSeedImage();
+    seeds.push_back(valid);
+
+    // Truncations at every interesting boundary and a byte into the tail:
+    // mid-magic, after magic, mid-version, after digest, halfway, end-1.
+    for (std::size_t cut : {std::size_t{0}, std::size_t{4}, std::size_t{8},
+                            std::size_t{10}, std::size_t{20},
+                            valid.size() / 2, valid.size() - 1})
+        seeds.emplace_back(valid.begin(),
+                           valid.begin() +
+                               static_cast<std::ptrdiff_t>(
+                                   std::min(cut, valid.size())));
+
+    // Single-byte corruptions spread over the whole image: magic, version,
+    // digest, section names, counts, payload.
+    for (std::size_t at = 0; at < valid.size();
+         at += 1 + valid.size() / 64) {
+        std::vector<std::uint8_t> flipped = valid;
+        flipped[at] ^= 0xff;
+        seeds.push_back(std::move(flipped));
+    }
+
+    // Trailing garbage after a valid image.
+    std::vector<std::uint8_t> padded = valid;
+    padded.insert(padded.end(), 16, 0xee);
+    seeds.push_back(std::move(padded));
+
+    // An absurd 64-bit count spliced over the first section's body, to
+    // probe for pre-allocation from untrusted counts.
+    if (valid.size() > 64) {
+        std::vector<std::uint8_t> huge = valid;
+        std::fill(huge.begin() + 40, huge.begin() + 48, 0xff);
+        seeds.push_back(std::move(huge));
+    }
+
+    return seeds;
+}
+
+std::vector<std::uint8_t>
+readAll(const char *path)
+{
+    std::FILE *in = std::fopen(path, "rb");
+    if (!in) {
+        // Not fatal(): the failure hook is already armed to throw.
+        std::fprintf(stderr, "cannot open corpus file %s\n", path);
+        std::exit(2);
+    }
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, in)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    std::fclose(in);
+    return bytes;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    installTrap();
+
+    const char *corpusDir = nullptr;
+    std::vector<const char *> files;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--write-corpus") == 0 && i + 1 < argc)
+            corpusDir = argv[++i];
+        else
+            files.push_back(argv[i]);
+    }
+
+    std::size_t ran = 0;
+    if (files.empty()) {
+        std::vector<std::vector<std::uint8_t>> seeds = makeSeeds();
+        for (std::size_t i = 0; i < seeds.size(); ++i) {
+            oneInput(seeds[i].data(), seeds[i].size());
+            ++ran;
+            if (corpusDir) {
+                std::string path =
+                    std::string(corpusDir) + "/seed-" + std::to_string(i) +
+                    ".swckpt.bin";
+                std::FILE *out = std::fopen(path.c_str(), "wb");
+                if (!out) {
+                    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+                    return 2;
+                }
+                std::fwrite(seeds[i].data(), 1, seeds[i].size(), out);
+                std::fclose(out);
+            }
+        }
+    } else {
+        for (const char *path : files) {
+            std::vector<std::uint8_t> bytes = readAll(path);
+            oneInput(bytes.data(), bytes.size());
+            ++ran;
+        }
+    }
+
+    std::printf("fuzz_ckpt_reader: %zu input(s), no decoder invariant "
+                "violations\n", ran);
+    return 0;
+}
+
+#endif // SOFTWALKER_FUZZ

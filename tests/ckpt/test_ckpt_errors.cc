@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Malformed-checkpoint error paths.  The contract mirrors the trace
+ * decoder's: every broken input — bad magic, wrong version, truncation,
+ * trailing bytes, missing file — dies through fatal() with a located
+ * diagnostic.  Two checks are *stricter* than trace replay: a config
+ * digest mismatch is a hard fatal with no unknown-origin escape hatch,
+ * and the workload name must match exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hh"
+#include "core/softwalker.hh"
+#include "gpu/gpu.hh"
+#include "workload/benchmarks.hh"
+
+#include "../test_util.hh"
+
+using namespace sw;
+
+namespace {
+
+Gpu::RunLimits
+smallLimits()
+{
+    Gpu::RunLimits limits;
+    limits.warpInstrQuota = 400;
+    limits.warmupInstrs = 0;
+    limits.maxCycles = 4000000;
+    return limits;
+}
+
+std::unique_ptr<Gpu>
+freshGpu(const GpuConfig &cfg, const char *bench = "bfs")
+{
+    auto gpu = std::make_unique<Gpu>(cfg, makeWorkload(findBenchmark(bench)));
+    installWalkBackend(*gpu);
+    return gpu;
+}
+
+/** A valid checkpoint image of a small quiesced run to corrupt. */
+std::vector<std::uint8_t>
+validImage(const GpuConfig &cfg)
+{
+    std::unique_ptr<Gpu> gpu = freshGpu(cfg);
+    gpu->runSegment(smallLimits().warpInstrQuota, 0, smallLimits());
+    return encodeCheckpoint(*gpu, smallLimits().warpInstrQuota);
+}
+
+std::string
+writeBytes(const char *name, const std::vector<std::uint8_t> &bytes)
+{
+    std::string path = ::testing::TempDir() + name;
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              std::streamsize(bytes.size()));
+    return path;
+}
+
+TEST(CkptErrors, BadMagicIsFatal)
+{
+    GpuConfig cfg = test::smallConfig();
+    std::vector<std::uint8_t> bytes = validImage(cfg);
+    bytes[0] ^= 0xff;
+    std::string path = writeBytes("bad-magic.swckpt", bytes);
+    std::unique_ptr<Gpu> gpu = freshGpu(cfg);
+    EXPECT_DEATH(restoreCheckpoint(*gpu, path),
+                 "not a SoftWalker checkpoint");
+}
+
+TEST(CkptErrors, WrongVersionIsFatal)
+{
+    GpuConfig cfg = test::smallConfig();
+    std::vector<std::uint8_t> bytes = validImage(cfg);
+    bytes[8] = 0x7f;   // version word follows the 8-byte magic
+    std::string path = writeBytes("bad-version.swckpt", bytes);
+    std::unique_ptr<Gpu> gpu = freshGpu(cfg);
+    EXPECT_DEATH(restoreCheckpoint(*gpu, path),
+                 "checkpoint format version");
+}
+
+TEST(CkptErrors, ConfigDigestMismatchIsHardFatal)
+{
+    // The satellite contract: unlike trace replay (which downgrades an
+    // unknown digest to a warning), restore NEVER proceeds on a digest
+    // mismatch — the machine shapes differ and state would be corrupted.
+    GpuConfig cfg = test::smallConfig();
+    std::vector<std::uint8_t> bytes = validImage(cfg);
+    std::string path = writeBytes("digest-mismatch.swckpt", bytes);
+    GpuConfig other = cfg;
+    other.numPtws = cfg.numPtws * 2;
+    std::unique_ptr<Gpu> gpu = freshGpu(other);
+    EXPECT_DEATH(restoreCheckpoint(*gpu, path), "config digest");
+}
+
+TEST(CkptErrors, WorkloadNameMismatchIsFatal)
+{
+    GpuConfig cfg = test::smallConfig();
+    std::vector<std::uint8_t> bytes = validImage(cfg);
+    std::string path = writeBytes("workload-mismatch.swckpt", bytes);
+    std::unique_ptr<Gpu> gpu = freshGpu(cfg, "sssp");
+    EXPECT_DEATH(restoreCheckpoint(*gpu, path), "restored against");
+}
+
+TEST(CkptErrors, TruncationIsFatal)
+{
+    GpuConfig cfg = test::smallConfig();
+    std::vector<std::uint8_t> bytes = validImage(cfg);
+    bytes.resize(bytes.size() / 2);
+    std::string path = writeBytes("truncated.swckpt", bytes);
+    std::unique_ptr<Gpu> gpu = freshGpu(cfg);
+    EXPECT_DEATH(restoreCheckpoint(*gpu, path), "checkpoint");
+}
+
+TEST(CkptErrors, TrailingBytesAreFatal)
+{
+    GpuConfig cfg = test::smallConfig();
+    std::vector<std::uint8_t> bytes = validImage(cfg);
+    bytes.push_back(0);
+    std::string path = writeBytes("trailing.swckpt", bytes);
+    std::unique_ptr<Gpu> gpu = freshGpu(cfg);
+    EXPECT_DEATH(restoreCheckpoint(*gpu, path), "trailing byte");
+}
+
+TEST(CkptErrors, MissingFileIsFatal)
+{
+    GpuConfig cfg = test::smallConfig();
+    std::unique_ptr<Gpu> gpu = freshGpu(cfg);
+    EXPECT_DEATH(restoreCheckpoint(*gpu, "/nonexistent/x.swckpt"),
+                 "cannot open checkpoint file");
+}
+
+TEST(CkptErrors, SectionSkewIsFatal)
+{
+    // Writer/reader ordering drift must die with a located diagnostic,
+    // not silently mis-assign state: decode a stream whose first
+    // component section name was altered.
+    GpuConfig cfg = test::smallConfig();
+    std::vector<std::uint8_t> bytes = validImage(cfg);
+    // Find the first "gpu" section marker (u32 len 3 + "gpu") after the
+    // header and corrupt its name.
+    const std::uint8_t pattern[] = {3, 0, 0, 0, 'g', 'p', 'u'};
+    auto it = std::search(bytes.begin(), bytes.end(), std::begin(pattern),
+                          std::end(pattern));
+    ASSERT_NE(it, bytes.end());
+    *(it + 4) = 'x';
+    std::string path = writeBytes("skew.swckpt", bytes);
+    std::unique_ptr<Gpu> gpu = freshGpu(cfg);
+    EXPECT_DEATH(restoreCheckpoint(*gpu, path), "section skew");
+}
+
+} // namespace

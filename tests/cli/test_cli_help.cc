@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Golden test over `swsim_cli --help`: the CLI surface is an interface
+ * contract (scripts, CI jobs, and docs/EXPERIMENTS.md recipes all parse
+ * or cite it), so any flag addition, removal, or rewording must show up
+ * as an explicit golden-file diff in review.
+ *
+ * Regenerate after an intentional change:
+ *   build/examples/swsim_cli --help > tests/cli/swsim_cli_help.golden
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+std::string
+runHelp()
+{
+    std::string cmd = std::string(SWSIM_CLI_PATH) + " --help 2>&1";
+    std::FILE *pipe = popen(cmd.c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0)
+        out.append(buf, n);
+    int status = pclose(pipe);
+    EXPECT_EQ(status, 0) << "swsim_cli --help exited non-zero";
+    return out;
+}
+
+TEST(CliHelp, MatchesGolden)
+{
+    std::string golden =
+        readFile(std::string(SW_SOURCE_DIR) + "/tests/cli/swsim_cli_help.golden");
+    EXPECT_EQ(runHelp(), golden)
+        << "swsim_cli --help drifted from tests/cli/swsim_cli_help.golden; "
+           "if the change is intentional, regenerate the golden file "
+           "(command in this file's header) and commit it";
+}
+
+TEST(CliHelp, DocumentsCheckpointFlags)
+{
+    // Belt and braces beyond the byte-exact golden: the checkpoint /
+    // sampling surface this PR adds must be present by name.
+    std::string help = runHelp();
+    for (const char *flag :
+         {"--ffwd", "--checkpoint-at", "--checkpoint-out", "--checkpoint-in",
+          "--phase-sample", "--phase-window", "--phase-clusters"}) {
+        EXPECT_NE(help.find(flag), std::string::npos)
+            << "missing " << flag << " in --help output";
+    }
+}
+
+} // namespace

@@ -208,6 +208,77 @@ TEST(TraceErrorsDeath, ConverterMissingInputIsFatal)
                  "cannot open text trace");
 }
 
+/** validBytes() with a 4-entry fetch order replacing the empty one. */
+std::vector<std::uint8_t>
+orderedBytes(const std::vector<std::uint8_t> &order)
+{
+    std::vector<std::uint8_t> bytes = validBytes();
+    // The file ends with the fetch-order section: count varint (0 for
+    // validBytes) and nothing after it.
+    EXPECT_EQ(bytes.back(), 0u);
+    bytes.back() = std::uint8_t(order.size());
+    bytes.insert(bytes.end(), order.begin(), order.end());
+    return bytes;
+}
+
+TEST(TraceErrorsDeath, FetchOrderWrongCountIsFatal)
+{
+    // 3 entries for 4 recorded instructions: the order must cover every
+    // record or be absent entirely.
+    std::string path = tempPath("order_count.swtrace");
+    writeBytes(path, orderedBytes({0, 0, 0}));
+    EXPECT_DEATH(readTraceFile(path), "fetch order has 3 entries for 4");
+}
+
+TEST(TraceErrorsDeath, FetchOrderOverclaimedCountIsFatal)
+{
+    // Claims more entries than bytes remain: truncation, not allocation.
+    // (100 keeps the count a one-byte varint.)
+    std::vector<std::uint8_t> bytes = validBytes();
+    ASSERT_EQ(bytes.back(), 0u);
+    bytes.back() = 100;
+    std::string path = tempPath("order_overclaim.swtrace");
+    writeBytes(path, bytes);
+    EXPECT_DEATH(readTraceFile(path), "fetch order claims 100 entries");
+}
+
+TEST(TraceErrorsDeath, FetchOrderBadStreamIndexIsFatal)
+{
+    // Entry names stream 7; the trace has one stream.
+    std::string path = tempPath("order_index.swtrace");
+    writeBytes(path, orderedBytes({0, 0, 7, 0}));
+    EXPECT_DEATH(readTraceFile(path), "names stream 7 of 1");
+}
+
+TEST(TraceErrorsDeath, FetchOrderOverrunIsFatal)
+{
+    // Two streams of 4 and 0 records with an order visiting stream 1.
+    TraceFile trace;
+    trace.header.name = "overrun";
+    TraceStream a;
+    a.sm = 0;
+    a.warp = 0;
+    for (int i = 0; i < 4; ++i) {
+        WarpInstr instr;
+        instr.activeLanes = 1;
+        instr.addrs[0] = VirtAddr(0x1000 * (i + 1));
+        a.instrs.push_back(instr);
+    }
+    TraceStream b;
+    b.sm = 0;
+    b.warp = 1;
+    trace.streams.push_back(a);
+    trace.streams.push_back(b);
+    trace.fetchOrder = {0, 0, 0, 0};
+    std::vector<std::uint8_t> bytes = encodeTrace(trace);
+    // Redirect the last order entry at the empty stream.
+    bytes.back() = 1;
+    std::string path = tempPath("order_overrun.swtrace");
+    writeBytes(path, bytes);
+    EXPECT_DEATH(readTraceFile(path),
+                 "visits stream \\(0, 1\\) more often");
+}
+
 TEST(TraceErrorsDeath, DuplicateBinaryStreamIsFatal)
 {
     // decodeTrace tolerates what encodeTrace would never emit only up to

@@ -130,6 +130,18 @@ TEST(TraceRoundTrip, RecorderCapturesMetadataAndStreams)
     ASSERT_EQ(snap.streams.size(), 4u);
     EXPECT_LT(snap.streams[0].warp, snap.streams[1].warp);
     EXPECT_LT(snap.streams[0].sm, snap.streams[2].sm);
+
+    // The capture loop above fetched (0,0) (1,1) (0,2) (1,3) cyclically;
+    // with sorted stream indexes (0,0)=0 (0,2)=1 (1,1)=2 (1,3)=3 the
+    // recorded global fetch order is:
+    const std::vector<std::uint32_t> expected =
+        {0, 2, 1, 3, 0, 2, 1, 3, 0, 2};
+    EXPECT_EQ(snap.fetchOrder, expected);
+
+    // And it survives a disk round trip.
+    std::string path = tempPath("recorder_order.swtrace");
+    writeTraceFile(path, snap);
+    EXPECT_EQ(readTraceFile(path).fetchOrder, expected);
 }
 
 TEST(TraceRoundTrip, DrainedStreamEmitsIdleInstructions)
