@@ -52,9 +52,12 @@ main()
                     TranslationTracer tracer;
                     Observability obs;
                     obs.tracer = &tracer;
-                    RunResult result = runBenchmark(cfg, *info,
-                                                    limitsFor(*info), 1.0,
-                                                    obs);
+                    RunSpec spec;
+                    spec.cfg = cfg;
+                    spec.benchmark = info;
+                    spec.limits = limitsFor(*info);
+                    spec.obs = &obs;
+                    RunResult result = run(std::move(spec));
                     phases[slot] = {tracer.queuePhase().mean(),
                                     tracer.walkPhase().mean(),
                                     tracer.totalPhase().mean(),

@@ -38,11 +38,11 @@ BM_TlbLookupHit(benchmark::State &state)
 {
     TlbArray tlb("bench", 1024, 16);
     for (Vpn vpn = 0; vpn < 1024; ++vpn)
-        tlb.fill(vpn, vpn + 1);
+        tlb.fill({0, vpn}, vpn + 1);
     Pfn pfn = 0;
     Vpn vpn = 0;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(tlb.lookup(vpn, pfn));
+        benchmark::DoNotOptimize(tlb.lookup({0, vpn}, pfn));
         vpn = (vpn + 1) % 1024;
     }
     state.SetItemsProcessed(state.iterations());
@@ -55,7 +55,7 @@ BM_TlbFillEvict(benchmark::State &state)
     TlbArray tlb("bench", 1024, 16);
     Vpn vpn = 0;
     for (auto _ : state) {
-        tlb.fill(vpn, vpn);
+        tlb.fill({0, vpn}, vpn);
         vpn += 64;   // always a new set conflict eventually
     }
     state.SetItemsProcessed(state.iterations());
@@ -95,13 +95,13 @@ BM_PwcLookup(benchmark::State &state)
     RadixPageTable pt(geom, alloc);
     PageWalkCache pwc(32);
     for (Vpn vpn = 0; vpn < 32; ++vpn)
-        pwc.fill(pt, 1, vpn << 10, vpn * 0x1000);
+        pwc.fill(pt, 1, {0, vpn << 10}, vpn * 0x1000);
     int level = 0;
     PhysAddr base = 0;
     Vpn vpn = 0;
     for (auto _ : state) {
         benchmark::DoNotOptimize(
-            pwc.lookup(pt, (vpn << 10) + 1, level, base));
+            pwc.lookup(pt, {0, (vpn << 10) + 1}, level, base));
         vpn = (vpn + 1) % 32;
     }
     state.SetItemsProcessed(state.iterations());

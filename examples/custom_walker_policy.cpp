@@ -86,12 +86,15 @@ main()
     limits.warmupInstrs = 3000;
     limits.maxCycles = 4000000;
 
-    RunResult base = runWorkload(
-        makeDefaultConfig(),
-        std::make_unique<HashJoinWorkload>(512ull << 20), limits);
-    RunResult soft = runWorkload(
-        makeSoftWalkerConfig(),
-        std::make_unique<HashJoinWorkload>(512ull << 20), limits);
+    auto run_join = [&limits](GpuConfig cfg) {
+        RunSpec spec;
+        spec.cfg = std::move(cfg);
+        spec.workload = std::make_unique<HashJoinWorkload>(512ull << 20);
+        spec.limits = limits;
+        return run(std::move(spec));
+    };
+    RunResult base = run_join(makeDefaultConfig());
+    RunResult soft = run_join(makeSoftWalkerConfig());
     std::printf("baseline perf %.4f instr/cy, SoftWalker %.4f instr/cy "
                 "-> %.2fx\n",
                 base.perf, soft.perf, speedup(base, soft));

@@ -39,13 +39,17 @@ main(int argc, char **argv)
         std::fprintf(stderr, "running %s (footprint %llu MB)...\n", abbr,
                      (unsigned long long)info.footprintMb);
 
-        RunResult base = runBenchmark(makeDefaultConfig(), info, limits,
-                                      1.0);
-        RunResult soft = runBenchmark(makeSoftWalkerConfig(), info, limits,
-                                      1.0);
-        RunResult hybrid = runBenchmark(
-            makeSoftWalkerConfig(TranslationMode::Hybrid), info, limits,
-            1.0);
+        auto run_one = [&info, &limits](GpuConfig cfg) {
+            RunSpec spec;
+            spec.cfg = std::move(cfg);
+            spec.benchmark = &info;
+            spec.limits = limits;
+            return run(std::move(spec));
+        };
+        RunResult base = run_one(makeDefaultConfig());
+        RunResult soft = run_one(makeSoftWalkerConfig());
+        RunResult hybrid =
+            run_one(makeSoftWalkerConfig(TranslationMode::Hybrid));
 
         sw_speedups.push_back(speedup(base, soft));
         table.addRow({abbr,

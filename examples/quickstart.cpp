@@ -33,8 +33,15 @@ main()
                 bench.abbr.c_str(), bench.fullName.c_str(),
                 static_cast<unsigned long long>(bench.footprintMb));
 
-    RunResult base = runBenchmark(base_cfg, bench);
-    RunResult soft = runBenchmark(sw_cfg, bench);
+    RunSpec base_spec;
+    base_spec.cfg = base_cfg;
+    base_spec.benchmark = &bench;
+    RunResult base = run(std::move(base_spec));
+
+    RunSpec soft_spec;
+    soft_spec.cfg = sw_cfg;
+    soft_spec.benchmark = &bench;
+    RunResult soft = run(std::move(soft_spec));
 
     std::printf("\n%-28s %14s %14s\n", "metric", "baseline", "softwalker");
     std::printf("%-28s %14llu %14llu\n", "cycles",

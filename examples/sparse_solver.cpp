@@ -33,14 +33,19 @@ main()
     for (const char *abbr : sparse_apps) {
         const BenchmarkInfo &info = findBenchmark(abbr);
         std::fprintf(stderr, "running %s...\n", abbr);
-        RunResult base = runBenchmark(makeDefaultConfig(), info);
+        RunSpec base_spec;
+        base_spec.cfg = makeDefaultConfig();
+        base_spec.benchmark = &info;
+        RunResult base = run(std::move(base_spec));
 
         std::vector<std::string> row = {abbr};
         std::uint64_t residual = 0;
         for (std::uint32_t cap : capacities) {
-            RunResult r = runBenchmark(
-                makeSoftWalkerConfig(TranslationMode::SoftWalker, cap),
-                info);
+            RunSpec spec;
+            spec.cfg = makeSoftWalkerConfig(TranslationMode::SoftWalker,
+                                            cap);
+            spec.benchmark = &info;
+            RunResult r = run(std::move(spec));
             row.push_back(TextTable::num(speedup(base, r)));
             if (cap == 1024)
                 residual = r.l2MshrFailures;

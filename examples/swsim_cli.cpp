@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/corun.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
 #include "harness/sampled.hh"
@@ -109,8 +110,26 @@ struct Options
     std::string checkpointOut, checkpointIn;
     std::string phaseSampleOut;
     SamplingOptions sampling;
+    std::vector<std::string> corunBenches;
+    bool corunNoSolo = false;
     bool help = false;
 };
+
+/** Split "bfs,gemm" into its comma-separated parts. */
+std::vector<std::string>
+splitCommas(const std::string &list)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        if (comma == std::string::npos)
+            comma = list.size();
+        parts.push_back(list.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return parts;
+}
 
 std::vector<CliOption>
 optionTable(Options &opt)
@@ -187,6 +206,42 @@ optionTable(Options &opt)
                  a[0] == "rand" ? DistributorPolicy::Random
                  : a[0] == "stall" ? DistributorPolicy::StallAware
                                    : DistributorPolicy::RoundRobin;
+         }},
+        {"--corun", "<a,b,...>",
+         "co-run one benchmark per tenant; prints slowdown/STP/fairness",
+         [&](const std::vector<std::string> &a) {
+             opt.corunBenches = splitCommas(a[0]);
+         }},
+        {"--no-solo", "",
+         "skip the per-tenant solo baselines of a --corun",
+         [&](const std::vector<std::string> &) {
+             opt.corunNoSolo = true;
+         }},
+        {"--mig", "",
+         "MIG partitioning: per-tenant SM slices and L2 TLB way slices",
+         [&](const std::vector<std::string> &) {
+             opt.cfg.migPartitioning = true;
+         }},
+        {"--pw-arb", "<demand|rr>",
+         "PW-Warp dispatch arbitration across tenants (default demand)",
+         [&](const std::vector<std::string> &a) {
+             if (a[0] == "demand")
+                 opt.cfg.pwArbitration = PwArbitration::Demand;
+             else if (a[0] == "rr")
+                 opt.cfg.pwArbitration = PwArbitration::TenantRoundRobin;
+             else
+                 cliError("--pw-arb expects demand|rr, got '" + a[0] + "'");
+         }},
+        {"--subtlb", "<k>",
+         "sub-entry L2 TLB: k pages per tag (1 = conventional)",
+         [&](const std::vector<std::string> &a) {
+             opt.cfg.l2SubEntries =
+                 std::uint32_t(parseUint(a[0], "--subtlb"));
+         }},
+        {"--subtlb-share", "",
+         "let co-resident tenants share sub-entry TLB tags",
+         [&](const std::vector<std::string> &) {
+             opt.cfg.l2SubEntrySharing = true;
          }},
         {"--record", "<file>",
          "record the page-access stream to a .swtrace file",
@@ -378,6 +433,53 @@ main(int argc, char **argv)
     }
     if (opt.benchSet && !opt.replayPath.empty())
         cliError("--bench and --replay are mutually exclusive");
+
+    if (!opt.corunBenches.empty()) {
+        if (opt.benchSet || !opt.replayPath.empty())
+            cliError("--corun cannot be combined with --bench or --replay");
+        if (opt.corunBenches.size() < 2)
+            cliError("--corun needs at least two comma-separated tenants");
+        CoRunSpec spec;
+        spec.cfg = opt.cfg;
+        spec.soloBaselines = !opt.corunNoSolo;
+        for (const std::string &bench : opt.corunBenches) {
+            findBenchmark(bench);   // reject unknown names before running
+            spec.tenants.push_back({bench, opt.scale});
+        }
+        if (opt.explicitLimits)
+            spec.limits = opt.limits;
+        std::fprintf(stderr, "co-running %zu tenants (mode=%s, mig=%s, "
+                     "arb=%s)...\n", spec.tenants.size(),
+                     toString(opt.cfg.mode),
+                     opt.cfg.migPartitioning ? "on" : "off",
+                     opt.cfg.pwArbitration == PwArbitration::TenantRoundRobin
+                         ? "rr" : "demand");
+        CoRunResult result = runCoRun(spec);
+        std::printf("co-run cycles        %llu\n",
+                    (unsigned long long)result.cycles);
+        for (const TenantOutcome &t : result.tenants) {
+            std::printf("tenant %u             %s: %.5f warp-instr/cycle, "
+                        "walkQ %.1f cy", t.asid, t.workload.c_str(), t.perf,
+                        t.walkQueueDelay);
+            if (spec.soloBaselines)
+                std::printf(", slowdown %.3fx (solo walkQ %.1f cy)",
+                            t.slowdown, t.soloWalkQueueDelay);
+            std::printf("\n");
+        }
+        if (spec.soloBaselines) {
+            std::printf("system throughput    %.4f (of %zu)\n",
+                        result.systemThroughput, result.tenants.size());
+            std::printf("avg slowdown         %.4fx\n", result.avgSlowdown);
+            std::printf("fairness             %.4f\n", result.fairness);
+        }
+        if (!opt.fingerprintOut.empty()) {
+            std::ofstream out = openOut(opt.fingerprintOut);
+            out << corunFingerprint(result);
+            std::fprintf(stderr, "wrote fingerprint to %s\n",
+                         opt.fingerprintOut.c_str());
+        }
+        return 0;
+    }
 
     // Observability bundle: each sink exists only when its output file was
     // requested, so a plain run installs nothing and stays bit-identical.

@@ -20,7 +20,10 @@ encodeCheckpoint(const Gpu &gpu, std::uint64_t instrs_fetched)
         w.u8(std::uint8_t(c));
     w.u32(kCkptVersion);
     w.u64(configDigest(gpu.config()));
-    w.str(gpu.workload().name());
+    // One workload name per tenant (index == ASID); v1 wrote exactly one.
+    w.u32(gpu.numTenants());
+    for (Asid asid = 0; asid < gpu.numTenants(); ++asid)
+        w.str(gpu.workloadOf(asid).name());
     w.u64(instrs_fetched);
     gpu.saveState(w);
     w.section("end");
@@ -61,11 +64,25 @@ decodeCheckpoint(Gpu &gpu, const std::uint8_t *data, std::size_t size,
               static_cast<unsigned long long>(meta.configDigest),
               static_cast<unsigned long long>(expected));
     }
-    meta.workloadName = r.str();
-    if (meta.workloadName != gpu.workload().name()) {
-        fatal("%s: checkpoint of workload \"%s\" restored against \"%s\"",
-              context.c_str(), meta.workloadName.c_str(),
-              gpu.workload().name().c_str());
+    // The digest check above already rejects a tenant-count mismatch
+    // (numTenants feeds the digest); this one produces a message naming
+    // the address spaces for the common operator error.
+    std::uint32_t tenants = r.u32();
+    if (tenants != gpu.numTenants()) {
+        fatal("%s: checkpoint holds %u tenant address spaces but this "
+              "machine has %u",
+              context.c_str(), tenants, gpu.numTenants());
+    }
+    for (Asid asid = 0; asid < tenants; ++asid) {
+        std::string name = r.str();
+        if (asid == 0)
+            meta.workloadName = name;
+        if (name != gpu.workloadOf(asid).name()) {
+            fatal("%s: checkpoint of workload \"%s\" (ASID %u) restored "
+                  "against \"%s\"",
+                  context.c_str(), name.c_str(), asid,
+                  gpu.workloadOf(asid).name().c_str());
+        }
     }
     meta.instrsFetched = r.u64();
     gpu.restoreState(r);

@@ -1,6 +1,6 @@
 /**
  * @file
- * Whole-machine checkpoints (`softwalker.ckpt/1`).
+ * Whole-machine checkpoints (`softwalker.ckpt/2`).
  *
  * A checkpoint serialises a quiesced Gpu — event clock, TLBs, PWC, page
  * table and frame allocator, caches, DRAM channel state, fault buffer,
@@ -33,8 +33,13 @@ class Gpu;
 inline constexpr char kCkptMagic[8] =
     {'S', 'W', 'C', 'K', 'P', 'T', '\0', '\0'};
 
-/** Current checkpoint format version; readers reject anything else. */
-inline constexpr std::uint32_t kCkptVersion = 1;
+/**
+ * Current checkpoint format version; readers reject anything else.
+ * Version 2 (multi-tenancy): one workload name per tenant in the header,
+ * per-ASID page tables under the address-space manager, and an ASID tag
+ * on every serialised TLB/PWC entry.
+ */
+inline constexpr std::uint32_t kCkptVersion = 2;
 
 /** Header fields of a checkpoint (returned by save and restore). */
 struct CheckpointMeta

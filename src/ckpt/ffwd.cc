@@ -24,13 +24,13 @@ struct Stream
  * without timing).
  */
 void
-touchOne(Gpu &gpu, Workload &workload, const Stream &stream,
-         const PageGeometry &geometry, std::vector<Vpn> &vpns,
-         FfwdStats &out)
+touchOne(Gpu &gpu, const Stream &stream, const PageGeometry &geometry,
+         std::vector<Vpn> &vpns, FfwdStats &out)
 {
     const GpuConfig &cfg = gpu.config();
-    WarpInstr instr = workload.next(stream.sm, stream.warp,
-                                    gpu.sm(stream.sm).workloadRng());
+    Asid asid = tenantOfSm(cfg, stream.sm);
+    WarpInstr instr = gpu.workloadOf(asid).next(
+        stream.sm, stream.warp, gpu.sm(stream.sm).workloadRng());
     ++out.instrs;
 
     vpns.clear();
@@ -43,7 +43,8 @@ touchOne(Gpu &gpu, Workload &workload, const Stream &stream,
     }
     for (Vpn vpn : vpns) {
         ++out.pagesTouched;
-        switch (gpu.engine().functionalTouch(stream.sm, vpn)) {
+        switch (gpu.engine().functionalTouch(stream.sm,
+                                             TranslationKey{asid, vpn})) {
           case TouchResult::L1Hit: ++out.l1TlbHits; break;
           case TouchResult::L2Hit: ++out.l2TlbHits; break;
           case TouchResult::Walk: ++out.walks; break;
@@ -83,7 +84,6 @@ fastForward(Gpu &gpu, std::uint64_t instrs, const Gpu::RunLimits &limits)
     SW_ASSERT(!streams.empty(), "fast-forward with no active warps");
 
     FfwdStats out;
-    Workload &workload = gpu.workload();
     std::vector<Vpn> vpns;
 
     // Recorded-order advance (trace replay, v2 traces).  A warm machine's
@@ -98,7 +98,10 @@ fastForward(Gpu &gpu, std::uint64_t instrs, const Gpu::RunLimits &limits)
     // stream's first streamPos() occurrences (records already consumed by
     // earlier segments), and consume the rest in recorded order, leaving
     // every warp at a time-coherent position.
-    auto *trace_workload = dynamic_cast<TraceWorkload *>(&workload);
+    // Recorded order only exists for a single recorded machine; tenants of
+    // a co-run each replay (or generate) independently via the fallback.
+    auto *trace_workload = gpu.numTenants() == 1
+        ? dynamic_cast<TraceWorkload *>(&gpu.workload()) : nullptr;
     if (trace_workload != nullptr &&
         !trace_workload->trace().fetchOrder.empty()) {
         const TraceFile &trace = trace_workload->trace();
@@ -121,15 +124,15 @@ fastForward(Gpu &gpu, std::uint64_t instrs, const Gpu::RunLimits &limits)
                 continue;
             if (++occupancy[s] <= pos[s])
                 continue;   // consumed by an earlier segment or ffwd
-            touchOne(gpu, workload, byIndex[s], geometry, vpns, out);
+            touchOne(gpu, byIndex[s], geometry, vpns, out);
         }
         // Past the end of the recorded order (drain replay): fall through
         // to round-robin for the remainder.
     }
 
     while (out.instrs < instrs)
-        touchOne(gpu, workload, streams[out.instrs % streams.size()],
-                 geometry, vpns, out);
+        touchOne(gpu, streams[out.instrs % streams.size()], geometry, vpns,
+                 out);
     return out;
 }
 

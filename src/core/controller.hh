@@ -30,11 +30,11 @@ class SoftWalkerController
 
     SoftWalkerController(EventQueue &eq, SmId sm,
                          std::uint32_t pwb_entries,
-                         const PageTableBase &pt, PwWarp::Hooks hooks,
-                         PwWarpCodeTiming timing, std::uint32_t lanes,
-                         Cycle comm_latency)
+                         const AddressSpaceManager &spaces,
+                         PwWarp::Hooks hooks, PwWarpCodeTiming timing,
+                         std::uint32_t lanes, Cycle comm_latency)
         : eventq(eq), smId(sm), pwb(pwb_entries),
-          warp(std::make_unique<PwWarp>(eq, pt, pwb, std::move(hooks),
+          warp(std::make_unique<PwWarp>(eq, spaces, pwb, std::move(hooks),
                                         timing, lanes, comm_latency))
     {
     }

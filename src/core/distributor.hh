@@ -40,33 +40,52 @@ class RequestDistributor
         std::uint64_t capacityStalls = 0;   ///< select() found no free core
     };
 
+    /**
+     * @param num_cursors independent round-robin cursors — one per tenant
+     *        when MIG partitioning pins software walks to SM slices, else 1.
+     */
     RequestDistributor(std::uint32_t num_sms, std::uint32_t per_core_capacity,
                        DistributorPolicy policy, std::uint64_t seed,
-                       StallProbeFn stall_probe = {})
+                       StallProbeFn stall_probe = {},
+                       std::uint32_t num_cursors = 1)
         : counters(num_sms, 0), capacity(per_core_capacity),
-          policy_(policy), rng(seed), stallProbe(std::move(stall_probe))
+          policy_(policy), rng(seed), stallProbe(std::move(stall_probe)),
+          rrCursors(num_cursors, 0)
     {
         SW_ASSERT(num_sms > 0 && per_core_capacity > 0,
                   "distributor needs cores and capacity");
+        SW_ASSERT(num_cursors > 0, "distributor needs a cursor");
     }
 
     /**
      * Pick a target SM with spare credit and charge one credit.
      * @retval kInvalidSm if every core is at capacity.
      */
+    SmId select() { return select(0, std::uint32_t(counters.size()), 0); }
+
+    /**
+     * Range-restricted selection (MIG partitioning): pick a target within
+     * [@p begin, @p begin + @p count) using round-robin cursor
+     * @p cursor_slot.  The unrestricted select() is the (0, numSms, 0)
+     * special case, so single-tenant behaviour is unchanged.
+     * @retval kInvalidSm if every core in the range is at capacity.
+     */
     SmId
-    select()
+    select(SmId begin, std::uint32_t count, std::uint32_t cursor_slot)
     {
+        SW_ASSERT(begin + count <= counters.size() && count > 0,
+                  "distributor range [%u, %u) out of bounds", begin,
+                  begin + count);
         SmId choice = kInvalidSm;
         switch (policy_) {
           case DistributorPolicy::RoundRobin:
-            choice = selectRoundRobin();
+            choice = selectRoundRobin(begin, count, cursor_slot);
             break;
           case DistributorPolicy::Random:
-            choice = selectRandom();
+            choice = selectRandom(begin, count);
             break;
           case DistributorPolicy::StallAware:
-            choice = selectStallAware();
+            choice = selectStallAware(begin, count);
             break;
         }
         if (choice == kInvalidSm) {
@@ -130,7 +149,9 @@ class RequestDistributor
         rng.snapshot(rng_state);
         for (std::uint64_t word : rng_state)
             w.u64(word);
-        w.u32(rrNext);
+        w.u32(std::uint32_t(rrCursors.size()));
+        for (std::uint32_t cursor : rrCursors)
+            w.u32(cursor);
         w.u64(stats_.dispatched);
         w.u64(stats_.capacityStalls);
     }
@@ -149,9 +170,17 @@ class RequestDistributor
         for (auto &word : rng_state)
             word = r.u64();
         rng.restore(rng_state);
-        rrNext = r.u32();
-        if (rrNext >= counters.size())
-            fatal("checkpoint distributor cursor %u out of range", rrNext);
+        std::uint32_t cursors = r.u32();
+        if (cursors != rrCursors.size()) {
+            fatal("checkpoint distributor has %u cursors, this config has "
+                  "%zu", cursors, rrCursors.size());
+        }
+        for (auto &cursor : rrCursors) {
+            cursor = r.u32();
+            if (cursor >= counters.size())
+                fatal("checkpoint distributor cursor %u out of range",
+                      cursor);
+        }
         stats_.dispatched = r.u64();
         stats_.capacityStalls = r.u64();
     }
@@ -160,12 +189,18 @@ class RequestDistributor
     friend struct AuditTester;   ///< negative-path audit tests only
 
     SmId
-    selectRoundRobin()
+    selectRoundRobin(SmId begin, std::uint32_t count,
+                     std::uint32_t cursor_slot)
     {
-        for (std::size_t i = 0; i < counters.size(); ++i) {
-            SmId sm = SmId((rrNext + i) % counters.size());
+        // Cursors hold absolute SM ids; the full-range cursor 0 behaves
+        // exactly like the single-cursor distributor did.
+        std::uint32_t &cursor = rrCursors.at(cursor_slot);
+        if (cursor < begin || cursor >= begin + count)
+            cursor = begin;
+        for (std::uint32_t i = 0; i < count; ++i) {
+            SmId sm = SmId(begin + (cursor - begin + i) % count);
             if (counters[sm] < capacity) {
-                rrNext = (sm + 1) % std::uint32_t(counters.size());
+                cursor = begin + (sm - begin + 1) % count;
                 return sm;
             }
         }
@@ -173,27 +208,27 @@ class RequestDistributor
     }
 
     SmId
-    selectRandom()
+    selectRandom(SmId begin, std::uint32_t count)
     {
         // A few random probes, then fall back to a scan.
         for (int attempt = 0; attempt < 4; ++attempt) {
-            SmId sm = SmId(rng.range(counters.size()));
+            SmId sm = SmId(begin + rng.range(count));
             if (counters[sm] < capacity)
                 return sm;
         }
-        for (SmId sm = 0; sm < SmId(counters.size()); ++sm)
+        for (SmId sm = begin; sm < SmId(begin + count); ++sm)
             if (counters[sm] < capacity)
                 return sm;
         return kInvalidSm;
     }
 
     SmId
-    selectStallAware()
+    selectStallAware(SmId begin, std::uint32_t count)
     {
         SW_ASSERT(bool(stallProbe), "stall-aware policy needs a probe");
         SmId best = kInvalidSm;
         std::uint32_t best_stalled = 0;
-        for (SmId sm = 0; sm < SmId(counters.size()); ++sm) {
+        for (SmId sm = begin; sm < SmId(begin + count); ++sm) {
             if (counters[sm] >= capacity)
                 continue;
             std::uint32_t stalled = stallProbe(sm);
@@ -210,7 +245,8 @@ class RequestDistributor
     DistributorPolicy policy_;
     Rng rng;
     StallProbeFn stallProbe;
-    std::uint32_t rrNext = 0;
+    /** Per-tenant round-robin cursors (absolute SM ids); [0] = global. */
+    std::vector<std::uint32_t> rrCursors;
     Stats stats_;
 };
 

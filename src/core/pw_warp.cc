@@ -20,10 +20,10 @@ toString(PwOpcode op)
     return "?";
 }
 
-PwWarp::PwWarp(EventQueue &eq, const PageTableBase &pt, SoftPwb &buffer,
-               Hooks hooks_in, PwWarpCodeTiming timing_in,
+PwWarp::PwWarp(EventQueue &eq, const AddressSpaceManager &aspaces,
+               SoftPwb &buffer, Hooks hooks_in, PwWarpCodeTiming timing_in,
                std::uint32_t num_lanes, Cycle comm_latency)
-    : eventq(eq), pageTable(pt), pwb(buffer), hooks(std::move(hooks_in)),
+    : eventq(eq), spaces(aspaces), pwb(buffer), hooks(std::move(hooks_in)),
       timing(timing_in), numLanes(num_lanes), commLatency(comm_latency)
 {
     SW_ASSERT(numLanes > 0 && numLanes <= 32, "PW Warp lanes out of range");
@@ -59,10 +59,10 @@ PwWarp::startBatch()
         lane.pickedUp = eventq.now();
         lane.created = slot.req.created;
         lane.id = slot.req.id;
-        lane.vpn = slot.req.vpn;
+        lane.key = slot.req.key;
         lanes.push_back(lane);
         SW_TRACE(tracer_, TracePhase::WalkDispatch, eventq.now(), lane.id,
-                 lane.vpn, tracerWhere);
+                 lane.key.vpn, tracerWhere, lane.key.asid);
     }
 
     ++stats_.batches;
@@ -100,18 +100,22 @@ PwWarp::levelIteration()
 
     pendingLoads = std::uint32_t(active.size());
     for (std::uint32_t lane_idx : active) {
-        PhysAddr addr = pageTable.pteAddr(lanes[lane_idx].cursor);
+        const PageTableBase &pt =
+            spaces.tableFor(lanes[lane_idx].key.asid);
+        PhysAddr addr = pt.pteAddr(lanes[lane_idx].cursor);
         auto fire = [this, lane_idx, addr]() {
             SW_TRACE(tracer_, TracePhase::PtRead, eventq.now(),
-                     lanes[lane_idx].id, lanes[lane_idx].vpn, tracerWhere);
+                     lanes[lane_idx].id, lanes[lane_idx].key.vpn,
+                     tracerWhere, lanes[lane_idx].key.asid);
             hooks.ptAccess(addr, [this, lane_idx]() {
                 Lane &lane = lanes[lane_idx];
+                const PageTableBase &table = spaces.tableFor(lane.key.asid);
                 int level_read = lane.cursor.level;
-                pageTable.advance(lane.cursor);
+                table.advance(lane.cursor);
                 if (!lane.cursor.done && level_read > 1) {
                     // FPWC: publish the just-learned table base.
                     ++stats_.fpwcIssued;
-                    hooks.pwcFill(lane.cursor.level, lane.vpn,
+                    hooks.pwcFill(lane.cursor.level, lane.key,
                                   lane.cursor.tableBase);
                 }
                 SW_ASSERT(pendingLoads > 0, "LDPT completion underflow");
@@ -167,7 +171,7 @@ PwWarp::finishBatch()
     for (const Lane &lane : lanes) {
         WalkResult result;
         result.id = lane.id;
-        result.vpn = lane.vpn;
+        result.key = lane.key;
         result.pfn = lane.cursor.pfn;
         result.fault = lane.cursor.fault;
         result.queueDelay = lane.pickedUp - lane.created;

@@ -22,6 +22,7 @@
 #include "core/soft_pwb.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
+#include "vm/address_space.hh"
 #include "vm/page_walk_cache.hh"
 #include "vm/walk.hh"
 
@@ -38,8 +39,8 @@ class PwWarp
         std::function<Cycle(std::uint32_t)> reserveIssue;
         /** Engine's page-table memory read (LDPT). */
         PtAccessFn ptAccess;
-        /** FPWC: cache (level, vpn) -> table base. */
-        std::function<void(int, Vpn, PhysAddr)> pwcFill;
+        /** FPWC: cache (level, {asid, vpn}) -> table base. */
+        std::function<void(int, TranslationKey, PhysAddr)> pwcFill;
         /**
          * FL2T arrival at the L2 TLB (after the communication latency):
          * resolves the walk and releases the distributor credit.
@@ -60,7 +61,7 @@ class PwWarp
         LatencyStat batchLatency;
     };
 
-    PwWarp(EventQueue &eq, const PageTableBase &pt, SoftPwb &pwb,
+    PwWarp(EventQueue &eq, const AddressSpaceManager &spaces, SoftPwb &pwb,
            Hooks hooks, PwWarpCodeTiming timing, std::uint32_t lanes,
            Cycle comm_latency);
 
@@ -113,7 +114,7 @@ class PwWarp
         Cycle pickedUp = 0;
         Cycle created = 0;
         std::uint64_t id = 0;
-        Vpn vpn = 0;
+        TranslationKey key;
     };
 
     void startBatch();
@@ -121,7 +122,7 @@ class PwWarp
     void finishBatch();
 
     EventQueue &eventq;
-    const PageTableBase &pageTable;
+    const AddressSpaceManager &spaces;
     SoftPwb &pwb;
     Hooks hooks;
     PwWarpCodeTiming timing;

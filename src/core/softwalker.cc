@@ -21,9 +21,12 @@ SoftWalkerBackend::SoftWalkerBackend(Gpu &gpu_ref, const GpuConfig &config)
     if (cfg.distributorPolicy == DistributorPolicy::StallAware) {
         probe = [this](SmId sm) { return gpu.sm(sm).stalledWarps(); };
     }
+    bool pinned = cfg.migPartitioning && cfg.numTenants > 1;
     distributor_ = std::make_unique<RequestDistributor>(
         cfg.numSms, cfg.softPwbEntries, cfg.distributorPolicy,
-        cfg.rngSeed ^ 0x5077a1cebeefULL, std::move(probe));
+        cfg.rngSeed ^ 0x5077a1cebeefULL, std::move(probe),
+        pinned ? cfg.numTenants : 1);
+    waiting.resize(cfg.numTenants);
 
     EventQueue &eq = gpu.eventQueue();
     TranslationEngine &engine = gpu.engine();
@@ -40,14 +43,16 @@ SoftWalkerBackend::SoftWalkerBackend(Gpu &gpu_ref, const GpuConfig &config)
                                    std::function<void()> done) {
             engine.ptAccess(addr, std::move(done));
         };
-        hooks.pwcFill = [&engine](int level, Vpn vpn, PhysAddr base) {
-            engine.pwc().fill(engine.pageTable(), level, vpn, base);
+        hooks.pwcFill = [&engine](int level, TranslationKey key,
+                                  PhysAddr base) {
+            engine.pwc().fill(engine.pageTableFor(key.asid), level, key,
+                              base);
         };
         hooks.complete = [this, sm](const WalkResult &result) {
             onSoftwareComplete(sm, result);
         };
         controllers.push_back(std::make_unique<SoftWalkerController>(
-            eq, sm, cfg.softPwbEntries, gpu.pageTable(), std::move(hooks),
+            eq, sm, cfg.softPwbEntries, engine.spaces(), std::move(hooks),
             timing, cfg.pwWarpThreads, comm));
     }
 
@@ -59,7 +64,7 @@ SoftWalkerBackend::SoftWalkerBackend(Gpu &gpu_ref, const GpuConfig &config)
         pool.nhaCoalescing = cfg.nhaCoalescing;
         pool.nhaSectorBytes = cfg.sectorBytes;
         hwPool = std::make_unique<HardwarePtwPool>(
-            eq, pool, gpu.pageTable(), engine.pwc(),
+            eq, pool, engine.spaces(), engine.pwc(),
             [&engine](PhysAddr addr, std::function<void()> done) {
                 engine.ptAccess(addr, std::move(done));
             },
@@ -108,30 +113,61 @@ SoftWalkerBackend::submit(WalkRequest req)
     dispatchSoftware(std::move(req));
 }
 
-void
-SoftWalkerBackend::dispatchSoftware(WalkRequest req)
+SmId
+SoftWalkerBackend::selectTarget(Asid asid)
 {
-    SmId target = distributor_->select();
-    if (target == kInvalidSm) {
-        // Every PW Warp is at SoftPWB capacity: the request queues at the
-        // distributor (this wait is part of the measured queueing delay).
-        waiting.push_back(std::move(req));
-        ++stats_.queuedNoCapacity;
-        stats_.peakQueued =
-            std::max<std::uint64_t>(stats_.peakQueued, waiting.size());
-        return;
+    if (cfg.migPartitioning && cfg.numTenants > 1) {
+        // MIG partitioning pins software walks to the tenant's own SM
+        // slice: one tenant's PW Warps never execute another's walks.
+        auto [begin, count] = tenantSmRange(cfg, asid);
+        return distributor_->select(begin, count, asid);
     }
+    return distributor_->select();
+}
+
+void
+SoftWalkerBackend::sendToSm(SmId target, WalkRequest req)
+{
     ++stats_.toSoftware;
     // L2 TLB -> SM interconnect hop (modeled as the L2 TLB latency, §6.1).
     ++commInTransit;
-    auto fire = [this, target, req = std::move(req)]() mutable {
+    // WalkRequest outgrew the inline event budget when it gained the
+    // {asid, vpn} key; box it so the hop event stays inline.
+    auto boxed = std::make_unique<WalkRequest>(std::move(req));
+    auto fire = [this, target, boxed = std::move(boxed)]() {
         SW_ASSERT(commInTransit > 0, "interconnect transit underflow");
         --commInTransit;
-        controllers[target]->accept(std::move(req));
+        controllers[target]->accept(std::move(*boxed));
     };
     static_assert(EventFn::fitsInline<decltype(fire)>(),
                   "interconnect hop event must not spill to the slab pool");
     gpu.eventQueue().scheduleIn(cfg.effectiveCommLatency(), std::move(fire));
+}
+
+std::size_t
+SoftWalkerBackend::queuedRequests() const
+{
+    std::size_t total = 0;
+    for (const auto &queue : waiting)
+        total += queue.size();
+    return total;
+}
+
+void
+SoftWalkerBackend::dispatchSoftware(WalkRequest req)
+{
+    SmId target = selectTarget(req.key.asid);
+    if (target == kInvalidSm) {
+        // Every eligible PW Warp is at SoftPWB capacity: the request
+        // queues at the distributor (this wait is part of the measured
+        // queueing delay).
+        waiting[req.key.asid].push_back({std::move(req), nextQueueSeq++});
+        ++stats_.queuedNoCapacity;
+        stats_.peakQueued =
+            std::max<std::uint64_t>(stats_.peakQueued, queuedRequests());
+        return;
+    }
+    sendToSm(target, std::move(req));
 }
 
 void
@@ -147,23 +183,50 @@ SoftWalkerBackend::onSoftwareComplete(SmId sm, const WalkResult &result)
 void
 SoftWalkerBackend::drainQueue()
 {
-    while (!waiting.empty()) {
-        SmId target = distributor_->select();
-        if (target == kInvalidSm)
-            return;
-        WalkRequest req = std::move(waiting.front());
-        waiting.pop_front();
-        ++stats_.toSoftware;
-        ++commInTransit;
-        auto fire = [this, target, req = std::move(req)]() mutable {
-            SW_ASSERT(commInTransit > 0, "interconnect transit underflow");
-            --commInTransit;
-            controllers[target]->accept(std::move(req));
-        };
-        static_assert(EventFn::fitsInline<decltype(fire)>(),
-                      "drain hop event must not spill to the slab pool");
-        gpu.eventQueue().scheduleIn(cfg.effectiveCommLatency(),
-                                    std::move(fire));
+    if (cfg.pwArbitration == PwArbitration::Demand) {
+        // Demand: one global FIFO reconstructed from the arrival sequence
+        // numbers.  The oldest queued walk gets the freed capacity; if its
+        // tenant's slice is still full, everything behind it waits
+        // (cross-tenant head-of-line blocking — the interference signal).
+        while (true) {
+            std::deque<QueuedWalk> *head = nullptr;
+            for (auto &queue : waiting) {
+                if (queue.empty())
+                    continue;
+                if (!head || queue.front().seq < head->front().seq)
+                    head = &queue;
+            }
+            if (!head)
+                return;
+            SmId target = selectTarget(head->front().req.key.asid);
+            if (target == kInvalidSm)
+                return;
+            WalkRequest req = std::move(head->front().req);
+            head->pop_front();
+            sendToSm(target, std::move(req));
+        }
+    }
+
+    // TenantRoundRobin: rotate freed capacity across tenants with queued
+    // walks, so a walk-heavy tenant cannot monopolize the PW Warps.
+    std::uint32_t tenants = std::uint32_t(waiting.size());
+    std::uint32_t barren = 0;
+    while (barren < tenants) {
+        std::uint32_t tenant = drainRrTenant;
+        drainRrTenant = (drainRrTenant + 1) % tenants;
+        if (waiting[tenant].empty()) {
+            ++barren;
+            continue;
+        }
+        SmId target = selectTarget(waiting[tenant].front().req.key.asid);
+        if (target == kInvalidSm) {
+            ++barren;
+            continue;
+        }
+        WalkRequest req = std::move(waiting[tenant].front().req);
+        waiting[tenant].pop_front();
+        sendToSm(target, std::move(req));
+        barren = 0;
     }
 }
 
@@ -185,7 +248,7 @@ SoftWalkerBackend::registerStats(StatGroup group)
     group.counter("queued_no_capacity", &stats_.queuedNoCapacity);
     group.counter("peak_queued", &stats_.peakQueued);
     group.gauge("inflight", [this]() { return double(inFlightCount); });
-    group.gauge("queued", [this]() { return double(waiting.size()); });
+    group.gauge("queued", [this]() { return double(queuedRequests()); });
     distributor_->registerStats(group.group("distributor"));
     for (SmId sm = 0; sm < SmId(controllers.size()); ++sm)
         controllers[sm]->registerStats(group.group(strprintf("sm%u", sm)));
@@ -210,7 +273,7 @@ SoftWalkerBackend::registerGauges(TimeSeriesSampler &sampler)
         return occupied;
     });
     sampler.gauge("distributor_queue_depth",
-                  [this]() { return double(waiting.size()); });
+                  [this]() { return double(queuedRequests()); });
     if (hwPool)
         hwPool->registerGauges(sampler);
 }
@@ -298,7 +361,8 @@ SoftWalkerBackend::aggregatePwWarpStats() const
 void
 SoftWalkerBackend::saveState(CkptWriter &w) const
 {
-    SW_ASSERT(waiting.empty() && inFlightCount == 0 && commInTransit == 0,
+    SW_ASSERT(queuedRequests() == 0 && inFlightCount == 0 &&
+              commInTransit == 0,
               "SoftWalker backend checkpointed with walks in flight");
     w.section("softwalker");
     w.u64(stats_.submitted);
@@ -306,6 +370,10 @@ SoftWalkerBackend::saveState(CkptWriter &w) const
     w.u64(stats_.toHardware);
     w.u64(stats_.queuedNoCapacity);
     w.u64(stats_.peakQueued);
+    // The arrival counter and arbitration cursor shape post-resume
+    // dispatch order even though the queues themselves are drained.
+    w.u64(nextQueueSeq);
+    w.u32(drainRrTenant);
     distributor_->saveState(w);
     for (const auto &controller : controllers)
         controller->saveState(w);
@@ -323,6 +391,10 @@ SoftWalkerBackend::restoreState(CkptReader &r)
     stats_.toHardware = r.u64();
     stats_.queuedNoCapacity = r.u64();
     stats_.peakQueued = r.u64();
+    nextQueueSeq = r.u64();
+    drainRrTenant = r.u32();
+    if (drainRrTenant >= waiting.size())
+        fatal("checkpoint arbitration cursor %u out of range", drainRrTenant);
     distributor_->restoreState(r);
     for (auto &controller : controllers)
         controller->restoreState(r);

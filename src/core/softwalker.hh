@@ -65,7 +65,7 @@ class SoftWalkerBackend : public WalkBackend
     void registerGauges(TimeSeriesSampler &sampler) override;
 
     /** Requests parked at the distributor awaiting PW-Warp capacity. */
-    std::size_t queuedRequests() const { return waiting.size(); }
+    std::size_t queuedRequests() const;
 
     const Stats &stats() const { return stats_; }
     const RequestDistributor &distributor() const { return *distributor_; }
@@ -93,6 +93,13 @@ class SoftWalkerBackend : public WalkBackend
     void dispatchSoftware(WalkRequest req);
     void onSoftwareComplete(SmId sm, const WalkResult &result);
     void drainQueue();
+    /**
+     * Distributor pick for @p asid's walk: the full SM range normally,
+     * the tenant's own SM slice under MIG partitioning.
+     */
+    SmId selectTarget(Asid asid);
+    /** Ship a dispatched request across the L2 TLB -> SM interconnect. */
+    void sendToSm(SmId target, WalkRequest req);
 
     Gpu &gpu;
     GpuConfig cfg;
@@ -103,8 +110,22 @@ class SoftWalkerBackend : public WalkBackend
     std::vector<std::unique_ptr<SoftWalkerController>> controllers;
     std::unique_ptr<HardwarePtwPool> hwPool;
 
-    /** Requests waiting for any PW Warp capacity. */
-    std::deque<WalkRequest> waiting;
+    /**
+     * Requests waiting for PW-Warp capacity, one queue per tenant.  The
+     * arrival sequence number lets the Demand arbiter reconstruct the
+     * single global FIFO (head-of-line blocking across tenants is the
+     * walk-queue interference the co-run harness measures); the
+     * TenantRoundRobin arbiter instead rotates across non-empty queues.
+     */
+    struct QueuedWalk
+    {
+        WalkRequest req;
+        std::uint64_t seq = 0;
+    };
+    std::vector<std::deque<QueuedWalk>> waiting;
+    std::uint64_t nextQueueSeq = 0;
+    /** Next tenant the round-robin arbiter offers capacity to. */
+    std::uint32_t drainRrTenant = 0;
     std::uint64_t inFlightCount = 0;
     /** Dispatched requests still crossing the L2 TLB -> SM interconnect. */
     std::uint64_t commInTransit = 0;

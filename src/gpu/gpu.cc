@@ -8,22 +8,31 @@
 namespace sw {
 
 Gpu::Gpu(GpuConfig config, std::unique_ptr<Workload> wl)
-    : cfg(config), workload_(std::move(wl))
+    : Gpu(std::move(config), [&wl]() {
+          std::vector<std::unique_ptr<Workload>> list;
+          list.push_back(std::move(wl));
+          return list;
+      }())
+{
+}
+
+Gpu::Gpu(GpuConfig config, std::vector<std::unique_ptr<Workload>> wls)
+    : cfg(config), workloads_(std::move(wls))
 {
     cfg.validate();
-    SW_ASSERT(workload_ != nullptr, "GPU needs a workload");
+    SW_ASSERT(!workloads_.empty(), "GPU needs a workload");
+    SW_ASSERT(workloads_.size() == cfg.numTenants,
+              "GPU built with %zu workloads for %u tenants",
+              workloads_.size(), cfg.numTenants);
+    for (const auto &workload : workloads_)
+        SW_ASSERT(workload != nullptr, "GPU needs a workload per tenant");
 
-    PageGeometry geom(cfg.pageBytes);
     allocator = std::make_unique<FrameAllocator>(cfg.pageBytes);
-    if (cfg.pageTableKind == PageTableKind::Hashed) {
-        pageTable_ = std::make_unique<HashedPageTable>(geom, *allocator);
-    } else {
-        pageTable_ = std::make_unique<RadixPageTable>(geom, *allocator);
-    }
+    spaces_ = std::make_unique<AddressSpaceManager>(cfg, *allocator);
 
     mem = std::make_unique<MemorySystem>(eventq, cfg);
     engine_ = std::make_unique<TranslationEngine>(eventq, cfg, *mem,
-                                                  *pageTable_);
+                                                  *spaces_);
 
     sms.reserve(cfg.numSms);
     for (SmId id = 0; id < cfg.numSms; ++id) {
@@ -34,10 +43,14 @@ Gpu::Gpu(GpuConfig config, std::unique_ptr<Workload> wl)
         params.pageBytes = cfg.pageBytes;
         params.sectorBytes = cfg.sectorBytes;
         params.rngSeed = cfg.rngSeed;
+        // The SM stays tenant-agnostic: its slice's ASID is baked into the
+        // translate hook, and it fetches from its tenant's workload.
+        Asid asid = tenantOfSm(cfg, id);
         sms.push_back(std::make_unique<Sm>(
-            eventq, params, *workload_,
-            [this, id](Vpn vpn, std::function<void(Pfn)> done) {
-                engine_->translate(id, vpn, std::move(done));
+            eventq, params, *workloads_[asid],
+            [this, id, asid](Vpn vpn, std::function<void(Pfn)> done) {
+                engine_->translate(id, TranslationKey{asid, vpn},
+                                   std::move(done));
             },
             [this, id](PhysAddr pa, bool write, std::function<void()> done) {
                 MemAccess acc;
@@ -68,7 +81,7 @@ Gpu::Gpu(GpuConfig config, std::unique_ptr<Workload> wl)
             pool.nhaSectorBytes = cfg.sectorBytes;
         }
         engine_->setBackend(std::make_unique<HardwarePtwPool>(
-            eventq, pool, *pageTable_, engine_->pwc(),
+            eventq, pool, *spaces_, engine_->pwc(),
             [this](PhysAddr addr, std::function<void()> done) {
                 engine_->ptAccess(addr, std::move(done));
             },
@@ -247,9 +260,10 @@ Gpu::saveState(CkptWriter &w) const
         sm->saveState(w);
     engine_->saveState(w);   // TLBs, PWC, faults, walk backend
     allocator->saveState(w);
-    pageTable_->saveState(w);
+    spaces_->saveState(w);
     mem->saveState(w);
-    workload_->saveState(w);
+    for (const auto &workload : workloads_)
+        workload->saveState(w);
 }
 
 void
@@ -265,9 +279,10 @@ Gpu::restoreState(CkptReader &r)
         sm->restoreState(r);
     engine_->restoreState(r);
     allocator->restoreState(r);
-    pageTable_->restoreState(r);
+    spaces_->restoreState(r);
     mem->restoreState(r);
-    workload_->restoreState(r);
+    for (auto &workload : workloads_)
+        workload->restoreState(r);
 }
 
 void

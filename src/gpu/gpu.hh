@@ -21,6 +21,7 @@
 #include "obs/observability.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "vm/address_space.hh"
 #include "vm/hashed_page_table.hh"
 #include "vm/page_table.hh"
 #include "vm/translation.hh"
@@ -59,7 +60,16 @@ class Gpu
         Cycle restartSkewCycles = 0;
     };
 
+    /** Single-tenant machine (cfg.numTenants must be 1). */
     Gpu(GpuConfig cfg, std::unique_ptr<Workload> workload);
+
+    /**
+     * Multi-tenant machine: one workload per tenant (the vector size must
+     * equal cfg.numTenants).  Tenant t owns the contiguous SM slice
+     * tenantSmRange(cfg, t), runs its workload there, and translates
+     * through its own address space (ASID t).
+     */
+    Gpu(GpuConfig cfg, std::vector<std::unique_ptr<Workload>> workloads);
     ~Gpu();
 
     Gpu(const Gpu &) = delete;
@@ -124,9 +134,22 @@ class Gpu
     MemorySystem &memory() { return *mem; }
     const MemorySystem &memory() const { return *mem; }
     EventQueue &eventQueue() { return eventq; }
-    PageTableBase &pageTable() { return *pageTable_; }
-    Workload &workload() { return *workload_; }
-    const Workload &workload() const { return *workload_; }
+    /** The single-tenant (ASID 0) page table. */
+    PageTableBase &pageTable() { return spaces_->tableFor(0); }
+    AddressSpaceManager &spaces() { return *spaces_; }
+    const AddressSpaceManager &spaces() const { return *spaces_; }
+    Workload &workload() { return *workloads_.at(0); }
+    const Workload &workload() const { return *workloads_.at(0); }
+    /** Tenant @p asid's workload. */
+    Workload &workloadOf(Asid asid) { return *workloads_.at(asid); }
+    const Workload &workloadOf(Asid asid) const
+    {
+        return *workloads_.at(asid);
+    }
+    std::uint32_t numTenants() const
+    {
+        return std::uint32_t(workloads_.size());
+    }
     Sm &sm(SmId id) { return *sms.at(id); }
     const Sm &sm(SmId id) const { return *sms.at(id); }
     std::uint32_t numSms() const { return std::uint32_t(sms.size()); }
@@ -164,10 +187,11 @@ class Gpu
     EventQueue eventq;
     Auditor auditor_;
     std::unique_ptr<FrameAllocator> allocator;
-    std::unique_ptr<PageTableBase> pageTable_;
+    std::unique_ptr<AddressSpaceManager> spaces_;
     std::unique_ptr<MemorySystem> mem;
     std::unique_ptr<TranslationEngine> engine_;
-    std::unique_ptr<Workload> workload_;
+    /** One workload per tenant; index == ASID. */
+    std::vector<std::unique_ptr<Workload>> workloads_;
     std::vector<std::unique_ptr<Sm>> sms;
 
     TranslationTracer *tracer_ = nullptr;

@@ -274,18 +274,6 @@ run(RunSpec spec)
     return result;
 }
 
-RunResult
-runWorkload(const GpuConfig &cfg, std::unique_ptr<Workload> workload,
-            const Gpu::RunLimits &limits, const Observability *obs)
-{
-    RunSpec spec;
-    spec.cfg = cfg;
-    spec.workload = std::move(workload);
-    spec.limits = limits;
-    spec.obs = obs;
-    return run(std::move(spec));
-}
-
 Gpu::RunLimits
 limitsFor(const BenchmarkInfo &info)
 {
@@ -298,43 +286,6 @@ limitsFor(const BenchmarkInfo &info)
         limits.warmupInstrs = envUint("SW_WARMUP_REG", 80000);
     }
     return limits;
-}
-
-RunResult
-runBenchmark(const GpuConfig &cfg, const BenchmarkInfo &info,
-             double footprint_scale)
-{
-    RunSpec spec;
-    spec.cfg = cfg;
-    spec.benchmark = &info;
-    spec.footprintScale = footprint_scale;
-    return run(std::move(spec));
-}
-
-RunResult
-runBenchmark(const GpuConfig &cfg, const BenchmarkInfo &info,
-             const Gpu::RunLimits &limits, double footprint_scale)
-{
-    RunSpec spec;
-    spec.cfg = cfg;
-    spec.benchmark = &info;
-    spec.footprintScale = footprint_scale;
-    spec.limits = limits;
-    return run(std::move(spec));
-}
-
-RunResult
-runBenchmark(const GpuConfig &cfg, const BenchmarkInfo &info,
-             const Gpu::RunLimits &limits, double footprint_scale,
-             const Observability &obs)
-{
-    RunSpec spec;
-    spec.cfg = cfg;
-    spec.benchmark = &info;
-    spec.footprintScale = footprint_scale;
-    spec.limits = limits;
-    spec.obs = &obs;
-    return run(std::move(spec));
 }
 
 double

@@ -96,8 +96,8 @@ RunResult collectResult(Gpu &gpu, const std::string &name);
 /**
  * Everything one simulation run needs, in one struct: configuration,
  * workload source, stopping conditions, observability, and optional trace
- * recording.  This is the single harness entry point — every other run
- * signature is a thin shim over run(RunSpec).
+ * recording.  This is the single harness entry point (the deprecated
+ * runBenchmark()/runWorkload() shims were removed after one release).
  *
  * Workload source: set exactly one of
  *   - `benchmark` (+ `footprintScale`): a Table 4 registry entry;
@@ -168,32 +168,6 @@ struct RunSpec
  * before the GPU is torn down.
  */
 RunResult run(RunSpec spec);
-
-/**
- * @deprecated Build a RunSpec and call run() instead; these shims exist
- * for one release and forward verbatim.
- *
- * Build + run one (configuration, benchmark) pair with limitsFor(info).
- * @param footprint_scale multiplies the published footprint (Fig 6).
- */
-RunResult runBenchmark(const GpuConfig &cfg, const BenchmarkInfo &info,
-                       double footprint_scale = 1.0);
-
-/** @deprecated Same, with explicit limits; use run(RunSpec). */
-RunResult runBenchmark(const GpuConfig &cfg, const BenchmarkInfo &info,
-                       const Gpu::RunLimits &limits,
-                       double footprint_scale);
-
-/** @deprecated Same, with observability attached; use run(RunSpec). */
-RunResult runBenchmark(const GpuConfig &cfg, const BenchmarkInfo &info,
-                       const Gpu::RunLimits &limits,
-                       double footprint_scale, const Observability &obs);
-
-/** @deprecated Run an arbitrary workload instance; use run(RunSpec). */
-RunResult runWorkload(const GpuConfig &cfg,
-                      std::unique_ptr<Workload> workload,
-                      const Gpu::RunLimits &limits = defaultLimits(),
-                      const Observability *obs = nullptr);
 
 /** Speedup of @p opt over @p base (performance ratio). */
 double speedup(const RunResult &base, const RunResult &opt);

@@ -39,10 +39,10 @@ TranslationTracer::TranslationTracer(std::size_t capacity)
 
 void
 TranslationTracer::record(TracePhase phase, Cycle cycle, std::uint64_t id,
-                          Vpn vpn, std::uint32_t where)
+                          Vpn vpn, std::uint32_t where, Asid asid)
 {
     ++stampsRecorded_;
-    Stamp stamp{cycle, id, vpn, where, phase};
+    Stamp stamp{cycle, id, vpn, where, phase, asid};
     if (ring.size() < capacity_) {
         ring.push_back(stamp);
     } else {
@@ -59,6 +59,7 @@ TranslationTracer::record(TracePhase phase, Cycle cycle, std::uint64_t id,
         WalkSpan span;
         span.id = id;
         span.vpn = vpn;
+        span.asid = asid;
         span.created = cycle;
         live[id] = span;
         break;
@@ -164,23 +165,25 @@ TranslationTracer::writeTraceJson(std::ostream &out) const
         out << strprintf(
             "{\"name\":\"queue\",\"cat\":\"walk\",\"ph\":\"X\","
             "\"ts\":%llu,\"dur\":%llu,\"pid\":0,\"tid\":%llu,"
-            "\"args\":{\"id\":%llu,\"vpn\":%llu}}",
+            "\"args\":{\"id\":%llu,\"vpn\":%llu,\"asid\":%u}}",
             static_cast<unsigned long long>(span.created),
             static_cast<unsigned long long>(
                 (span.dispatched ? span.dispatched : span.created) -
                 span.created),
             tid, static_cast<unsigned long long>(span.id),
-            static_cast<unsigned long long>(span.vpn));
+            static_cast<unsigned long long>(span.vpn), span.asid);
         sep();
         Cycle dispatch = span.dispatched ? span.dispatched : span.created;
         out << strprintf(
             "{\"name\":\"walk\",\"cat\":\"walk\",\"ph\":\"X\","
             "\"ts\":%llu,\"dur\":%llu,\"pid\":0,\"tid\":%llu,"
-            "\"args\":{\"id\":%llu,\"vpn\":%llu,\"pt_reads\":%u}}",
+            "\"args\":{\"id\":%llu,\"vpn\":%llu,\"asid\":%u,"
+            "\"pt_reads\":%u}}",
             static_cast<unsigned long long>(dispatch),
             static_cast<unsigned long long>(span.filled - dispatch),
             tid, static_cast<unsigned long long>(span.id),
-            static_cast<unsigned long long>(span.vpn), span.ptReads);
+            static_cast<unsigned long long>(span.vpn), span.asid,
+            span.ptReads);
     }
 
     for (const Stamp &stamp : stamps()) {
@@ -188,14 +191,14 @@ TranslationTracer::writeTraceJson(std::ostream &out) const
         out << strprintf(
             "{\"name\":\"%s\",\"cat\":\"phase\",\"ph\":\"i\",\"s\":\"t\","
             "\"ts\":%llu,\"pid\":0,\"tid\":%llu,"
-            "\"args\":{\"id\":%llu,\"vpn\":%llu}}",
+            "\"args\":{\"id\":%llu,\"vpn\":%llu,\"asid\":%u}}",
             toString(stamp.phase),
             static_cast<unsigned long long>(stamp.cycle),
             stamp.where == kNoWhere
                 ? 0ull
                 : static_cast<unsigned long long>(stamp.where),
             static_cast<unsigned long long>(stamp.id),
-            static_cast<unsigned long long>(stamp.vpn));
+            static_cast<unsigned long long>(stamp.vpn), stamp.asid);
     }
 
     // Host-side view (hostprof builds with the profiler enabled): zone

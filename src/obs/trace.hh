@@ -88,6 +88,7 @@ class TranslationTracer
         Vpn vpn = 0;
         std::uint32_t where = kNoWhere;  ///< SM id when known
         TracePhase phase = TracePhase::L1Miss;
+        Asid asid = 0;           ///< owning tenant (per-tenant attribution)
     };
 
     /** Reconstructed span record for one completed walk. */
@@ -95,6 +96,7 @@ class TranslationTracer
     {
         std::uint64_t id = 0;
         Vpn vpn = 0;
+        Asid asid = 0;
         Cycle created = 0;     ///< WalkCreated
         Cycle dispatched = 0;  ///< first WalkDispatch
         Cycle filled = 0;      ///< WalkFill
@@ -114,7 +116,7 @@ class TranslationTracer
 
     /** Stamp one phase transition.  Never schedules; never perturbs. */
     void record(TracePhase phase, Cycle cycle, std::uint64_t id, Vpn vpn,
-                std::uint32_t where = kNoWhere);
+                std::uint32_t where = kNoWhere, Asid asid = 0);
 
     // ---- Per-phase latency attribution (completed walks) ----------------
     /** Walk created -> walker/PW-Warp pickup. */

@@ -37,6 +37,16 @@ toString(DistributorPolicy policy)
     return "?";
 }
 
+const char *
+toString(PwArbitration arbitration)
+{
+    switch (arbitration) {
+      case PwArbitration::Demand:           return "demand";
+      case PwArbitration::TenantRoundRobin: return "tenant-rr";
+    }
+    return "?";
+}
+
 std::uint32_t
 GpuConfig::pageTableLevels() const
 {
@@ -69,6 +79,30 @@ GpuConfig::validate() const
     if (inTlbMshrMax > l2TlbEntries)
         fatal("GpuConfig: In-TLB MSHR capacity (%u) exceeds L2 TLB size (%u)",
               inTlbMshrMax, l2TlbEntries);
+    if (numTenants == 0)
+        fatal("GpuConfig: at least one tenant required");
+    if (numTenants > numSms)
+        fatal("GpuConfig: %u tenants cannot slice %u SMs", numTenants,
+              numSms);
+    if (migPartitioning && numTenants > l2TlbWays) {
+        fatal("GpuConfig: MIG partitioning needs a way per tenant "
+              "(%u tenants, %u ways)", numTenants, l2TlbWays);
+    }
+    if (l2SubEntries == 0 || (l2SubEntries & (l2SubEntries - 1)) != 0)
+        fatal("GpuConfig: l2SubEntries must be a power of two");
+    if (l2SubEntries > 1) {
+        if (inTlbMshrMax > 0) {
+            fatal("GpuConfig: the sub-entry L2 TLB and the In-TLB MSHR "
+                  "are mutually exclusive");
+        }
+        if (l2TlbEntries % (l2SubEntries * l2TlbWays) != 0) {
+            fatal("GpuConfig: L2 TLB entries (%u) not divisible by "
+                  "l2SubEntries*ways (%u*%u)", l2TlbEntries, l2SubEntries,
+                  l2TlbWays);
+        }
+    }
+    if (l2SubEntrySharing && l2SubEntries <= 1)
+        fatal("GpuConfig: sub-entry sharing requires l2SubEntries > 1");
 }
 
 GpuConfig
@@ -88,6 +122,47 @@ makeSoftWalkerConfig(TranslationMode mode, std::uint32_t in_tlb_mshrs)
     cfg.mode = mode;
     cfg.inTlbMshrMax = in_tlb_mshrs;
     return cfg;
+}
+
+Asid
+tenantOfSm(const GpuConfig &cfg, SmId sm)
+{
+    SW_ASSERT(sm < cfg.numSms, "SM id out of range");
+    if (cfg.numTenants <= 1)
+        return 0;
+    // Inverse of tenantSmRange's floor slicing: the last tenant whose
+    // slice starts at or before sm.
+    std::uint64_t t = (std::uint64_t(sm) * cfg.numTenants) / cfg.numSms;
+    while (t + 1 < cfg.numTenants &&
+           (std::uint64_t(t + 1) * cfg.numSms) / cfg.numTenants <= sm)
+        ++t;
+    while (t > 0 && (std::uint64_t(t) * cfg.numSms) / cfg.numTenants > sm)
+        --t;
+    return static_cast<Asid>(t);
+}
+
+std::pair<SmId, std::uint32_t>
+tenantSmRange(const GpuConfig &cfg, Asid asid)
+{
+    SW_ASSERT(asid < cfg.numTenants, "tenant id out of range");
+    std::uint32_t t = cfg.numTenants;
+    SmId begin = SmId((std::uint64_t(asid) * cfg.numSms) / t);
+    SmId end = SmId((std::uint64_t(asid + 1) * cfg.numSms) / t);
+    return {begin, end - begin};
+}
+
+std::pair<std::uint32_t, std::uint32_t>
+tenantWayRange(const GpuConfig &cfg, Asid asid)
+{
+    SW_ASSERT(asid < cfg.numTenants, "tenant id out of range");
+    if (!cfg.migPartitioning || cfg.numTenants <= 1)
+        return {0, cfg.l2TlbWays};
+    std::uint32_t t = cfg.numTenants;
+    std::uint32_t begin =
+        std::uint32_t((std::uint64_t(asid) * cfg.l2TlbWays) / t);
+    std::uint32_t end =
+        std::uint32_t((std::uint64_t(asid + 1) * cfg.l2TlbWays) / t);
+    return {begin, end - begin};
 }
 
 void

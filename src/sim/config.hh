@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 
 #include "check/audit.hh"
 #include "sim/types.hh"
@@ -43,9 +44,20 @@ enum class DistributorPolicy
     StallAware,    ///< Prefer the SM with the most stalled warps.
 };
 
+/**
+ * How SoftWalker arbitrates PW-Warp capacity across tenants when software
+ * walks queue behind a full distributor.
+ */
+enum class PwArbitration
+{
+    Demand,           ///< Single global FIFO (the single-tenant behaviour).
+    TenantRoundRobin, ///< Per-tenant queues drained round-robin.
+};
+
 const char *toString(TranslationMode mode);
 const char *toString(PageTableKind kind);
 const char *toString(DistributorPolicy policy);
+const char *toString(PwArbitration arbitration);
 
 /** Full simulated-machine configuration (Table 3 defaults). */
 struct GpuConfig
@@ -112,6 +124,41 @@ struct GpuConfig
     /** SM <-> L2 TLB communication latency; 0 means "same as L2 TLB". */
     Cycle commLatency = 0;
 
+    // ---- Multi-tenancy ---------------------------------------------------
+    /**
+     * Number of co-resident address spaces (tenants).  1 (the default)
+     * is the single-tenant machine; every multi-tenant structure then
+     * degenerates to the pre-ASID behaviour bit-for-bit.  Tenants own
+     * contiguous SM slices: tenant t runs on SMs
+     * [t*numSms/T, (t+1)*numSms/T).
+     */
+    std::uint32_t numTenants = 1;
+    /**
+     * MIG-style static partitioning: in addition to the SM slices, carve
+     * the shared L2 TLB into per-tenant way slices (victim selection is
+     * confined to a tenant's ways; lookups still scan every way) and pin
+     * software page walks to the requesting tenant's own SMs.
+     */
+    bool migPartitioning = false;
+    /**
+     * Sub-entries per L2 TLB tag (Li et al.'s MIG TLB, PAPERS.md): one tag
+     * covers a naturally aligned group of this many consecutive pages.
+     * 1 (default) is the conventional one-translation-per-entry array;
+     * values > 1 require the In-TLB MSHR to be disabled (the pending-entry
+     * reservation protocol is defined on whole entries).
+     */
+    std::uint32_t l2SubEntries = 1;
+    /**
+     * Sub-entry sharing: let sub-slots of one tag entry hold translations
+     * from different tenants (tag matches on the page-group base only; each
+     * sub-slot carries its own ASID).  Tenants whose VPN ranges alias —
+     * common, since each space starts near VA 0 — then share tag capacity
+     * instead of duplicating it.  Requires l2SubEntries > 1.
+     */
+    bool l2SubEntrySharing = false;
+    /** PW-Warp arbitration across tenants when software walks queue. */
+    PwArbitration pwArbitration = PwArbitration::Demand;
+
     // ---- Sensitivity-study overrides ------------------------------------
     /**
      * When non-zero, replaces the dynamically measured per-level page-table
@@ -142,6 +189,22 @@ struct GpuConfig
     /** Abort with fatal() if the configuration is inconsistent. */
     void validate() const;
 };
+
+// ---- Tenant topology helpers (shared by GPU, backends, harness) ----------
+
+/** Tenant owning SM @p sm (contiguous slices; asid 0 when single-tenant). */
+Asid tenantOfSm(const GpuConfig &cfg, SmId sm);
+
+/** [first SM, SM count) of tenant @p asid's slice. */
+std::pair<SmId, std::uint32_t> tenantSmRange(const GpuConfig &cfg,
+                                             Asid asid);
+
+/**
+ * [first way, way count) of tenant @p asid's L2 TLB slice under MIG
+ * partitioning; the full way range when partitioning is off.
+ */
+std::pair<std::uint32_t, std::uint32_t>
+tenantWayRange(const GpuConfig &cfg, Asid asid);
 
 /** Table 3 baseline configuration. */
 GpuConfig makeDefaultConfig();

@@ -29,6 +29,13 @@ using Vpn = std::uint64_t;
 /** Physical frame number. */
 using Pfn = std::uint64_t;
 
+/**
+ * Address-space identifier.  Each tenant (client process / MIG instance)
+ * owns one address space; ASID 0 is the sole space of a single-tenant
+ * machine and every single-tenant code path is keyed by it implicitly.
+ */
+using Asid = std::uint32_t;
+
 /** Identifier of a Streaming Multiprocessor. */
 using SmId = std::uint32_t;
 

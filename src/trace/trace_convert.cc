@@ -95,10 +95,16 @@ parseTextTrace(std::istream &in, const std::string &context)
             trace.header.limits.maxActiveWarps =
                 parseU64(args[3], context, lineno);
         } else if (keyword == "stream") {
-            std::vector<std::string> args = rest("sm warp", 2);
+            std::vector<std::string> args = rest("sm warp [asid]", 2);
+            if (args.size() > 3)
+                fatal("%s:%d: 'stream' takes sm, warp, and an optional "
+                      "asid; got %zu arguments", context.c_str(), lineno,
+                      args.size());
             TraceStream stream;
             stream.sm = SmId(parseU64(args[0], context, lineno));
             stream.warp = WarpId(parseU64(args[1], context, lineno));
+            if (args.size() == 3)
+                stream.asid = Asid(parseU64(args[2], context, lineno));
             for (const TraceStream &existing : trace.streams)
                 if (existing.sm == stream.sm &&
                     existing.warp == stream.warp)

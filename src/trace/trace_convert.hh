@@ -12,7 +12,7 @@
  *   irregular 1
  *   # optional: digest <u64>   (0/absent = unknown origin, check skipped)
  *   # optional: limits <quota> <warmup> <maxcycles> <maxwarps>
- *   stream <sm> <warp>
+ *   stream <sm> <warp> [<asid>]
  *   instr <computeGap> <r|w> <addr> [<addr> ...]
  *   ...
  *

@@ -87,6 +87,19 @@ configDigest(const GpuConfig &cfg)
     d.u64(cfg.commLatency);
     d.u64(cfg.fixedPtAccessLatency);
     d.u64(cfg.rngSeed);
+    // Tenant layout guard: appended only when any multi-tenancy knob moves
+    // off its default, so digests of pre-existing single-tenant recordings
+    // (including the committed example traces) are unchanged while every
+    // multi-tenant trace/checkpoint is pinned to its exact tenant layout.
+    if (cfg.numTenants != 1 || cfg.migPartitioning ||
+        cfg.l2SubEntries != 1 || cfg.l2SubEntrySharing ||
+        cfg.pwArbitration != PwArbitration::Demand) {
+        d.u64(cfg.numTenants);
+        d.u64(cfg.migPartitioning ? 1 : 0);
+        d.u64(cfg.l2SubEntries);
+        d.u64(cfg.l2SubEntrySharing ? 1 : 0);
+        d.u64(std::uint64_t(cfg.pwArbitration));
+    }
     // cfg.auditIntervalCycles deliberately excluded: audit sweeps ride the
     // non-perturbing periodic-check hook and cannot change the timeline.
     std::uint64_t digest = d.take();
@@ -213,6 +226,7 @@ encodeTrace(const TraceFile &trace)
     for (const TraceStream &stream : trace.streams) {
         putVarint(out, stream.sm);
         putVarint(out, stream.warp);
+        putVarint(out, stream.asid);
         putVarint(out, stream.instrs.size());
         VirtAddr prev_lane0 = 0;
         for (const WarpInstr &instr : stream.instrs) {
@@ -280,6 +294,9 @@ decodeTrace(const std::uint8_t *data, std::size_t size,
         TraceStream stream;
         stream.sm = SmId(reader.varint());
         stream.warp = WarpId(reader.varint());
+        // Pre-multi-tenant traces carry no ASID tag; they decode as the
+        // single-tenant address space.
+        stream.asid = version >= 3 ? Asid(reader.varint()) : 0;
         std::uint64_t count = reader.varint();
         // A corrupt count must not drive a huge allocation: each record
         // is at least 3 bytes on disk.

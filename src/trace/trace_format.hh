@@ -19,8 +19,9 @@
  *     irregular flag (u8)
  *     recorded limits: quota, warmup, max cycles, max active warps (varints)
  *     stream count (varint)
- *     per stream: sm (varint), warp (varint), instruction count (varint),
- *                 then that many records
+ *     per stream: sm (varint), warp (varint),
+ *                 asid (varint; version >= 3 only, older traces read as 0),
+ *                 instruction count (varint), then that many records
  *   version >= 2 only:
  *     fetch-order length (varint; 0 = not recorded), then that many
  *     varint stream indexes — the global order in which the recorded run
@@ -65,9 +66,10 @@ inline constexpr char kTraceMagic[8] =
 
 /**
  * Current format version; readers accept 1..kTraceVersion and reject
- * anything newer.  Version 2 added the global fetch-order stream.
+ * anything newer.  Version 2 added the global fetch-order stream;
+ * version 3 added the per-stream ASID tag (multi-tenant replay).
  */
-inline constexpr std::uint32_t kTraceVersion = 2;
+inline constexpr std::uint32_t kTraceVersion = 3;
 
 /**
  * Digest placeholder for traces converted from external sources: replay
@@ -104,6 +106,13 @@ struct TraceStream
 {
     SmId sm = 0;
     WarpId warp = 0;
+    /**
+     * Address space the stream was recorded under.  Traces predating
+     * version 3 decode as ASID 0 (single-tenant); replay re-derives the
+     * effective ASID from the machine's MIG partitioning, so the tag is
+     * provenance, not an override.
+     */
+    Asid asid = 0;
     std::vector<WarpInstr> instrs;
 };
 

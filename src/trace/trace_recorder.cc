@@ -58,6 +58,10 @@ TraceRecorder::snapshot(const GpuConfig &cfg,
         TraceStream stream;
         stream.sm = SmId(key >> 32);
         stream.warp = WarpId(key & 0xFFFFFFFFu);
+        // The recording machine's partitioning decides which address
+        // space each SM fetched from; stamp it so the trace documents
+        // its tenancy (replay re-derives the ASID the same way).
+        stream.asid = tenantOfSm(cfg, stream.sm);
         stream.instrs = instrs;
         trace.streams.push_back(std::move(stream));
     }

@@ -163,6 +163,19 @@ TraceWorkload::restoreState(CkptReader &r)
 void
 TraceWorkload::checkConfig(const GpuConfig &cfg) const
 {
+    // Replay derives each stream's address space from the machine's SM
+    // partitioning, not from the tag — so a tag that disagrees means the
+    // stream would silently run in a different address space than its
+    // author declared.
+    for (const TraceStream &stream : trace_.streams) {
+        Asid placed = tenantOfSm(cfg, stream.sm);
+        if (stream.asid != placed)
+            fatal("trace '%s' stream (%u, %u) is tagged ASID %u but this "
+                  "machine's partitioning places SM %u in ASID %u",
+                  origin.c_str(), stream.sm, stream.warp, stream.asid,
+                  stream.sm, placed);
+    }
+
     std::uint64_t recorded = trace_.header.configDigest;
     if (recorded == kUnknownConfigDigest) {
         warn("trace '%s' carries no config digest (external origin): "

@@ -10,7 +10,10 @@
 #define SW_VM_ADDRESS_HH
 
 #include <bit>
+#include <compare>
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 
 #include "sim/logging.hh"
 #include "sim/types.hh"
@@ -19,6 +22,44 @@ namespace sw {
 
 inline constexpr unsigned kVirtAddrBits = 49;
 inline constexpr unsigned kPhysAddrBits = 47;
+
+/**
+ * The unit of translation: a virtual page number qualified by the address
+ * space it belongs to.  Every translation-path API (TLB lookup/fill, In-TLB
+ * MSHR reservation, PWC, walk requests, fault records) is keyed by a
+ * TranslationKey so entries from different tenants can coexist in shared
+ * structures without aliasing.  ASID 0 is the single-tenant address space;
+ * a key's ordering and hash for asid 0 keep the same relative order the
+ * bare-Vpn code paths had, which the determinism suites rely on.
+ */
+struct TranslationKey
+{
+    Asid asid = 0;
+    Vpn vpn = 0;
+
+    /** Ordered (asid, vpn) — usable with sortedKeys() and std::map. */
+    friend auto operator<=>(const TranslationKey &,
+                            const TranslationKey &) = default;
+};
+
+} // namespace sw
+
+template <>
+struct std::hash<sw::TranslationKey>
+{
+    std::size_t
+    operator()(const sw::TranslationKey &key) const noexcept
+    {
+        // ASID folded into the high VA bits: for asid 0 the hash equals
+        // std::hash<Vpn>, preserving the container iteration behaviour of
+        // the pre-multi-tenant code (defence in depth on top of
+        // sortedKeys(); single-tenant fingerprints must not move).
+        return std::hash<sw::Vpn>()(
+            key.vpn ^ (static_cast<std::uint64_t>(key.asid) << 49));
+    }
+};
+
+namespace sw {
 
 /** Page-size plumbing: offset bits, VPN extraction, recomposition. */
 class PageGeometry

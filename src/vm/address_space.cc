@@ -1,0 +1,45 @@
+#include "vm/address_space.hh"
+
+#include "ckpt/ckpt_io.hh"
+#include "sim/logging.hh"
+#include "vm/address.hh"
+#include "vm/hashed_page_table.hh"
+
+namespace sw {
+
+AddressSpaceManager::AddressSpaceManager(const GpuConfig &cfg,
+                                         FrameAllocator &alloc)
+{
+    PageGeometry geom(cfg.pageBytes);
+    tables.reserve(cfg.numTenants);
+    for (std::uint32_t t = 0; t < cfg.numTenants; ++t) {
+        if (cfg.pageTableKind == PageTableKind::Hashed)
+            tables.push_back(std::make_unique<HashedPageTable>(geom, alloc));
+        else
+            tables.push_back(std::make_unique<RadixPageTable>(geom, alloc));
+    }
+}
+
+void
+AddressSpaceManager::saveState(CkptWriter &w) const
+{
+    w.section("aspaces");
+    w.u32(std::uint32_t(tables.size()));
+    for (const auto &table : tables)
+        table->saveState(w);
+}
+
+void
+AddressSpaceManager::restoreState(CkptReader &r)
+{
+    r.expectSection("aspaces");
+    std::uint32_t n = r.u32();
+    if (n != tables.size()) {
+        fatal("checkpoint carries %u address spaces but this machine is "
+              "configured for %zu tenants", n, tables.size());
+    }
+    for (auto &table : tables)
+        table->restoreState(r);
+}
+
+} // namespace sw

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Per-ASID page tables over one shared frame allocator.
+ *
+ * Each tenant owns a private page table (its address space); physical
+ * frames come from the single machine-wide FrameAllocator, so tenants
+ * compete for — and can never alias — physical memory.  ASID 0 is the
+ * only space of a single-tenant machine and tableFor(0) is exactly the
+ * page table the pre-multi-tenant GPU constructed, allocated in the same
+ * order from the same allocator (fingerprint compatibility).
+ */
+
+#ifndef SW_VM_ADDRESS_SPACE_HH
+#define SW_VM_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/types.hh"
+#include "vm/page_table.hh"
+
+namespace sw {
+
+class CkptWriter;
+class CkptReader;
+
+/** Owns one PageTableBase per tenant; all share @p alloc. */
+class AddressSpaceManager
+{
+  public:
+    AddressSpaceManager(const GpuConfig &cfg, FrameAllocator &alloc);
+
+    AddressSpaceManager(const AddressSpaceManager &) = delete;
+    AddressSpaceManager &operator=(const AddressSpaceManager &) = delete;
+
+    PageTableBase &
+    tableFor(Asid asid)
+    {
+        return *tables.at(asid);
+    }
+
+    const PageTableBase &
+    tableFor(Asid asid) const
+    {
+        return *tables.at(asid);
+    }
+
+    std::uint32_t numSpaces() const { return std::uint32_t(tables.size()); }
+
+    /** Serialise every address space (count + per-ASID tables). */
+    void saveState(CkptWriter &w) const;
+
+    /** Restore; fatal() if the checkpoint's space count disagrees. */
+    void restoreState(CkptReader &r);
+
+  private:
+    std::vector<std::unique_ptr<PageTableBase>> tables;
+};
+
+} // namespace sw
+
+#endif // SW_VM_ADDRESS_SPACE_HH

@@ -16,6 +16,7 @@
 #include "ckpt/ckpt_io.hh"
 #include "obs/stat_registry.hh"
 #include "sim/types.hh"
+#include "vm/address.hh"
 
 namespace sw {
 
@@ -25,8 +26,8 @@ class FaultBuffer
   public:
     struct Record
     {
-        Vpn vpn;
-        int level;       ///< page-table level at which the walk faulted
+        TranslationKey key;  ///< faulting {asid, vpn}
+        int level;           ///< page-table level at which the walk faulted
         Cycle when;
     };
 
@@ -41,13 +42,13 @@ class FaultBuffer
 
     /** Log a fault (FFB). @retval false if the buffer is full. */
     bool
-    record(Vpn vpn, int level, Cycle when)
+    record(TranslationKey key, int level, Cycle when)
     {
         if (records.size() >= capacity_) {
             ++stats_.overflows;
             return false;
         }
-        records.push_back({vpn, level, when});
+        records.push_back({key, level, when});
         ++stats_.recorded;
         return true;
     }
@@ -86,7 +87,8 @@ class FaultBuffer
         w.u64(capacity_);
         w.u64(records.size());
         for (const Record &record : records) {
-            w.u64(record.vpn);
+            w.u32(record.key.asid);
+            w.u64(record.key.vpn);
             w.u32(std::uint32_t(record.level));
             w.u64(record.when);
         }
@@ -111,7 +113,8 @@ class FaultBuffer
         records.clear();
         for (std::uint64_t i = 0; i < n; ++i) {
             Record record;
-            record.vpn = r.u64();
+            record.key.asid = r.u32();
+            record.key.vpn = r.u64();
             record.level = int(r.u32());
             record.when = r.u64();
             records.push_back(record);

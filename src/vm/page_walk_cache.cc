@@ -14,8 +14,8 @@ PageWalkCache::PageWalkCache(std::uint32_t num_entries)
 }
 
 bool
-PageWalkCache::lookup(const PageTableBase &pt, Vpn vpn, int &level,
-                      PhysAddr &base)
+PageWalkCache::lookup(const PageTableBase &pt, TranslationKey key,
+                      int &level, PhysAddr &base)
 {
     ++stats_.lookups;
     if (!pt.usesPwc())
@@ -24,10 +24,10 @@ PageWalkCache::lookup(const PageTableBase &pt, Vpn vpn, int &level,
     // Search for the deepest (lowest-numbered) cached level.
     Entry *best = nullptr;
     for (int lvl = 1; lvl < pt.topLevel(); ++lvl) {
-        std::uint64_t prefix = pt.pwcPrefix(lvl, vpn);
+        std::uint64_t prefix = pt.pwcPrefix(lvl, key.vpn);
         for (auto &entry : entries) {
-            if (entry.valid && entry.level == lvl &&
-                entry.prefix == prefix) {
+            if (entry.valid && entry.asid == key.asid &&
+                entry.level == lvl && entry.prefix == prefix) {
                 best = &entry;
                 break;
             }
@@ -46,17 +46,18 @@ PageWalkCache::lookup(const PageTableBase &pt, Vpn vpn, int &level,
 }
 
 void
-PageWalkCache::fill(const PageTableBase &pt, int level, Vpn vpn,
+PageWalkCache::fill(const PageTableBase &pt, int level, TranslationKey key,
                     PhysAddr base)
 {
     if (!pt.usesPwc() || level >= pt.topLevel() || level < 1)
         return;
     ++stats_.fills;
-    std::uint64_t prefix = pt.pwcPrefix(level, vpn);
+    std::uint64_t prefix = pt.pwcPrefix(level, key.vpn);
 
     Entry *victim = nullptr;
     for (auto &entry : entries) {
-        if (entry.valid && entry.level == level && entry.prefix == prefix) {
+        if (entry.valid && entry.asid == key.asid &&
+            entry.level == level && entry.prefix == prefix) {
             entry.base = base;
             entry.lruTick = ++lruCounter;
             return;
@@ -71,10 +72,20 @@ PageWalkCache::fill(const PageTableBase &pt, int level, Vpn vpn,
     }
     SW_ASSERT(victim != nullptr, "PWC victim selection failed");
     victim->valid = true;
+    victim->asid = key.asid;
     victim->level = level;
     victim->prefix = prefix;
     victim->base = base;
     victim->lruTick = ++lruCounter;
+}
+
+void
+PageWalkCache::flushAsid(Asid asid)
+{
+    for (auto &entry : entries) {
+        if (entry.valid && entry.asid == asid)
+            entry.valid = false;
+    }
 }
 
 void
@@ -100,6 +111,7 @@ PageWalkCache::saveState(CkptWriter &w) const
     w.u32(std::uint32_t(entries.size()));
     for (const Entry &entry : entries) {
         w.u8(entry.valid ? 1 : 0);
+        w.u32(entry.asid);
         w.u32(std::uint32_t(entry.level));
         w.u64(entry.prefix);
         w.u64(entry.base);
@@ -122,6 +134,7 @@ PageWalkCache::restoreState(CkptReader &r)
     }
     for (Entry &entry : entries) {
         entry.valid = r.u8() != 0;
+        entry.asid = r.u32();
         entry.level = int(r.u32());
         entry.prefix = r.u64();
         entry.base = r.u64();

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sim/types.hh"
+#include "vm/address.hh"
 
 namespace sw {
 
@@ -44,17 +45,23 @@ class PageWalkCache
     explicit PageWalkCache(std::uint32_t num_entries = 32);
 
     /**
-     * Find the deepest cached level for @p vpn.
-     * @param pt page table supplying prefix extraction
+     * Find the deepest cached level for @p key.  Entries are ASID-tagged:
+     * tenants with aliasing VPN prefixes never resolve through each
+     * other's page-directory bases.
+     * @param pt the *requesting ASID's* page table (prefix extraction)
      * @param[out] level deepest level whose table base is cached
      * @param[out] base that table's base address
      * @retval false on a complete miss (walk starts from the root).
      */
-    bool lookup(const PageTableBase &pt, Vpn vpn, int &level,
+    bool lookup(const PageTableBase &pt, TranslationKey key, int &level,
                 PhysAddr &base);
 
-    /** Cache the base of the level-@p level table covering @p vpn (FPWC). */
-    void fill(const PageTableBase &pt, int level, Vpn vpn, PhysAddr base);
+    /** Cache the base of the level-@p level table covering @p key (FPWC). */
+    void fill(const PageTableBase &pt, int level, TranslationKey key,
+              PhysAddr base);
+
+    /** Drop every entry belonging to @p asid (tenant teardown). */
+    void flushAsid(Asid asid);
 
     void flush();
 
@@ -77,6 +84,7 @@ class PageWalkCache
     struct Entry
     {
         bool valid = false;
+        Asid asid = 0;
         int level = 0;
         std::uint64_t prefix = 0;
         PhysAddr base = 0;

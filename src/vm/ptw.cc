@@ -12,10 +12,10 @@
 namespace sw {
 
 HardwarePtwPool::HardwarePtwPool(EventQueue &eq, Params params,
-                                 const PageTableBase &pt, PageWalkCache &cache,
-                                 PtAccessFn pt_access,
+                                 const AddressSpaceManager &aspaces,
+                                 PageWalkCache &cache, PtAccessFn pt_access,
                                  WalkCompleteFn on_complete)
-    : eventq(eq), params_(params), pageTable(pt), pwc(cache),
+    : eventq(eq), params_(params), spaces(aspaces), pwc(cache),
       ptAccess(std::move(pt_access)), onComplete(std::move(on_complete))
 {
     SW_ASSERT(params_.numWalkers > 0, "need at least one walker");
@@ -47,7 +47,11 @@ std::uint64_t
 HardwarePtwPool::nhaKey(const WalkRequest &req) const
 {
     std::uint64_t ptes_per_sector = params_.nhaSectorBytes / kPteBytes;
-    return req.vpn / std::max<std::uint64_t>(1, ptes_per_sector);
+    std::uint64_t sector =
+        req.key.vpn / std::max<std::uint64_t>(1, ptes_per_sector);
+    // The sector index needs fewer than 40 bits; the ASID tag above it
+    // keeps tenants' sectors disjoint (ASID-0 keys unchanged).
+    return (std::uint64_t(req.key.asid) << 40) | sector;
 }
 
 void
@@ -107,15 +111,17 @@ HardwarePtwPool::dispatch()
         walk.live = true;
 
         // NHA: absorb queued walks whose leaf PTEs share this walk's
-        // sector of the page table (Shin et al., MICRO'18).
-        if (params_.nhaCoalescing && pageTable.usesPwc()) {
+        // sector of the page table (Shin et al., MICRO'18).  The ASID-
+        // qualified key restricts merging to one tenant's page table.
+        if (params_.nhaCoalescing &&
+            spaces.tableFor(walk.primary.key.asid).usesPwc()) {
             std::uint64_t key = nhaKey(walk.primary);
             std::uint64_t limit = params_.nhaSectorBytes / kPteBytes;
             auto absorb = [&](std::deque<WalkRequest> &queue) {
                 for (auto it = queue.begin();
                      it != queue.end() &&
                      walk.coalesced.size() + 1 < limit;) {
-                    if (nhaKey(*it) == key && it->vpn != walk.primary.vpn) {
+                    if (nhaKey(*it) == key && it->key != walk.primary.key) {
                         walk.coalesced.push_back(std::move(*it));
                         ++stats_.nhaMerged;
                         it = queue.erase(it);
@@ -135,11 +141,13 @@ HardwarePtwPool::dispatch()
             w.cursor = w.primary.cursor;
             stats_.queueDelay.add(w.started - w.primary.created);
             SW_TRACE(tracer_, TracePhase::WalkDispatch, w.started,
-                     w.primary.id, w.primary.vpn, std::uint32_t(slot));
+                     w.primary.id, w.primary.key.vpn, std::uint32_t(slot),
+                     w.primary.key.asid);
             for (const auto &rider : w.coalesced) {
                 stats_.queueDelay.add(w.started - rider.created);
                 SW_TRACE(tracer_, TracePhase::WalkDispatch, w.started,
-                         rider.id, rider.vpn, std::uint32_t(slot));
+                         rider.id, rider.key.vpn, std::uint32_t(slot),
+                         rider.key.asid);
             }
             walkStep(slot);
         });
@@ -157,18 +165,22 @@ HardwarePtwPool::walkStep(std::uint64_t slot)
         return;
     }
 
-    PhysAddr addr = pageTable.pteAddr(walk.cursor);
+    const PageTableBase &pt = spaces.tableFor(walk.primary.key.asid);
+    PhysAddr addr = pt.pteAddr(walk.cursor);
     ++stats_.memReads;
     SW_TRACE(tracer_, TracePhase::PtRead, eventq.now(), walk.primary.id,
-             walk.primary.vpn, std::uint32_t(slot));
+             walk.primary.key.vpn, std::uint32_t(slot),
+             walk.primary.key.asid);
     ptAccess(addr, [this, slot]() {
         ActiveWalk &w = active[slot];
+        const PageTableBase &table = spaces.tableFor(w.primary.key.asid);
         int level_read = w.cursor.level;
-        pageTable.advance(w.cursor);
+        table.advance(w.cursor);
         if (!w.cursor.done && level_read > 1) {
             // The read returned the base of the next-lower table: cache it
             // so later walks can skip the levels above it.
-            pwc.fill(pageTable, w.cursor.level, w.cursor.vpn,
+            pwc.fill(table, w.cursor.level,
+                     TranslationKey{w.primary.key.asid, w.cursor.vpn},
                      w.cursor.tableBase);
         }
         if (w.cursor.done) {
@@ -189,7 +201,7 @@ HardwarePtwPool::finishWalk(ActiveWalk &walk)
     auto complete_one = [&](const WalkRequest &req, Pfn pfn, bool fault) {
         WalkResult result;
         result.id = req.id;
-        result.vpn = req.vpn;
+        result.key = req.key;
         result.pfn = pfn;
         result.fault = fault;
         result.queueDelay = walk.started - req.created;
@@ -203,8 +215,11 @@ HardwarePtwPool::finishWalk(ActiveWalk &walk)
 
     complete_one(walk.primary, walk.cursor.pfn, walk.cursor.fault);
     for (const auto &rider : walk.coalesced) {
-        bool mapped = pageTable.isMapped(rider.vpn);
-        complete_one(rider, mapped ? pageTable.translate(rider.vpn) : 0,
+        // Riders resolve through their own address space (the NHA key is
+        // ASID-qualified, so in practice it is the primary's).
+        const PageTableBase &pt = spaces.tableFor(rider.key.asid);
+        bool mapped = pt.isMapped(rider.key.vpn);
+        complete_one(rider, mapped ? pt.translate(rider.key.vpn) : 0,
                      !mapped);
     }
 

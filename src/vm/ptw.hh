@@ -16,6 +16,7 @@
 
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
+#include "vm/address_space.hh"
 #include "vm/page_walk_cache.hh"
 #include "vm/walk.hh"
 
@@ -50,14 +51,15 @@ class HardwarePtwPool : public WalkBackend
     /**
      * @param eq event queue
      * @param params pool configuration
-     * @param pt the page table to walk
+     * @param spaces per-ASID page tables; each walk descends the table of
+     *        its request's ASID
      * @param pwc shared page walk cache (filled as walks descend)
      * @param pt_access page-table memory read issuer
      * @param on_complete walk-completion sink (the translation engine)
      */
-    HardwarePtwPool(EventQueue &eq, Params params, const PageTableBase &pt,
-                    PageWalkCache &pwc, PtAccessFn pt_access,
-                    WalkCompleteFn on_complete);
+    HardwarePtwPool(EventQueue &eq, Params params,
+                    const AddressSpaceManager &spaces, PageWalkCache &pwc,
+                    PtAccessFn pt_access, WalkCompleteFn on_complete);
 
     void submit(WalkRequest req) override;
     std::uint64_t inFlight() const override { return inFlightCount; }
@@ -105,12 +107,16 @@ class HardwarePtwPool : public WalkBackend
 
     void finishWalk(ActiveWalk &walk);
 
-    /** NHA key: walks whose leaf PTEs share one sector can merge. */
+    /**
+     * NHA key: walks whose leaf PTEs share one sector can merge.  The key
+     * is ASID-qualified — different tenants' PTEs live in different page
+     * tables, so their walks never share a sector.
+     */
     std::uint64_t nhaKey(const WalkRequest &req) const;
 
     EventQueue &eventq;
     Params params_;
-    const PageTableBase &pageTable;
+    const AddressSpaceManager &spaces;
     PageWalkCache &pwc;
     PtAccessFn ptAccess;
     WalkCompleteFn onComplete;

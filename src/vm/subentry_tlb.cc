@@ -1,0 +1,274 @@
+#include "vm/subentry_tlb.hh"
+
+#include "ckpt/ckpt_io.hh"
+#include "obs/stat_registry.hh"
+#include "sim/logging.hh"
+
+namespace sw {
+
+SubEntryTlb::SubEntryTlb(std::string name, std::uint32_t translations,
+                         std::uint32_t num_ways, std::uint32_t sub_entries,
+                         bool shared)
+    : name_(std::move(name)), ways(num_ways), subs(sub_entries),
+      shared_(shared)
+{
+    SW_ASSERT(sub_entries > 1, "use TlbArray for one sub-entry per tag");
+    SW_ASSERT(translations % (sub_entries * num_ways) == 0,
+              "%u translations not divisible by subs*ways (%u*%u)",
+              translations, sub_entries, num_ways);
+    std::uint32_t tags = translations / sub_entries;
+    sets = tags / ways;
+    entries.resize(tags);
+    for (Entry &entry : entries)
+        entry.slots.resize(subs);
+}
+
+void
+SubEntryTlb::setWayPartition(
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> slices)
+{
+    for (const auto &[first, count] : slices) {
+        SW_ASSERT(count > 0 && first + count <= ways,
+                  "%s: way slice [%u, +%u) outside %u ways",
+                  name_.c_str(), first, count, ways);
+    }
+    waySlices = std::move(slices);
+}
+
+std::pair<std::uint32_t, std::uint32_t>
+SubEntryTlb::victimWays(Asid asid) const
+{
+    if (asid < waySlices.size())
+        return waySlices[asid];
+    return {0, ways};
+}
+
+SubEntryTlb::Entry *
+SubEntryTlb::findTag(TranslationKey key)
+{
+    std::uint64_t base = baseOf(key.vpn);
+    std::uint64_t set = setOf(base);
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        Entry &entry = entries[set * ways + w];
+        if (entry.valid && entry.base == base &&
+            (shared_ || entry.asid == key.asid))
+            return &entry;
+    }
+    return nullptr;
+}
+
+const SubEntryTlb::Entry *
+SubEntryTlb::findTagConst(TranslationKey key) const
+{
+    std::uint64_t base = baseOf(key.vpn);
+    std::uint64_t set = setOf(base);
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        const Entry &entry = entries[set * ways + w];
+        if (entry.valid && entry.base == base &&
+            (shared_ || entry.asid == key.asid))
+            return &entry;
+    }
+    return nullptr;
+}
+
+bool
+SubEntryTlb::lookup(TranslationKey key, Pfn &pfn)
+{
+    ++stats_.lookups;
+    Entry *entry = findTag(key);
+    if (!entry)
+        return false;
+    Sub &sub = entry->slots[subOf(key.vpn)];
+    if (!sub.valid || sub.asid != key.asid)
+        return false;
+    ++stats_.hits;
+    if (entry->asid != key.asid)
+        ++stats_.sharedHits;
+    entry->lruTick = ++lruCounter;
+    pfn = sub.pfn;
+    return true;
+}
+
+bool
+SubEntryTlb::probe(TranslationKey key) const
+{
+    const Entry *entry = findTagConst(key);
+    if (!entry)
+        return false;
+    const Sub &sub = entry->slots[subOf(key.vpn)];
+    return sub.valid && sub.asid == key.asid;
+}
+
+void
+SubEntryTlb::fill(TranslationKey key, Pfn pfn)
+{
+    ++stats_.fills;
+    if (Entry *entry = findTag(key)) {
+        // Sub-fill into the existing tag: lands in any tenant's entry in
+        // sharing mode — MIG way slices do not apply here, which is the
+        // capacity win Li et al. measure.
+        if (entry->asid != key.asid)
+            ++stats_.sharedFills;
+        Sub &sub = entry->slots[subOf(key.vpn)];
+        sub.valid = true;
+        sub.asid = key.asid;
+        sub.pfn = pfn;
+        entry->lruTick = ++lruCounter;
+        return;
+    }
+
+    std::uint64_t base = baseOf(key.vpn);
+    std::uint64_t set = setOf(base);
+    auto [way0, waycount] = victimWays(key.asid);
+    Entry *victim = nullptr;
+    for (std::uint32_t w = way0; w < way0 + waycount; ++w) {
+        Entry &entry = entries[set * ways + w];
+        if (!entry.valid) {
+            victim = &entry;
+            break;
+        }
+        if (!victim || entry.lruTick < victim->lruTick)
+            victim = &entry;
+    }
+    SW_ASSERT(victim != nullptr, "%s: empty way slice", name_.c_str());
+    if (victim->valid)
+        ++stats_.evictions;
+    ++stats_.tagAllocs;
+    victim->valid = true;
+    victim->asid = key.asid;
+    victim->base = base;
+    victim->lruTick = ++lruCounter;
+    for (Sub &sub : victim->slots)
+        sub = Sub{};
+    Sub &sub = victim->slots[subOf(key.vpn)];
+    sub.valid = true;
+    sub.asid = key.asid;
+    sub.pfn = pfn;
+}
+
+void
+SubEntryTlb::invalidate(TranslationKey key)
+{
+    Entry *entry = findTag(key);
+    if (!entry)
+        return;
+    Sub &sub = entry->slots[subOf(key.vpn)];
+    if (!sub.valid || sub.asid != key.asid)
+        return;
+    sub.valid = false;
+    bool any = false;
+    for (const Sub &s : entry->slots)
+        any = any || s.valid;
+    entry->valid = any;
+}
+
+void
+SubEntryTlb::flushAsid(Asid asid)
+{
+    for (Entry &entry : entries) {
+        if (!entry.valid)
+            continue;
+        bool any = false;
+        for (Sub &sub : entry.slots) {
+            if (sub.valid && sub.asid == asid)
+                sub.valid = false;
+            any = any || sub.valid;
+        }
+        entry.valid = any;
+    }
+}
+
+void
+SubEntryTlb::flush()
+{
+    for (Entry &entry : entries) {
+        entry.valid = false;
+        entry.asid = 0;
+        entry.base = 0;
+        entry.lruTick = 0;
+        for (Sub &sub : entry.slots)
+            sub = Sub{};
+    }
+}
+
+void
+SubEntryTlb::registerStats(StatGroup group)
+{
+    group.counter("lookups", &stats_.lookups);
+    group.counter("hits", &stats_.hits);
+    group.counter("fills", &stats_.fills);
+    group.counter("evictions", &stats_.evictions);
+    group.counter("tag_allocs", &stats_.tagAllocs);
+    group.counter("shared_hits", &stats_.sharedHits);
+    group.counter("shared_fills", &stats_.sharedFills);
+    group.gauge("misses",
+                [this]() { return double(stats_.lookups - stats_.hits); });
+    group.gauge("hit_rate", [this]() { return stats_.hitRate(); });
+}
+
+void
+SubEntryTlb::saveState(CkptWriter &w) const
+{
+    w.section("subtlb");
+    w.str(name_);
+    w.u32(std::uint32_t(entries.size()));
+    w.u32(subs);
+    for (const Entry &entry : entries) {
+        w.u8(entry.valid ? 1 : 0);
+        w.u32(entry.asid);
+        w.u64(entry.base);
+        w.u64(entry.lruTick);
+        for (const Sub &sub : entry.slots) {
+            w.u8(sub.valid ? 1 : 0);
+            w.u32(sub.asid);
+            w.u64(sub.pfn);
+        }
+    }
+    w.u64(lruCounter);
+    w.u64(stats_.lookups);
+    w.u64(stats_.hits);
+    w.u64(stats_.fills);
+    w.u64(stats_.evictions);
+    w.u64(stats_.tagAllocs);
+    w.u64(stats_.sharedHits);
+    w.u64(stats_.sharedFills);
+}
+
+void
+SubEntryTlb::restoreState(CkptReader &r)
+{
+    r.expectSection("subtlb");
+    std::string saved_name = r.str();
+    if (saved_name != name_) {
+        fatal("checkpoint sub-entry TLB \"%s\" restored into \"%s\"",
+              saved_name.c_str(), name_.c_str());
+    }
+    std::uint32_t n = r.u32();
+    std::uint32_t k = r.u32();
+    if (n != entries.size() || k != subs) {
+        fatal("checkpoint sub-entry TLB \"%s\" geometry %ux%u does not "
+              "match this config's %zux%u", name_.c_str(), n, k,
+              entries.size(), subs);
+    }
+    for (Entry &entry : entries) {
+        entry.valid = r.u8() != 0;
+        entry.asid = r.u32();
+        entry.base = r.u64();
+        entry.lruTick = r.u64();
+        for (Sub &sub : entry.slots) {
+            sub.valid = r.u8() != 0;
+            sub.asid = r.u32();
+            sub.pfn = r.u64();
+        }
+    }
+    lruCounter = r.u64();
+    stats_.lookups = r.u64();
+    stats_.hits = r.u64();
+    stats_.fills = r.u64();
+    stats_.evictions = r.u64();
+    stats_.tagAllocs = r.u64();
+    stats_.sharedHits = r.u64();
+    stats_.sharedFills = r.u64();
+}
+
+} // namespace sw

@@ -20,35 +20,57 @@ TlbArray::TlbArray(std::string name, std::uint32_t num_entries,
     entries.resize(num_entries);
 }
 
-TlbArray::Entry *
-TlbArray::findValid(Vpn vpn)
+void
+TlbArray::setWayPartition(
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> slices)
 {
-    std::uint64_t set = setOf(vpn);
+    for (const auto &[first, count] : slices) {
+        SW_ASSERT(count > 0 && first + count <= ways,
+                  "%s: way slice [%u, +%u) outside %u ways",
+                  name_.c_str(), first, count, ways);
+    }
+    waySlices = std::move(slices);
+}
+
+std::pair<std::uint32_t, std::uint32_t>
+TlbArray::victimWays(Asid asid) const
+{
+    if (asid < waySlices.size())
+        return waySlices[asid];
+    return {0, ways};
+}
+
+TlbArray::Entry *
+TlbArray::findValid(TranslationKey key)
+{
+    std::uint64_t set = setOf(key.vpn);
     for (std::uint32_t w = 0; w < ways; ++w) {
         Entry &entry = entries[set * ways + w];
-        if (entry.state == EntryState::Valid && entry.vpn == vpn)
+        if (entry.state == EntryState::Valid && entry.vpn == key.vpn &&
+            entry.asid == key.asid)
             return &entry;
     }
     return nullptr;
 }
 
 const TlbArray::Entry *
-TlbArray::findValidConst(Vpn vpn) const
+TlbArray::findValidConst(TranslationKey key) const
 {
-    std::uint64_t set = setOf(vpn);
+    std::uint64_t set = setOf(key.vpn);
     for (std::uint32_t w = 0; w < ways; ++w) {
         const Entry &entry = entries[set * ways + w];
-        if (entry.state == EntryState::Valid && entry.vpn == vpn)
+        if (entry.state == EntryState::Valid && entry.vpn == key.vpn &&
+            entry.asid == key.asid)
             return &entry;
     }
     return nullptr;
 }
 
 bool
-TlbArray::lookup(Vpn vpn, Pfn &pfn)
+TlbArray::lookup(TranslationKey key, Pfn &pfn)
 {
     ++stats_.lookups;
-    if (Entry *entry = findValid(vpn)) {
+    if (Entry *entry = findValid(key)) {
         ++stats_.hits;
         entry->lruTick = ++lruCounter;
         pfn = entry->pfn;
@@ -58,26 +80,27 @@ TlbArray::lookup(Vpn vpn, Pfn &pfn)
 }
 
 bool
-TlbArray::probe(Vpn vpn) const
+TlbArray::probe(TranslationKey key) const
 {
-    return findValidConst(vpn) != nullptr;
+    return findValidConst(key) != nullptr;
 }
 
 bool
-TlbArray::fill(Vpn vpn, Pfn pfn)
+TlbArray::fill(TranslationKey key, Pfn pfn)
 {
     ++stats_.fills;
-    std::uint64_t set = setOf(vpn);
+    std::uint64_t set = setOf(key.vpn);
 
     // Refresh an existing valid entry in place.
-    if (Entry *entry = findValid(vpn)) {
+    if (Entry *entry = findValid(key)) {
         entry->pfn = pfn;
         entry->lruTick = ++lruCounter;
         return true;
     }
 
+    auto [way0, waycount] = victimWays(key.asid);
     Entry *victim = nullptr;
-    for (std::uint32_t w = 0; w < ways; ++w) {
+    for (std::uint32_t w = way0; w < way0 + waycount; ++w) {
         Entry &entry = entries[set * ways + w];
         if (entry.state == EntryState::Pending)
             continue;
@@ -97,27 +120,30 @@ TlbArray::fill(Vpn vpn, Pfn pfn)
     if (victim->state == EntryState::Valid)
         ++stats_.evictions;
     victim->state = EntryState::Valid;
-    victim->vpn = vpn;
+    victim->asid = key.asid;
+    victim->vpn = key.vpn;
     victim->pfn = pfn;
     victim->lruTick = ++lruCounter;
     return true;
 }
 
 bool
-TlbArray::allocPending(Vpn vpn)
+TlbArray::allocPending(TranslationKey key)
 {
-    std::uint64_t set = setOf(vpn);
+    std::uint64_t set = setOf(key.vpn);
 
     // Same-tag pending reservation: merge onto the existing slot (§4.5
     // "we allow the In-TLB MSHR to reserve the same tag in a set index").
     for (std::uint32_t w = 0; w < ways; ++w) {
         Entry &entry = entries[set * ways + w];
-        if (entry.state == EntryState::Pending && entry.vpn == vpn)
+        if (entry.state == EntryState::Pending && entry.vpn == key.vpn &&
+            entry.asid == key.asid)
             return true;
     }
 
+    auto [way0, waycount] = victimWays(key.asid);
     Entry *victim = nullptr;
-    for (std::uint32_t w = 0; w < ways; ++w) {
+    for (std::uint32_t w = way0; w < way0 + waycount; ++w) {
         Entry &entry = entries[set * ways + w];
         if (entry.state == EntryState::Pending)
             continue;
@@ -135,7 +161,8 @@ TlbArray::allocPending(Vpn vpn)
     if (victim->state == EntryState::Valid)
         ++stats_.pendingEvictedValid;
     victim->state = EntryState::Pending;
-    victim->vpn = vpn;
+    victim->asid = key.asid;
+    victim->vpn = key.vpn;
     victim->pfn = 0;
     victim->lruTick = ++lruCounter;
     ++numPending;
@@ -154,24 +181,26 @@ TlbArray::countPendingScan() const
 }
 
 bool
-TlbArray::hasPending(Vpn vpn) const
+TlbArray::hasPending(TranslationKey key) const
 {
-    std::uint64_t set = setOf(vpn);
+    std::uint64_t set = setOf(key.vpn);
     for (std::uint32_t w = 0; w < ways; ++w) {
         const Entry &entry = entries[set * ways + w];
-        if (entry.state == EntryState::Pending && entry.vpn == vpn)
+        if (entry.state == EntryState::Pending && entry.vpn == key.vpn &&
+            entry.asid == key.asid)
             return true;
     }
     return false;
 }
 
 void
-TlbArray::clearPending(Vpn vpn)
+TlbArray::clearPending(TranslationKey key)
 {
-    std::uint64_t set = setOf(vpn);
+    std::uint64_t set = setOf(key.vpn);
     for (std::uint32_t w = 0; w < ways; ++w) {
         Entry &entry = entries[set * ways + w];
-        if (entry.state == EntryState::Pending && entry.vpn == vpn) {
+        if (entry.state == EntryState::Pending && entry.vpn == key.vpn &&
+            entry.asid == key.asid) {
             entry.state = EntryState::Invalid;
             SW_ASSERT(numPending > 0, "pending underflow");
             --numPending;
@@ -183,10 +212,19 @@ TlbArray::clearPending(Vpn vpn)
 }
 
 void
-TlbArray::invalidate(Vpn vpn)
+TlbArray::invalidate(TranslationKey key)
 {
-    if (Entry *entry = findValid(vpn))
+    if (Entry *entry = findValid(key))
         entry->state = EntryState::Invalid;
+}
+
+void
+TlbArray::flushAsid(Asid asid)
+{
+    for (auto &entry : entries) {
+        if (entry.state == EntryState::Valid && entry.asid == asid)
+            entry.state = EntryState::Invalid;
+    }
 }
 
 void
@@ -222,6 +260,7 @@ TlbArray::saveState(CkptWriter &w) const
     w.u32(std::uint32_t(entries.size()));
     for (const Entry &entry : entries) {
         w.u8(std::uint8_t(entry.state));
+        w.u32(entry.asid);
         w.u64(entry.vpn);
         w.u64(entry.pfn);
         w.u64(entry.lruTick);
@@ -257,6 +296,7 @@ TlbArray::restoreState(CkptReader &r)
         if (state > std::uint8_t(EntryState::Pending))
             fatal("checkpoint TLB entry state %u out of range", state);
         entry.state = EntryState(state);
+        entry.asid = r.u32();
         entry.vpn = r.u64();
         entry.pfn = r.u64();
         entry.lruTick = r.u64();

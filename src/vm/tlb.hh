@@ -7,6 +7,14 @@
  * outstanding miss, §4.5).  The same array class backs the fully
  * associative per-SM L1 TLBs (ways == entries) and the shared 16-way
  * L2 TLB.
+ *
+ * Entries are keyed by TranslationKey {asid, vpn}: tenants share the
+ * array, with the ASID participating in the tag compare only — the set
+ * index stays vpn % sets so ASID-0 (single-tenant) indexing, victim
+ * selection, and therefore fingerprints are unchanged.  Under MIG
+ * partitioning each tenant's victim selection is confined to its own way
+ * slice (setWayPartition); lookups still scan every way, which is safe
+ * because tags are ASID-qualified.
  */
 
 #ifndef SW_VM_TLB_HH
@@ -14,9 +22,11 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
+#include "vm/address.hh"
 
 namespace sw {
 
@@ -50,34 +60,51 @@ class TlbArray
 
     TlbArray(std::string name, std::uint32_t entries, std::uint32_t ways);
 
+    /**
+     * Confine victim selection for each ASID to [first way, way count)
+     * (MIG way slices).  An empty vector (the default) lets every ASID
+     * use the full way range; an ASID beyond the vector also falls back
+     * to the full range.
+     */
+    void setWayPartition(
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> slices);
+
     /** Look up a translation; updates LRU on hit. */
-    bool lookup(Vpn vpn, Pfn &pfn);
+    bool lookup(TranslationKey key, Pfn &pfn);
 
     /** Tag-only probe without LRU side effects. */
-    bool probe(Vpn vpn) const;
+    bool probe(TranslationKey key) const;
 
     /**
      * Install a valid translation (TLB fill / FL2T).
      * Victim preference: invalid way, else LRU valid way; pending ways are
      * never displaced.
-     * @retval false if every way of the set is pending (fill skipped).
+     * @retval false if every candidate way of the set is pending.
      */
-    bool fill(Vpn vpn, Pfn pfn);
+    bool fill(TranslationKey key, Pfn pfn);
 
     /**
-     * Convert a victim entry of vpn's set into an In-TLB MSHR slot.
-     * @retval false if every way of the set is already pending.
+     * Convert a victim entry of the key's set into an In-TLB MSHR slot.
+     * @retval false if every candidate way of the set is already pending.
      */
-    bool allocPending(Vpn vpn);
+    bool allocPending(TranslationKey key);
 
-    /** True if @p vpn currently occupies a pending (In-TLB MSHR) way. */
-    bool hasPending(Vpn vpn) const;
+    /** True if @p key currently occupies a pending (In-TLB MSHR) way. */
+    bool hasPending(TranslationKey key) const;
 
-    /** Clear every pending way whose tag matches @p vpn (walk completion). */
-    void clearPending(Vpn vpn);
+    /** Clear every pending way whose tag matches @p key (walk completion). */
+    void clearPending(TranslationKey key);
 
     /** Invalidate a specific translation (TLB shootdown). */
-    void invalidate(Vpn vpn);
+    void invalidate(TranslationKey key);
+
+    /**
+     * Drop every *valid* translation belonging to @p asid (tenant
+     * teardown / ASID-selective shootdown).  Pending (In-TLB MSHR) ways
+     * survive: their walks are still in flight and will clear them on
+     * completion, exactly like a per-VPN shootdown.
+     */
+    void flushAsid(Asid asid);
 
     /** Drop everything. */
     void flush();
@@ -89,6 +116,20 @@ class TlbArray
      * cross-checks this against the running pendingCount() counter.
      */
     std::uint32_t countPendingScan() const;
+
+    /**
+     * Invoke @p fn for every valid translation (cross-ASID containment
+     * audit); never called on the hot path.
+     */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn) const
+    {
+        for (const Entry &entry : entries) {
+            if (entry.state == EntryState::Valid)
+                fn(TranslationKey{entry.asid, entry.vpn}, entry.pfn);
+        }
+    }
 
     std::uint32_t numEntries() const { return std::uint32_t(entries.size()); }
     std::uint32_t numWays() const { return ways; }
@@ -117,18 +158,23 @@ class TlbArray
     struct Entry
     {
         EntryState state = EntryState::Invalid;
+        Asid asid = 0;
         Vpn vpn = 0;
         Pfn pfn = 0;
         std::uint64_t lruTick = 0;
     };
 
-    Entry *findValid(Vpn vpn);
-    const Entry *findValidConst(Vpn vpn) const;
+    Entry *findValid(TranslationKey key);
+    const Entry *findValidConst(TranslationKey key) const;
+    /** Way range victim selection may touch for @p asid. */
+    std::pair<std::uint32_t, std::uint32_t> victimWays(Asid asid) const;
 
     std::string name_;
     std::uint32_t ways;
     std::uint32_t sets;
     std::vector<Entry> entries;
+    /** Per-ASID (first way, way count); empty = no partitioning. */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> waySlices;
     std::uint64_t lruCounter = 0;
     std::uint32_t numPending = 0;
     Stats stats_;

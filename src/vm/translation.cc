@@ -11,8 +11,9 @@
 namespace sw {
 
 TranslationEngine::TranslationEngine(EventQueue &eq, const GpuConfig &config,
-                                     MemorySystem &memory, PageTableBase &pt)
-    : eventq(eq), cfg(config), mem(memory), pageTable_(pt),
+                                     MemorySystem &memory,
+                                     AddressSpaceManager &spaces)
+    : eventq(eq), cfg(config), mem(memory), spaces_(spaces),
       l2Array("l2tlb", config.l2TlbEntries, config.l2TlbWays),
       pwcCache(config.pwcEntries)
 {
@@ -25,6 +26,22 @@ TranslationEngine::TranslationEngine(EventQueue &eq, const GpuConfig &config,
         l1Arrays.emplace_back(strprintf("l1tlb[%u]", sm), cfg.l1TlbEntries,
                               cfg.l1TlbEntries);
     }
+    if (cfg.l2SubEntries > 1) {
+        subL2 = std::make_unique<SubEntryTlb>(
+            "l2tlb-sub", cfg.l2TlbEntries, cfg.l2TlbWays, cfg.l2SubEntries,
+            cfg.l2SubEntrySharing);
+    }
+    if (cfg.migPartitioning && cfg.numTenants > 1) {
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> slices;
+        slices.reserve(cfg.numTenants);
+        for (Asid t = 0; t < cfg.numTenants; ++t)
+            slices.push_back(tenantWayRange(cfg, t));
+        if (subL2)
+            subL2->setWayPartition(std::move(slices));
+        else
+            l2Array.setWayPartition(std::move(slices));
+    }
+    tenantStats_.resize(cfg.numTenants);
 }
 
 void
@@ -33,15 +50,42 @@ TranslationEngine::setBackend(std::unique_ptr<WalkBackend> backend)
     walkBackend = std::move(backend);
 }
 
+bool
+TranslationEngine::l2Lookup(TranslationKey key, Pfn &pfn)
+{
+    return subL2 ? subL2->lookup(key, pfn) : l2Array.lookup(key, pfn);
+}
+
 void
-TranslationEngine::translate(SmId sm, Vpn vpn, TransDoneFn done)
+TranslationEngine::l2Fill(TranslationKey key, Pfn pfn)
+{
+    if (subL2)
+        subL2->fill(key, pfn);
+    else
+        l2Array.fill(key, pfn);
+}
+
+void
+TranslationEngine::l2Invalidate(TranslationKey key)
+{
+    if (subL2)
+        subL2->invalidate(key);
+    else
+        l2Array.invalidate(key);
+}
+
+void
+TranslationEngine::translate(SmId sm, TranslationKey key, TransDoneFn done)
 {
     SW_PROF_SCOPE(prof::Zone::TlbLookup);
     SW_ASSERT(sm < cfg.numSms, "translate from unknown SM %u", sm);
+    SW_ASSERT(key.asid < cfg.numTenants, "translate for unknown ASID %u",
+              key.asid);
     ++stats_.requests;
+    ++tenantStats_[key.asid].requests;
     Cycle start = eventq.now();
-    auto fire = [this, sm, vpn, done = std::move(done), start]() mutable {
-        l1Lookup(sm, vpn, std::move(done), start);
+    auto fire = [this, sm, key, done = std::move(done), start]() mutable {
+        l1Lookup(sm, key, std::move(done), start);
     };
     static_assert(EventFn::fitsInline<decltype(fire)>(),
                   "L1 lookup event must not spill to the slab pool");
@@ -49,20 +93,23 @@ TranslationEngine::translate(SmId sm, Vpn vpn, TransDoneFn done)
 }
 
 void
-TranslationEngine::l1Lookup(SmId sm, Vpn vpn, TransDoneFn done, Cycle start)
+TranslationEngine::l1Lookup(SmId sm, TranslationKey key, TransDoneFn done,
+                            Cycle start)
 {
     Pfn pfn = 0;
-    if (l1Arrays[sm].lookup(vpn, pfn)) {
+    if (l1Arrays[sm].lookup(key, pfn)) {
         ++stats_.l1Hits;
         stats_.translationLatency.add(eventq.now() - start);
+        tenantStats_[key.asid].translationLatency.add(eventq.now() - start);
         done(pfn);
         return;
     }
     ++stats_.l1Misses;
-    SW_TRACE(tracer_, TracePhase::L1Miss, eventq.now(), 0, vpn, sm);
+    SW_TRACE(tracer_, TracePhase::L1Miss, eventq.now(), 0, key.vpn, sm,
+             key.asid);
 
     auto &mshrs = l1Mshrs[sm];
-    auto it = mshrs.find(vpn);
+    auto it = mshrs.find(key);
     if (it != mshrs.end()) {
         if (idealMshrs ||
             it->second.size() <
@@ -73,19 +120,19 @@ TranslationEngine::l1Lookup(SmId sm, Vpn vpn, TransDoneFn done, Cycle start)
         }
         // Merge capacity exhausted: park until this SM resolves something.
         ++stats_.l1MshrFailures;
-        l1WaitQueues[sm].push_back({vpn, std::move(done), start});
+        l1WaitQueues[sm].push_back({key, std::move(done), start});
         return;
     }
 
     if (!idealMshrs && mshrs.size() >=
         static_cast<std::size_t>(cfg.l1TlbMshrs)) {
         ++stats_.l1MshrFailures;
-        l1WaitQueues[sm].push_back({vpn, std::move(done), start});
+        l1WaitQueues[sm].push_back({key, std::move(done), start});
         return;
     }
 
-    mshrs[vpn].push_back({std::move(done), start});
-    sendToL2(sm, vpn);
+    mshrs[key].push_back({std::move(done), start});
+    sendToL2(sm, key);
 }
 
 void
@@ -96,7 +143,7 @@ TranslationEngine::drainL1WaitQueue(SmId sm)
         std::size_t before = queue.size();
         L1WaitEntry entry = std::move(queue.front());
         queue.pop_front();
-        l1Lookup(sm, entry.vpn, std::move(entry.done), entry.start);
+        l1Lookup(sm, entry.key, std::move(entry.done), entry.start);
         if (queue.size() >= before) {
             // No progress: the retried request was parked again.
             break;
@@ -105,43 +152,49 @@ TranslationEngine::drainL1WaitQueue(SmId sm)
 }
 
 void
-TranslationEngine::sendToL2(SmId sm, Vpn vpn)
+TranslationEngine::sendToL2(SmId sm, TranslationKey key)
 {
-    auto fire = [this, sm, vpn]() { l2Access(sm, vpn); };
+    auto fire = [this, sm, key]() { l2Access(sm, key); };
     static_assert(EventFn::fitsInline<decltype(fire)>(),
                   "L2 hop event must not spill to the slab pool");
     eventq.scheduleIn(cfg.l2TlbLatency, std::move(fire));
 }
 
 void
-TranslationEngine::l2Access(SmId sm, Vpn vpn)
+TranslationEngine::l2Access(SmId sm, TranslationKey key)
 {
     SW_PROF_SCOPE(prof::Zone::TlbLookup);
     ++stats_.l2Accesses;
-    SW_TRACE(tracer_, TracePhase::L2Lookup, eventq.now(), 0, vpn, sm);
+    SW_TRACE(tracer_, TracePhase::L2Lookup, eventq.now(), 0, key.vpn, sm,
+             key.asid);
     Pfn pfn = 0;
-    if (l2Array.lookup(vpn, pfn)) {
+    if (l2Lookup(key, pfn)) {
         ++stats_.l2Hits;
-        SW_TRACE(tracer_, TracePhase::L2Hit, eventq.now(), 0, vpn, sm);
-        resolveL1(sm, vpn, pfn);
+        SW_TRACE(tracer_, TracePhase::L2Hit, eventq.now(), 0, key.vpn, sm,
+                 key.asid);
+        resolveL1(sm, key, pfn);
         return;
     }
     ++stats_.l2Misses;
-    SW_TRACE(tracer_, TracePhase::L2Miss, eventq.now(), 0, vpn, sm);
+    ++tenantStats_[key.asid].l2Misses;
+    SW_TRACE(tracer_, TracePhase::L2Miss, eventq.now(), 0, key.vpn, sm,
+             key.asid);
 
-    if (!tryHandleL2Miss(sm, vpn, eventq.now())) {
+    if (!tryHandleL2Miss(sm, key, eventq.now())) {
         // "MSHR failure" (§4.5): the L2 TLB cannot reserve the request.
         // The requester parks until a walk completion frees capacity.
         ++stats_.l2MshrFailures;
-        SW_TRACE(tracer_, TracePhase::MshrFail, eventq.now(), 0, vpn, sm);
-        l2WaitQueue.push_back({sm, vpn, eventq.now()});
+        SW_TRACE(tracer_, TracePhase::MshrFail, eventq.now(), 0, key.vpn,
+                 sm, key.asid);
+        l2WaitQueue.push_back({sm, key, eventq.now()});
     }
 }
 
 bool
-TranslationEngine::tryHandleL2Miss(SmId sm, Vpn vpn, Cycle arrival)
+TranslationEngine::tryHandleL2Miss(SmId sm, TranslationKey key,
+                                   Cycle arrival)
 {
-    auto it = outstanding.find(vpn);
+    auto it = outstanding.find(key);
     if (it != outstanding.end()) {
         L2Track &track = it->second;
         if (idealMshrs || track.merges < cfg.l2TlbMergesPerMshr) {
@@ -154,19 +207,23 @@ TranslationEngine::tryHandleL2Miss(SmId sm, Vpn vpn, Cycle arrival)
     }
 
     // Allocate miss-tracking state: a regular MSHR if one is free, else an
-    // In-TLB MSHR slot (§4.5).
+    // In-TLB MSHR slot (§4.5).  The In-TLB path is defined on whole L2 TLB
+    // entries, so the sub-entry array never takes it (validate() enforces
+    // the exclusion).
     bool in_tlb_slot = false;
     if (idealMshrs || regularMshrInUse < cfg.l2TlbMshrs) {
         ++regularMshrInUse;
         stats_.regularMshrPeak =
             std::max<std::uint64_t>(stats_.regularMshrPeak,
                                     regularMshrInUse);
-        SW_TRACE(tracer_, TracePhase::MshrAlloc, eventq.now(), 0, vpn, sm);
-    } else if (cfg.inTlbMshrMax > 0 &&
+        SW_TRACE(tracer_, TracePhase::MshrAlloc, eventq.now(), 0, key.vpn,
+                 sm, key.asid);
+    } else if (!subL2 && cfg.inTlbMshrMax > 0 &&
                l2Array.pendingCount() < cfg.inTlbMshrMax &&
-               l2Array.allocPending(vpn)) {
+               l2Array.allocPending(key)) {
         in_tlb_slot = true;
-        SW_TRACE(tracer_, TracePhase::InTlbAlloc, eventq.now(), 0, vpn, sm);
+        SW_TRACE(tracer_, TracePhase::InTlbAlloc, eventq.now(), 0, key.vpn,
+                 sm, key.asid);
         ++stats_.inTlbMshrAllocs;
         stats_.inTlbMshrPeak =
             std::max<std::uint64_t>(stats_.inTlbMshrPeak,
@@ -184,8 +241,8 @@ TranslationEngine::tryHandleL2Miss(SmId sm, Vpn vpn, Cycle arrival)
     track.inTlbSlot = in_tlb_slot;
     track.created = arrival;
     track.waiterSms.push_back(sm);
-    outstanding.emplace(vpn, std::move(track));
-    createWalk(vpn, arrival);
+    outstanding.emplace(key, std::move(track));
+    createWalk(key, arrival);
     return true;
 }
 
@@ -197,42 +254,44 @@ TranslationEngine::drainL2WaitQueue()
         L2WaitEntry entry = l2WaitQueue.front();
         // The blocking walk may have filled this entry's translation.
         Pfn pfn = 0;
-        if (l2Array.lookup(entry.vpn, pfn)) {
+        if (l2Lookup(entry.key, pfn)) {
             ++stats_.l2Accesses;
             ++stats_.l2Hits;
             l2WaitQueue.pop_front();
-            resolveL1(entry.sm, entry.vpn, pfn);
+            resolveL1(entry.sm, entry.key, pfn);
             continue;
         }
-        if (!tryHandleL2Miss(entry.sm, entry.vpn, entry.arrival))
+        if (!tryHandleL2Miss(entry.sm, entry.key, entry.arrival))
             break;
         l2WaitQueue.pop_front();
     }
 }
 
 void
-TranslationEngine::createWalk(Vpn vpn, Cycle created)
+TranslationEngine::createWalk(TranslationKey key, Cycle created)
 {
     ++stats_.walksCreated;
     SW_ASSERT(walkBackend != nullptr, "no walk backend installed");
     if (mapOnDemand)
-        pageTable_.ensureMapped(vpn);
+        spaces_.tableFor(key.asid).ensureMapped(key.vpn);
 
-    auto fire = [this, vpn, created]() {
+    auto fire = [this, key, created]() {
+        PageTableBase &pt = spaces_.tableFor(key.asid);
         int level = 0;
         PhysAddr base = 0;
         WalkRequest req;
         req.id = nextWalkId++;
-        req.vpn = vpn;
+        req.key = key;
         req.created = created;
-        if (pwcCache.lookup(pageTable_, vpn, level, base)) {
-            req.cursor = pageTable_.resumeWalk(vpn, level, base);
+        if (pwcCache.lookup(pt, key, level, base)) {
+            req.cursor = pt.resumeWalk(key.vpn, level, base);
         } else {
-            req.cursor = pageTable_.startWalk(vpn);
+            req.cursor = pt.startWalk(key.vpn);
         }
-        SW_TRACE(tracer_, TracePhase::WalkCreated, created, req.id, vpn);
+        SW_TRACE(tracer_, TracePhase::WalkCreated, created, req.id, key.vpn,
+                 TranslationTracer::kNoWhere, key.asid);
         SW_TRACE(tracer_, TracePhase::BackendSubmit, eventq.now(), req.id,
-                 vpn);
+                 key.vpn, TranslationTracer::kNoWhere, key.asid);
         walkBackend->submit(std::move(req));
     };
     static_assert(EventFn::fitsInline<decltype(fire)>(),
@@ -247,101 +306,108 @@ TranslationEngine::onWalkComplete(const WalkResult &result)
     if (result.fault) {
         ++stats_.faults;
         SW_TRACE(tracer_, TracePhase::Fault, eventq.now(), result.id,
-                 result.vpn);
-        faults_.record(result.vpn, 0, eventq.now());
+                 result.key.vpn, TranslationTracer::kNoWhere,
+                 result.key.asid);
+        faults_.record(result.key, 0, eventq.now());
         // UVM-style handling: the driver maps the page, then the walk is
         // replayed from scratch (§5.5).
-        eventq.scheduleIn(kOsFaultLatency, [this, vpn = result.vpn]() {
-            pageTable_.ensureMapped(vpn);
-            auto it = outstanding.find(vpn);
+        eventq.scheduleIn(kOsFaultLatency, [this, key = result.key]() {
+            spaces_.tableFor(key.asid).ensureMapped(key.vpn);
+            auto it = outstanding.find(key);
             SW_ASSERT(it != outstanding.end(),
                       "fault replay without tracking state");
-            createWalk(vpn, eventq.now());
+            createWalk(key, eventq.now());
             --stats_.walksCreated;   // replay, not a new demand walk
         });
         return;
     }
 
-    auto it = outstanding.find(result.vpn);
+    auto it = outstanding.find(result.key);
     SW_ASSERT(it != outstanding.end(), "walk completion without tracker");
     L2Track track = std::move(it->second);
     outstanding.erase(it);
 
     if (track.inTlbSlot) {
-        l2Array.clearPending(result.vpn);
-        SW_AUDIT(!l2Array.hasPending(result.vpn),
+        l2Array.clearPending(result.key);
+        SW_AUDIT(!l2Array.hasPending(result.key),
                  "In-TLB MSHR slot survived walk completion for vpn %llu",
-                 static_cast<unsigned long long>(result.vpn));
+                 static_cast<unsigned long long>(result.key.vpn));
     } else {
         SW_ASSERT(regularMshrInUse > 0, "regular MSHR underflow");
         --regularMshrInUse;
     }
-    l2Array.fill(result.vpn, result.pfn);
+    l2Fill(result.key, result.pfn);
     SW_TRACE(tracer_, TracePhase::WalkFill, eventq.now(), result.id,
-             result.vpn);
+             result.key.vpn, TranslationTracer::kNoWhere, result.key.asid);
 
     ++stats_.walksCompleted;
     stats_.walkQueueDelay.add(result.queueDelay);
     stats_.walkAccessLatency.add(result.accessLatency);
+    TenantStats &ts = tenantStats_[result.key.asid];
+    ++ts.walksCompleted;
+    ts.walkQueueDelay.add(result.queueDelay);
 
     for (SmId sm : track.waiterSms)
-        resolveL1(sm, result.vpn, result.pfn);
+        resolveL1(sm, result.key, result.pfn);
 
     drainL2WaitQueue();
 }
 
 void
-TranslationEngine::resolveL1(SmId sm, Vpn vpn, Pfn pfn)
+TranslationEngine::resolveL1(SmId sm, TranslationKey key, Pfn pfn)
 {
-    l1Arrays[sm].fill(vpn, pfn);
+    l1Arrays[sm].fill(key, pfn);
     auto &mshrs = l1Mshrs[sm];
-    auto it = mshrs.find(vpn);
+    auto it = mshrs.find(key);
     SW_ASSERT(it != mshrs.end(), "L1 resolve without an MSHR");
     std::vector<L1Waiter> waiters = std::move(it->second);
     mshrs.erase(it);
     Cycle now = eventq.now();
-    SW_TRACE(tracer_, TracePhase::Wakeup, now, 0, vpn, sm);
+    SW_TRACE(tracer_, TracePhase::Wakeup, now, 0, key.vpn, sm, key.asid);
     for (auto &waiter : waiters) {
         stats_.translationLatency.add(now - waiter.start);
+        tenantStats_[key.asid].translationLatency.add(now - waiter.start);
         waiter.done(pfn);
     }
     drainL1WaitQueue(sm);
 }
 
 TouchResult
-TranslationEngine::functionalTouch(SmId sm, Vpn vpn)
+TranslationEngine::functionalTouch(SmId sm, TranslationKey key)
 {
     SW_ASSERT(sm < cfg.numSms, "functional touch from unknown SM %u", sm);
+    SW_ASSERT(key.asid < cfg.numTenants, "touch for unknown ASID %u",
+              key.asid);
     Pfn pfn = 0;
-    if (l1Arrays[sm].lookup(vpn, pfn))
+    if (l1Arrays[sm].lookup(key, pfn))
         return TouchResult::L1Hit;
-    if (l2Array.lookup(vpn, pfn)) {
-        l1Arrays[sm].fill(vpn, pfn);
+    if (l2Lookup(key, pfn)) {
+        l1Arrays[sm].fill(key, pfn);
         return TouchResult::L2Hit;
     }
     // Full functional walk.  Map on first touch (warmup never takes the
     // UVM fault path), consult the PWC, then descend — filling the PWC at
     // exactly the points a timed walker would (see HardwarePtwPool::
     // walkStep), so warmed PWC contents match detailed-walk behaviour.
-    pageTable_.ensureMapped(vpn);
+    PageTableBase &pt = spaces_.tableFor(key.asid);
+    pt.ensureMapped(key.vpn);
     int level = 0;
     PhysAddr base = 0;
     WalkCursor cursor;
-    if (pwcCache.lookup(pageTable_, vpn, level, base))
-        cursor = pageTable_.resumeWalk(vpn, level, base);
+    if (pwcCache.lookup(pt, key, level, base))
+        cursor = pt.resumeWalk(key.vpn, level, base);
     else
-        cursor = pageTable_.startWalk(vpn);
+        cursor = pt.startWalk(key.vpn);
     while (!cursor.done) {
         int level_read = cursor.level;
-        pageTable_.advance(cursor);
+        pt.advance(cursor);
         if (!cursor.done && level_read > 1) {
-            pwcCache.fill(pageTable_, cursor.level, vpn,
-                          cursor.tableBase);
+            pwcCache.fill(pt, cursor.level, key, cursor.tableBase);
         }
     }
     SW_ASSERT(!cursor.fault, "functional walk faulted on a mapped page");
-    l2Array.fill(vpn, cursor.pfn);
-    l1Arrays[sm].fill(vpn, cursor.pfn);
+    l2Fill(key, cursor.pfn);
+    l1Arrays[sm].fill(key, cursor.pfn);
     return TouchResult::Walk;
 }
 
@@ -361,6 +427,8 @@ TranslationEngine::saveState(CkptWriter &w) const
     for (const auto &l1 : l1Arrays)
         l1.saveState(w);
     l2Array.saveState(w);
+    if (subL2)
+        subL2->saveState(w);
     pwcCache.saveState(w);
     faults_.saveState(w);
     w.u64(nextWalkId);
@@ -384,6 +452,14 @@ TranslationEngine::saveState(CkptWriter &w) const
     w.latency(stats_.walkAccessLatency);
     w.latency(stats_.translationLatency);
     w.latency(stats_.ptReadLatency);
+    // Per-tenant attribution (count pinned by the config digest).
+    for (const TenantStats &ts : tenantStats_) {
+        w.u64(ts.requests);
+        w.u64(ts.l2Misses);
+        w.u64(ts.walksCompleted);
+        w.latency(ts.walkQueueDelay);
+        w.latency(ts.translationLatency);
+    }
     SW_ASSERT(walkBackend != nullptr, "checkpoint before backend install");
     walkBackend->saveState(w);
 }
@@ -395,6 +471,8 @@ TranslationEngine::restoreState(CkptReader &r)
     for (auto &l1 : l1Arrays)
         l1.restoreState(r);
     l2Array.restoreState(r);
+    if (subL2)
+        subL2->restoreState(r);
     pwcCache.restoreState(r);
     faults_.restoreState(r);
     nextWalkId = r.u64();
@@ -418,25 +496,48 @@ TranslationEngine::restoreState(CkptReader &r)
     r.latency(stats_.walkAccessLatency);
     r.latency(stats_.translationLatency);
     r.latency(stats_.ptReadLatency);
+    for (TenantStats &ts : tenantStats_) {
+        ts.requests = r.u64();
+        ts.l2Misses = r.u64();
+        ts.walksCompleted = r.u64();
+        r.latency(ts.walkQueueDelay);
+        r.latency(ts.translationLatency);
+    }
     SW_ASSERT(walkBackend != nullptr, "restore before backend install");
     walkBackend->restoreState(r);
 }
 
 void
-TranslationEngine::shootdown(Vpn vpn)
+TranslationEngine::shootdown(TranslationKey key)
 {
     for (auto &l1 : l1Arrays)
-        l1.invalidate(vpn);
-    l2Array.invalidate(vpn);
+        l1.invalidate(key);
+    l2Invalidate(key);
+}
+
+void
+TranslationEngine::flushAsid(Asid asid)
+{
+    for (auto &l1 : l1Arrays)
+        l1.flushAsid(asid);
+    if (subL2)
+        subL2->flushAsid(asid);
+    else
+        l2Array.flushAsid(asid);
+    pwcCache.flushAsid(asid);
 }
 
 void
 TranslationEngine::resetStats()
 {
     stats_ = Stats{};
+    for (TenantStats &ts : tenantStats_)
+        ts = TenantStats{};
     for (auto &l1 : l1Arrays)
         l1.resetStats();
     l2Array.resetStats();
+    if (subL2)
+        subL2->resetStats();
     pwcCache.resetStats();
     if (walkBackend)
         walkBackend->resetStats();
@@ -471,7 +572,10 @@ TranslationEngine::registerStats(StatGroup root)
     l2.counter("mshr_merges", &stats_.l2MshrMerges);
     l2.counter("mshr_fail", &stats_.l2MshrFailures);
     l2.counter("regular_mshr_peak", &stats_.regularMshrPeak);
-    l2Array.registerStats(l2.group("array"));
+    if (subL2)
+        subL2->registerStats(l2.group("array"));
+    else
+        l2Array.registerStats(l2.group("array"));
 
     StatGroup intlb = l2.group("intlb_mshr");
     intlb.counter("allocs", &stats_.inTlbMshrAllocs);
@@ -493,6 +597,20 @@ TranslationEngine::registerStats(StatGroup root)
     StatGroup trans = root.group("translation");
     trans.counter("requests", &stats_.requests);
     trans.latency("latency", &stats_.translationLatency);
+
+    // Per-tenant attribution only when tenants exist: the single-tenant
+    // registry keeps its exact pre-multi-tenant entry set.
+    if (cfg.numTenants > 1) {
+        for (Asid t = 0; t < cfg.numTenants; ++t) {
+            StatGroup tenant = root.group(strprintf("tenant%u", t));
+            TenantStats &ts = tenantStats_[t];
+            tenant.counter("requests", &ts.requests);
+            tenant.counter("l2_misses", &ts.l2Misses);
+            tenant.counter("walks_completed", &ts.walksCompleted);
+            tenant.latency("walk_queue_delay", &ts.walkQueueDelay);
+            tenant.latency("translation_latency", &ts.translationLatency);
+        }
+    }
 
     pwcCache.registerStats(root.group("pwc"));
     faults_.registerStats(root.group("faults"));
@@ -527,16 +645,16 @@ TranslationEngine::registerAudits(Auditor &auditor)
         "vm.l2.mshr-conservation", AuditScope::Continuous,
         [this](AuditContext &ctx) {
             std::uint64_t in_tlb = 0;
-            for (Vpn vpn : sortedKeys(outstanding)) {
-                const L2Track &track = outstanding.at(vpn);
+            for (TranslationKey key : sortedKeys(outstanding)) {
+                const L2Track &track = outstanding.at(key);
                 if (!track.inTlbSlot)
                     continue;
                 ++in_tlb;
-                if (!l2Array.hasPending(vpn)) {
+                if (!l2Array.hasPending(key)) {
                     ctx.fail(strprintf(
-                        "outstanding In-TLB track for vpn %llu has no "
-                        "pending L2 TLB way",
-                        static_cast<unsigned long long>(vpn)));
+                        "outstanding In-TLB track for asid %u vpn %llu has "
+                        "no pending L2 TLB way", key.asid,
+                        static_cast<unsigned long long>(key.vpn)));
                 }
             }
             std::uint64_t regular = outstanding.size() - in_tlb;
@@ -569,6 +687,47 @@ TranslationEngine::registerAudits(Auditor &auditor)
                     walkBackend->name().c_str(),
                     static_cast<unsigned long long>(backend_inflight),
                     outstanding.size()));
+            }
+        });
+
+    // Cross-ASID containment: every valid TLB translation must agree with
+    // *its own* address space's page table.  A PFN that belongs to another
+    // tenant (or to no mapping at all) is a containment breach.
+    auditor.registerAudit(
+        "vm.tlb.no-cross-asid-leak", AuditScope::Continuous,
+        [this](AuditContext &ctx) {
+            auto check = [this, &ctx](const char *where, TranslationKey key,
+                                      Pfn pfn) {
+                if (key.asid >= spaces_.numSpaces()) {
+                    ctx.fail(strprintf(
+                        "%s: entry tagged with unknown ASID %u", where,
+                        key.asid));
+                    return;
+                }
+                const PageTableBase &pt = spaces_.tableFor(key.asid);
+                if (!pt.isMapped(key.vpn) ||
+                    pt.translate(key.vpn) != pfn) {
+                    ctx.fail(strprintf(
+                        "%s: asid %u vpn %llu caches pfn %llu, which is "
+                        "not that address space's mapping", where,
+                        key.asid,
+                        static_cast<unsigned long long>(key.vpn),
+                        static_cast<unsigned long long>(pfn)));
+                }
+            };
+            for (const auto &l1 : l1Arrays) {
+                l1.forEachValid([&](TranslationKey key, Pfn pfn) {
+                    check(l1.name().c_str(), key, pfn);
+                });
+            }
+            if (subL2) {
+                subL2->forEachValid([&](TranslationKey key, Pfn pfn) {
+                    check(subL2->name().c_str(), key, pfn);
+                });
+            } else {
+                l2Array.forEachValid([&](TranslationKey key, Pfn pfn) {
+                    check(l2Array.name().c_str(), key, pfn);
+                });
             }
         });
 

@@ -8,6 +8,12 @@
  * WalkRequest to the configured backend (hardware PTW pool, SoftWalker, or
  * hybrid).  Completions fill the TLBs, wake all merged waiters, and record
  * the queueing-delay / access-latency split the paper's Figs 7 and 18 plot.
+ *
+ * The whole path is keyed by TranslationKey {asid, vpn}: each tenant
+ * resolves against its own page table (AddressSpaceManager), TLB/PWC/MSHR
+ * entries are ASID-tagged, and per-tenant counters keep attribution
+ * separable.  A single-tenant machine runs everything at ASID 0 and is
+ * bit-identical to the pre-multi-tenant engine.
  */
 
 #ifndef SW_VM_TRANSLATION_HH
@@ -25,8 +31,10 @@
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
+#include "vm/address_space.hh"
 #include "vm/fault_buffer.hh"
 #include "vm/page_walk_cache.hh"
+#include "vm/subentry_tlb.hh"
 #include "vm/tlb.hh"
 #include "vm/walk.hh"
 
@@ -74,8 +82,18 @@ class TranslationEngine
         LatencyStat ptReadLatency;        ///< per page-table memory read
     };
 
+    /** Per-tenant attribution (registered only when tenants > 1). */
+    struct TenantStats
+    {
+        std::uint64_t requests = 0;
+        std::uint64_t l2Misses = 0;
+        std::uint64_t walksCompleted = 0;
+        LatencyStat walkQueueDelay;       ///< walk-queue interference metric
+        LatencyStat translationLatency;
+    };
+
     TranslationEngine(EventQueue &eq, const GpuConfig &cfg,
-                      MemorySystem &mem, PageTableBase &pt);
+                      MemorySystem &mem, AddressSpaceManager &spaces);
 
     TranslationEngine(const TranslationEngine &) = delete;
     TranslationEngine &operator=(const TranslationEngine &) = delete;
@@ -84,8 +102,8 @@ class TranslationEngine
     void setBackend(std::unique_ptr<WalkBackend> backend);
     WalkBackend *backend() { return walkBackend.get(); }
 
-    /** Translate @p vpn for SM @p sm; @p done fires with the PFN. */
-    void translate(SmId sm, Vpn vpn, TransDoneFn done);
+    /** Translate @p key for SM @p sm; @p done fires with the PFN. */
+    void translate(SmId sm, TranslationKey key, TransDoneFn done);
 
     /**
      * Functional warmup touch (fast-forward, §checkpoints doc): performs
@@ -94,7 +112,7 @@ class TranslationEngine
      * and TLB fills — but consumes no simulated time and allocates no
      * MSHR / queue state.  Pages are mapped on first touch.
      */
-    TouchResult functionalTouch(SmId sm, Vpn vpn);
+    TouchResult functionalTouch(SmId sm, TranslationKey key);
 
     /**
      * Page-table memory read used by all walk backends: routes to the
@@ -118,22 +136,45 @@ class TranslationEngine
     void setMapOnDemand(bool on) { mapOnDemand = on; }
 
     /**
-     * TLB shootdown: drop @p vpn from every L1 TLB and the L2 TLB (page
+     * TLB shootdown: drop @p key from every L1 TLB and the L2 TLB (page
      * migration / unmap).  In-flight walks are not cancelled — as in real
      * GPUs, the driver orders shootdowns against outstanding translations.
      */
-    void shootdown(Vpn vpn);
+    void shootdown(TranslationKey key);
+
+    /**
+     * ASID-selective flush (tenant teardown / context switch): drop every
+     * *valid* entry belonging to @p asid from all L1 TLBs, the L2 TLB, and
+     * the PWC.  Other tenants' entries are untouched; pending (In-TLB
+     * MSHR) ways survive until their walks complete, like shootdown().
+     */
+    void flushAsid(Asid asid);
 
     PageWalkCache &pwc() { return pwcCache; }
     const PageWalkCache &pwc() const { return pwcCache; }
-    PageTableBase &pageTable() { return pageTable_; }
+    /** The single-tenant (ASID 0) page table. */
+    PageTableBase &pageTable() { return spaces_.tableFor(0); }
+    /** Tenant @p asid's page table. */
+    PageTableBase &pageTableFor(Asid asid) { return spaces_.tableFor(asid); }
+    const PageTableBase &pageTableFor(Asid asid) const
+    {
+        return spaces_.tableFor(asid);
+    }
+    AddressSpaceManager &spaces() { return spaces_; }
     const TlbArray &l1Tlb(SmId sm) const { return l1Arrays.at(sm); }
     const TlbArray &l2Tlb() const { return l2Array; }
+    /** The sub-entry L2 TLB, or nullptr when l2SubEntries == 1. */
+    const SubEntryTlb *subEntryL2() const { return subL2.get(); }
     const FaultBuffer &faultBuffer() const { return faults_; }
     /** Zero all statistics (engine, TLBs, PWC) after warmup. */
     void resetStats();
 
     const Stats &stats() const { return stats_; }
+    /** Per-tenant counters; always sized config().numTenants. */
+    const TenantStats &tenantStats(Asid asid) const
+    {
+        return tenantStats_.at(asid);
+    }
     const GpuConfig &config() const { return cfg; }
     EventQueue &eventQueue() { return eventq; }
 
@@ -143,7 +184,8 @@ class TranslationEngine
     /**
      * Register the translation-path conservation audits: In-TLB MSHR /
      * regular-MSHR bookkeeping, TLB pending counters, backend in-flight
-     * accounting, and the end-of-sim "every L2 miss resolved" check.
+     * accounting, cross-ASID PFN containment, and the end-of-sim "every
+     * L2 miss resolved" check.
      */
     void registerAudits(Auditor &auditor);
 
@@ -151,7 +193,8 @@ class TranslationEngine
      * Register the whole translation path with the unified stat registry:
      * per-SM L1 TLBs ("sm<N>.l1tlb.*"), the L2 TLB and its MSHRs
      * ("l2tlb.*", "l2tlb.intlb_mshr.*"), walks, the PWC, the fault
-     * buffer, and the installed backend ("ptw.*" / "softwalker.*").
+     * buffer, per-tenant groups ("tenant<N>.*", multi-tenant only), and
+     * the installed backend ("ptw.*" / "softwalker.*").
      */
     void registerStats(StatGroup root);
 
@@ -194,40 +237,48 @@ class TranslationEngine
         std::vector<SmId> waiterSms;
     };
 
-    void l1Lookup(SmId sm, Vpn vpn, TransDoneFn done, Cycle start);
-    void sendToL2(SmId sm, Vpn vpn);
-    void l2Access(SmId sm, Vpn vpn);
+    void l1Lookup(SmId sm, TranslationKey key, TransDoneFn done,
+                  Cycle start);
+    void sendToL2(SmId sm, TranslationKey key);
+    void l2Access(SmId sm, TranslationKey key);
     /**
      * Merge into or allocate L2 miss tracking; false when saturated.
      * @param arrival when the request first reached the L2 TLB — walk
      *        queueing delay is measured from here (§3.2), so time spent
      *        waiting for an MSHR counts as queueing.
      */
-    bool tryHandleL2Miss(SmId sm, Vpn vpn, Cycle arrival);
+    bool tryHandleL2Miss(SmId sm, TranslationKey key, Cycle arrival);
     void drainL2WaitQueue();
     void drainL1WaitQueue(SmId sm);
-    void createWalk(Vpn vpn, Cycle created);
+    void createWalk(TranslationKey key, Cycle created);
     void onWalkComplete(const WalkResult &result);
-    void resolveL1(SmId sm, Vpn vpn, Pfn pfn);
+    void resolveL1(SmId sm, TranslationKey key, Pfn pfn);
+
+    // L2 array dispatch: the conventional TlbArray or (when configured)
+    // the sub-entry-sharing SubEntryTlb of Li et al.
+    bool l2Lookup(TranslationKey key, Pfn &pfn);
+    void l2Fill(TranslationKey key, Pfn pfn);
+    void l2Invalidate(TranslationKey key);
 
     EventQueue &eventq;
     GpuConfig cfg;
     MemorySystem &mem;
-    PageTableBase &pageTable_;
+    AddressSpaceManager &spaces_;
 
     std::vector<TlbArray> l1Arrays;
-    /** Per-SM L1 MSHRs: vpn -> waiting completions (with start stamps). */
+    /** Per-SM L1 MSHRs: key -> waiting completions (with start stamps). */
     struct L1Waiter
     {
         TransDoneFn done;
         Cycle start;
     };
-    std::vector<std::unordered_map<Vpn, std::vector<L1Waiter>>> l1Mshrs;
+    std::vector<std::unordered_map<TranslationKey, std::vector<L1Waiter>>>
+        l1Mshrs;
 
     /** Requests rejected by a full L1 MSHR file, woken on any L1 resolve. */
     struct L1WaitEntry
     {
-        Vpn vpn;
+        TranslationKey key;
         TransDoneFn done;
         Cycle start;
     };
@@ -237,13 +288,14 @@ class TranslationEngine
     struct L2WaitEntry
     {
         SmId sm;
-        Vpn vpn;
+        TranslationKey key;
         Cycle arrival;
     };
     std::deque<L2WaitEntry> l2WaitQueue;
 
     TlbArray l2Array;
-    std::unordered_map<Vpn, L2Track> outstanding;
+    std::unique_ptr<SubEntryTlb> subL2;   ///< replaces l2Array when set
+    std::unordered_map<TranslationKey, L2Track> outstanding;
     std::uint32_t regularMshrInUse = 0;
     bool idealMshrs = false;
 
@@ -258,6 +310,7 @@ class TranslationEngine
     static constexpr Cycle kOsFaultLatency = 2000;
 
     Stats stats_;
+    std::vector<TenantStats> tenantStats_;
 };
 
 } // namespace sw

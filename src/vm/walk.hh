@@ -14,6 +14,7 @@
 
 #include "obs/stat_registry.hh"
 #include "sim/types.hh"
+#include "vm/address.hh"
 #include "vm/page_table.hh"
 
 namespace sw {
@@ -26,7 +27,7 @@ class TranslationTracer;
 struct WalkRequest
 {
     std::uint64_t id = 0;
-    Vpn vpn = 0;
+    TranslationKey key;     ///< {asid, vpn} this walk resolves
     WalkCursor cursor;      ///< start point (after the PWC consult)
     Cycle created = 0;      ///< cycle the L2 TLB miss spawned the walk
 };
@@ -35,7 +36,7 @@ struct WalkRequest
 struct WalkResult
 {
     std::uint64_t id = 0;
-    Vpn vpn = 0;
+    TranslationKey key;
     Pfn pfn = 0;
     bool fault = false;
     Cycle queueDelay = 0;    ///< created -> picked up by a walker

@@ -91,7 +91,7 @@ TEST(AuditPositive, RegistersTheFullInvariantCatalogue)
           "vm.ptw.slot-conservation", "vm.ptw.inflight-conservation",
           "core.distributor.credit-conservation",
           "core.pwwarp.slot-lifecycle", "mem.cache.mshr-capacity",
-          "mem.cache.no-leaked-mshr"})
+          "mem.cache.no-leaked-mshr", "vm.tlb.no-cross-asid-leak"})
         EXPECT_TRUE(auditor.hasAudit(name)) << name;
 }
 
@@ -148,7 +148,7 @@ TEST(AuditNegative, LeakedInTlbMshrFires)
 
     // A pending L2 TLB way with no outstanding-walk track: the In-TLB
     // MSHR was allocated but its walk will never clear it.
-    ASSERT_TRUE(AuditTester::l2Tlb(gpu->engine()).allocPending(0x1234));
+    ASSERT_TRUE(AuditTester::l2Tlb(gpu->engine()).allocPending({0, 0x1234}));
     gpu->auditor().checkNow(gpu->cycles());
     EXPECT_TRUE(gpu->auditor().fired("vm.l2.mshr-conservation"));
 
@@ -156,6 +156,34 @@ TEST(AuditNegative, LeakedInTlbMshrFires)
     gpu->auditor().clearViolations();
     gpu->auditor().finalCheck(gpu->cycles(), /*quiescent=*/true);
     EXPECT_TRUE(gpu->auditor().fired("vm.l2.no-leaked-miss"));
+}
+
+/** A TLB entry tagged with an ASID the machine never created. */
+TEST(AuditNegative, UnknownAsidInTlbFires)
+{
+    auto gpu = makeGpu(test::smallConfig());
+    runQuota(*gpu);
+    gpu->auditor().clearViolations();
+
+    // Single-tenant machine: ASID 1 has no address space.
+    ASSERT_TRUE(AuditTester::l2Tlb(gpu->engine()).fill({1, 0x42}, 7));
+    gpu->auditor().checkNow(gpu->cycles());
+    EXPECT_TRUE(gpu->auditor().fired("vm.tlb.no-cross-asid-leak"));
+}
+
+/** A cached PFN disagreeing with the owning address space's mapping. */
+TEST(AuditNegative, CrossAsidPfnLeakFires)
+{
+    auto gpu = makeGpu(test::smallConfig());
+    runQuota(*gpu);
+    gpu->auditor().clearViolations();
+
+    // A valid ASID caching a PFN its page table never handed out models a
+    // fill that crossed tenants (or corrupted the translation).
+    ASSERT_TRUE(
+        AuditTester::l2Tlb(gpu->engine()).fill({0, 0xdeadbeef}, 0x31337));
+    gpu->auditor().checkNow(gpu->cycles());
+    EXPECT_TRUE(gpu->auditor().fired("vm.tlb.no-cross-asid-leak"));
 }
 
 TEST(AuditNegative, DriftedRegularMshrCounterFires)

@@ -138,6 +138,28 @@ TEST(CkptErrors, MissingFileIsFatal)
                  "cannot open checkpoint file");
 }
 
+TEST(CkptErrors, TenantCountMismatchIsFatal)
+{
+    // A multi-tenant checkpoint carries one page table per address space;
+    // restoring it on a single-tenant machine must die on the config
+    // digest (numTenants is digested) — never truncate address spaces.
+    GpuConfig cfg = test::smallConfig();
+    cfg.numTenants = 2;
+    std::vector<std::unique_ptr<Workload>> pair;
+    pair.push_back(makeWorkload(findBenchmark("bfs")));
+    pair.push_back(makeWorkload(findBenchmark("gemm")));
+    auto multi = std::make_unique<Gpu>(cfg, std::move(pair));
+    installWalkBackend(*multi);
+    multi->runSegment(smallLimits().warpInstrQuota, 0, smallLimits());
+    std::vector<std::uint8_t> bytes =
+        encodeCheckpoint(*multi, smallLimits().warpInstrQuota);
+
+    std::string path = writeBytes("tenant-mismatch.swckpt", bytes);
+    std::unique_ptr<Gpu> gpu = freshGpu(test::smallConfig());
+    EXPECT_DEATH(restoreCheckpoint(*gpu, path),
+                 "config digest|address spaces");
+}
+
 TEST(CkptErrors, SectionSkewIsFatal)
 {
     // Writer/reader ordering drift must die with a located diagnostic,

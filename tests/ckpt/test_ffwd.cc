@@ -46,10 +46,10 @@ TEST(Ffwd, FunctionalTouchFillsTlbs)
 {
     // First touch of a page walks; an immediate repeat hits L1.
     std::unique_ptr<Gpu> gpu = freshGpu(test::smallConfig());
-    EXPECT_EQ(gpu->engine().functionalTouch(0, 0x12345), TouchResult::Walk);
-    EXPECT_EQ(gpu->engine().functionalTouch(0, 0x12345), TouchResult::L1Hit);
+    EXPECT_EQ(gpu->engine().functionalTouch(0, {0, 0x12345}), TouchResult::Walk);
+    EXPECT_EQ(gpu->engine().functionalTouch(0, {0, 0x12345}), TouchResult::L1Hit);
     // A different SM misses its private L1 but hits the shared L2.
-    EXPECT_EQ(gpu->engine().functionalTouch(1, 0x12345), TouchResult::L2Hit);
+    EXPECT_EQ(gpu->engine().functionalTouch(1, {0, 0x12345}), TouchResult::L2Hit);
 }
 
 TEST(Ffwd, AccountingIsConsistent)

@@ -111,6 +111,56 @@ TEST(DistributorDeath, ReleaseWithoutCreditPanics)
     EXPECT_DEATH(dist.release(0), "underflow");
 }
 
+TEST(Distributor, RangeSelectStaysInsideTheSlice)
+{
+    // Two tenants of a 6-SM machine: slices [0, 3) and [3, 6), one
+    // round-robin cursor each (MIG-pinned software walks).
+    RequestDistributor dist(6, 2, DistributorPolicy::RoundRobin, 1, {}, 2);
+    for (int i = 0; i < 8; ++i) {
+        SmId sm = dist.select(3, 3, 1);
+        ASSERT_NE(sm, kInvalidSm);
+        EXPECT_GE(sm, 3u);
+        EXPECT_LT(sm, 6u);
+        dist.release(sm);
+    }
+    for (int i = 0; i < 8; ++i) {
+        SmId sm = dist.select(0, 3, 0);
+        ASSERT_NE(sm, kInvalidSm);
+        EXPECT_LT(sm, 3u);
+        dist.release(sm);
+    }
+}
+
+TEST(Distributor, RangeSelectCursorsAreIndependent)
+{
+    RequestDistributor dist(4, 8, DistributorPolicy::RoundRobin, 1, {}, 2);
+    // Tenant 0 advances its cursor inside [0, 2)...
+    EXPECT_EQ(dist.select(0, 2, 0), 0u);
+    EXPECT_EQ(dist.select(0, 2, 0), 1u);
+    // ...without disturbing tenant 1's round-robin inside [2, 4).
+    EXPECT_EQ(dist.select(2, 2, 1), 2u);
+    EXPECT_EQ(dist.select(2, 2, 1), 3u);
+    EXPECT_EQ(dist.select(0, 2, 0), 0u);
+}
+
+TEST(Distributor, RangeSelectExhaustsOnlyTheSlice)
+{
+    RequestDistributor dist(4, 1, DistributorPolicy::RoundRobin, 1, {}, 2);
+    EXPECT_NE(dist.select(0, 2, 0), kInvalidSm);
+    EXPECT_NE(dist.select(0, 2, 0), kInvalidSm);
+    // Slice [0, 2) is full; its tenant stalls while [2, 4) still serves.
+    EXPECT_EQ(dist.select(0, 2, 0), kInvalidSm);
+    EXPECT_NE(dist.select(2, 2, 1), kInvalidSm);
+}
+
+TEST(DistributorDeath, EmptyRangePanics)
+{
+    // The failure mode of confusing tenantSmRange's {first, count} result
+    // with a {begin, end} pair: a zero-count range must die loudly.
+    RequestDistributor dist(4, 1, DistributorPolicy::RoundRobin, 1, {}, 2);
+    EXPECT_DEATH(dist.select(2, 0, 1), "out of bounds");
+}
+
 /** Property: across policies, credits never exceed capacity. */
 class DistributorPolicyParam
     : public ::testing::TestWithParam<DistributorPolicy>

@@ -6,18 +6,35 @@
 
 #include "core/pw_warp.hh"
 #include "vm/page_table.hh"
+#include "sim/config.hh"
 
 using namespace sw;
 
 namespace {
+
+/** These legacy tests are single-tenant: everything is tagged ASID 0. */
+constexpr TranslationKey
+K(Vpn vpn)
+{
+    return {0, vpn};
+}
 
 /** Fixture: PW Warp over a radix table with scripted memory + issue port. */
 class PwWarpTest : public ::testing::Test
 {
   protected:
     PwWarpTest()
-        : geom(64 * 1024), alloc(64 * 1024), pt(geom, alloc), pwb(8)
+        : geom(64 * 1024), alloc(64 * 1024), spaces(spacesConfig(), alloc),
+          pt(spaces.tableFor(0)), pwb(8)
     {
+    }
+
+    static GpuConfig
+    spacesConfig()
+    {
+        GpuConfig cfg = makeDefaultConfig();
+        cfg.pageBytes = 64 * 1024;
+        return cfg;
     }
 
     std::unique_ptr<PwWarp>
@@ -36,13 +53,13 @@ class PwWarpTest : public ::testing::Test
             ++memReads;
             eq.scheduleIn(mem_latency, std::move(done));
         };
-        hooks.pwcFill = [this](int level, Vpn, PhysAddr) {
+        hooks.pwcFill = [this](int level, TranslationKey, PhysAddr) {
             pwcFills.push_back(level);
         };
         hooks.complete = [this](const WalkResult &result) {
             results.push_back(result);
         };
-        return std::make_unique<PwWarp>(eq, pt, pwb, std::move(hooks),
+        return std::make_unique<PwWarp>(eq, spaces, pwb, std::move(hooks),
                                         timing, lanes, comm);
     }
 
@@ -52,7 +69,7 @@ class PwWarpTest : public ::testing::Test
         pt.ensureMapped(vpn);
         WalkRequest req;
         req.id = id;
-        req.vpn = vpn;
+        req.key = K(vpn);
         req.cursor = pt.startWalk(vpn);
         req.created = eq.now();
         return req;
@@ -61,7 +78,8 @@ class PwWarpTest : public ::testing::Test
     EventQueue eq;
     PageGeometry geom;
     FrameAllocator alloc;
-    RadixPageTable pt;
+    AddressSpaceManager spaces;
+    PageTableBase &pt;
     SoftPwb pwb;
     Cycle issueFree = 0;
     std::uint64_t issueSlots = 0;
@@ -131,7 +149,7 @@ TEST_F(PwWarpTest, BatchProcessesMultipleLanes)
     EXPECT_EQ(warp->stats().batches, 1u);
     EXPECT_DOUBLE_EQ(warp->stats().batchSize.mean(), 5.0);
     for (const auto &result : results)
-        EXPECT_EQ(result.pfn, pt.translate(result.vpn));
+        EXPECT_EQ(result.pfn, pt.translate(result.key.vpn));
 }
 
 TEST_F(PwWarpTest, BatchBoundedByLaneCount)
@@ -166,7 +184,7 @@ TEST_F(PwWarpTest, FaultLaneIssuesFfb)
     auto warp = makeWarp();
     WalkRequest bad;
     bad.id = 1;
-    bad.vpn = 0xBAD;
+    bad.key = K(0xBAD);
     bad.cursor = pt.startWalk(0xBAD);   // unmapped
     pwb.insert(std::move(bad), eq.now());
     warp->notifyWork();
@@ -227,7 +245,7 @@ TEST_F(PwWarpTest, ResumedCursorsSkipLevels)
         pt.advance(cur);
     WalkRequest req;
     req.id = 5;
-    req.vpn = 0x300;
+    req.key = K(0x300);
     req.cursor = pt.resumeWalk(0x300, 1, cur.tableBase);
     pwb.insert(std::move(req), eq.now());
     warp->notifyWork();

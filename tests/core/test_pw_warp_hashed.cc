@@ -3,19 +3,36 @@
 #include <gtest/gtest.h>
 
 #include "core/pw_warp.hh"
+#include "sim/config.hh"
 #include "vm/hashed_page_table.hh"
 
 using namespace sw;
 
 namespace {
 
+/** These legacy tests are single-tenant: everything is tagged ASID 0. */
+constexpr TranslationKey
+K(Vpn vpn)
+{
+    return {0, vpn};
+}
+
 class PwWarpHashedTest : public ::testing::Test
 {
   protected:
     PwWarpHashedTest()
-        : geom(64 * 1024), alloc(64 * 1024),
-          pt(geom, alloc, /*slots=*/1 << 12), pwb(8)
+        : geom(64 * 1024), alloc(64 * 1024), spaces(spacesConfig(), alloc),
+          pt(static_cast<HashedPageTable &>(spaces.tableFor(0))), pwb(8)
     {
+    }
+
+    static GpuConfig
+    spacesConfig()
+    {
+        GpuConfig cfg = makeDefaultConfig();
+        cfg.pageBytes = 64 * 1024;
+        cfg.pageTableKind = PageTableKind::Hashed;
+        return cfg;
     }
 
     std::unique_ptr<PwWarp>
@@ -29,18 +46,19 @@ class PwWarpHashedTest : public ::testing::Test
             ++memReads;
             eq.scheduleIn(40, std::move(done));
         };
-        hooks.pwcFill = [this](int, Vpn, PhysAddr) { ++pwcFills; };
+        hooks.pwcFill = [this](int, TranslationKey, PhysAddr) { ++pwcFills; };
         hooks.complete = [this](const WalkResult &result) {
             results.push_back(result);
         };
-        return std::make_unique<PwWarp>(eq, pt, pwb, std::move(hooks),
+        return std::make_unique<PwWarp>(eq, spaces, pwb, std::move(hooks),
                                         PwWarpCodeTiming{}, 8, 40);
     }
 
     EventQueue eq;
     PageGeometry geom;
     FrameAllocator alloc;
-    HashedPageTable pt;
+    AddressSpaceManager spaces;
+    HashedPageTable &pt;
     SoftPwb pwb;
     int memReads = 0;
     int pwcFills = 0;
@@ -52,7 +70,7 @@ TEST_F(PwWarpHashedTest, SingleProbeWalk)
     pt.ensureMapped(0x99);
     WalkRequest req;
     req.id = 1;
-    req.vpn = 0x99;
+    req.key = K(0x99);
     req.cursor = pt.startWalk(0x99);
     pwb.insert(std::move(req), eq.now());
     auto warp = makeWarp();
@@ -72,7 +90,7 @@ TEST_F(PwWarpHashedTest, BatchOverHashedTable)
         pt.ensureMapped(vpn);
         WalkRequest req;
         req.id = i;
-        req.vpn = vpn;
+        req.key = K(vpn);
         req.cursor = pt.startWalk(vpn);
         pwb.insert(std::move(req), eq.now());
     }
@@ -81,7 +99,7 @@ TEST_F(PwWarpHashedTest, BatchOverHashedTable)
     ASSERT_EQ(results.size(), 6u);
     for (const auto &result : results) {
         EXPECT_FALSE(result.fault);
-        EXPECT_EQ(result.pfn, pt.translate(result.vpn));
+        EXPECT_EQ(result.pfn, pt.translate(result.key.vpn));
     }
 }
 
@@ -89,7 +107,7 @@ TEST_F(PwWarpHashedTest, UnmappedVpnFaults)
 {
     WalkRequest req;
     req.id = 7;
-    req.vpn = 0xF00D;
+    req.key = K(0xF00D);
     req.cursor = pt.startWalk(0xF00D);
     pwb.insert(std::move(req), eq.now());
     auto warp = makeWarp();

@@ -13,7 +13,7 @@ req(Vpn vpn, std::uint64_t id)
 {
     WalkRequest request;
     request.id = id;
-    request.vpn = vpn;
+    request.key = {0, vpn};
     return request;
 }
 
@@ -32,7 +32,7 @@ TEST(SoftPwb, InsertMakesSlotValid)
     EXPECT_EQ(pwb.validCount(), 1u);
     EXPECT_EQ(pwb.freeSlots(), 7u);
     EXPECT_EQ(pwb.slot(slot).state, SoftPwb::SlotState::Valid);
-    EXPECT_EQ(pwb.slot(slot).req.vpn, 1u);
+    EXPECT_EQ(pwb.slot(slot).req.key.vpn, 1u);
     EXPECT_EQ(pwb.slot(slot).arrived, 100u);
 }
 

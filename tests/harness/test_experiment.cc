@@ -30,10 +30,22 @@ tinyWorkload()
                                            params);
 }
 
+/** run() an ad-hoc workload instance through a RunSpec. */
+RunResult
+runTiny(const GpuConfig &cfg, std::unique_ptr<Workload> workload,
+        const Gpu::RunLimits &limits)
+{
+    RunSpec spec;
+    spec.cfg = cfg;
+    spec.workload = std::move(workload);
+    spec.limits = limits;
+    return run(std::move(spec));
+}
+
 TEST(Experiment, RunWorkloadProducesPopulatedResult)
 {
-    RunResult result = runWorkload(test::smallConfig(), tinyWorkload(),
-                                   tinyLimits());
+    RunResult result = runTiny(test::smallConfig(), tinyWorkload(),
+                               tinyLimits());
     EXPECT_EQ(result.benchmark, "tiny");
     EXPECT_EQ(result.mode, TranslationMode::HardwarePtw);
     EXPECT_EQ(result.warpInstrs, 300u);
@@ -47,8 +59,8 @@ TEST(Experiment, RunWorkloadProducesPopulatedResult)
 
 TEST(Experiment, SoftWalkerResultCarriesBackendStats)
 {
-    RunResult result = runWorkload(test::smallSoftWalkerConfig(),
-                                   tinyWorkload(), tinyLimits());
+    RunResult result = runTiny(test::smallSoftWalkerConfig(),
+                               tinyWorkload(), tinyLimits());
     EXPECT_EQ(result.mode, TranslationMode::SoftWalker);
     EXPECT_GT(result.swToSoftware, 0u);
     EXPECT_GT(result.swBatches, 0u);
@@ -57,8 +69,8 @@ TEST(Experiment, SoftWalkerResultCarriesBackendStats)
 
 TEST(Experiment, HardwareResultHasNoSoftwalkerStats)
 {
-    RunResult result = runWorkload(test::smallConfig(), tinyWorkload(),
-                                   tinyLimits());
+    RunResult result = runTiny(test::smallConfig(), tinyWorkload(),
+                               tinyLimits());
     EXPECT_EQ(result.swToSoftware, 0u);
     EXPECT_EQ(result.swBatches, 0u);
 }
@@ -85,12 +97,13 @@ TEST(Experiment, SpeedupsVectorised)
     EXPECT_DOUBLE_EQ(result[1], 1.0);
 }
 
-TEST(Experiment, RunBenchmarkUsesRegistry)
+TEST(Experiment, BenchmarkSourceUsesRegistry)
 {
-    GpuConfig cfg = test::smallConfig();
-    Gpu::RunLimits limits = tinyLimits();
-    RunResult result = runBenchmark(cfg, findBenchmark("gemm"), limits,
-                                    1.0);
+    RunSpec spec;
+    spec.cfg = test::smallConfig();
+    spec.benchmark = &findBenchmark("gemm");
+    spec.limits = tinyLimits();
+    RunResult result = run(std::move(spec));
     EXPECT_EQ(result.benchmark, "gemm");
     EXPECT_EQ(result.warpInstrs, 300u);
 }

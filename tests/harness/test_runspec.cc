@@ -1,8 +1,7 @@
 /**
  * @file
  * Tests for the unified RunSpec entry point: source selection, limits
- * resolution, equivalence with the deprecated shims, and the
- * exactly-one-source contract.
+ * resolution, and the exactly-one-source contract.
  */
 
 #include <gtest/gtest.h>
@@ -35,36 +34,6 @@ tinyWorkload()
     params.pagesPerInstr = 0.5;
     return std::make_unique<GraphWorkload>("tiny", 128ull << 20, true, 10,
                                            params);
-}
-
-TEST(RunSpec, BenchmarkSourceMatchesDeprecatedShim)
-{
-    GpuConfig cfg = test::smallConfig();
-
-    RunSpec spec;
-    spec.cfg = cfg;
-    spec.benchmark = &findBenchmark("gemm");
-    spec.limits = tinyLimits();
-    RunResult via_spec = run(std::move(spec));
-
-    RunResult via_shim =
-        runBenchmark(cfg, findBenchmark("gemm"), tinyLimits(), 1.0);
-    EXPECT_EQ(fingerprint(via_spec), fingerprint(via_shim))
-        << "shim and RunSpec diverged for the same job";
-}
-
-TEST(RunSpec, WorkloadInstanceSourceMatchesDeprecatedShim)
-{
-    GpuConfig cfg = test::smallSoftWalkerConfig();
-
-    RunSpec spec;
-    spec.cfg = cfg;
-    spec.workload = tinyWorkload();
-    spec.limits = tinyLimits();
-    RunResult via_spec = run(std::move(spec));
-
-    RunResult via_shim = runWorkload(cfg, tinyWorkload(), tinyLimits());
-    EXPECT_EQ(fingerprint(via_spec), fingerprint(via_shim));
 }
 
 TEST(RunSpec, WorkloadNameSourceUsesTheRegistry)

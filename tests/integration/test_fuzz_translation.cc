@@ -80,7 +80,7 @@ TEST_P(TranslationFuzz, AllTranslationsCorrectAndComplete)
         SmId sm = SmId(rng.range(cfg.numSms));
         when += rng.range(20);
         eq.schedule(when, [&, sm, vpn]() {
-            engine.translate(sm, vpn, [&, vpn](Pfn pfn) {
+            engine.translate(sm, TranslationKey{0, vpn}, [&, vpn](Pfn pfn) {
                 ++completed;
                 auto [it, inserted] = observed.try_emplace(vpn, pfn);
                 // A VPN must always resolve to the same frame.

@@ -145,11 +145,13 @@ TEST(ObsHarness, RunWorkloadCapturesRegistryBeforeTeardown)
     params.pagesPerInstr = 0.5;
     Gpu::RunLimits limits;
     limits.warpInstrQuota = 300;
-    RunResult result = runWorkload(
-        test::smallConfig(),
-        std::make_unique<GraphWorkload>("cap", 128ull << 20, true, 10,
-                                        params),
-        limits, &obs);
+    RunSpec spec;
+    spec.cfg = test::smallConfig();
+    spec.workload = std::make_unique<GraphWorkload>("cap", 128ull << 20,
+                                                    true, 10, params);
+    spec.limits = limits;
+    spec.obs = &obs;
+    RunResult result = run(std::move(spec));
     EXPECT_GT(result.walks, 0u);
 
     // The GPU is gone; the captured snapshot must still serve a dump with

@@ -15,6 +15,18 @@ using namespace sw;
 
 namespace {
 
+/** run() an ad-hoc workload instance through a RunSpec. */
+RunResult
+runOne(const GpuConfig &cfg, std::unique_ptr<Workload> workload,
+       const Gpu::RunLimits &limits)
+{
+    RunSpec spec;
+    spec.cfg = cfg;
+    spec.workload = std::move(workload);
+    spec.limits = limits;
+    return run(std::move(spec));
+}
+
 /** Shared slow fixture: run the four configurations once on an irregular
  *  workload and test many claims against the cached results. */
 class PaperClaims : public ::testing::Test
@@ -37,12 +49,12 @@ class PaperClaims : public ::testing::Test
         GpuConfig hybrid = test::smallSoftWalkerConfig();
         hybrid.mode = TranslationMode::Hybrid;
 
-        baseline = new RunResult(runWorkload(base, irregular(), limits));
-        softwalker = new RunResult(runWorkload(soft, irregular(), limits));
+        baseline = new RunResult(runOne(base, irregular(), limits));
+        softwalker = new RunResult(runOne(soft, irregular(), limits));
         noInTlb = new RunResult(
-            runWorkload(soft_no_intlb, irregular(), limits));
-        idealRun = new RunResult(runWorkload(ideal, irregular(), limits));
-        hybridRun = new RunResult(runWorkload(hybrid, irregular(), limits));
+            runOne(soft_no_intlb, irregular(), limits));
+        idealRun = new RunResult(runOne(ideal, irregular(), limits));
+        hybridRun = new RunResult(runOne(hybrid, irregular(), limits));
     }
 
     static void
@@ -174,9 +186,9 @@ TEST(PaperClaimsRegular, SoftWalkerDoesNotHelpRegularApps)
         return std::make_unique<StreamingWorkload>("reg", 512ull << 20,
                                                    false, 10, params);
     };
-    RunResult base = runWorkload(test::smallConfig(), make(), limits);
+    RunResult base = runOne(test::smallConfig(), make(), limits);
     RunResult soft =
-        runWorkload(test::smallSoftWalkerConfig(), make(), limits);
+        runOne(test::smallSoftWalkerConfig(), make(), limits);
     double ratio = speedup(base, soft);
     EXPECT_GT(ratio, 0.85);
     EXPECT_LT(ratio, 1.15);
@@ -194,8 +206,8 @@ TEST(PaperClaimsRegular, HybridRestoresHardwareLatency)
     };
     GpuConfig hybrid = test::smallSoftWalkerConfig();
     hybrid.mode = TranslationMode::Hybrid;
-    RunResult base = runWorkload(test::smallConfig(), make(), limits);
-    RunResult hyb = runWorkload(hybrid, make(), limits);
+    RunResult base = runOne(test::smallConfig(), make(), limits);
+    RunResult hyb = runOne(hybrid, make(), limits);
     // Hybrid keeps hardware walkers as the fast path: per-walk latency
     // stays near the baseline's.
     EXPECT_LT(hyb.avgWalkAccessLatency,
@@ -222,7 +234,7 @@ TEST(PaperClaimsScaling, MorePtwsHelpIrregularUntilSaturation)
     for (std::uint32_t ptws : {2u, 8u, 64u}) {
         GpuConfig cfg = test::smallConfig();
         scalePtwSubsystem(cfg, ptws);
-        perfs.push_back(runWorkload(cfg, make(), limits).perf);
+        perfs.push_back(runOne(cfg, make(), limits).perf);
     }
     EXPECT_GT(perfs[1], perfs[0] * 1.1) << "2 -> 8 PTWs must help";
     EXPECT_GT(perfs[2], perfs[1] * 0.95) << "more never hurts much";

@@ -31,11 +31,12 @@ fingerprintOnce(const GpuConfig &cfg)
     Gpu::RunLimits limits;
     limits.warpInstrQuota = 500;
     limits.warmupInstrs = 100;
-    RunResult result = runWorkload(
-        cfg,
-        std::make_unique<GraphWorkload>("pzp", 256ull << 20, true, 10,
-                                        params),
-        limits);
+    RunSpec spec;
+    spec.cfg = cfg;
+    spec.workload = std::make_unique<GraphWorkload>("pzp", 256ull << 20,
+                                                    true, 10, params);
+    spec.limits = limits;
+    RunResult result = run(std::move(spec));
     return fingerprint(result);
 }
 

@@ -1,0 +1,50 @@
+// SWTIDY-AS: src/core/fixture_rawvpn_clean.cc
+//
+// Clean cases for softwalker-raw-vpn-key: braced {asid, vpn} keys, a
+// TranslationKey-typed variable, non-Vpn first arguments (a cache lookup
+// by physical address), and free functions named like the key APIs.
+
+#include <cstdint>
+
+namespace sw {
+
+using Vpn = std::uint64_t;
+using Pfn = std::uint64_t;
+using PhysAddr = std::uint64_t;
+using Asid = std::uint32_t;
+
+struct TranslationKey
+{
+    Asid asid;
+    Vpn vpn;
+};
+
+struct FixtureTlb
+{
+    bool lookup(TranslationKey, Pfn &);
+    void fill(TranslationKey, Pfn);
+    bool probe(TranslationKey) const;
+};
+
+struct FixtureCache
+{
+    bool lookup(PhysAddr);
+};
+
+bool lookup(Vpn);   // free function: not a member-call key API
+
+inline void
+fixtureProperKeys(FixtureTlb &tlb, FixtureCache &cache, Asid asid)
+{
+    Vpn vpn = 0x1234;
+    Pfn pfn = 0;
+    tlb.lookup({asid, vpn}, pfn);
+    tlb.fill({asid, vpn}, pfn);
+    TranslationKey key{asid, vpn};
+    tlb.probe(key);
+    PhysAddr addr = 0x8000;
+    cache.lookup(addr);
+    lookup(vpn);
+}
+
+} // namespace sw

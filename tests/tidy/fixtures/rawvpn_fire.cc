@@ -1,0 +1,34 @@
+// SWTIDY-AS: src/core/fixture_rawvpn_fire.cc
+//
+// Firing cases for softwalker-raw-vpn-key: a bare Vpn-typed variable
+// passed as the key of a translation-structure call outside src/vm.
+// Since the TranslationKey migration the key is {asid, vpn}; a raw VPN
+// silently means ASID 0 and breaks multi-tenant containment.
+
+#include <cstdint>
+
+namespace sw {
+
+using Vpn = std::uint64_t;
+using Pfn = std::uint64_t;
+
+struct FixtureTlb
+{
+    bool lookup(Vpn, Pfn &);
+    void fill(Vpn, Pfn);
+    bool allocPending(Vpn);
+    void invalidate(Vpn);
+};
+
+inline void
+fixtureRawKeys(FixtureTlb &tlb, FixtureTlb *shared)
+{
+    Vpn vpn = 0x1234;
+    Pfn pfn = 0;
+    tlb.lookup(vpn, pfn); // FIRE: softwalker-raw-vpn-key
+    tlb.fill(vpn, pfn); // FIRE: softwalker-raw-vpn-key
+    shared->allocPending(vpn); // FIRE: softwalker-raw-vpn-key
+    shared->invalidate(vpn); // FIRE: softwalker-raw-vpn-key
+}
+
+} // namespace sw

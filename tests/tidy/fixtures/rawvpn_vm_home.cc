@@ -1,0 +1,30 @@
+// SWTIDY-AS: src/vm/fixture_rawvpn_vm_home.cc
+//
+// Clean-by-exemption for softwalker-raw-vpn-key: src/vm is the Vpn-level
+// machinery's home — page tables and address decomposition legitimately
+// take raw VPNs there, so the same calls that fire in src/core are
+// silent.
+
+#include <cstdint>
+
+namespace sw {
+
+using Vpn = std::uint64_t;
+using Pfn = std::uint64_t;
+
+struct FixturePageTable
+{
+    Pfn translate(Vpn) const;
+    bool lookup(Vpn, Pfn &);
+};
+
+inline void
+fixtureVmInternals(FixturePageTable &pt)
+{
+    Vpn vpn = 0x1234;
+    Pfn pfn = 0;
+    pt.translate(vpn);
+    pt.lookup(vpn, pfn);
+}
+
+} // namespace sw

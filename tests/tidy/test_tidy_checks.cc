@@ -190,6 +190,26 @@ TEST(TidyFixtures, AuditSideEffectClean)
     expectFixture("audit_clean.cc");
 }
 
+TEST(TidyFixtures, RawVpnKeyFires)
+{
+    auto expected = parseExpected(fixtureDir() / "rawvpn_fire.cc");
+    EXPECT_EQ(expected.size(), 4u)
+        << "fixture should mark lookup, fill, allocPending and invalidate";
+    expectFixture("rawvpn_fire.cc");
+}
+
+TEST(TidyFixtures, RawVpnKeyClean)
+{
+    expectFixture("rawvpn_clean.cc");
+}
+
+TEST(TidyFixtures, RawVpnKeySanctionedInVmHome)
+{
+    // src/vm is where the Vpn-level machinery lives (page tables, address
+    // decomposition); raw-VPN calls are the intended interface there.
+    expectFixture("rawvpn_vm_home.cc");
+}
+
 TEST(TidyFixtures, EveryCheckHasAFiringAndACleanFixture)
 {
     // Guards against a future check landing without fixtures: every check

@@ -190,6 +190,66 @@ TEST(TraceErrorsDeath, TextDuplicateStreamIsFatal)
     EXPECT_DEATH(parseTextTrace(text, "in"), "duplicate stream");
 }
 
+TEST(TraceErrors, TextStreamParsesOptionalAsid)
+{
+    std::istringstream text(
+        "swtrace-text 1\nname toy\nstream 0 0\nstream 1 0 2\n");
+    TraceFile trace = parseTextTrace(text, "in");
+    ASSERT_EQ(trace.streams.size(), 2u);
+    EXPECT_EQ(trace.streams[0].asid, 0u) << "asid defaults to 0";
+    EXPECT_EQ(trace.streams[1].asid, 2u);
+}
+
+TEST(TraceErrorsDeath, TextStreamExtraArgumentsAreFatal)
+{
+    std::istringstream text(
+        "swtrace-text 1\nname toy\nstream 0 0 1 9\n");
+    EXPECT_DEATH(parseTextTrace(text, "in"), "optional");
+}
+
+TEST(TraceErrorsDeath, TextStreamBadAsidIsFatal)
+{
+    std::istringstream text(
+        "swtrace-text 1\nname toy\nstream 0 0 pear\n");
+    EXPECT_DEATH(parseTextTrace(text, "in"), "not a number");
+}
+
+TEST(TraceErrorsDeath, AsidTagDisagreeingWithPartitioningIsFatal)
+{
+    // A converted trace claims ASID 1 for a stream on SM 0, but a
+    // single-tenant machine places every SM in ASID 0: replay would run
+    // the stream in a different address space than declared.
+    TraceFile trace;
+    trace.header.name = "mistagged";
+    TraceStream stream;
+    stream.sm = 0;
+    stream.warp = 0;
+    stream.asid = 1;
+    trace.streams.push_back(stream);
+    TraceWorkload workload(trace, "mistagged");
+    EXPECT_DEATH(workload.checkConfig(test::smallConfig()),
+                 "tagged ASID 1");
+}
+
+TEST(TraceErrors, AsidTagsMatchingThePartitioningPass)
+{
+    // Two tenants on 4 SMs: SMs 0..1 are ASID 0, SMs 2..3 are ASID 1.
+    GpuConfig cfg = test::smallConfig();
+    cfg.numSms = 4;
+    cfg.numTenants = 2;
+    TraceFile trace;
+    trace.header.name = "tenants";
+    for (SmId sm = 0; sm < 4; ++sm) {
+        TraceStream stream;
+        stream.sm = sm;
+        stream.warp = 0;
+        stream.asid = tenantOfSm(cfg, sm);
+        trace.streams.push_back(stream);
+    }
+    TraceWorkload workload(trace, "tenants");
+    workload.checkConfig(cfg);   // digest-less: warns, must not die
+}
+
 TEST(TraceErrorsDeath, TextTooManyLanesIsFatal)
 {
     std::ostringstream line;

@@ -230,35 +230,97 @@ TEST(TraceEncode, FetchOrderRoundTrips)
     EXPECT_EQ(back.fetchOrder, trace.fetchOrder);
 }
 
+/**
+ * Hand-encode the fixed header plus the varint-coded trace header for a
+ * legacy (pre-v3) file: one stream named "legacy", no digest, no limits.
+ * Stream sections and the fetch-order section are the caller's job.
+ */
+std::vector<std::uint8_t>
+legacyHeader(std::uint32_t version)
+{
+    std::vector<std::uint8_t> bytes;
+    for (char c : kTraceMagic)
+        bytes.push_back(std::uint8_t(c));
+    for (int i = 0; i < 4; ++i)
+        bytes.push_back(std::uint8_t(version >> (8 * i)));
+    for (int i = 0; i < 8; ++i)
+        bytes.push_back(0);             // digest: unknown origin
+    const std::string name = "legacy";
+    putVarint(bytes, name.size());
+    bytes.insert(bytes.end(), name.begin(), name.end());
+    putVarint(bytes, 0);                // footprint
+    bytes.push_back(0);                 // irregular flag
+    for (int i = 0; i < 4; ++i)
+        putVarint(bytes, 0);            // limits
+    return bytes;
+}
+
+/** One stream (sm 0, warp 0) with a single 1-lane read of 0x4000. */
+void
+appendLegacyStream(std::vector<std::uint8_t> &bytes)
+{
+    putVarint(bytes, 1);                // stream count
+    putVarint(bytes, 0);                // sm
+    putVarint(bytes, 0);                // warp — v1/v2 carry no asid
+    putVarint(bytes, 1);                // instruction count
+    putVarint(bytes, 0);                // computeGap
+    bytes.push_back(1);                 // 1 active lane, read
+    putSvarint(bytes, 0x4000);
+}
+
 TEST(TraceEncode, VersionOneBytesStillDecode)
 {
-    // A v1 file ends right after the last stream record: no fetch-order
-    // section.  Readers must keep accepting it (fetchOrder stays empty).
-    TraceFile trace;
-    trace.header.name = "legacy";
-    TraceStream stream;
-    stream.sm = 0;
-    stream.warp = 0;
-    WarpInstr instr;
-    instr.activeLanes = 1;
-    instr.addrs[0] = 0x4000;
-    stream.instrs.push_back(instr);
-    trace.streams.push_back(stream);
-
-    std::vector<std::uint8_t> bytes = encodeTrace(trace);
-    // encodeTrace writes version 2 with an empty (one zero byte)
-    // fetch-order section; rewriting the version and dropping that byte
-    // reconstructs the v1 layout exactly.
-    ASSERT_EQ(bytes[8], 2u);
-    ASSERT_EQ(bytes.back(), 0u);
-    bytes[8] = 1;
-    bytes.pop_back();
+    // A v1 file ends right after the last stream record: no asid field,
+    // no fetch-order section.  Readers must keep accepting it (asid
+    // decodes as 0, fetchOrder stays empty).
+    std::vector<std::uint8_t> bytes = legacyHeader(1);
+    appendLegacyStream(bytes);
 
     TraceFile back = decodeTrace(bytes.data(), bytes.size(), "legacy");
     EXPECT_EQ(back.header.name, "legacy");
     ASSERT_EQ(back.streams.size(), 1u);
     EXPECT_EQ(back.streams[0].instrs[0].addrs[0], 0x4000u);
+    EXPECT_EQ(back.streams[0].asid, 0u);
     EXPECT_TRUE(back.fetchOrder.empty());
+}
+
+TEST(TraceEncode, VersionTwoBytesStillDecode)
+{
+    // A v2 file has the fetch-order section but no per-stream asid field;
+    // its streams must decode as the single-tenant address space.
+    std::vector<std::uint8_t> bytes = legacyHeader(2);
+    appendLegacyStream(bytes);
+    putVarint(bytes, 1);                // fetch-order entries
+    putVarint(bytes, 0);                // ... the one stream
+
+    TraceFile back = decodeTrace(bytes.data(), bytes.size(), "legacy-v2");
+    ASSERT_EQ(back.streams.size(), 1u);
+    EXPECT_EQ(back.streams[0].asid, 0u);
+    EXPECT_EQ(back.fetchOrder, std::vector<std::uint32_t>{0});
+}
+
+TEST(TraceEncode, AsidRoundTrips)
+{
+    TraceFile trace;
+    trace.header.name = "tenants";
+    const Asid asids[] = {0, 1, 3};
+    for (std::size_t i = 0; i < 3; ++i) {
+        TraceStream stream;
+        stream.sm = SmId(i);
+        stream.warp = 0;
+        stream.asid = asids[i];
+        WarpInstr instr;
+        instr.activeLanes = 1;
+        instr.addrs[0] = VirtAddr(0x1000 * (i + 1));
+        stream.instrs.push_back(instr);
+        trace.streams.push_back(std::move(stream));
+    }
+
+    std::vector<std::uint8_t> bytes = encodeTrace(trace);
+    TraceFile back = decodeTrace(bytes.data(), bytes.size(), "tenants");
+    ASSERT_EQ(back.streams.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(back.streams[i].asid, asids[i]);
 }
 
 TEST(TraceEncode, EmptyTraceRoundTrips)

@@ -6,26 +6,37 @@
 
 using namespace sw;
 
+namespace {
+
+/** These legacy tests are single-tenant: everything is tagged ASID 0. */
+constexpr TranslationKey
+K(Vpn vpn)
+{
+    return {0, vpn};
+}
+
+} // namespace
+
 TEST(FaultBuffer, RecordsAndDrainsFifo)
 {
     FaultBuffer buffer(4);
-    EXPECT_TRUE(buffer.record(1, 2, 100));
-    EXPECT_TRUE(buffer.record(3, 1, 200));
+    EXPECT_TRUE(buffer.record(K(1), 2, 100));
+    EXPECT_TRUE(buffer.record(K(3), 1, 200));
     EXPECT_EQ(buffer.size(), 2u);
     FaultBuffer::Record first = buffer.pop();
-    EXPECT_EQ(first.vpn, 1u);
+    EXPECT_EQ(first.key.vpn, 1u);
     EXPECT_EQ(first.level, 2);
     EXPECT_EQ(first.when, 100u);
-    EXPECT_EQ(buffer.pop().vpn, 3u);
+    EXPECT_EQ(buffer.pop().key.vpn, 3u);
     EXPECT_TRUE(buffer.empty());
 }
 
 TEST(FaultBuffer, OverflowRejectsAndCounts)
 {
     FaultBuffer buffer(2);
-    EXPECT_TRUE(buffer.record(1, 1, 0));
-    EXPECT_TRUE(buffer.record(2, 1, 0));
-    EXPECT_FALSE(buffer.record(3, 1, 0));
+    EXPECT_TRUE(buffer.record(K(1), 1, 0));
+    EXPECT_TRUE(buffer.record(K(2), 1, 0));
+    EXPECT_FALSE(buffer.record(K(3), 1, 0));
     EXPECT_EQ(buffer.stats().overflows, 1u);
     EXPECT_EQ(buffer.size(), 2u);
 }
@@ -33,9 +44,9 @@ TEST(FaultBuffer, OverflowRejectsAndCounts)
 TEST(FaultBuffer, DrainFreesCapacity)
 {
     FaultBuffer buffer(1);
-    buffer.record(1, 1, 0);
+    buffer.record(K(1), 1, 0);
     buffer.pop();
-    EXPECT_TRUE(buffer.record(2, 1, 0));
+    EXPECT_TRUE(buffer.record(K(2), 1, 0));
     EXPECT_EQ(buffer.stats().recorded, 2u);
     EXPECT_EQ(buffer.stats().drained, 1u);
 }

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Multi-tenant translation structures (docs/MULTITENANCY.md): per-ASID
+ * address spaces never alias, ASID-selective flush touches exactly one
+ * tenant, and the sub-entry-sharing L2 TLB baseline (Li et al.) shares
+ * tags without leaking translations across tenants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+#include "vm/address_space.hh"
+#include "vm/page_walk_cache.hh"
+#include "vm/subentry_tlb.hh"
+#include "vm/tlb.hh"
+
+using namespace sw;
+
+namespace {
+
+GpuConfig
+tenantConfig(std::uint32_t tenants)
+{
+    GpuConfig cfg = makeDefaultConfig();
+    cfg.pageBytes = 64 * 1024;
+    cfg.numTenants = tenants;
+    return cfg;
+}
+
+// ---- Address spaces ------------------------------------------------------
+
+TEST(AddressSpaces, SameVpnResolvesToDistinctFramesPerTenant)
+{
+    FrameAllocator alloc(64 * 1024);
+    AddressSpaceManager spaces(tenantConfig(3), alloc);
+    ASSERT_EQ(spaces.numSpaces(), 3u);
+    constexpr Vpn vpn = 0x42;
+    for (Asid asid = 0; asid < 3; ++asid)
+        spaces.tableFor(asid).ensureMapped(vpn);
+    Pfn p0 = spaces.tableFor(0).translate(vpn);
+    Pfn p1 = spaces.tableFor(1).translate(vpn);
+    Pfn p2 = spaces.tableFor(2).translate(vpn);
+    EXPECT_NE(p0, p1);
+    EXPECT_NE(p1, p2);
+    EXPECT_NE(p0, p2) << "one shared allocator must never alias frames";
+}
+
+TEST(AddressSpaces, MappingOneTenantLeavesOthersUnmapped)
+{
+    FrameAllocator alloc(64 * 1024);
+    AddressSpaceManager spaces(tenantConfig(2), alloc);
+    spaces.tableFor(1).ensureMapped(0x99);
+    EXPECT_TRUE(spaces.tableFor(1).isMapped(0x99));
+    EXPECT_FALSE(spaces.tableFor(0).isMapped(0x99));
+}
+
+// ---- ASID-selective flush ------------------------------------------------
+
+TEST(AsidFlush, TlbDropsExactlyOneTenant)
+{
+    TlbArray tlb("l2", 64, 8);
+    for (Vpn vpn = 0; vpn < 16; ++vpn) {
+        ASSERT_TRUE(tlb.fill({0, vpn}, Pfn(100 + vpn)));
+        ASSERT_TRUE(tlb.fill({1, vpn}, Pfn(200 + vpn)));
+    }
+    tlb.flushAsid(1);
+    Pfn pfn = 0;
+    for (Vpn vpn = 0; vpn < 16; ++vpn) {
+        EXPECT_TRUE(tlb.lookup({0, vpn}, pfn))
+            << "ASID 0 must survive ASID 1's flush (vpn " << vpn << ")";
+        EXPECT_EQ(pfn, Pfn(100 + vpn));
+        EXPECT_FALSE(tlb.lookup({1, vpn}, pfn));
+    }
+}
+
+TEST(AsidFlush, PendingWaysSurviveTheFlush)
+{
+    // An In-TLB MSHR way is an in-flight walk, not a cached translation:
+    // like a per-VPN shootdown, the selective flush must not drop it.
+    TlbArray tlb("l2", 64, 8);
+    ASSERT_TRUE(tlb.allocPending({1, 0x7}));
+    tlb.flushAsid(1);
+    EXPECT_TRUE(tlb.hasPending({1, 0x7}));
+}
+
+TEST(AsidFlush, PwcDropsExactlyOneTenant)
+{
+    FrameAllocator alloc(64 * 1024);
+    AddressSpaceManager spaces(tenantConfig(2), alloc);
+    PageWalkCache pwc(32);
+    PageTableBase &pt0 = spaces.tableFor(0);
+    PageTableBase &pt1 = spaces.tableFor(1);
+    constexpr Vpn vpn = Vpn(5) << 20;
+    pt0.ensureMapped(vpn);
+    pt1.ensureMapped(vpn);
+    pwc.fill(pt0, 1, {0, vpn}, 0x1000);
+    pwc.fill(pt1, 1, {1, vpn}, 0x2000);
+
+    pwc.flushAsid(1);
+    int level = 0;
+    PhysAddr base = 0;
+    EXPECT_TRUE(pwc.lookup(pt0, {0, vpn}, level, base));
+    EXPECT_FALSE(pwc.lookup(pt1, {1, vpn}, level, base));
+}
+
+// ---- Sub-entry-sharing TLB (Li et al. baseline) --------------------------
+
+TEST(SubEntryTlb, GroupedFillsShareOneTag)
+{
+    // 4 sub-entries per tag: four consecutive pages cost one tag alloc.
+    SubEntryTlb tlb("l2", 64, 8, 4, /*shared=*/false);
+    for (Vpn vpn = 0; vpn < 4; ++vpn)
+        tlb.fill({0, vpn}, Pfn(10 + vpn));
+    EXPECT_EQ(tlb.stats().tagAllocs, 1u);
+    Pfn pfn = 0;
+    for (Vpn vpn = 0; vpn < 4; ++vpn) {
+        ASSERT_TRUE(tlb.lookup({0, vpn}, pfn));
+        EXPECT_EQ(pfn, Pfn(10 + vpn));
+    }
+}
+
+TEST(SubEntryTlb, UnsharedModeKeepsTenantsInSeparateTags)
+{
+    SubEntryTlb tlb("l2", 64, 8, 4, /*shared=*/false);
+    tlb.fill({0, 0}, 10);
+    tlb.fill({1, 0}, 20);
+    EXPECT_EQ(tlb.stats().tagAllocs, 2u)
+        << "without sharing, aliasing VPN ranges duplicate the tag";
+    EXPECT_EQ(tlb.stats().sharedFills, 0u);
+}
+
+TEST(SubEntryTlb, SharedModePacksTenantsIntoOneTag)
+{
+    SubEntryTlb tlb("l2", 64, 8, 4, /*shared=*/true);
+    tlb.fill({0, 0}, 10);
+    tlb.fill({1, 1}, 21);   // same group, different tenant and page
+    EXPECT_EQ(tlb.stats().tagAllocs, 1u)
+        << "sharing mode sub-fills into the existing tag";
+    EXPECT_EQ(tlb.stats().sharedFills, 1u);
+
+    Pfn pfn = 0;
+    ASSERT_TRUE(tlb.lookup({0, 0}, pfn));
+    EXPECT_EQ(pfn, 10u);
+    ASSERT_TRUE(tlb.lookup({1, 1}, pfn));
+    EXPECT_EQ(pfn, 21u);
+    EXPECT_EQ(tlb.stats().sharedHits, 1u) << "tenant 1 hit tenant 0's tag";
+}
+
+TEST(SubEntryTlb, SharedSubSlotsNeverLeakAcrossTenants)
+{
+    // Two tenants at the same VPN contend for the same sub-slot of the
+    // shared tag: the later fill displaces the earlier one, and the
+    // displaced tenant must MISS — never read the other tenant's PFN.
+    SubEntryTlb tlb("l2", 64, 8, 4, /*shared=*/true);
+    tlb.fill({0, 2}, 10);
+    tlb.fill({1, 2}, 20);
+    Pfn pfn = 0;
+    EXPECT_FALSE(tlb.lookup({0, 2}, pfn))
+        << "tenant 0 was displaced; returning tenant 1's PFN is a leak";
+    ASSERT_TRUE(tlb.lookup({1, 2}, pfn));
+    EXPECT_EQ(pfn, 20u);
+    EXPECT_FALSE(tlb.probe({2, 2})) << "a third tenant must miss";
+}
+
+TEST(SubEntryTlb, FlushAsidDropsOnlyThatTenantsSubSlots)
+{
+    SubEntryTlb tlb("l2", 64, 8, 4, /*shared=*/true);
+    tlb.fill({0, 0}, 10);
+    tlb.fill({1, 1}, 21);
+    tlb.flushAsid(0);
+    EXPECT_FALSE(tlb.probe({0, 0}));
+    EXPECT_TRUE(tlb.probe({1, 1}))
+        << "tenant 1's sub-slot survives in the shared tag";
+}
+
+TEST(SubEntryTlb, InvalidateDropsOneTranslation)
+{
+    SubEntryTlb tlb("l2", 64, 8, 4, /*shared=*/false);
+    tlb.fill({0, 0}, 10);
+    tlb.fill({0, 1}, 11);
+    tlb.invalidate({0, 0});
+    EXPECT_FALSE(tlb.probe({0, 0}));
+    EXPECT_TRUE(tlb.probe({0, 1}));
+}
+
+TEST(SubEntryTlb, WayPartitionConfinesVictimsNotLookups)
+{
+    // 2 tags (8 translations / 4 subs) per... keep it tiny: 2 ways, 1 set
+    // of tags, one way per tenant.  Tenant 0 thrashing its way must never
+    // evict tenant 1's tag.
+    SubEntryTlb tlb("l2", 8, 2, 4, /*shared=*/false);
+    ASSERT_EQ(tlb.numTags(), 2u);
+    tlb.setWayPartition({{0, 1}, {1, 1}});
+    tlb.fill({1, 0}, 20);
+    for (Vpn group = 1; group < 8; ++group)
+        tlb.fill({0, group * 4}, Pfn(group));
+    EXPECT_TRUE(tlb.probe({1, 0}))
+        << "tenant 0's thrashing stayed inside its own way";
+}
+
+} // namespace

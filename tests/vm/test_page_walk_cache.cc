@@ -10,6 +10,13 @@ using namespace sw;
 
 namespace {
 
+/** These legacy tests are single-tenant: everything is tagged ASID 0. */
+constexpr TranslationKey
+K(Vpn vpn)
+{
+    return {0, vpn};
+}
+
 class PwcTest : public ::testing::Test
 {
   protected:
@@ -27,28 +34,28 @@ TEST_F(PwcTest, MissOnEmpty)
 {
     int level = 0;
     PhysAddr base = 0;
-    EXPECT_FALSE(pwc.lookup(pt, 0x100, level, base));
+    EXPECT_FALSE(pwc.lookup(pt, K(0x100), level, base));
     EXPECT_EQ(pwc.stats().lookups, 1u);
     EXPECT_EQ(pwc.stats().hits, 0u);
 }
 
 TEST_F(PwcTest, FillThenHitAtThatLevel)
 {
-    pwc.fill(pt, 2, 0x100, 0xAA00);
+    pwc.fill(pt, 2, K(0x100), 0xAA00);
     int level = 0;
     PhysAddr base = 0;
-    ASSERT_TRUE(pwc.lookup(pt, 0x100, level, base));
+    ASSERT_TRUE(pwc.lookup(pt, K(0x100), level, base));
     EXPECT_EQ(level, 2);
     EXPECT_EQ(base, 0xAA00u);
 }
 
 TEST_F(PwcTest, DeepestLevelWins)
 {
-    pwc.fill(pt, 3, 0x100, 0xCC00);
-    pwc.fill(pt, 1, 0x100, 0xAA00);
+    pwc.fill(pt, 3, K(0x100), 0xCC00);
+    pwc.fill(pt, 1, K(0x100), 0xAA00);
     int level = 0;
     PhysAddr base = 0;
-    ASSERT_TRUE(pwc.lookup(pt, 0x100, level, base));
+    ASSERT_TRUE(pwc.lookup(pt, K(0x100), level, base));
     EXPECT_EQ(level, 1) << "level 1 lets the walker skip the most";
     EXPECT_EQ(base, 0xAA00u);
 }
@@ -56,29 +63,29 @@ TEST_F(PwcTest, DeepestLevelWins)
 TEST_F(PwcTest, PrefixSharingAcrossNeighbours)
 {
     // Adjacent VPNs share the leaf table: one fill serves both.
-    pwc.fill(pt, 1, 0x100, 0xAA00);
+    pwc.fill(pt, 1, K(0x100), 0xAA00);
     int level = 0;
     PhysAddr base = 0;
-    EXPECT_TRUE(pwc.lookup(pt, 0x101, level, base));
+    EXPECT_TRUE(pwc.lookup(pt, K(0x101), level, base));
     EXPECT_EQ(base, 0xAA00u);
 }
 
 TEST_F(PwcTest, DistantVpnMisses)
 {
-    pwc.fill(pt, 1, 0x100, 0xAA00);
+    pwc.fill(pt, 1, K(0x100), 0xAA00);
     int level = 0;
     PhysAddr base = 0;
     Vpn far = 0x100 + (1ull << 20);
-    EXPECT_FALSE(pwc.lookup(pt, far, level, base));
+    EXPECT_FALSE(pwc.lookup(pt, K(far), level, base));
 }
 
 TEST_F(PwcTest, RefillUpdatesExistingEntry)
 {
-    pwc.fill(pt, 1, 0x100, 0xAA00);
-    pwc.fill(pt, 1, 0x100, 0xBB00);
+    pwc.fill(pt, 1, K(0x100), 0xAA00);
+    pwc.fill(pt, 1, K(0x100), 0xBB00);
     int level = 0;
     PhysAddr base = 0;
-    ASSERT_TRUE(pwc.lookup(pt, 0x100, level, base));
+    ASSERT_TRUE(pwc.lookup(pt, K(0x100), level, base));
     EXPECT_EQ(base, 0xBB00u);
     EXPECT_EQ(pwc.stats().fills, 2u);
 }
@@ -87,18 +94,18 @@ TEST_F(PwcTest, LruReplacementOnOverflow)
 {
     // Capacity 4: fill five distant level-1 entries.
     for (int i = 0; i < 5; ++i) {
-        pwc.fill(pt, 1, Vpn(i) << 20, PhysAddr(i) * 0x100);
+        pwc.fill(pt, 1, K(Vpn(i) << 20), PhysAddr(i) * 0x100);
     }
     int level = 0;
     PhysAddr base = 0;
-    EXPECT_FALSE(pwc.lookup(pt, 0, level, base)) << "oldest evicted";
-    EXPECT_TRUE(pwc.lookup(pt, Vpn(4) << 20, level, base));
+    EXPECT_FALSE(pwc.lookup(pt, K(0), level, base)) << "oldest evicted";
+    EXPECT_TRUE(pwc.lookup(pt, K(Vpn(4) << 20), level, base));
 }
 
 TEST_F(PwcTest, TopLevelAndInvalidLevelsIgnored)
 {
-    pwc.fill(pt, pt.topLevel(), 0x100, 0xAA00);   // root needs no PWC
-    pwc.fill(pt, 0, 0x100, 0xAA00);
+    pwc.fill(pt, pt.topLevel(), K(0x100), 0xAA00);   // root needs no PWC
+    pwc.fill(pt, 0, K(0x100), 0xAA00);
     EXPECT_EQ(pwc.stats().fills, 0u);
 }
 
@@ -106,28 +113,28 @@ TEST_F(PwcTest, HashedTableNeverUsesPwc)
 {
     FrameAllocator halloc(64 * 1024);
     HashedPageTable hpt(geom, halloc, 1 << 10);
-    pwc.fill(hpt, 1, 0x100, 0xAA00);
+    pwc.fill(hpt, 1, K(0x100), 0xAA00);
     int level = 0;
     PhysAddr base = 0;
-    EXPECT_FALSE(pwc.lookup(hpt, 0x100, level, base));
+    EXPECT_FALSE(pwc.lookup(hpt, K(0x100), level, base));
 }
 
 TEST_F(PwcTest, FlushEmptiesCache)
 {
-    pwc.fill(pt, 1, 0x100, 0xAA00);
+    pwc.fill(pt, 1, K(0x100), 0xAA00);
     pwc.flush();
     int level = 0;
     PhysAddr base = 0;
-    EXPECT_FALSE(pwc.lookup(pt, 0x100, level, base));
+    EXPECT_FALSE(pwc.lookup(pt, K(0x100), level, base));
 }
 
 TEST_F(PwcTest, HitRateStat)
 {
-    pwc.fill(pt, 1, 0x100, 0xAA00);
+    pwc.fill(pt, 1, K(0x100), 0xAA00);
     int level = 0;
     PhysAddr base = 0;
-    pwc.lookup(pt, 0x100, level, base);
-    pwc.lookup(pt, Vpn(7) << 25, level, base);
+    pwc.lookup(pt, K(0x100), level, base);
+    pwc.lookup(pt, K(Vpn(7) << 25), level, base);
     EXPECT_NEAR(pwc.stats().hitRate(), 0.5, 1e-9);
 }
 

@@ -10,19 +10,35 @@ using namespace sw;
 
 namespace {
 
+/** These legacy tests are single-tenant: everything is tagged ASID 0. */
+constexpr TranslationKey
+K(Vpn vpn)
+{
+    return {0, vpn};
+}
+
 class PtwTest : public ::testing::Test
 {
   protected:
     PtwTest()
-        : geom(64 * 1024), alloc(64 * 1024), pt(geom, alloc), pwc(32)
+        : geom(64 * 1024), alloc(64 * 1024), spaces(spacesConfig(), alloc),
+          pt(spaces.tableFor(0)), pwc(32)
     {
+    }
+
+    static GpuConfig
+    spacesConfig()
+    {
+        GpuConfig cfg = makeDefaultConfig();
+        cfg.pageBytes = 64 * 1024;
+        return cfg;
     }
 
     std::unique_ptr<HardwarePtwPool>
     makePool(HardwarePtwPool::Params params, Cycle mem_latency = 50)
     {
         return std::make_unique<HardwarePtwPool>(
-            eq, params, pt, pwc,
+            eq, params, spaces, pwc,
             [this, mem_latency](PhysAddr, std::function<void()> done) {
                 ++memReads;
                 eq.scheduleIn(mem_latency, std::move(done));
@@ -36,7 +52,7 @@ class PtwTest : public ::testing::Test
         pt.ensureMapped(vpn);
         WalkRequest req;
         req.id = id;
-        req.vpn = vpn;
+        req.key = K(vpn);
         req.cursor = pt.startWalk(vpn);
         req.created = eq.now();
         return req;
@@ -45,7 +61,8 @@ class PtwTest : public ::testing::Test
     EventQueue eq;
     PageGeometry geom;
     FrameAllocator alloc;
-    RadixPageTable pt;
+    AddressSpaceManager spaces;
+    PageTableBase &pt;
     PageWalkCache pwc;
     int memReads = 0;
     std::vector<WalkResult> results;
@@ -85,7 +102,7 @@ TEST_F(PtwTest, ResumedWalkSkipsLevels)
         pt.advance(cur);
     WalkRequest req;
     req.id = 2;
-    req.vpn = 9;
+    req.key = K(9);
     req.cursor = pt.resumeWalk(9, 1, cur.tableBase);
     pool->submit(std::move(req));
     eq.run();
@@ -139,7 +156,7 @@ TEST_F(PtwTest, WalksFillThePwc)
     eq.run();
     int level = 0;
     PhysAddr base = 0;
-    EXPECT_TRUE(pwc.lookup(pt, 0x500, level, base));
+    EXPECT_TRUE(pwc.lookup(pt, K(0x500), level, base));
     EXPECT_EQ(level, 1) << "leaf table base cached";
 }
 
@@ -148,7 +165,7 @@ TEST_F(PtwTest, FaultReportedForUnmappedVpn)
     auto pool = makePool({});
     WalkRequest req;
     req.id = 9;
-    req.vpn = 0xFFFF;
+    req.key = K(0xFFFF);
     req.cursor = pt.startWalk(0xFFFF);
     pool->submit(std::move(req));
     eq.run();
@@ -209,7 +226,7 @@ TEST_F(PtwTest, NhaMergesSameSectorWalks)
     EXPECT_GT(pool->stats().nhaMerged, 0u);
     // Riders get their own PFNs.
     for (const auto &result : results)
-        EXPECT_EQ(result.pfn, pt.translate(result.vpn));
+        EXPECT_EQ(result.pfn, pt.translate(result.key.vpn));
 }
 
 TEST_F(PtwTest, NhaDoesNotMergeDistantVpns)

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/config.hh"
 #include "vm/ptw.hh"
 
 using namespace sw;
@@ -13,15 +14,24 @@ class PtwTimingTest : public ::testing::Test
 {
   protected:
     PtwTimingTest()
-        : geom(64 * 1024), alloc(64 * 1024), pt(geom, alloc), pwc(32)
+        : geom(64 * 1024), alloc(64 * 1024), spaces(spacesConfig(), alloc),
+          pt(spaces.tableFor(0)), pwc(32)
     {
+    }
+
+    static GpuConfig
+    spacesConfig()
+    {
+        GpuConfig cfg = makeDefaultConfig();
+        cfg.pageBytes = 64 * 1024;
+        return cfg;
     }
 
     std::unique_ptr<HardwarePtwPool>
     makePool(HardwarePtwPool::Params params, Cycle mem_latency)
     {
         return std::make_unique<HardwarePtwPool>(
-            eq, params, pt, pwc,
+            eq, params, spaces, pwc,
             [this, mem_latency](PhysAddr, std::function<void()> done) {
                 eq.scheduleIn(mem_latency, std::move(done));
             },
@@ -40,7 +50,7 @@ class PtwTimingTest : public ::testing::Test
             pt.advance(cur);
         WalkRequest req;
         req.id = id;
-        req.vpn = vpn;
+        req.key = {0, vpn};
         req.cursor = pt.resumeWalk(vpn, 1, cur.tableBase);
         req.created = eq.now();
         return req;
@@ -49,7 +59,8 @@ class PtwTimingTest : public ::testing::Test
     EventQueue eq;
     PageGeometry geom;
     FrameAllocator alloc;
-    RadixPageTable pt;
+    AddressSpaceManager spaces;
+    PageTableBase &pt;
     PageWalkCache pwc;
     std::vector<WalkResult> results;
 };

@@ -8,11 +8,18 @@ using namespace sw;
 
 namespace {
 
+/** These legacy tests are single-tenant: everything is tagged ASID 0. */
+constexpr TranslationKey
+K(Vpn vpn)
+{
+    return {0, vpn};
+}
+
 TEST(TlbArray, MissOnEmpty)
 {
     TlbArray tlb("t", 16, 4);
     Pfn pfn = 0;
-    EXPECT_FALSE(tlb.lookup(1, pfn));
+    EXPECT_FALSE(tlb.lookup(K(1), pfn));
     EXPECT_EQ(tlb.stats().lookups, 1u);
     EXPECT_EQ(tlb.stats().hits, 0u);
 }
@@ -20,9 +27,9 @@ TEST(TlbArray, MissOnEmpty)
 TEST(TlbArray, FillThenHit)
 {
     TlbArray tlb("t", 16, 4);
-    EXPECT_TRUE(tlb.fill(7, 77));
+    EXPECT_TRUE(tlb.fill(K(7), 77));
     Pfn pfn = 0;
-    EXPECT_TRUE(tlb.lookup(7, pfn));
+    EXPECT_TRUE(tlb.lookup(K(7), pfn));
     EXPECT_EQ(pfn, 77u);
     EXPECT_DOUBLE_EQ(tlb.stats().hitRate(), 1.0);
 }
@@ -30,10 +37,10 @@ TEST(TlbArray, FillThenHit)
 TEST(TlbArray, RefillUpdatesInPlace)
 {
     TlbArray tlb("t", 16, 4);
-    tlb.fill(7, 77);
-    tlb.fill(7, 88);
+    tlb.fill(K(7), 77);
+    tlb.fill(K(7), 88);
     Pfn pfn = 0;
-    EXPECT_TRUE(tlb.lookup(7, pfn));
+    EXPECT_TRUE(tlb.lookup(K(7), pfn));
     EXPECT_EQ(pfn, 88u);
     EXPECT_EQ(tlb.stats().evictions, 0u);
 }
@@ -43,23 +50,23 @@ TEST(TlbArray, SetOverflowEvictsLru)
     TlbArray tlb("t", 16, 4);   // 4 sets, 4 ways
     // Five VPNs mapping to set 0 (vpn % 4 == 0).
     for (Vpn vpn = 0; vpn < 5; ++vpn)
-        tlb.fill(vpn * 4, vpn);
+        tlb.fill(K(vpn * 4), vpn);
     EXPECT_EQ(tlb.stats().evictions, 1u);
     Pfn pfn = 0;
-    EXPECT_FALSE(tlb.lookup(0, pfn)) << "LRU entry evicted";
-    EXPECT_TRUE(tlb.lookup(16, pfn));
+    EXPECT_FALSE(tlb.lookup(K(0), pfn)) << "LRU entry evicted";
+    EXPECT_TRUE(tlb.lookup(K(16), pfn));
 }
 
 TEST(TlbArray, LookupRefreshesLru)
 {
     TlbArray tlb("t", 16, 4);
     for (Vpn vpn = 0; vpn < 4; ++vpn)
-        tlb.fill(vpn * 4, vpn);
+        tlb.fill(K(vpn * 4), vpn);
     Pfn pfn = 0;
-    tlb.lookup(0, pfn);        // refresh vpn 0
-    tlb.fill(16, 99);          // evicts vpn 4, not 0
-    EXPECT_TRUE(tlb.probe(0));
-    EXPECT_FALSE(tlb.probe(4));
+    tlb.lookup(K(0), pfn);        // refresh vpn 0
+    tlb.fill(K(16), 99);          // evicts vpn 4, not 0
+    EXPECT_TRUE(tlb.probe(K(0)));
+    EXPECT_FALSE(tlb.probe(K(4)));
 }
 
 TEST(TlbArray, FullyAssociativeWhenWaysEqualEntries)
@@ -67,26 +74,26 @@ TEST(TlbArray, FullyAssociativeWhenWaysEqualEntries)
     TlbArray tlb("l1", 8, 8);
     EXPECT_EQ(tlb.numSets(), 1u);
     for (Vpn vpn = 0; vpn < 8; ++vpn)
-        tlb.fill(vpn * 1000 + 3, vpn);
+        tlb.fill(K(vpn * 1000 + 3), vpn);
     for (Vpn vpn = 0; vpn < 8; ++vpn)
-        EXPECT_TRUE(tlb.probe(vpn * 1000 + 3));
+        EXPECT_TRUE(tlb.probe(K(vpn * 1000 + 3)));
 }
 
 TEST(TlbArray, InvalidateRemovesEntry)
 {
     TlbArray tlb("t", 16, 4);
-    tlb.fill(5, 50);
-    tlb.invalidate(5);
-    EXPECT_FALSE(tlb.probe(5));
+    tlb.fill(K(5), 50);
+    tlb.invalidate(K(5));
+    EXPECT_FALSE(tlb.probe(K(5)));
 }
 
 TEST(TlbArray, FlushClearsEverything)
 {
     TlbArray tlb("t", 16, 4);
-    tlb.fill(5, 50);
-    tlb.allocPending(9);
+    tlb.fill(K(5), 50);
+    tlb.allocPending(K(9));
     tlb.flush();
-    EXPECT_FALSE(tlb.probe(5));
+    EXPECT_FALSE(tlb.probe(K(5)));
     EXPECT_EQ(tlb.pendingCount(), 0u);
 }
 
@@ -95,17 +102,17 @@ TEST(TlbArray, FlushClearsEverything)
 TEST(InTlbMshr, AllocPendingOccupiesAWay)
 {
     TlbArray tlb("t", 16, 4);
-    EXPECT_TRUE(tlb.allocPending(8));
+    EXPECT_TRUE(tlb.allocPending(K(8)));
     EXPECT_EQ(tlb.pendingCount(), 1u);
-    EXPECT_TRUE(tlb.hasPending(8));
-    EXPECT_FALSE(tlb.hasPending(12));
+    EXPECT_TRUE(tlb.hasPending(K(8)));
+    EXPECT_FALSE(tlb.hasPending(K(12)));
 }
 
 TEST(InTlbMshr, SameTagReservationMerges)
 {
     TlbArray tlb("t", 16, 4);
-    EXPECT_TRUE(tlb.allocPending(8));
-    EXPECT_TRUE(tlb.allocPending(8));
+    EXPECT_TRUE(tlb.allocPending(K(8)));
+    EXPECT_TRUE(tlb.allocPending(K(8)));
     EXPECT_EQ(tlb.pendingCount(), 1u) << "same tag merges onto one slot";
     EXPECT_EQ(tlb.stats().pendingAllocs, 1u);
 }
@@ -115,8 +122,8 @@ TEST(InTlbMshr, SetFullyPendingFailsFurtherAllocs)
     TlbArray tlb("t", 16, 4);
     // Four distinct tags in set 0 consume all ways.
     for (Vpn vpn = 0; vpn < 4; ++vpn)
-        EXPECT_TRUE(tlb.allocPending(vpn * 4));
-    EXPECT_FALSE(tlb.allocPending(16 * 4));
+        EXPECT_TRUE(tlb.allocPending(K(vpn * 4)));
+    EXPECT_FALSE(tlb.allocPending(K(16 * 4)));
     EXPECT_EQ(tlb.stats().pendingAllocFailures, 1u);
 }
 
@@ -124,27 +131,27 @@ TEST(InTlbMshr, PendingAllocEvictsValidLruEntry)
 {
     TlbArray tlb("t", 16, 4);
     for (Vpn vpn = 0; vpn < 4; ++vpn)
-        tlb.fill(vpn * 4, vpn);
-    EXPECT_TRUE(tlb.allocPending(100));   // 100 % 4 == 0 -> set 0
+        tlb.fill(K(vpn * 4), vpn);
+    EXPECT_TRUE(tlb.allocPending(K(100)));   // 100 % 4 == 0 -> set 0
     EXPECT_EQ(tlb.stats().pendingEvictedValid, 1u);
-    EXPECT_FALSE(tlb.probe(0)) << "LRU translation sacrificed";
+    EXPECT_FALSE(tlb.probe(K(0))) << "LRU translation sacrificed";
 }
 
 TEST(InTlbMshr, PendingEntriesAreNotLookupHits)
 {
     TlbArray tlb("t", 16, 4);
-    tlb.allocPending(8);
+    tlb.allocPending(K(8));
     Pfn pfn = 0;
-    EXPECT_FALSE(tlb.lookup(8, pfn));
+    EXPECT_FALSE(tlb.lookup(K(8), pfn));
 }
 
 TEST(InTlbMshr, FillNeverDisplacesPending)
 {
     TlbArray tlb("t", 16, 4);
     for (Vpn vpn = 0; vpn < 4; ++vpn)
-        tlb.allocPending(vpn * 4);
+        tlb.allocPending(K(vpn * 4));
     // Every way of set 0 is pending: a fill to that set is skipped.
-    EXPECT_FALSE(tlb.fill(16 * 4, 1));
+    EXPECT_FALSE(tlb.fill(K(16 * 4), 1));
     EXPECT_EQ(tlb.stats().fillsSkipped, 1u);
     EXPECT_EQ(tlb.pendingCount(), 4u);
 }
@@ -152,11 +159,11 @@ TEST(InTlbMshr, FillNeverDisplacesPending)
 TEST(InTlbMshr, ClearPendingFreesAllMatchingWays)
 {
     TlbArray tlb("t", 16, 4);
-    tlb.allocPending(8);
-    tlb.allocPending(12);
-    tlb.clearPending(8);
-    EXPECT_FALSE(tlb.hasPending(8));
-    EXPECT_TRUE(tlb.hasPending(12));
+    tlb.allocPending(K(8));
+    tlb.allocPending(K(12));
+    tlb.clearPending(K(8));
+    EXPECT_FALSE(tlb.hasPending(K(8)));
+    EXPECT_TRUE(tlb.hasPending(K(12)));
     EXPECT_EQ(tlb.pendingCount(), 1u);
 }
 
@@ -165,11 +172,11 @@ TEST(InTlbMshr, WalkCompletionFlow)
     // The full §4.5 sequence: alloc pending -> walk completes ->
     // clear pending -> fill valid -> subsequent lookups hit.
     TlbArray tlb("t", 16, 4);
-    ASSERT_TRUE(tlb.allocPending(8));
-    tlb.clearPending(8);
-    ASSERT_TRUE(tlb.fill(8, 80));
+    ASSERT_TRUE(tlb.allocPending(K(8)));
+    tlb.clearPending(K(8));
+    ASSERT_TRUE(tlb.fill(K(8), 80));
     Pfn pfn = 0;
-    EXPECT_TRUE(tlb.lookup(8, pfn));
+    EXPECT_TRUE(tlb.lookup(K(8), pfn));
     EXPECT_EQ(pfn, 80u);
     EXPECT_EQ(tlb.pendingCount(), 0u);
 }
@@ -193,13 +200,13 @@ TEST_P(TlbGeometry, PendingCountConsistency)
     TlbArray tlb("p", entries, ways);
     std::uint32_t allocated = 0;
     for (Vpn vpn = 0; vpn < entries * 2; ++vpn) {
-        if (tlb.allocPending(vpn))
+        if (tlb.allocPending(K(vpn)))
             ++allocated;
     }
     EXPECT_EQ(tlb.pendingCount(), allocated);
     EXPECT_LE(allocated, entries);
     for (Vpn vpn = 0; vpn < entries * 2; ++vpn)
-        tlb.clearPending(vpn);
+        tlb.clearPending(K(vpn));
     EXPECT_EQ(tlb.pendingCount(), 0u);
 }
 

@@ -13,19 +13,27 @@ using namespace sw;
 
 namespace {
 
-/** Standalone rig wiring engine + memory + radix table + hardware pool. */
+/** These legacy tests are single-tenant: everything is tagged ASID 0. */
+constexpr TranslationKey
+K(Vpn vpn)
+{
+    return {0, vpn};
+}
+
+/** Standalone rig wiring engine + memory + address space + hardware pool. */
 struct EngineRig
 {
     explicit EngineRig(const GpuConfig &config)
         : cfg(config), geom(cfg.pageBytes), alloc(cfg.pageBytes),
-          pt(geom, alloc), mem(eq, cfg), engine(eq, cfg, mem, pt)
+          spaces(cfg, alloc), pt(spaces.tableFor(0)), mem(eq, cfg),
+          engine(eq, cfg, mem, spaces)
     {
         HardwarePtwPool::Params pool;
         pool.numWalkers = cfg.numPtws;
         pool.pwbEntries = cfg.pwbEntries;
         pool.pwbPorts = cfg.pwbPorts;
         engine.setBackend(std::make_unique<HardwarePtwPool>(
-            eq, pool, pt, engine.pwc(),
+            eq, pool, spaces, engine.pwc(),
             [this](PhysAddr addr, std::function<void()> done) {
                 engine.ptAccess(addr, std::move(done));
             },
@@ -36,12 +44,13 @@ struct EngineRig
     EventQueue eq;
     PageGeometry geom;
     FrameAllocator alloc;
-    RadixPageTable pt;
+    AddressSpaceManager spaces;
+    PageTableBase &pt;
     MemorySystem mem;
     TranslationEngine engine;
 };
 
-/** Fixture wiring engine + memory + radix table + hardware pool. */
+/** Fixture wiring engine + memory + address space + hardware pool. */
 class TranslationTest : public ::testing::Test
 {
   protected:
@@ -49,7 +58,8 @@ class TranslationTest : public ::testing::Test
 
     explicit TranslationTest(const GpuConfig &config)
         : cfg(config), geom(cfg.pageBytes), alloc(cfg.pageBytes),
-          pt(geom, alloc), mem(eq, cfg), engine(eq, cfg, mem, pt)
+          spaces(cfg, alloc), pt(spaces.tableFor(0)), mem(eq, cfg),
+          engine(eq, cfg, mem, spaces)
     {
         installPool();
     }
@@ -62,7 +72,7 @@ class TranslationTest : public ::testing::Test
         pool.pwbEntries = cfg.pwbEntries;
         pool.pwbPorts = cfg.pwbPorts;
         engine.setBackend(std::make_unique<HardwarePtwPool>(
-            eq, pool, pt, engine.pwc(),
+            eq, pool, spaces, engine.pwc(),
             [this](PhysAddr addr, std::function<void()> done) {
                 engine.ptAccess(addr, std::move(done));
             },
@@ -76,7 +86,7 @@ class TranslationTest : public ::testing::Test
         Cycle start = eq.now();
         Pfn got = 0;
         bool done = false;
-        engine.translate(sm, vpn, [&](Pfn pfn) {
+        engine.translate(sm, K(vpn), [&](Pfn pfn) {
             got = pfn;
             done = true;
         });
@@ -89,7 +99,8 @@ class TranslationTest : public ::testing::Test
     EventQueue eq;
     PageGeometry geom;
     FrameAllocator alloc;
-    RadixPageTable pt;
+    AddressSpaceManager spaces;
+    PageTableBase &pt;
     MemorySystem mem;
     TranslationEngine engine;
 };
@@ -126,7 +137,7 @@ TEST_F(TranslationTest, ConcurrentSameVpnMergesAtL1)
 {
     int done = 0;
     for (int i = 0; i < 5; ++i)
-        engine.translate(0, 0x99, [&](Pfn) { ++done; });
+        engine.translate(0, K(0x99), [&](Pfn) { ++done; });
     eq.run();
     EXPECT_EQ(done, 5);
     EXPECT_EQ(engine.stats().l1MshrMerges, 4u);
@@ -137,7 +148,7 @@ TEST_F(TranslationTest, ConcurrentSameVpnAcrossSmsMergesAtL2)
 {
     int done = 0;
     for (SmId sm = 0; sm < 4; ++sm)
-        engine.translate(sm, 0x99, [&](Pfn) { ++done; });
+        engine.translate(sm, K(0x99), [&](Pfn) { ++done; });
     eq.run();
     EXPECT_EQ(done, 4);
     EXPECT_EQ(engine.stats().l2MshrMerges, 3u);
@@ -158,7 +169,7 @@ TEST_F(TranslationTest, L1MshrFileFullParksAndRecovers)
     // More distinct VPNs than L1 MSHRs (8 in the small config).
     int done = 0;
     for (Vpn vpn = 0; vpn < 20; ++vpn)
-        engine.translate(0, 0x1000 + vpn * 64, [&](Pfn) { ++done; });
+        engine.translate(0, K(0x1000 + vpn * 64), [&](Pfn) { ++done; });
     eq.run();
     EXPECT_EQ(done, 20);
     EXPECT_GT(engine.stats().l1MshrFailures, 0u);
@@ -170,7 +181,7 @@ TEST_F(TranslationTest, L2MshrSaturationCountsFailures)
     int done = 0;
     for (Vpn vpn = 0; vpn < 120; ++vpn) {
         SmId sm = SmId(vpn % cfg.numSms);
-        engine.translate(sm, 0x5000 + vpn * 8, [&](Pfn) { ++done; });
+        engine.translate(sm, K(0x5000 + vpn * 8), [&](Pfn) { ++done; });
     }
     eq.run();
     EXPECT_EQ(done, 120);
@@ -180,7 +191,7 @@ TEST_F(TranslationTest, L2MshrSaturationCountsFailures)
 TEST_F(TranslationTest, QueueDelayIncludesMshrWait)
 {
     for (Vpn vpn = 0; vpn < 120; ++vpn)
-        engine.translate(SmId(vpn % cfg.numSms), 0x9000 + vpn * 8,
+        engine.translate(SmId(vpn % cfg.numSms), K(0x9000 + vpn * 8),
                          [](Pfn) {});
     eq.run();
     // The last walks waited for MSHR capacity: queueing delay must show it.
@@ -193,7 +204,7 @@ TEST_F(TranslationTest, FaultPathReplaysAfterOsMapping)
     engine.setMapOnDemand(false);
     Pfn got = 0;
     bool done = false;
-    engine.translate(0, 0x77, [&](Pfn pfn) {
+    engine.translate(0, K(0x77), [&](Pfn pfn) {
         got = pfn;
         done = true;
     });
@@ -233,7 +244,7 @@ TEST_F(TranslationTest, ShootdownForcesRetranslation)
     translateAndWait(1, 0x42);
     std::uint64_t walks_before = engine.stats().walksCompleted;
 
-    engine.shootdown(0x42);
+    engine.shootdown(K(0x42));
 
     // Both SMs must re-walk (the translation is gone at both levels).
     auto [pfn0, lat0] = translateAndWait(0, 0x42);
@@ -249,7 +260,7 @@ TEST_F(TranslationTest, ShootdownForcesRetranslation)
 
 TEST_F(TranslationTest, ShootdownOfUnknownVpnIsHarmless)
 {
-    engine.shootdown(0xDEADBEEF);
+    engine.shootdown(K(0xDEADBEEF));
     auto [pfn, lat] = translateAndWait(0, 0x5);
     (void)lat;
     EXPECT_EQ(pfn, pt.translate(0x5));
@@ -267,16 +278,16 @@ TEST_F(TranslationTest, FixedPtLatencyOverride)
     // Rebuild an engine with the Fig 23 fixed-latency override.
     GpuConfig fixed_cfg = cfg;
     fixed_cfg.fixedPtAccessLatency = 123;
-    TranslationEngine fixed_engine(eq, fixed_cfg, mem, pt);
+    TranslationEngine fixed_engine(eq, fixed_cfg, mem, spaces);
     HardwarePtwPool::Params pool;
     fixed_engine.setBackend(std::make_unique<HardwarePtwPool>(
-        eq, pool, pt, fixed_engine.pwc(),
+        eq, pool, spaces, fixed_engine.pwc(),
         [&](PhysAddr addr, std::function<void()> done) {
             fixed_engine.ptAccess(addr, std::move(done));
         },
         fixed_engine.completionFn()));
     bool done = false;
-    fixed_engine.translate(0, 0x8, [&](Pfn) { done = true; });
+    fixed_engine.translate(0, K(0x8), [&](Pfn) { done = true; });
     eq.run();
     EXPECT_TRUE(done);
     EXPECT_EQ(fixed_engine.stats().ptReadLatency.minv, 123u);
@@ -304,7 +315,7 @@ TEST_F(InTlbEngineTest, OverflowUsesInTlbSlots)
     int done = 0;
     // Enough distinct VPNs to exhaust the 16 regular MSHRs.
     for (Vpn vpn = 0; vpn < 40; ++vpn)
-        engine.translate(SmId(vpn % cfg.numSms), 0x3000 + vpn * 8,
+        engine.translate(SmId(vpn % cfg.numSms), K(0x3000 + vpn * 8),
                          [&](Pfn) { ++done; });
     eq.run();
     EXPECT_EQ(done, 40);
@@ -316,7 +327,7 @@ TEST_F(InTlbEngineTest, InTlbReducesFailuresVsBaseline)
 {
     int done = 0;
     for (Vpn vpn = 0; vpn < 48; ++vpn)
-        engine.translate(SmId(vpn % cfg.numSms), 0x4000 + vpn * 8,
+        engine.translate(SmId(vpn % cfg.numSms), K(0x4000 + vpn * 8),
                          [&](Pfn) { ++done; });
     eq.run();
     std::uint64_t with_intlb = engine.stats().l2MshrFailures;
@@ -326,7 +337,7 @@ TEST_F(InTlbEngineTest, InTlbReducesFailuresVsBaseline)
     int base_done = 0;
     for (Vpn vpn = 0; vpn < 48; ++vpn)
         baseline.engine.translate(SmId(vpn % baseline.cfg.numSms),
-                                  0x4000 + vpn * 8,
+                                  K(0x4000 + vpn * 8),
                                   [&](Pfn) { ++base_done; });
     baseline.eq.run();
     EXPECT_EQ(done, 48);
@@ -337,7 +348,7 @@ TEST_F(InTlbEngineTest, InTlbReducesFailuresVsBaseline)
 TEST_F(InTlbEngineTest, CapRespected)
 {
     for (Vpn vpn = 0; vpn < 200; ++vpn)
-        engine.translate(SmId(vpn % cfg.numSms), 0x9000 + vpn * 8,
+        engine.translate(SmId(vpn % cfg.numSms), K(0x9000 + vpn * 8),
                          [](Pfn) {});
     eq.run();
     EXPECT_LE(engine.stats().inTlbMshrPeak, 32u);

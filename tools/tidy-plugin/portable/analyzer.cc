@@ -289,7 +289,7 @@ allChecks()
 {
     static const std::vector<std::string> names = {
         kNondeterministicIteration, kWallclockInSim, kInlineCaptureSpill,
-        kStatRegistration, kAuditSideEffect};
+        kStatRegistration, kAuditSideEffect, kRawVpnKey};
     return names;
 }
 
@@ -1380,6 +1380,69 @@ struct Analyzer::Impl
         }
     }
 
+    void
+    checkRawVpnKey(const SourceFile &f)
+    {
+        // src/vm is the Vpn-level machinery's home: page tables and the
+        // address decomposition legitimately traffic in raw VPNs there.
+        if (!underSrc(f) ||
+            underAnyDir(f.effective, {"src/vm"}))
+            return;
+        // Member calls whose first argument is the translation key since
+        // the TranslationKey migration.
+        static const char *const keyApis[] = {
+            "lookup",     "probe",        "fill",       "allocPending",
+            "hasPending", "clearPending", "invalidate", "translate"};
+        const std::string &code = f.code;
+        for (const char *fn : keyApis) {
+            std::size_t pos = 0;
+            while ((pos = code.find(fn, pos)) != std::string::npos) {
+                std::size_t here = pos;
+                pos += strlenConst(fn);
+                if (!wordAt(code, here, fn))
+                    continue;
+                // Member access only: x.fn( / x->fn(
+                bool member =
+                    (here > 0 && code[here - 1] == '.') ||
+                    (here > 1 && code[here - 2] == '-' &&
+                     code[here - 1] == '>');
+                if (!member)
+                    continue;
+                std::size_t open = skipSpaces(code, here + strlenConst(fn));
+                if (open >= code.size() || code[open] != '(')
+                    continue;
+                std::size_t close = matchGroup(code, open);
+                if (close == std::string::npos)
+                    continue;
+                std::vector<std::string> args = splitTopLevel(
+                    code.substr(open + 1, close - open - 2));
+                if (args.empty())
+                    continue;
+                std::string first = trim(args[0]);
+                // {asid, vpn} braced keys and anything not a plain
+                // identifier stay silent: the engine flags only what it
+                // can prove is a bare Vpn-typed variable.
+                bool ident = !first.empty();
+                for (char c : first)
+                    if (!identChar(c))
+                        ident = false;
+                if (!ident)
+                    continue;
+                std::string type = findDeclType(f, first, here);
+                if (type == "Vpn" || type == "sw::Vpn") {
+                    report(f, here, kRawVpnKey,
+                           "raw Vpn '" + first + "' passed as the key of " +
+                               std::string(fn) +
+                               "(); translation structures are keyed by "
+                               "TranslationKey {asid, vpn} — a bare VPN "
+                               "silently means ASID 0 and breaks "
+                               "multi-tenant containment (spell the key as "
+                               "{asid, " + first + "})");
+                }
+            }
+        }
+    }
+
     // ---- driver -----------------------------------------------------------
 
     std::vector<Diagnostic>
@@ -1402,6 +1465,8 @@ struct Analyzer::Impl
                 checkStatRegistration(f);
             if (checkEnabled(kAuditSideEffect))
                 checkAuditSideEffect(f);
+            if (checkEnabled(kRawVpnKey))
+                checkRawVpnKey(f);
         }
         std::sort(diags.begin(), diags.end());
         diags.erase(std::unique(diags.begin(), diags.end(),

@@ -1,7 +1,7 @@
 /**
  * @file
- * Portable implementation of the five `softwalker-` static-analysis
- * checks (see docs/STATIC_ANALYSIS.md for the catalog and rationale).
+ * Portable implementation of the `softwalker-` static-analysis checks
+ * (see docs/STATIC_ANALYSIS.md for the catalog and rationale).
  *
  * The authoritative implementation is the out-of-tree clang-tidy plugin
  * in tools/tidy-plugin/ — it sees the real AST and computes exact closure
@@ -28,6 +28,13 @@
  *  - softwalker-audit-side-effect: SW_AUDIT/SW_TRACE arguments with side
  *    effects (assignment, ++/--, mutating member calls) — they vanish in
  *    builds that compile the macro out.
+ *  - softwalker-raw-vpn-key: a bare Vpn-typed variable passed as the key
+ *    of a translation-structure call (lookup/probe/fill/...) outside
+ *    src/vm; since the TranslationKey migration the key is {asid, vpn},
+ *    and a raw VPN silently means "ASID 0" — a containment hazard in
+ *    multi-tenant code.  (Portable engine only; the clang plugin's type
+ *    system makes the mistake a compile error in-tree, so its twin is a
+ *    guard for test/fixture code and future overloads.)
  *
  * Fixture files may carry directives (anywhere in a comment):
  *  - `SWTIDY-AS: <path>`   classify the file as if it lived at <path>
@@ -56,8 +63,9 @@ inline constexpr const char *kStatRegistration =
     "softwalker-stat-registration";
 inline constexpr const char *kAuditSideEffect =
     "softwalker-audit-side-effect";
+inline constexpr const char *kRawVpnKey = "softwalker-raw-vpn-key";
 
-/** All five check names, in catalog order. */
+/** All check names, in catalog order. */
 const std::vector<std::string> &allChecks();
 
 /** One finding. */
